@@ -1,0 +1,45 @@
+// Shared helpers for the figure-reproduction harnesses: trial loops,
+// mean +- stddev formatting, aligned table printing.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace nmo::bench {
+
+/// Prints a header banner naming the figure/table being reproduced.
+inline void banner(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+/// mean +- stddev with engineering-style formatting.
+inline std::string mean_std(const RunningStats& s, const char* fmt = "%.3g") {
+  char buf[96];
+  char m[32], d[32];
+  std::snprintf(m, sizeof(m), fmt, s.mean());
+  std::snprintf(d, sizeof(d), fmt, s.stddev());
+  std::snprintf(buf, sizeof(buf), "%s +- %s", m, d);
+  return buf;
+}
+
+/// Percentage with two decimals.
+inline std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+/// Simple fixed-width row printer.
+inline void print_row(const std::vector<std::string>& cells, int width = 16) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace nmo::bench

@@ -1,0 +1,77 @@
+// Figure 4: execution phases tagged with sampled memory accesses in the
+// STREAM benchmark on 8 OpenMP threads (5 iterations, tagged triad kernel,
+// arrays a/b/c tagged).
+//
+// Paper finding: each thread sweeps a contiguous slice of each array, so
+// the (time, address) scatter forms "regular incremental small line
+// segments" inside the tagged ranges.
+#include <cstdio>
+
+#include "analysis/pattern.hpp"
+#include "bench_common.hpp"
+#include "core/session.hpp"
+#include "workloads/stream.hpp"
+
+int main() {
+  nmo::bench::banner("Figure 4", "tagged access scatter: STREAM triad, 8 threads, 5 iterations");
+
+  nmo::core::NmoConfig nmo;
+  nmo.enable = true;
+  nmo.mode = nmo::core::Mode::kSample;
+  nmo.period = 512;
+
+  nmo::sim::EngineConfig engine;
+  engine.threads = 8;
+  engine.machine.hierarchy.cores = 8;
+
+  nmo::wl::StreamConfig scfg;
+  scfg.array_elems = 1 << 20;
+  scfg.iterations = 5;
+  nmo::wl::Stream stream(scfg);
+
+  nmo::core::ProfileSession session(nmo, engine);
+  const auto report = session.profile(stream, /*with_baseline=*/false);
+  const auto& profiler = session.profiler();
+
+  std::printf("samples collected: %llu (period %llu)\n",
+              static_cast<unsigned long long>(report.processed_samples),
+              static_cast<unsigned long long>(nmo.period));
+
+  // Region legend (the a/b/c tags of Listing 1).
+  std::printf("\nTagged regions:\n");
+  const auto breakdown = nmo::analysis::region_breakdown(profiler.trace(), profiler.regions());
+  nmo::bench::print_row({"tag", "samples", "loads", "stores"}, 14);
+  for (const auto& r : breakdown) {
+    if (r.samples == 0) continue;
+    nmo::bench::print_row({r.name, std::to_string(r.samples), std::to_string(r.loads),
+                           std::to_string(r.stores)},
+                          14);
+  }
+
+  // Per-phase sample counts (the "triad" execution windows).
+  std::printf("\nSamples inside the tagged triad windows:\n");
+  const auto triad =
+      nmo::analysis::samples_in_phase(profiler.trace(), profiler.regions(), "triad");
+  std::printf("  triad samples: %zu of %zu total\n", triad.size(), profiler.trace().size());
+
+  // Regularity: per-array sweeps are sequential.
+  auto triad_a = triad;
+  std::erase_if(triad_a, [](const nmo::core::TraceSample& s) { return s.region != 0; });
+  std::printf("  per-array locality (64 KiB window): %.1f%% (paper: regular segments)\n",
+              nmo::analysis::locality_fraction(triad_a, 64 * 1024) * 100.0);
+
+  // Scatter sample: the first rows of what the paper plots.
+  std::printf("\nScatter excerpt (time_ns, vaddr, tag):\n");
+  int shown = 0;
+  for (const auto& s : triad) {
+    if (shown >= 20) break;
+    const char* tag = s.region >= 0
+                          ? profiler.regions().regions()[static_cast<std::size_t>(s.region)]
+                                .name.c_str()
+                          : "-";
+    std::printf("  %12llu  0x%llx  %s\n", static_cast<unsigned long long>(s.time_ns),
+                static_cast<unsigned long long>(s.vaddr), tag);
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7: the number of collected ARM SPE samples of memory accesses in
+// STREAM, CFD and BFS at sampling periods 512..131072, five trials each.
+//
+// Paper finding: samples scale linearly with 1/period (log-log slope -1);
+// the smallest periods show high variance and fall off the line because of
+// sample collisions.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "sim/profile.hpp"
+#include "sim/stat_driver.hpp"
+
+namespace {
+
+constexpr int kTrials = 5;
+constexpr std::uint64_t kPeriods[] = {512,   1024,  2048,  4096, 8192,
+                                      16384, 32768, 65536, 131072};
+
+void run_workload(const nmo::sim::WorkloadProfile& profile, std::uint32_t threads) {
+  std::printf("\n-- %s (%u threads, %d trials per period) --\n", profile.name.c_str(), threads,
+              kTrials);
+  nmo::bench::print_row({"period", "samples(mean)", "samples(std)", "trial values..."}, 15);
+
+  nmo::LinearFit loglog;
+  for (const auto period : kPeriods) {
+    nmo::RunningStats samples;
+    std::string trials_str;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      nmo::sim::SweepConfig cfg;
+      cfg.threads = threads;
+      cfg.period = period;
+      cfg.seed = 1000 + static_cast<std::uint64_t>(trial);
+      cfg.monitor_round_interval_cycles = 45'000'000;  // responsive monitor: counting mode
+      const auto r = nmo::sim::run_statistical(profile, nmo::sim::MachineConfig{}, cfg);
+      samples.add(static_cast<double>(r.processed_samples));
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%.3e ", static_cast<double>(r.processed_samples));
+      trials_str += buf;
+    }
+    loglog.add(std::log2(static_cast<double>(period)), std::log2(samples.mean()));
+    char p[24], m[24], s[24];
+    std::snprintf(p, sizeof(p), "%" PRIu64, period);
+    std::snprintf(m, sizeof(m), "%.3e", samples.mean());
+    std::snprintf(s, sizeof(s), "%.2e", samples.stddev());
+    nmo::bench::print_row({p, m, s, trials_str}, 15);
+  }
+  std::printf("log-log slope = %.3f (paper: linear scaling, slope -1)\n", loglog.slope());
+}
+
+}  // namespace
+
+int main() {
+  nmo::bench::banner("Figure 7", "collected SPE samples vs sampling period (5 trials)");
+  run_workload(nmo::sim::profiles::stream(), 32);
+  run_workload(nmo::sim::profiles::cfd(), 32);
+  run_workload(nmo::sim::profiles::bfs(), 32);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 11: sample collisions / sampling throttling on STREAM at an
+// increasing number of OpenMP threads (setup of Figure 10).
+//
+// Paper finding: a substantial increase in sampling throttling at high
+// thread counts, which explains the accuracy droop of Figure 10 past 32
+// threads.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/profile.hpp"
+#include "sim/stat_driver.hpp"
+
+namespace {
+
+constexpr int kTrials = 5;
+constexpr std::uint32_t kThreads[] = {1, 2, 4, 8, 16, 32, 48, 64, 96, 128};
+constexpr std::uint64_t kPeriod = 4096;
+
+}  // namespace
+
+int main() {
+  nmo::bench::banner("Figure 11", "sample collisions and throttling vs thread count (STREAM)");
+  auto profile = nmo::sim::profiles::stream();
+  profile.scale_ops(4.0);  // paper-scale run length: total sample bytes rival total buffering
+  nmo::bench::print_row(
+      {"threads", "hw_collisions", "collision_AUX", "throttle_ev", "throttled_sel"}, 16);
+  for (const auto threads : kThreads) {
+    nmo::RunningStats hw, flags, throttle, suppressed;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      nmo::sim::SweepConfig cfg;
+      cfg.threads = threads;
+      cfg.period = kPeriod;
+      cfg.ring_pages = 9;
+      cfg.aux_bytes = 16 * nmo::kSimPageSize;
+      cfg.seed = 5000 + static_cast<std::uint64_t>(trial);
+      const auto r = nmo::sim::run_statistical(profile, nmo::sim::MachineConfig{}, cfg);
+      hw.add(static_cast<double>(r.hw_collisions));
+      flags.add(static_cast<double>(r.collision_flags));
+      throttle.add(static_cast<double>(r.throttle_events));
+      suppressed.add(static_cast<double>(r.throttled));
+    }
+    char t[24];
+    std::snprintf(t, sizeof(t), "%u", threads);
+    nmo::bench::print_row({t, nmo::bench::mean_std(hw, "%.3g"), nmo::bench::mean_std(flags, "%.3g"),
+                           nmo::bench::mean_std(throttle, "%.3g"),
+                           nmo::bench::mean_std(suppressed, "%.3g")},
+                          16);
+  }
+  std::printf("(paper: collisions/throttling grow substantially past ~32 threads)\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks of the substrate hot paths: SPE packet
+// codec, cache hierarchy access, sampler decode loop, MD5 throughput.
+// These bound the simulator's own performance, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "common/md5.hpp"
+#include "common/rng.hpp"
+#include "kernel/perf_event.hpp"
+#include "mem/hierarchy.hpp"
+#include "spe/aux_consumer.hpp"
+#include "spe/packet.hpp"
+#include "spe/sampler.hpp"
+
+namespace {
+
+void BM_PacketEncode(benchmark::State& state) {
+  nmo::spe::Record rec;
+  rec.vaddr = 0x7fff1234;
+  rec.timestamp = 42;
+  rec.level = nmo::MemLevel::kDRAM;
+  rec.events = nmo::spe::events_for_level(rec.level, false);
+  std::array<std::byte, nmo::spe::kRecordSize> wire{};
+  for (auto _ : state) {
+    nmo::spe::encode(rec, wire);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nmo::spe::kRecordSize);
+}
+BENCHMARK(BM_PacketEncode);
+
+void BM_PacketDecode(benchmark::State& state) {
+  nmo::spe::Record rec;
+  rec.vaddr = 0x7fff1234;
+  rec.timestamp = 42;
+  std::array<std::byte, nmo::spe::kRecordSize> wire{};
+  nmo::spe::encode(rec, wire);
+  for (auto _ : state) {
+    auto result = nmo::spe::decode(wire);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nmo::spe::kRecordSize);
+}
+BENCHMARK(BM_PacketDecode);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  nmo::mem::HierarchyConfig cfg;
+  cfg.cores = 4;
+  nmo::mem::Hierarchy h(cfg);
+  nmo::Rng rng(1);
+  const std::uint64_t footprint = 1ull << state.range(0);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const nmo::MemAccess a{rng.uniform(footprint), nmo::MemOp::kLoad, 8};
+    benchmark::DoNotOptimize(h.access(0, a));
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_HierarchyAccess)->Arg(16)->Arg(22)->Arg(28);
+
+void BM_SamplerMemOp(benchmark::State& state) {
+  nmo::kern::PerfEventAttr attr;
+  attr.type = nmo::kern::kPerfTypeArmSpe;
+  attr.config = nmo::kern::kSpeConfigLoadsAndStores;
+  attr.sample_period = static_cast<std::uint64_t>(state.range(0));
+  attr.disabled = false;
+  auto ev = nmo::kern::open_event(attr, 0, 4, 64 * 1024, 1 << 20,
+                                  nmo::kern::TimeConv::from_frequency(3e9), nullptr);
+  nmo::spe::Sampler sampler(ev.get(), nmo::Rng(7));
+  nmo::spe::OpInfo op;
+  op.cls = nmo::spe::OpClass::kLoad;
+  op.vaddr = 0x1000;
+  op.latency = 4;
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    op.now_cycles = now += 3;
+    sampler.on_mem_op(op);
+    if (ev->aux().free_space() < 4096) ev->consume_aux(ev->aux().head());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamplerMemOp)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_AuxDrain(benchmark::State& state) {
+  nmo::kern::PerfEventAttr attr;
+  attr.type = nmo::kern::kPerfTypeArmSpe;
+  attr.config = nmo::kern::kSpeConfigLoadsAndStores;
+  attr.sample_period = 1024;
+  attr.aux_watermark = 1 << 19;
+  attr.disabled = false;
+  auto ev = nmo::kern::open_event(attr, 0, 4, 64 * 1024, 1 << 20,
+                                  nmo::kern::TimeConv::from_frequency(3e9), nullptr);
+  nmo::spe::Record rec;
+  rec.vaddr = 0x1234;
+  rec.timestamp = 9;
+  std::array<std::byte, nmo::spe::kRecordSize> wire{};
+  nmo::spe::encode(rec, wire);
+  nmo::spe::AuxConsumer consumer;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) ev->aux_write(wire, 0);
+    ev->flush_aux(0);
+    benchmark::DoNotOptimize(consumer.drain(*ev));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024 *
+                          nmo::spe::kRecordSize);
+}
+BENCHMARK(BM_AuxDrain);
+
+void BM_Md5(benchmark::State& state) {
+  std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nmo::Md5::hex(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace

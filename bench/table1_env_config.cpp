@@ -1,0 +1,51 @@
+// Table I: the supported environment variables and their defaults.
+//
+// Prints the configuration surface, verifies the documented defaults by
+// parsing an empty environment, and demonstrates a fully-specified one.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "core/config.hpp"
+
+int main() {
+  nmo::bench::banner("Table I", "supported environment variables and defaults");
+
+  const auto defaults = nmo::core::NmoConfig::from_env(
+      nmo::Env(std::map<std::string, std::string>{}));
+
+  nmo::bench::print_row({"Option", "Description", "Default", "Parsed"}, 22);
+  nmo::bench::print_row({"NMO_ENABLE", "Enable profile collection", "off",
+                         defaults.enable ? "on" : "off"},
+                        22);
+  nmo::bench::print_row({"NMO_NAME", "Base name of output files", "\"nmo\"", defaults.name}, 22);
+  nmo::bench::print_row({"NMO_MODE", "Profile collection mode", "none",
+                         defaults.mode == nmo::core::Mode::kNone ? "none" : "?"},
+                        22);
+  nmo::bench::print_row(
+      {"NMO_PERIOD", "Sampling period", "0", std::to_string(defaults.period)}, 22);
+  nmo::bench::print_row({"NMO_TRACK_RSS", "Capture working set size", "off",
+                         defaults.track_rss ? "on" : "off"},
+                        22);
+  nmo::bench::print_row({"NMO_BUFSIZE", "Ring buffer size [MiB]", "1",
+                         nmo::format_size(defaults.bufsize_bytes)},
+                        22);
+  nmo::bench::print_row({"NMO_AUXBUFSIZE", "Aux buffer size [MiB]", "1",
+                         nmo::format_size(defaults.auxbufsize_bytes)},
+                        22);
+
+  std::printf("\nExample configured environment:\n");
+  const auto cfg = nmo::core::NmoConfig::from_env(nmo::Env(std::map<std::string, std::string>{
+      {"NMO_ENABLE", "1"},
+      {"NMO_MODE", "all"},
+      {"NMO_PERIOD", "4096"},
+      {"NMO_TRACK_RSS", "on"},
+      {"NMO_BUFSIZE", "1"},
+      {"NMO_AUXBUFSIZE", "2"},
+  }));
+  std::printf("  enable=%d mode=all period=%llu track_rss=%d bufsize=%s auxbufsize=%s\n",
+              cfg.enable ? 1 : 0, static_cast<unsigned long long>(cfg.period),
+              cfg.track_rss ? 1 : 0, nmo::format_size(cfg.bufsize_bytes).c_str(),
+              nmo::format_size(cfg.auxbufsize_bytes).c_str());
+  return 0;
+}

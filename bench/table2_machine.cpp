@@ -1,0 +1,50 @@
+// Table II: hardware specification of the simulated ARM platform, plus a
+// measured STREAM-style peak-bandwidth check against the modelled
+// 200 GB/s.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "core/session.hpp"
+#include "sim/machine.hpp"
+#include "workloads/stream.hpp"
+
+int main() {
+  nmo::bench::banner("Table II", "simulated platform specification (Ampere Altra Max class)");
+
+  const nmo::sim::MachineConfig mc;
+  nmo::bench::print_row({"CPU", "ARM Ampere(R) Altra(R) Max class (simulated)"}, 18);
+  nmo::bench::print_row({"Cores", std::to_string(mc.hierarchy.cores) + " Armv8.2+ cores"}, 18);
+  nmo::bench::print_row({"Frequency", std::to_string(mc.freq_ghz) + " GHz"}, 18);
+  nmo::bench::print_row({"Mem. capacity", "256 GB (node budget)"}, 18);
+  nmo::bench::print_row({"Mem. technology", "DDR4 (modelled latency/bandwidth)"}, 18);
+  char bw[64];
+  std::snprintf(bw, sizeof(bw), "%.0f GB/s",
+                mc.hierarchy.dram_bytes_per_cycle * mc.freq_ghz);
+  nmo::bench::print_row({"Peak bandwidth", bw}, 18);
+  nmo::bench::print_row({"L1i / L1d", nmo::format_size(mc.hierarchy.l1.size_bytes) + " per core"},
+                        18);
+  nmo::bench::print_row({"L2", nmo::format_size(mc.hierarchy.l2.size_bytes) + " per core"}, 18);
+  nmo::bench::print_row({"SLC", nmo::format_size(mc.hierarchy.slc.size_bytes)}, 18);
+  nmo::bench::print_row({"Page size", nmo::format_size(mc.page_size)}, 18);
+
+  // Measured check: STREAM triad bandwidth through the simulated hierarchy.
+  nmo::core::NmoConfig nmo;
+  nmo.enable = true;
+  nmo.mode = nmo::core::Mode::kBandwidth;
+  nmo::sim::EngineConfig engine;
+  engine.threads = 32;
+  engine.machine.hierarchy.cores = 32;
+  engine.tick_interval_ns = 100'000;
+  nmo::wl::StreamConfig scfg;
+  scfg.array_elems = 1 << 21;
+  scfg.iterations = 3;
+  nmo::wl::Stream stream(scfg);
+  nmo::core::ProfileSession session(nmo, engine);
+  session.profile(stream, false);
+  std::printf("\nMeasured STREAM (32 threads) sustained bus bandwidth: %.1f GiB/s "
+              "(model peak %.0f GB/s)\n",
+              session.profiler().bandwidth().peak_gib_per_s(),
+              mc.hierarchy.dram_bytes_per_cycle * mc.freq_ghz);
+  return 0;
+}

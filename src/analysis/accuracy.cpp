@@ -1,0 +1,27 @@
+#include "analysis/accuracy.hpp"
+
+#include <cmath>
+
+namespace nmo::analysis {
+
+double accuracy(std::uint64_t mem_counted, std::uint64_t samples, std::uint64_t period) {
+  if (mem_counted == 0) return 0.0;
+  const double counted = static_cast<double>(mem_counted);
+  const double reconstructed = static_cast<double>(samples) * static_cast<double>(period);
+  return 1.0 - std::abs(counted - reconstructed) / counted;
+}
+
+double time_overhead(std::uint64_t baseline_ns, std::uint64_t instrumented_ns) {
+  if (baseline_ns == 0) return 0.0;
+  return static_cast<double>(instrumented_ns) / static_cast<double>(baseline_ns) - 1.0;
+}
+
+double accuracy(const sim::StatResult& r) {
+  return accuracy(r.mem_counted, r.processed_samples, r.period);
+}
+
+double time_overhead(const sim::StatResult& r) {
+  return time_overhead(r.baseline_ns, r.instrumented_ns);
+}
+
+}  // namespace nmo::analysis

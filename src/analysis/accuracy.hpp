@@ -1,0 +1,31 @@
+// The paper's evaluation metrics.
+//
+// Accuracy (Eq. 1 of section VII):
+//     accuracy = 1 - | mem_counted - samples * period | / mem_counted
+// where mem_counted comes from a counting-mode `mem_access` run (perf
+// stat), samples is the number of processed SPE samples and period the
+// sampling interval.  Time overhead is the relative execution-time increase
+// of the instrumented run over the uninstrumented baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stat_driver.hpp"
+
+namespace nmo::analysis {
+
+/// Eq. 1.  Returns a value in [0, 1]; 1 means samples * period exactly
+/// reconstructs the counted memory accesses.
+[[nodiscard]] double accuracy(std::uint64_t mem_counted, std::uint64_t samples,
+                              std::uint64_t period);
+
+/// Relative time overhead: instrumented / baseline - 1 (>= 0 in practice;
+/// negative values from measurement noise are preserved, as in the paper's
+/// error bars).
+[[nodiscard]] double time_overhead(std::uint64_t baseline_ns, std::uint64_t instrumented_ns);
+
+/// Convenience accessors over a statistical run result.
+[[nodiscard]] double accuracy(const sim::StatResult& r);
+[[nodiscard]] double time_overhead(const sim::StatResult& r);
+
+}  // namespace nmo::analysis

@@ -1,0 +1,92 @@
+#include "analysis/pattern.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nmo::analysis {
+
+std::vector<RegionStats> region_breakdown(const core::SampleTrace& trace,
+                                          const core::RegionTable& regions) {
+  std::vector<RegionStats> stats(regions.regions().size() + 1);
+  for (std::size_t i = 0; i < regions.regions().size(); ++i) {
+    stats[i].name = regions.regions()[i].name;
+  }
+  stats.back().name = "(untagged)";
+
+  for (const auto& s : trace.samples()) {
+    const std::size_t idx =
+        s.region >= 0 ? static_cast<std::size_t>(s.region) : stats.size() - 1;
+    auto& r = stats[idx];
+    ++r.samples;
+    if (s.op == MemOp::kLoad) {
+      ++r.loads;
+    } else {
+      ++r.stores;
+    }
+    r.min_addr = std::min(r.min_addr, s.vaddr);
+    r.max_addr = std::max(r.max_addr, s.vaddr);
+  }
+  return stats;
+}
+
+std::vector<core::TraceSample> samples_in_phase(const core::SampleTrace& trace,
+                                                const core::RegionTable& regions,
+                                                std::string_view phase) {
+  std::vector<core::TraceSample> out;
+  for (const auto& s : trace.samples()) {
+    for (const auto& span : regions.phases()) {
+      if (span.name != phase) continue;
+      const std::uint64_t stop = span.t_stop_ns == 0 ? ~std::uint64_t{0} : span.t_stop_ns;
+      if (s.time_ns >= span.t_start_ns && s.time_ns < stop) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double stride_regularity(const std::vector<core::TraceSample>& samples) {
+  // Per-core consecutive deltas; find the dominant one.
+  std::map<CoreId, Addr> last;
+  std::map<std::int64_t, std::uint64_t> deltas;
+  std::uint64_t total = 0;
+  for (const auto& s : samples) {
+    auto it = last.find(s.core);
+    if (it != last.end()) {
+      const auto delta = static_cast<std::int64_t>(s.vaddr) -
+                         static_cast<std::int64_t>(it->second);
+      ++deltas[delta];
+      ++total;
+      it->second = s.vaddr;
+    } else {
+      last.emplace(s.core, s.vaddr);
+    }
+  }
+  if (total == 0) return 0.0;
+  std::uint64_t best = 0;
+  for (const auto& [delta, count] : deltas) {
+    (void)delta;
+    best = std::max(best, count);
+  }
+  return static_cast<double>(best) / static_cast<double>(total);
+}
+
+double locality_fraction(const std::vector<core::TraceSample>& samples, std::uint64_t window) {
+  std::map<CoreId, Addr> last;
+  std::uint64_t local = 0, total = 0;
+  for (const auto& s : samples) {
+    auto it = last.find(s.core);
+    if (it != last.end()) {
+      const auto delta = s.vaddr > it->second ? s.vaddr - it->second : it->second - s.vaddr;
+      if (delta <= window) ++local;
+      ++total;
+      it->second = s.vaddr;
+    } else {
+      last.emplace(s.core, s.vaddr);
+    }
+  }
+  return total > 0 ? static_cast<double>(local) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace nmo::analysis

@@ -1,0 +1,53 @@
+// Access-pattern analysis over sample traces - the post-processing behind
+// the region figures (4-6).
+//
+// The paper's Python scripts turn the (time, address) scatter into
+// qualitative statements: STREAM's threads form "regular incremental small
+// line segments" while CFD at 32 threads shows irregular gathers.  These
+// helpers quantify that: per-region access counts, stride regularity and a
+// time-binned footprint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/regions.hpp"
+#include "core/trace.hpp"
+
+namespace nmo::analysis {
+
+/// Per-region sample statistics (which objects are hot - section III-A's
+/// "which memory objects are the most accessed inside a certain function?").
+struct RegionStats {
+  std::string name;
+  std::uint64_t samples = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  Addr min_addr = ~Addr{0};
+  Addr max_addr = 0;
+};
+
+/// Aggregates samples per tagged region; untagged samples land in a
+/// synthetic "(untagged)" entry.
+std::vector<RegionStats> region_breakdown(const core::SampleTrace& trace,
+                                          const core::RegionTable& regions);
+
+/// Restricts a trace to samples whose timestamp falls inside a named phase
+/// (any span with that name).
+std::vector<core::TraceSample> samples_in_phase(const core::SampleTrace& trace,
+                                                const core::RegionTable& regions,
+                                                std::string_view phase);
+
+/// Stride regularity of a sample sequence in [0, 1]: the fraction of
+/// consecutive same-thread (here: same-core) address deltas equal to the
+/// dominant stride.  Sequential sweeps score near 1; irregular gathers
+/// score low.
+double stride_regularity(const std::vector<core::TraceSample>& samples);
+
+/// Fraction of samples whose address is within `window` bytes of the
+/// previous same-core sample (spatial locality proxy).
+double locality_fraction(const std::vector<core::TraceSample>& samples, std::uint64_t window);
+
+}  // namespace nmo::analysis

@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace nmo {
+
+void CsvWriter::write_field(std::string_view field, bool first) {
+  auto& os = stream();
+  if (!first) os << ',';
+  const bool needs_quote = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void CsvWriter::end_row() { stream() << '\n'; }
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  end_row();
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  end_row();
+}
+
+void CsvWriter::numeric_row(std::string_view label, const std::vector<double>& values,
+                            int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.emplace_back(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    fields.emplace_back(buf);
+  }
+  row(fields);
+}
+
+void CsvWriter::flush() {
+  if (!to_string_) out_.flush();
+}
+
+}  // namespace nmo

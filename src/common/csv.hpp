@@ -1,0 +1,53 @@
+// Minimal CSV writing used by the trace and figure outputs.
+//
+// The paper's post-processing is Python scripting over CSV-ish dumps; the
+// benches in this repository print the same series to stdout and can
+// optionally persist them with this writer.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nmo {
+
+/// Streaming CSV writer.  Values containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check ok() before use.
+  explicit CsvWriter(const std::string& path) : out_(path) {}
+
+  /// In-memory variant (for tests): writes into an internal string.
+  CsvWriter() : to_string_(true) {}
+
+  [[nodiscard]] bool ok() const { return to_string_ || out_.good(); }
+
+  /// Writes one row from string fields.
+  void row(std::initializer_list<std::string_view> fields);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with `precision` significant
+  /// digits after a leading label.
+  void numeric_row(std::string_view label, const std::vector<double>& values, int precision = 6);
+
+  /// Returns accumulated text (in-memory mode only).
+  [[nodiscard]] std::string str() const { return buffer_.str(); }
+
+  /// Flushes the file stream.
+  void flush();
+
+ private:
+  void write_field(std::string_view field, bool first);
+  void end_row();
+  std::ostream& stream() { return to_string_ ? static_cast<std::ostream&>(buffer_) : out_; }
+
+  std::ofstream out_;
+  std::ostringstream buffer_;
+  bool to_string_ = false;
+};
+
+}  // namespace nmo

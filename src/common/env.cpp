@@ -1,0 +1,75 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/units.hpp"
+
+namespace nmo {
+
+Env::Env()
+    : lookup_([](const std::string& key) -> std::optional<std::string> {
+        const char* v = std::getenv(key.c_str());
+        if (v == nullptr) return std::nullopt;
+        return std::string(v);
+      }) {}
+
+Env::Env(std::map<std::string, std::string> values)
+    : lookup_([values = std::move(values)](const std::string& key) -> std::optional<std::string> {
+        auto it = values.find(key);
+        if (it == values.end()) return std::nullopt;
+        return it->second;
+      }) {}
+
+std::optional<std::string> Env::get(const std::string& key) const { return lookup_(key); }
+
+std::string Env::get_string(const std::string& key, std::string_view def) const {
+  auto v = get(key);
+  return v ? *v : std::string(def);
+}
+
+std::uint64_t Env::get_u64(const std::string& key, std::uint64_t def) const {
+  auto v = get(key);
+  if (!v) return def;
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    errors_.push_back(key);
+    return def;
+  }
+  return out;
+}
+
+bool Env::get_bool(const std::string& key, bool def) const {
+  auto v = get(key);
+  if (!v) return def;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  errors_.push_back(key);
+  return def;
+}
+
+std::uint64_t Env::get_size(const std::string& key, std::uint64_t def,
+                            std::uint64_t plain_unit) const {
+  auto v = get(key);
+  if (!v) return def;
+  // Plain integer -> scaled by plain_unit (Table I sizes are in MiB).
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec == std::errc{} && ptr == v->data() + v->size()) {
+    return out * plain_unit;
+  }
+  auto parsed = parse_size(*v);
+  if (!parsed) {
+    errors_.push_back(key);
+    return def;
+  }
+  return *parsed;
+}
+
+}  // namespace nmo

@@ -1,0 +1,60 @@
+// Environment-variable access with an injectable source.
+//
+// NMO is configured through environment variables (Table I of the paper).
+// Production code reads the process environment; tests inject a map so
+// configuration parsing is testable without mutating global state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nmo {
+
+/// Source of environment variables.  The default reads ::getenv; tests can
+/// construct one from a map.
+class Env {
+ public:
+  using Lookup = std::function<std::optional<std::string>(const std::string&)>;
+
+  /// Process environment.
+  Env();
+
+  /// Fixed map environment (for tests and embedding).
+  explicit Env(std::map<std::string, std::string> values);
+
+  /// Custom lookup function.
+  explicit Env(Lookup lookup) : lookup_(std::move(lookup)) {}
+
+  /// Raw lookup; nullopt when unset.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// String with default.
+  [[nodiscard]] std::string get_string(const std::string& key, std::string_view def) const;
+
+  /// Unsigned integer; returns `def` when unset, nullopt-behaviour on parse
+  /// error is to also return `def` but record the key in parse_errors().
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t def) const;
+
+  /// Boolean: unset -> def; "1", "true", "yes", "on" -> true (case
+  /// insensitive); "0", "false", "no", "off" -> false; other -> def.
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  /// Size with optional K/M/G suffix; plain numbers are interpreted with
+  /// `plain_unit` (NMO_BUFSIZE is documented in MiB, so plain "4" = 4 MiB).
+  [[nodiscard]] std::uint64_t get_size(const std::string& key, std::uint64_t def,
+                                       std::uint64_t plain_unit) const;
+
+  /// Keys whose values failed to parse (kept for diagnostics).
+  [[nodiscard]] const std::vector<std::string>& parse_errors() const { return errors_; }
+
+ private:
+  Lookup lookup_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace nmo

@@ -1,0 +1,65 @@
+// Fixed-bucket histogram used by latency and stride analyses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nmo {
+
+/// Linear-bucket histogram over [lo, hi); values outside are clamped into
+/// the first/last bucket so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets > 0 ? buckets : 1, 0) {}
+
+  void add(double v, std::uint64_t weight = 1) noexcept {
+    const auto b = bucket_of(v);
+    counts_[b] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t b) const noexcept { return counts_[b]; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Lower edge of bucket b.
+  [[nodiscard]] double edge(std::size_t b) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+  }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (total_ == 0) return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      const double next = cum + static_cast<double>(counts_[b]);
+      if (next >= target && counts_[b] > 0) {
+        const double frac = (target - cum) / static_cast<double>(counts_[b]);
+        const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+        return edge(b) + frac * width;
+      }
+      cum = next;
+    }
+    return hi_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double v) const noexcept {
+    if (v < lo_) return 0;
+    if (v >= hi_) return counts_.size() - 1;
+    const double rel = (v - lo_) / (hi_ - lo_);
+    auto b = static_cast<std::size_t>(rel * static_cast<double>(counts_.size()));
+    return std::min(b, counts_.size() - 1);
+  }
+
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nmo

@@ -1,0 +1,150 @@
+#include "common/md5.hpp"
+
+#include <cstring>
+
+namespace nmo {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int c) noexcept {
+  return (x << c) | (x >> (32 - c));
+}
+
+// Per-round shift amounts and sine-derived constants from RFC 1321.
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+}  // namespace
+
+void Md5::reset() noexcept {
+  a_ = 0x67452301;
+  b_ = 0xefcdab89;
+  c_ = 0x98badcfe;
+  d_ = 0x10325476;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Md5::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+  std::uint32_t a = a_, b = b_, c = c_, d = d_;
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  a_ += a;
+  b_ += b;
+  c_ += c;
+  d_ += d;
+}
+
+void Md5::update(std::span<const std::byte> data) noexcept {
+  length_ += data.size();
+  std::size_t offset = 0;
+  // Fill a partial block first.
+  if (buffered_ > 0) {
+    const std::size_t need = 64 - buffered_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(reinterpret_cast<const std::uint8_t*>(data.data()) + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffered_);
+  }
+}
+
+void Md5::update(std::string_view text) noexcept {
+  update(std::span<const std::byte>(reinterpret_cast<const std::byte*>(text.data()), text.size()));
+}
+
+std::array<std::uint8_t, 16> Md5::digest() noexcept {
+  // Padding: 0x80, zeros, then 64-bit little-endian bit length.
+  const std::uint64_t bit_len = length_ * 8;
+  const std::byte pad_one{0x80};
+  update(std::span<const std::byte>(&pad_one, 1));
+  const std::byte zero{0};
+  while (buffered_ != 56) {
+    update(std::span<const std::byte>(&zero, 1));
+  }
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  update(std::span<const std::byte>(reinterpret_cast<const std::byte*>(len_bytes), 8));
+
+  std::array<std::uint8_t, 16> out{};
+  const std::uint32_t words[4] = {a_, b_, c_, d_};
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      out[static_cast<std::size_t>(w * 4 + i)] = static_cast<std::uint8_t>(words[w] >> (8 * i));
+    }
+  }
+  return out;
+}
+
+std::string Md5::hex_digest() noexcept {
+  const auto d = digest();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+std::string Md5::hex(std::string_view text) {
+  Md5 h;
+  h.update(text);
+  return h.hex_digest();
+}
+
+}  // namespace nmo

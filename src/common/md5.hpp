@@ -1,0 +1,48 @@
+// Self-contained MD5 (RFC 1321).
+//
+// The upstream NMO uses OpenSSL MD5 to fingerprint sample traces so that
+// post-processing scripts can detect that they are looking at the trace they
+// expect.  This container has no OpenSSL, so we carry our own implementation;
+// digests are byte-identical with any conformant MD5.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace nmo {
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5() noexcept { reset(); }
+
+  /// Resets to the initial state.
+  void reset() noexcept;
+
+  /// Absorbs `data`.
+  void update(std::span<const std::byte> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Finalizes and returns the 16-byte digest.  The hasher must be reset()
+  /// before reuse.
+  [[nodiscard]] std::array<std::uint8_t, 16> digest() noexcept;
+
+  /// Finalizes and returns the lowercase hex string of the digest.
+  [[nodiscard]] std::string hex_digest() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static std::string hex(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t a_, b_, c_, d_;
+  std::uint64_t length_ = 0;              // total bytes absorbed
+  std::array<std::uint8_t, 64> buffer_{}; // partial block
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace nmo

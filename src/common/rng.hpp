@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (SPE interval perturbation,
+// synthetic graph generation, rating matrices) flows through Rng so that a
+// (seed, stream) pair fully reproduces a run.  The generator is
+// xoshiro256** seeded via SplitMix64, the standard recommendation of the
+// xoshiro authors; it is far faster than std::mt19937_64 and has no
+// observable bias at the scales used here.
+#pragma once
+
+#include <cstdint>
+
+namespace nmo {
+
+/// SplitMix64 step; used standalone for hashing and to seed xoshiro.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single seed through SplitMix64.
+  /// Distinct `stream` values give statistically independent sequences for
+  /// the same seed (used for per-trial and per-thread streams).
+  explicit Rng(std::uint64_t seed = 0x9ef1a6c081d3f2ull, std::uint64_t stream = 0) noexcept {
+    std::uint64_t sm = seed ^ (0x632be59bd9b4e019ull * (stream + 1));
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t uniform(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the distribution exactly uniform.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential variate with unit mean (inverse transform).
+  double exponential() noexcept {
+    double u = uniform01();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -__builtin_log(1.0 - u);
+  }
+
+  /// Approximately normal variate via the sum of three uniforms (Irwin-Hall,
+  /// adequate for jitter-style noise; exactness is not needed).
+  double normalish(double mean, double stddev) noexcept {
+    const double s = uniform01() + uniform01() + uniform01();  // mean 1.5, var 0.25
+    return mean + (s - 1.5) * 2.0 * stddev;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace nmo

@@ -1,0 +1,99 @@
+// Streaming statistics helpers.
+//
+// The paper reports mean and standard deviation over >=5 trials for every
+// measurement; RunningStats implements Welford's online algorithm so benches
+// can accumulate without storing samples.  LinearFit supports the linearity
+// check in Fig. 7 (samples vs. 1/period).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nmo {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction form of Welford).
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Least-squares fit y = slope*x + intercept with correlation coefficient.
+class LinearFit {
+ public:
+  void add(double x, double y) noexcept {
+    ++n_;
+    sx_ += x;
+    sy_ += y;
+    sxx_ += x * x;
+    syy_ += y * y;
+    sxy_ += x * y;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+  [[nodiscard]] double slope() const noexcept {
+    const double n = static_cast<double>(n_);
+    const double denom = n * sxx_ - sx_ * sx_;
+    return denom != 0.0 ? (n * sxy_ - sx_ * sy_) / denom : 0.0;
+  }
+
+  [[nodiscard]] double intercept() const noexcept {
+    const double n = static_cast<double>(n_);
+    return n > 0 ? (sy_ - slope() * sx_) / n : 0.0;
+  }
+
+  /// Pearson correlation r; |r| near 1 means the relation is linear.
+  [[nodiscard]] double correlation() const noexcept {
+    const double n = static_cast<double>(n_);
+    const double num = n * sxy_ - sx_ * sy_;
+    const double den = std::sqrt((n * sxx_ - sx_ * sx_) * (n * syy_ - sy_ * sy_));
+    return den != 0.0 ? num / den : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, syy_ = 0, sxy_ = 0;
+};
+
+}  // namespace nmo

@@ -1,0 +1,69 @@
+// Core value types shared by every nmo subsystem.
+//
+// The simulator models an ARM machine, so the vocabulary here mirrors the
+// terms of the ARM SPE documentation and of the paper: virtual addresses,
+// cycles of the CPU clock, memory operations and the memory level that
+// serviced them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nmo {
+
+/// Virtual address in the simulated process address space.
+using Addr = std::uint64_t;
+
+/// CPU cycles of the simulated core clock (Table II: 3.0 GHz).
+using Cycles = std::uint64_t;
+
+/// Wall-clock nanoseconds (after timescale conversion, see kern::TimeConv).
+using Nanos = std::uint64_t;
+
+/// Identifier of a virtual hardware thread / core in the machine model.
+using CoreId = std::uint32_t;
+
+/// Identifier of a virtual software thread (OpenMP thread id).
+using ThreadId = std::uint32_t;
+
+/// Kind of a sampled/issued memory operation.
+enum class MemOp : std::uint8_t {
+  kLoad = 0,
+  kStore = 1,
+};
+
+/// Returns "load"/"store"; stable strings used in traces and CSV output.
+constexpr std::string_view to_string(MemOp op) noexcept {
+  return op == MemOp::kLoad ? "load" : "store";
+}
+
+/// Memory hierarchy level that serviced an access.  Order matters: deeper
+/// levels compare greater, which analysis code relies on.
+enum class MemLevel : std::uint8_t {
+  kL1 = 0,   ///< 64 KB per-core L1 data cache.
+  kL2 = 1,   ///< 1 MB per-core L2 cache.
+  kSLC = 2,  ///< 16 MB system-level (shared last-level) cache.
+  kDRAM = 3, ///< DDR4 main memory.
+};
+
+constexpr std::string_view to_string(MemLevel level) noexcept {
+  switch (level) {
+    case MemLevel::kL1: return "L1";
+    case MemLevel::kL2: return "L2";
+    case MemLevel::kSLC: return "SLC";
+    case MemLevel::kDRAM: return "DRAM";
+  }
+  return "?";
+}
+
+/// Number of distinct MemLevel values; sized for per-level stat arrays.
+inline constexpr std::size_t kNumMemLevels = 4;
+
+/// One memory access as emitted by a workload: what, where, how wide.
+struct MemAccess {
+  Addr addr = 0;
+  MemOp op = MemOp::kLoad;
+  std::uint8_t size = 8;  ///< Access width in bytes (1..64).
+};
+
+}  // namespace nmo

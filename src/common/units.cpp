@@ -1,0 +1,88 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace nmo {
+
+std::optional<std::uint64_t> parse_size(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+
+  // Optional decimal fraction ("1.5M", and format_size round-trips like
+  // "4.0 KiB").
+  double fraction = 0.0;
+  if (ptr != end && *ptr == '.') {
+    ++ptr;
+    double scale = 0.1;
+    const char* frac_start = ptr;
+    while (ptr != end && std::isdigit(static_cast<unsigned char>(*ptr))) {
+      fraction += scale * (*ptr - '0');
+      scale *= 0.1;
+      ++ptr;
+    }
+    if (ptr == frac_start) return std::nullopt;  // "4." with no digits
+  }
+
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  // Accept "", "B", "K", "KB", "KiB", "M", ... case-insensitively.
+  auto lower = [](char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); };
+  std::string norm;
+  norm.reserve(suffix.size());
+  for (char c : suffix) {
+    if (!std::isspace(static_cast<unsigned char>(c))) norm.push_back(lower(c));
+  }
+  std::uint64_t mult = 1;
+  if (norm.empty() || norm == "b") {
+    mult = 1;
+  } else if (norm == "k" || norm == "kb" || norm == "kib") {
+    mult = kKiB;
+  } else if (norm == "m" || norm == "mb" || norm == "mib") {
+    mult = kMiB;
+  } else if (norm == "g" || norm == "gb" || norm == "gib") {
+    mult = kGiB;
+  } else {
+    return std::nullopt;
+  }
+  // Reject overflow.
+  if (mult != 0 && value > UINT64_MAX / mult) return std::nullopt;
+  const std::uint64_t whole = value * mult;
+  const auto frac_bytes =
+      static_cast<std::uint64_t>(fraction * static_cast<double>(mult) + 0.5);
+  if (whole > UINT64_MAX - frac_bytes) return std::nullopt;
+  return whole + frac_bytes;
+}
+
+std::string format_size(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t factor;
+    const char* name;
+  };
+  static constexpr std::array<Unit, 4> kUnits{{
+      {kGiB, "GiB"}, {kMiB, "MiB"}, {kKiB, "KiB"}, {1, "B"}}};
+  for (const auto& u : kUnits) {
+    if (bytes >= u.factor) {
+      const double v = static_cast<double>(bytes) / static_cast<double>(u.factor);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.1f %s", v, u.name);
+      return buf;
+    }
+  }
+  return "0 B";
+}
+
+}  // namespace nmo

@@ -1,0 +1,28 @@
+// Byte-size and time units plus parsing helpers used by the configuration
+// layer (NMO_BUFSIZE / NMO_AUXBUFSIZE are specified in MiB, Table I).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace nmo {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Page size of the simulated ARM testbed.  The paper's machine uses 64 KB
+/// pages; aux buffer sizes in Fig. 9 are expressed in these pages.
+inline constexpr std::uint64_t kSimPageSize = 64 * kKiB;
+
+/// Parses a human-readable size such as "16", "64K", "1M", "2G" (case
+/// insensitive, optional trailing "iB"/"B").  Plain numbers are bytes.
+/// Returns std::nullopt on malformed input.
+std::optional<std::uint64_t> parse_size(std::string_view text);
+
+/// Formats a byte count as a short human-readable string ("1.5 GiB").
+/// Used by report tables; rounds to one decimal.
+[[nodiscard]] std::string format_size(std::uint64_t bytes);
+
+}  // namespace nmo

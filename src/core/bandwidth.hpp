@@ -1,0 +1,64 @@
+// Temporal memory-bandwidth estimation (paper section VI-B, Figure 3).
+//
+// "NMO can estimate memory bandwidth based on counting the event of the
+// load and store access on the bus every second, and then dividing the
+// event counter with the length of the interval."  The tracker is fed the
+// cumulative bus byte counter on every tick and differentiates.  Optional
+// FP-event feeds give arithmetic intensity (Roofline, section III-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nmo::core {
+
+struct BandwidthPoint {
+  std::uint64_t time_ns = 0;
+  double gib_per_s = 0.0;
+};
+
+class BandwidthEstimator {
+ public:
+  /// Feeds the cumulative bus-byte and FP-op counters at `now_ns`.
+  void tick(std::uint64_t now_ns, std::uint64_t bus_bytes_cum, std::uint64_t fp_ops_cum = 0) {
+    if (has_prev_) {
+      const double dt_s = static_cast<double>(now_ns - prev_ns_) * 1e-9;
+      if (dt_s > 0) {
+        const double bytes = static_cast<double>(bus_bytes_cum - prev_bytes_);
+        series_.push_back({now_ns, bytes / dt_s / (1024.0 * 1024.0 * 1024.0)});
+      }
+    }
+    total_fp_ = fp_ops_cum;
+    total_bytes_ = bus_bytes_cum;
+    prev_ns_ = now_ns;
+    prev_bytes_ = bus_bytes_cum;
+    has_prev_ = true;
+  }
+
+  [[nodiscard]] const std::vector<BandwidthPoint>& series() const { return series_; }
+
+  [[nodiscard]] double peak_gib_per_s() const {
+    double peak = 0;
+    for (const auto& p : series_) peak = std::max(peak, p.gib_per_s);
+    return peak;
+  }
+
+  /// Arithmetic intensity over the whole run: FLOPs per DRAM byte.
+  [[nodiscard]] double arithmetic_intensity() const {
+    return total_bytes_ > 0 ? static_cast<double>(total_fp_) / static_cast<double>(total_bytes_)
+                            : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t total_bus_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_fp_ops() const { return total_fp_; }
+
+ private:
+  bool has_prev_ = false;
+  std::uint64_t prev_ns_ = 0;
+  std::uint64_t prev_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_fp_ = 0;
+  std::vector<BandwidthPoint> series_;
+};
+
+}  // namespace nmo::core

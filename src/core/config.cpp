@@ -1,0 +1,50 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace nmo::core {
+
+Mode NmoConfig::parse_mode(const std::string& text, std::vector<std::string>* warnings) {
+  Mode mode = Mode::kNone;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    // Trim whitespace and lowercase.
+    std::string t;
+    for (char c : token) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      }
+    }
+    if (t.empty() || t == "none") continue;
+    if (t == "sample") {
+      mode = mode | Mode::kSample;
+    } else if (t == "bandwidth") {
+      mode = mode | Mode::kBandwidth;
+    } else if (t == "capacity") {
+      mode = mode | Mode::kCapacity;
+    } else if (t == "all") {
+      mode = Mode::kAll;
+    } else if (warnings != nullptr) {
+      warnings->push_back("unknown NMO_MODE token: " + t);
+    }
+  }
+  return mode;
+}
+
+NmoConfig NmoConfig::from_env(const Env& env) {
+  NmoConfig cfg;
+  cfg.enable = env.get_bool("NMO_ENABLE", false);
+  cfg.name = env.get_string("NMO_NAME", "nmo");
+  cfg.mode = parse_mode(env.get_string("NMO_MODE", "none"), &cfg.parse_warnings);
+  cfg.period = env.get_u64("NMO_PERIOD", 0);
+  cfg.track_rss = env.get_bool("NMO_TRACK_RSS", false);
+  cfg.bufsize_bytes = env.get_size("NMO_BUFSIZE", 1 * kMiB, kMiB);
+  cfg.auxbufsize_bytes = env.get_size("NMO_AUXBUFSIZE", 1 * kMiB, kMiB);
+  if (cfg.track_rss) cfg.mode = cfg.mode | Mode::kCapacity;
+  return cfg;
+}
+
+}  // namespace nmo::core

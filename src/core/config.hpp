@@ -1,0 +1,56 @@
+// NMO runtime configuration - the environment-variable surface of Table I.
+//
+//   NMO_ENABLE       Enable profile collection            (default: off)
+//   NMO_NAME         Base name of output files            (default: "nmo")
+//   NMO_MODE         Profile collection mode              (default: none)
+//   NMO_PERIOD       Sampling period                      (default: 0)
+//   NMO_TRACK_RSS    Capture working set size             (default: off)
+//   NMO_BUFSIZE      Ring buffer size [MiB]               (default: 1)
+//   NMO_AUXBUFSIZE   Aux buffer size [MiB]                (default: 1)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace nmo::core {
+
+/// What the profiler collects.  Modes compose; "all" enables everything.
+enum class Mode : std::uint8_t {
+  kNone = 0,
+  kSample = 1 << 0,     ///< SPE load/store sampling (region profiling).
+  kBandwidth = 1 << 1,  ///< Bus event counting per interval.
+  kCapacity = 1 << 2,   ///< Temporal footprint tracking.
+  kAll = kSample | kBandwidth | kCapacity,
+};
+
+constexpr Mode operator|(Mode a, Mode b) {
+  return static_cast<Mode>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+constexpr bool has_mode(Mode value, Mode flag) {
+  return (static_cast<std::uint8_t>(value) & static_cast<std::uint8_t>(flag)) != 0;
+}
+
+struct NmoConfig {
+  bool enable = false;
+  std::string name = "nmo";
+  Mode mode = Mode::kNone;
+  std::uint64_t period = 0;
+  bool track_rss = false;
+  std::uint64_t bufsize_bytes = 1ull << 20;     ///< Data ring buffer.
+  std::uint64_t auxbufsize_bytes = 1ull << 20;  ///< SPE aux buffer.
+
+  /// Parses the Table I environment variables.  Unknown mode tokens are
+  /// ignored (recorded in `parse_warnings`).
+  static NmoConfig from_env(const Env& env);
+
+  /// Parses a mode string: comma-separated tokens from
+  /// {none, sample, bandwidth, capacity, all}.
+  static Mode parse_mode(const std::string& text, std::vector<std::string>* warnings = nullptr);
+
+  std::vector<std::string> parse_warnings;
+};
+
+}  // namespace nmo::core

@@ -1,0 +1,46 @@
+/*
+ * NMO public C API - architecture-agnostic source annotations.
+ *
+ * This mirrors the interface of section III-B / Listing 1 of the paper:
+ * applications (or runtimes preloading NMO) tag memory regions and
+ * execution phases; everything else is configured through environment
+ * variables (Table I).  The C surface keeps the annotations usable from
+ * any language runtime.
+ *
+ *   nmo_tag_addr("data_a", a_start, a_end);
+ *   nmo_start("kernel0");
+ *   ... parallel region ...
+ *   nmo_stop();
+ */
+#ifndef NMO_CORE_NMO_H_
+#define NMO_CORE_NMO_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Returns 1 when a profiler is attached and collection is enabled. */
+int nmo_enabled(void);
+
+/* Tags the address range [start, end) with a human-readable name so that
+ * sampled accesses can be attributed to the object. */
+void nmo_tag_addr(const char* name, uint64_t start, uint64_t end);
+
+/* Opens a named execution phase; phases may nest. */
+void nmo_start(const char* tag);
+
+/* Closes the innermost open phase. */
+void nmo_stop(void);
+
+/* Reports an allocation/free to the capacity tracker (used by runtimes
+ * that interpose allocators; the simulator's Executor calls these). */
+void nmo_note_alloc(uint64_t bytes);
+void nmo_note_free(uint64_t bytes);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* NMO_CORE_NMO_H_ */

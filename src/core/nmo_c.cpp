@@ -1,0 +1,47 @@
+// C API shims (core/nmo.h) routing to the active profiler.
+//
+// The annotations are no-ops when no profiler is attached or collection is
+// disabled, so instrumented applications run unmodified without NMO - the
+// transparency property of section III-B.
+#include "core/nmo.h"
+
+#include "core/profiler.hpp"
+
+extern "C" {
+
+int nmo_enabled(void) {
+  auto* p = nmo::core::active_profiler();
+  return (p != nullptr && p->config().enable) ? 1 : 0;
+}
+
+void nmo_tag_addr(const char* name, uint64_t start, uint64_t end) {
+  auto* p = nmo::core::active_profiler();
+  if (p == nullptr || name == nullptr) return;
+  p->tag_addr(name, start, end);
+}
+
+void nmo_start(const char* tag) {
+  auto* p = nmo::core::active_profiler();
+  if (p == nullptr || tag == nullptr) return;
+  p->phase_start(tag);
+}
+
+void nmo_stop(void) {
+  auto* p = nmo::core::active_profiler();
+  if (p == nullptr) return;
+  p->phase_stop();
+}
+
+void nmo_note_alloc(uint64_t bytes) {
+  auto* p = nmo::core::active_profiler();
+  if (p == nullptr) return;
+  p->note_alloc(bytes);
+}
+
+void nmo_note_free(uint64_t bytes) {
+  auto* p = nmo::core::active_profiler();
+  if (p == nullptr) return;
+  p->note_free(bytes);
+}
+
+}  // extern "C"

@@ -1,0 +1,41 @@
+#include "core/profiler.hpp"
+
+namespace nmo::core {
+namespace {
+Profiler* g_active = nullptr;
+}  // namespace
+
+Profiler* set_active_profiler(Profiler* profiler) {
+  Profiler* prev = g_active;
+  g_active = profiler;
+  return prev;
+}
+
+Profiler* active_profiler() { return g_active; }
+
+void Profiler::on_sample(const spe::Record& rec, CoreId core) {
+  if (!has_mode(config_.mode, Mode::kSample)) return;
+  TraceSample s;
+  s.time_ns = time_conv_.to_ns(rec.timestamp);
+  s.vaddr = rec.vaddr;
+  s.pc = rec.pc;
+  s.op = rec.op;
+  s.level = rec.level;
+  s.latency = rec.total_latency;
+  s.core = core;
+  const auto region = regions_.find_region(rec.vaddr);
+  s.region = region ? static_cast<std::int32_t>(*region) : -1;
+  trace_.add(s);
+}
+
+void Profiler::tick(std::uint64_t now_ns, std::uint64_t bus_bytes_cum,
+                    std::uint64_t fp_ops_cum) {
+  if (has_mode(config_.mode, Mode::kBandwidth)) {
+    bandwidth_.tick(now_ns, bus_bytes_cum, fp_ops_cum);
+  }
+  if (has_mode(config_.mode, Mode::kCapacity)) {
+    capacity_.sample(now_ns);
+  }
+}
+
+}  // namespace nmo::core

@@ -1,0 +1,82 @@
+// The NMO profiler object: owns all collection state for one profiled run.
+//
+// The runtime component described in section III: it consumes decoded SPE
+// samples (region profiling), bus event counters (bandwidth), allocation
+// reports (capacity), and the annotation API calls (tags/phases).  The
+// machine substrate - real hardware upstream, sim::TraceEngine here -
+// pushes data in; post-processing reads the accumulated trace and series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/bandwidth.hpp"
+#include "core/capacity.hpp"
+#include "core/config.hpp"
+#include "core/regions.hpp"
+#include "core/trace.hpp"
+#include "kernel/timeconv.hpp"
+#include "spe/aux_consumer.hpp"
+
+namespace nmo::core {
+
+class Profiler {
+ public:
+  explicit Profiler(NmoConfig config) : config_(std::move(config)) {}
+
+  // -- wiring (done by the engine/session) -----------------------------------
+  /// Supplies the virtual-time source used to stamp annotations.
+  void set_time_source(std::function<std::uint64_t()> now_ns) { now_ns_ = std::move(now_ns); }
+  /// Supplies the SPE-timer -> perf-clock conversion (from the ring buffer
+  /// metadata page, section IV-A).
+  void set_time_conv(const kern::TimeConv& conv) { time_conv_ = conv; }
+
+  /// Sink compatible with spe::AuxConsumer: decodes, converts timestamps,
+  /// attributes regions, appends to the trace.
+  void on_sample(const spe::Record& rec, CoreId core);
+  [[nodiscard]] spe::AuxConsumer::Sink make_sink() {
+    return [this](const spe::Record& r, CoreId c) { on_sample(r, c); };
+  }
+
+  /// Periodic tick with cumulative machine counters.
+  void tick(std::uint64_t now_ns, std::uint64_t bus_bytes_cum, std::uint64_t fp_ops_cum);
+
+  // -- annotation API (routed from core/nmo.h) --------------------------------
+  void tag_addr(std::string_view name, Addr start, Addr end) {
+    regions_.tag_addr(name, start, end);
+  }
+  void phase_start(std::string_view name) { regions_.phase_start(name, now()); }
+  void phase_stop() { regions_.phase_stop(now()); }
+  void note_alloc(std::uint64_t bytes) {
+    if (has_mode(config_.mode, Mode::kCapacity)) capacity_.on_alloc(bytes, now());
+  }
+  void note_free(std::uint64_t bytes) {
+    if (has_mode(config_.mode, Mode::kCapacity)) capacity_.on_free(bytes, now());
+  }
+
+  // -- results ----------------------------------------------------------------
+  [[nodiscard]] const NmoConfig& config() const { return config_; }
+  [[nodiscard]] const SampleTrace& trace() const { return trace_; }
+  [[nodiscard]] const RegionTable& regions() const { return regions_; }
+  [[nodiscard]] RegionTable& regions() { return regions_; }
+  [[nodiscard]] const CapacityTracker& capacity() const { return capacity_; }
+  [[nodiscard]] const BandwidthEstimator& bandwidth() const { return bandwidth_; }
+  [[nodiscard]] std::uint64_t now() const { return now_ns_ ? now_ns_() : 0; }
+
+ private:
+  NmoConfig config_;
+  std::function<std::uint64_t()> now_ns_;
+  kern::TimeConv time_conv_ = kern::TimeConv::from_frequency(1e9);
+  RegionTable regions_;
+  SampleTrace trace_;
+  CapacityTracker capacity_;
+  BandwidthEstimator bandwidth_;
+};
+
+/// Installs/clears the profiler the C API (core/nmo.h) routes to.  Returns
+/// the previous one so callers can restore it.
+Profiler* set_active_profiler(Profiler* profiler);
+[[nodiscard]] Profiler* active_profiler();
+
+}  // namespace nmo::core

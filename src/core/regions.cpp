@@ -1,0 +1,48 @@
+#include "core/regions.hpp"
+
+namespace nmo::core {
+
+void RegionTable::tag_addr(std::string_view name, Addr start, Addr end) {
+  if (end < start) std::swap(start, end);
+  regions_.push_back(AddrRegion{std::string(name), start, end});
+}
+
+void RegionTable::phase_start(std::string_view name, std::uint64_t now_ns) {
+  PhaseSpan span;
+  span.name = std::string(name);
+  span.t_start_ns = now_ns;
+  span.depth = static_cast<std::uint32_t>(open_stack_.size());
+  open_stack_.push_back(phases_.size());
+  phases_.push_back(std::move(span));
+}
+
+void RegionTable::phase_stop(std::uint64_t now_ns) {
+  if (open_stack_.empty()) return;  // unmatched stop: ignored, like NMO
+  phases_[open_stack_.back()].t_stop_ns = now_ns;
+  open_stack_.pop_back();
+}
+
+std::optional<std::size_t> RegionTable::find_region(Addr addr) const {
+  // Reverse order: the most recent tag wins on overlap.
+  for (std::size_t i = regions_.size(); i > 0; --i) {
+    if (regions_[i - 1].contains(addr)) return i - 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RegionTable::phase_at(std::uint64_t t_ns) const {
+  std::optional<std::size_t> best;
+  std::uint32_t best_depth = 0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const auto& p = phases_[i];
+    const bool open_covers = p.t_stop_ns == 0 && t_ns >= p.t_start_ns;
+    const bool closed_covers = p.t_stop_ns != 0 && t_ns >= p.t_start_ns && t_ns < p.t_stop_ns;
+    if ((open_covers || closed_covers) && (!best || p.depth >= best_depth)) {
+      best = i;
+      best_depth = p.depth;
+    }
+  }
+  return best;
+}
+
+}  // namespace nmo::core

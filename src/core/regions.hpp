@@ -1,0 +1,61 @@
+// Tagged memory regions and execution phases (the annotation model of
+// section III-B: nmo_tag_addr / nmo_start / nmo_stop).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nmo::core {
+
+/// A named address range ("data_a" -> [start, end)).
+struct AddrRegion {
+  std::string name;
+  Addr start = 0;
+  Addr end = 0;
+
+  [[nodiscard]] bool contains(Addr a) const { return a >= start && a < end; }
+};
+
+/// A named execution phase with its time window.
+struct PhaseSpan {
+  std::string name;
+  std::uint64_t t_start_ns = 0;
+  std::uint64_t t_stop_ns = 0;  ///< 0 while still open.
+  std::uint32_t depth = 0;      ///< Nesting depth at open time.
+};
+
+class RegionTable {
+ public:
+  /// Registers (or re-registers) a tagged address range.
+  void tag_addr(std::string_view name, Addr start, Addr end);
+
+  /// Opens/closes phases; phases nest (stack discipline).
+  void phase_start(std::string_view name, std::uint64_t now_ns);
+  void phase_stop(std::uint64_t now_ns);
+
+  /// Region index containing `addr`, or nullopt.  Later tags win when
+  /// ranges overlap (re-tagging semantics).
+  [[nodiscard]] std::optional<std::size_t> find_region(Addr addr) const;
+  [[nodiscard]] const std::vector<AddrRegion>& regions() const { return regions_; }
+
+  /// All phase spans recorded so far (closed or open).
+  [[nodiscard]] const std::vector<PhaseSpan>& phases() const { return phases_; }
+
+  /// Innermost phase open at time `t_ns`, if any.
+  [[nodiscard]] std::optional<std::size_t> phase_at(std::uint64_t t_ns) const;
+
+  /// Number of still-open phases.
+  [[nodiscard]] std::size_t open_phases() const { return open_stack_.size(); }
+
+ private:
+  std::vector<AddrRegion> regions_;
+  std::vector<PhaseSpan> phases_;
+  std::vector<std::size_t> open_stack_;
+};
+
+}  // namespace nmo::core

@@ -1,0 +1,58 @@
+#include "core/session.hpp"
+
+#include "analysis/accuracy.hpp"
+
+namespace nmo::core {
+
+double SessionReport::accuracy() const {
+  return analysis::accuracy(mem_counted, processed_samples, period);
+}
+
+double SessionReport::time_overhead() const {
+  return baseline_ns > 0 ? analysis::time_overhead(baseline_ns, instrumented_ns) : 0.0;
+}
+
+ProfileSession::ProfileSession(const NmoConfig& nmo_config,
+                               const sim::EngineConfig& engine_config)
+    : nmo_config_(nmo_config), engine_config_(engine_config) {}
+
+SessionReport ProfileSession::profile(wl::Workload& workload, bool with_baseline) {
+  SessionReport report;
+  report.period = nmo_config_.period;
+
+  if (with_baseline) {
+    // Uninstrumented timing run on an identical, independent machine.
+    Profiler* prev = set_active_profiler(nullptr);
+    {
+      sim::TraceEngine baseline(engine_config_, nullptr);
+      workload.run(baseline);
+      baseline.finalize();
+      report.baseline_ns = baseline.stats().instrumented_ns;
+    }
+    set_active_profiler(prev);
+  }
+
+  profiler_ = std::make_unique<Profiler>(nmo_config_);
+  engine_ = std::make_unique<sim::TraceEngine>(engine_config_, profiler_.get());
+  Profiler* prev = set_active_profiler(profiler_.get());
+  workload.run(*engine_);
+  engine_->finalize();
+  set_active_profiler(prev);
+
+  const auto stats = engine_->stats();
+  report.mem_ops = stats.mem_ops;
+  report.mem_counted = stats.mem_counted;
+  report.instrumented_ns = stats.instrumented_ns;
+  report.selections = stats.selections;
+  report.collisions = stats.collisions;
+  report.dropped_full = stats.dropped_full;
+  report.wakeups = stats.wakeups;
+  report.processed_samples = profiler_->trace().size();
+  if (const auto* consumer = engine_->consumer()) {
+    report.skipped_records = consumer->counts().records_skipped;
+    report.collision_flags = consumer->counts().collision_flags;
+  }
+  return report;
+}
+
+}  // namespace nmo::core

@@ -1,0 +1,65 @@
+// ProfileSession: the highest-level entry point, tying a workload, the
+// machine simulator and the NMO profiler together.
+//
+// This is what examples and figure benches use:
+//
+//   core::NmoConfig nmo = core::NmoConfig::from_env(env);
+//   core::ProfileSession session(nmo, engine_config);
+//   auto report = session.profile(workload);
+//   report.accuracy(), session.profiler().trace(), ...
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/profiler.hpp"
+#include "sim/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace nmo::core {
+
+/// Summary of one profiled run (Eq. 1 inputs + diagnostics).
+struct SessionReport {
+  std::uint64_t mem_ops = 0;
+  std::uint64_t mem_counted = 0;
+  std::uint64_t processed_samples = 0;
+  std::uint64_t skipped_records = 0;
+  std::uint64_t period = 0;
+  std::uint64_t baseline_ns = 0;
+  std::uint64_t instrumented_ns = 0;
+  std::uint64_t selections = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t collision_flags = 0;
+  std::uint64_t dropped_full = 0;
+  std::uint64_t wakeups = 0;
+
+  /// Eq. 1 of the paper.
+  [[nodiscard]] double accuracy() const;
+  /// Relative execution-time overhead (0 when no baseline was run).
+  [[nodiscard]] double time_overhead() const;
+};
+
+class ProfileSession {
+ public:
+  ProfileSession(const NmoConfig& nmo_config, const sim::EngineConfig& engine_config);
+
+  /// Runs the workload under the profiler; with `with_baseline` the
+  /// workload is first executed uninstrumented on an identical machine to
+  /// measure the baseline time (the paper's overhead methodology).
+  SessionReport profile(wl::Workload& workload, bool with_baseline = true);
+
+  [[nodiscard]] const Profiler& profiler() const { return *profiler_; }
+  [[nodiscard]] Profiler& profiler() { return *profiler_; }
+  /// The instrumented engine of the last profile() call (valid until the
+  /// next call); exposes the machine for hierarchy statistics.
+  [[nodiscard]] sim::TraceEngine* engine() { return engine_.get(); }
+
+ private:
+  NmoConfig nmo_config_;
+  sim::EngineConfig engine_config_;
+  std::unique_ptr<Profiler> profiler_;
+  std::unique_ptr<sim::TraceEngine> engine_;
+};
+
+}  // namespace nmo::core

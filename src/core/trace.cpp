@@ -1,0 +1,29 @@
+#include "core/trace.hpp"
+
+#include <array>
+
+namespace nmo::core {
+
+std::string SampleTrace::fingerprint() const {
+  Md5 hasher;
+  for (const auto& s : samples_) {
+    std::array<std::uint64_t, 4> words{
+        s.time_ns, s.vaddr, s.pc,
+        static_cast<std::uint64_t>(s.latency) | (static_cast<std::uint64_t>(s.core) << 16) |
+            (static_cast<std::uint64_t>(s.op) << 48) |
+            (static_cast<std::uint64_t>(s.level) << 56)};
+    hasher.update(std::span<const std::byte>(reinterpret_cast<const std::byte*>(words.data()),
+                                             sizeof(words)));
+  }
+  return hasher.hex_digest();
+}
+
+void SampleTrace::write_csv(std::ostream& out) const {
+  out << "time_ns,vaddr,pc,op,level,latency,core,region\n";
+  for (const auto& s : samples_) {
+    out << s.time_ns << ',' << s.vaddr << ',' << s.pc << ',' << to_string(s.op) << ','
+        << to_string(s.level) << ',' << s.latency << ',' << s.core << ',' << s.region << '\n';
+  }
+}
+
+}  // namespace nmo::core

@@ -1,0 +1,49 @@
+// The sample trace: decoded SPE samples with timescale-converted
+// timestamps, region attribution, CSV output and an MD5 fingerprint
+// (upstream NMO hashes traces with OpenSSL MD5; we use common/md5.hpp).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/md5.hpp"
+#include "common/types.hpp"
+
+namespace nmo::core {
+
+/// One processed sample as NMO's post-processing scripts see it.
+struct TraceSample {
+  std::uint64_t time_ns = 0;  ///< perf-clock time (after conversion).
+  Addr vaddr = 0;
+  Addr pc = 0;
+  MemOp op = MemOp::kLoad;
+  MemLevel level = MemLevel::kL1;
+  std::uint16_t latency = 0;
+  CoreId core = 0;
+  std::int32_t region = -1;  ///< Index into RegionTable::regions(), -1 = untagged.
+};
+
+class SampleTrace {
+ public:
+  void add(const TraceSample& s) { samples_.push_back(s); }
+
+  [[nodiscard]] const std::vector<TraceSample>& samples() const { return samples_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// MD5 fingerprint over the binary sample stream (stable across runs
+  /// with the same seed - the identity check NMO's scripts perform).
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Writes the trace as CSV: time_ns,vaddr,pc,op,level,latency,core,region.
+  void write_csv(std::ostream& out) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace nmo::core

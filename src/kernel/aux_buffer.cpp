@@ -1,0 +1,44 @@
+#include "kernel/aux_buffer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nmo::kern {
+
+AuxBuffer::AuxBuffer(std::size_t size_bytes) {
+  if (size_bytes == 0) throw std::invalid_argument("aux buffer size must be nonzero");
+  data_.resize(size_bytes);
+}
+
+bool AuxBuffer::write(std::span<const std::byte> bytes) {
+  if (bytes.size() > free_space()) {
+    dropped_bytes_ += bytes.size();
+    return false;
+  }
+  const std::size_t cap = data_.size();
+  std::size_t at = static_cast<std::size_t>(head_ % cap);
+  const std::size_t first = std::min(bytes.size(), cap - at);
+  std::memcpy(data_.data() + at, bytes.data(), first);
+  if (first < bytes.size()) {
+    std::memcpy(data_.data(), bytes.data() + first, bytes.size() - first);
+  }
+  head_ += bytes.size();
+  return true;
+}
+
+void AuxBuffer::read_at(std::uint64_t pos, std::span<std::byte> out) const {
+  const std::size_t cap = data_.size();
+  std::size_t at = static_cast<std::size_t>(pos % cap);
+  const std::size_t first = std::min(out.size(), cap - at);
+  std::memcpy(out.data(), data_.data() + at, first);
+  if (first < out.size()) {
+    std::memcpy(out.data() + first, data_.data(), out.size() - first);
+  }
+}
+
+void AuxBuffer::advance_tail(std::uint64_t new_tail) {
+  if (new_tail > head_) new_tail = head_;
+  if (new_tail > tail_) tail_ = new_tail;
+}
+
+}  // namespace nmo::kern

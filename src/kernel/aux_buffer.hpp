@@ -1,0 +1,49 @@
+// The aux buffer: the separate mmap area into which the SPE device writes
+// packet bytes, indexed by aux_head/aux_tail of the metadata page.
+//
+// "for ARM SPE, the processor uses the ring buffer only for recording
+// sample's metadata, i.e., the start address and data size of samples in
+// the Aux Buffer, while the detailed information of each sample ... is
+// actually stored in the Aux Buffer" (section IV-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nmo::kern {
+
+class AuxBuffer {
+ public:
+  explicit AuxBuffer(std::size_t size_bytes);
+
+  /// Device side: appends `bytes`.  Returns false when there is not enough
+  /// free space, in which case nothing is written (the SPE unit raises a
+  /// buffer-full condition and the sample is lost -> TRUNCATED flag).
+  bool write(std::span<const std::byte> bytes);
+
+  /// Consumer side: copies `len` bytes starting at absolute offset `pos`
+  /// (an aux_offset from a PERF_RECORD_AUX) into `out`.
+  void read_at(std::uint64_t pos, std::span<std::byte> out) const;
+
+  /// Consumer side: marks everything up to `new_tail` as consumed.
+  void advance_tail(std::uint64_t new_tail);
+
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+  [[nodiscard]] std::uint64_t tail() const { return tail_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] std::uint64_t used() const { return head_ - tail_; }
+  [[nodiscard]] std::uint64_t free_space() const { return data_.size() - used(); }
+
+  /// Bytes the device failed to write because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  std::vector<std::byte> data_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+};
+
+}  // namespace nmo::kern

@@ -1,0 +1,116 @@
+// Subset of the Linux perf_event ABI that NMO uses, modelled in userspace.
+//
+// NMO on real hardware issues perf_event_open with type = 0x2c (the ARM SPE
+// PMU), mmaps an (N+1)-page ring buffer whose first page is a
+// perf_event_mmap_page, mmaps a separate aux buffer for SPE packet data, and
+// consumes PERF_RECORD_AUX records that describe where in the aux buffer new
+// packet bytes landed.  This header defines the constants and plain structs
+// of that contract; kern::PerfEvent implements the behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace nmo::kern {
+
+/// PMU types (perf_event_attr.type).
+inline constexpr std::uint32_t kPerfTypeHardware = 0;
+/// Dynamic PMU type id of arm_spe_0 on the paper's testbed.
+inline constexpr std::uint32_t kPerfTypeArmSpe = 0x2c;
+
+/// Hardware counting events exposed by the machine model (the paper's
+/// baseline uses `perf stat -e mem_access`; bandwidth uses bus accesses).
+enum class CountEvent : std::uint32_t {
+  kMemAccess = 0,   ///< Retired loads + stores (ARM "MEM_ACCESS", 0x13).
+  kBusAccess = 1,   ///< Bus-level accesses (lines to/from DRAM).
+  kCycles = 2,
+  kInstructions = 3,
+  kFpOps = 4,       ///< Retired floating point ops (for arithmetic intensity).
+};
+inline constexpr std::size_t kNumCountEvents = 5;
+
+// ---------------------------------------------------------------------------
+// ARM SPE config bits (perf_event_attr.config), following the arm_spe_pmu
+// driver format.  The paper's example value 0x600000001 = ts_enable |
+// load_filter | store_filter: hex digit 6 = 2|4 where "2" maps loads and
+// "4" maps stores, exactly as described in section IV-A.
+// ---------------------------------------------------------------------------
+inline constexpr std::uint64_t kSpeTsEnable = 1ull << 0;
+inline constexpr std::uint64_t kSpePaEnable = 1ull << 1;
+inline constexpr std::uint64_t kSpeJitter = 1ull << 16;
+inline constexpr std::uint64_t kSpeBranchFilter = 1ull << 32;
+inline constexpr std::uint64_t kSpeLoadFilter = 1ull << 33;
+inline constexpr std::uint64_t kSpeStoreFilter = 1ull << 34;
+/// min_latency occupies config bits [59:48].
+inline constexpr unsigned kSpeMinLatencyShift = 48;
+inline constexpr std::uint64_t kSpeMinLatencyMask = 0xfffull;
+
+/// Sampling all loads and stores with timestamps, as used by NMO.
+inline constexpr std::uint64_t kSpeConfigLoadsAndStores =
+    kSpeTsEnable | kSpeLoadFilter | kSpeStoreFilter;
+
+/// perf_event_attr subset.
+struct PerfEventAttr {
+  std::uint32_t type = kPerfTypeHardware;
+  std::uint64_t config = 0;
+  /// Counting event selector when type == kPerfTypeHardware.
+  CountEvent count_event = CountEvent::kMemAccess;
+  /// SPE sampling period in decoded operations (PMSIRR.INTERVAL analog).
+  std::uint64_t sample_period = 0;
+  /// Bytes of new aux data that trigger a PERF_RECORD_AUX + wakeup;
+  /// 0 selects the kernel default of half the aux buffer.
+  std::uint64_t aux_watermark = 0;
+  bool disabled = true;
+};
+
+// ---------------------------------------------------------------------------
+// Record stream (data ring buffer).
+// ---------------------------------------------------------------------------
+enum class RecordType : std::uint32_t {
+  kLost = 2,        ///< PERF_RECORD_LOST: ring full, records dropped.
+  kThrottle = 5,    ///< PERF_RECORD_THROTTLE.
+  kUnthrottle = 6,  ///< PERF_RECORD_UNTHROTTLE.
+  kAux = 11,        ///< PERF_RECORD_AUX: new data in the aux buffer.
+  kItraceStart = 12,
+};
+
+/// Flags carried by PERF_RECORD_AUX.
+inline constexpr std::uint64_t kAuxFlagTruncated = 1ull << 0;
+inline constexpr std::uint64_t kAuxFlagOverwrite = 1ull << 1;
+inline constexpr std::uint64_t kAuxFlagPartial = 1ull << 2;
+/// Set when the hardware detected sample collisions while producing the
+/// data described by this record; NMO counts these flags (section VII).
+inline constexpr std::uint64_t kAuxFlagCollision = 1ull << 3;
+
+/// PERF_RECORD_AUX payload.
+struct AuxRecord {
+  std::uint64_t aux_offset = 0;  ///< Offset of the new bytes in the aux area.
+  std::uint64_t aux_size = 0;    ///< Number of new bytes.
+  std::uint64_t flags = 0;
+};
+
+/// PERF_RECORD_LOST payload.
+struct LostRecord {
+  std::uint64_t lost = 0;  ///< Number of records dropped.
+};
+
+/// PERF_RECORD_THROTTLE / UNTHROTTLE payload.
+struct ThrottleRecord {
+  std::uint64_t time_ns = 0;
+};
+
+/// Mirrors perf_event_mmap_page: head/tail cursors for the data and aux
+/// areas plus the clock conversion triple used by NMO to map SPE timestamps
+/// onto the perf clock (section IV-A, last paragraph).
+struct MetadataPage {
+  std::uint64_t data_head = 0;
+  std::uint64_t data_tail = 0;
+  std::uint64_t data_size = 0;
+  std::uint64_t aux_head = 0;
+  std::uint64_t aux_tail = 0;
+  std::uint64_t aux_size = 0;
+  std::uint16_t time_shift = 0;
+  std::uint32_t time_mult = 0;
+  std::uint64_t time_zero = 0;
+};
+
+}  // namespace nmo::kern

@@ -1,0 +1,118 @@
+#include "kernel/perf_event.hpp"
+
+namespace nmo::kern {
+
+PerfEvent::PerfEvent(const PerfEventAttr& attr, CoreId core, std::size_t ring_pages,
+                     std::size_t page_size, std::size_t aux_bytes, TimeConv time_conv,
+                     Throttler* throttler)
+    : attr_(attr), core_(core), time_conv_(time_conv), throttler_(throttler),
+      enabled_(!attr.disabled) {
+  if (attr_.type != kPerfTypeArmSpe) return;  // counting mode: no buffers
+
+  ring_ = std::make_unique<RingBuffer>(ring_pages, page_size);
+  aux_ = std::make_unique<AuxBuffer>(aux_bytes);
+  time_conv_.fill_metadata(ring_->metadata());
+  ring_->metadata().aux_size = aux_bytes;
+
+  watermark_ = attr_.aux_watermark != 0 ? attr_.aux_watermark : aux_bytes / 2;
+  if (watermark_ == 0) watermark_ = 1;
+  aux_functional_ = aux_bytes >= kMinFunctionalAuxPages * page_size;
+}
+
+bool PerfEvent::aux_write(std::span<const std::byte> bytes, std::uint64_t now_ns) {
+  if (!enabled_ || ring_ == nullptr) return false;
+  if (!aux_functional_ || !aux_->write(bytes)) {
+    // Buffer full (or the driver never managed to start the device): the
+    // sample is gone and truncation is reported.  The real arm_spe driver
+    // raises the buffer-management interrupt in this situation and emits a
+    // TRUNCATED AUX record with a wakeup, once per full episode, so the
+    // consumer learns it must drain.
+    pending_flags_ |= kAuxFlagTruncated;
+    ++stats_.dropped_samples;
+    if (aux_functional_ && !full_notified_) {
+      full_notified_ = true;
+      emit_aux_record(now_ns);
+    }
+    return false;
+  }
+  ring_->metadata().aux_head = aux_->head();
+  if (aux_->head() - emitted_head_ >= watermark_) {
+    emit_aux_record(now_ns);
+  }
+  return true;
+}
+
+void PerfEvent::flush_aux(std::uint64_t now_ns) {
+  if (ring_ == nullptr) return;
+  if (aux_->head() > emitted_head_ || pending_flags_ != 0) {
+    emit_aux_record(now_ns);
+  }
+}
+
+void PerfEvent::emit_aux_record(std::uint64_t now_ns) {
+  AuxRecord rec{
+      .aux_offset = emitted_head_,
+      .aux_size = aux_->head() - emitted_head_,
+      .flags = pending_flags_,
+  };
+  if (rec.aux_size == 0 && rec.flags == 0) return;
+  ring_->write(RecordType::kAux,
+               std::span<const std::byte>(reinterpret_cast<const std::byte*>(&rec), sizeof(rec)));
+  emitted_head_ = aux_->head();
+  ++stats_.aux_records;
+  if (rec.flags & kAuxFlagTruncated) ++stats_.truncated_records;
+  if (rec.flags & kAuxFlagCollision) ++stats_.collision_records;
+  pending_flags_ = 0;
+  ++stats_.wakeups;
+  if (wakeup_cb_) wakeup_cb_(*this, now_ns);
+}
+
+bool PerfEvent::throttled(std::uint64_t now_ns) {
+  if (throttler_ == nullptr) return false;
+  const bool t = throttler_->is_throttled(now_ns);
+  if (!t && was_throttled_) {
+    ThrottleRecord rec{.time_ns = now_ns};
+    ring_->write(RecordType::kUnthrottle,
+                 std::span<const std::byte>(reinterpret_cast<const std::byte*>(&rec), sizeof(rec)));
+    was_throttled_ = false;
+  }
+  return t;
+}
+
+bool PerfEvent::account_samples(std::uint64_t now_ns, std::uint64_t n) {
+  if (throttler_ == nullptr) return true;
+  if (throttler_->on_samples(now_ns, n)) return true;
+  if (!was_throttled_ && ring_ != nullptr) {
+    ThrottleRecord rec{.time_ns = now_ns};
+    ring_->write(RecordType::kThrottle,
+                 std::span<const std::byte>(reinterpret_cast<const std::byte*>(&rec), sizeof(rec)));
+    ++stats_.throttle_records;
+    was_throttled_ = true;
+  }
+  return false;
+}
+
+std::unique_ptr<PerfEvent> open_event(const PerfEventAttr& attr, CoreId core,
+                                      std::size_t ring_pages, std::size_t page_size,
+                                      std::size_t aux_bytes, TimeConv time_conv,
+                                      Throttler* throttler) {
+  if (attr.type == kPerfTypeArmSpe) {
+    if (attr.sample_period == 0) {
+      throw PerfOpenError("SPE events require a nonzero sample_period");
+    }
+    if (ring_pages == 0) {
+      throw PerfOpenError("SPE events require a data ring buffer");
+    }
+    if (aux_bytes == 0) {
+      throw PerfOpenError("SPE events require an aux buffer");
+    }
+    const std::uint64_t wm = attr.aux_watermark != 0 ? attr.aux_watermark : aux_bytes / 2;
+    if (wm > aux_bytes) {
+      throw PerfOpenError("aux_watermark larger than the aux buffer");
+    }
+  }
+  return std::make_unique<PerfEvent>(attr, core, ring_pages, page_size, aux_bytes, time_conv,
+                                     throttler);
+}
+
+}  // namespace nmo::kern

@@ -1,0 +1,166 @@
+// One open perf event, the object behind the file descriptor that
+// perf_event_open returns.
+//
+// Two operating modes mirror how NMO uses perf:
+//  * counting mode (type == kPerfTypeHardware): a simple 64-bit counter the
+//    machine model increments (mem_access for the accuracy baseline,
+//    bus_access for bandwidth estimation);
+//  * sampling mode (type == kPerfTypeArmSpe): owns a data ring buffer and an
+//    aux buffer; the SPE device writes packet bytes through aux_write() and
+//    the event emits PERF_RECORD_AUX records and wakeups at every
+//    aux_watermark bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+
+#include "common/types.hpp"
+#include "kernel/aux_buffer.hpp"
+#include "kernel/perf_abi.hpp"
+#include "kernel/ring_buffer.hpp"
+#include "kernel/throttle.hpp"
+#include "kernel/timeconv.hpp"
+
+namespace nmo::kern {
+
+/// Minimum functional aux buffer size.  The paper measures that SPE "loses
+/// all samples if the Aux buffer is not large enough" and that "the minimum
+/// size to ensure SPE works is 4 pages" (section VII-B) - the driver needs
+/// room for the hardware's write granularity plus a watermark's worth of
+/// records.
+inline constexpr std::uint64_t kMinFunctionalAuxPages = 4;
+
+/// Error thrown by open_event for invalid configurations (the moral
+/// equivalent of perf_event_open returning -EINVAL).
+class PerfOpenError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class PerfEvent {
+ public:
+  /// Statistics visible to the profiler.
+  struct Stats {
+    std::uint64_t aux_records = 0;        ///< PERF_RECORD_AUX emitted.
+    std::uint64_t wakeups = 0;            ///< Poll wakeups raised.
+    std::uint64_t truncated_records = 0;  ///< AUX records flagged TRUNCATED.
+    std::uint64_t collision_records = 0;  ///< AUX records flagged COLLISION.
+    std::uint64_t dropped_samples = 0;    ///< Samples lost to a full aux buffer.
+    std::uint64_t throttle_records = 0;   ///< PERF_RECORD_THROTTLE emitted.
+  };
+
+  PerfEvent(const PerfEventAttr& attr, CoreId core, std::size_t ring_pages,
+            std::size_t page_size, std::size_t aux_bytes, TimeConv time_conv,
+            Throttler* throttler);
+
+  // -- control -------------------------------------------------------------
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // -- counting mode --------------------------------------------------------
+  void add_count(std::uint64_t n) {
+    if (enabled_) count_ += n;
+  }
+  [[nodiscard]] std::uint64_t read_count() const { return count_; }
+
+  // -- sampling mode: device side -------------------------------------------
+  /// Writes one sample record's bytes into the aux buffer at virtual time
+  /// `now_ns`.  Returns false when the buffer was full and the sample was
+  /// dropped (a TRUNCATED flag will be carried by the next AUX record).
+  bool aux_write(std::span<const std::byte> bytes, std::uint64_t now_ns);
+
+  /// Device-side notification that a hardware sample collision occurred;
+  /// the next AUX record carries the COLLISION flag (what NMO counts).
+  void note_collision() { pending_flags_ |= kAuxFlagCollision; }
+
+  /// Forces out an AUX record for any bytes below the watermark (profilers
+  /// call this when the program exits: "the monitoring process in NMO
+  /// drains the buffer after the exit of the program").
+  void flush_aux(std::uint64_t now_ns);
+
+  /// True when sampling is currently suspended by the global throttler.
+  bool throttled(std::uint64_t now_ns);
+
+  /// Reports `n` processed samples to the throttler; emits a
+  /// PERF_RECORD_THROTTLE when the budget trips.  Returns false if the
+  /// caller must suspend sampling.
+  bool account_samples(std::uint64_t now_ns, std::uint64_t n);
+
+  // -- sampling mode: consumer side -----------------------------------------
+  /// Pops the next record from the data ring.
+  std::optional<Record> read_record() { return ring_ ? ring_->read() : std::nullopt; }
+
+  /// Copies aux bytes referenced by an AUX record.
+  void read_aux(std::uint64_t offset, std::span<std::byte> out) const {
+    aux_->read_at(offset, out);
+  }
+
+  /// Marks aux bytes consumed up to `new_tail` (aux_offset + aux_size).
+  /// Clears the full-buffer episode so the next overflow notifies again.
+  void consume_aux(std::uint64_t new_tail) {
+    aux_->advance_tail(new_tail);
+    full_notified_ = false;
+  }
+
+  /// Wakeup accounting for pollers: pending() is the number of wakeups not
+  /// yet acknowledged.
+  [[nodiscard]] std::uint64_t pending_wakeups() const { return stats_.wakeups - acked_wakeups_; }
+  void ack_wakeup() {
+    if (acked_wakeups_ < stats_.wakeups) ++acked_wakeups_;
+  }
+
+  /// Callback invoked on every wakeup (the simulator's monitor hooks this
+  /// to schedule a drain; real code would block in epoll_wait instead).
+  void set_wakeup_callback(std::function<void(PerfEvent&, std::uint64_t)> cb) {
+    wakeup_cb_ = std::move(cb);
+  }
+
+  // -- introspection ---------------------------------------------------------
+  [[nodiscard]] const PerfEventAttr& attr() const { return attr_; }
+  [[nodiscard]] CoreId core() const { return core_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool aux_functional() const { return aux_functional_; }
+  [[nodiscard]] std::uint64_t effective_watermark() const { return watermark_; }
+  [[nodiscard]] const AuxBuffer& aux() const { return *aux_; }
+  [[nodiscard]] RingBuffer& ring() { return *ring_; }
+  [[nodiscard]] const RingBuffer& ring() const { return *ring_; }
+  [[nodiscard]] const TimeConv& time_conv() const { return time_conv_; }
+
+ private:
+  void emit_aux_record(std::uint64_t now_ns);
+
+  PerfEventAttr attr_;
+  CoreId core_;
+  TimeConv time_conv_;
+  Throttler* throttler_;  // not owned; shared across events
+  bool enabled_ = false;
+
+  // Counting mode.
+  std::uint64_t count_ = 0;
+
+  // Sampling mode.
+  std::unique_ptr<RingBuffer> ring_;
+  std::unique_ptr<AuxBuffer> aux_;
+  std::uint64_t watermark_ = 0;
+  bool aux_functional_ = true;
+  std::uint64_t emitted_head_ = 0;  ///< aux_head covered by emitted AUX records.
+  std::uint64_t pending_flags_ = 0;
+  bool full_notified_ = false;  ///< Current full-buffer episode already signalled.
+  bool was_throttled_ = false;
+  std::uint64_t acked_wakeups_ = 0;
+  Stats stats_;
+  std::function<void(PerfEvent&, std::uint64_t)> wakeup_cb_;
+};
+
+/// perf_event_open analog.  Validates the attribute/buffer combination and
+/// constructs the event; throws PerfOpenError on invalid input.
+std::unique_ptr<PerfEvent> open_event(const PerfEventAttr& attr, CoreId core,
+                                      std::size_t ring_pages, std::size_t page_size,
+                                      std::size_t aux_bytes, TimeConv time_conv,
+                                      Throttler* throttler);
+
+}  // namespace nmo::kern

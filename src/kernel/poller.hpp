@@ -1,0 +1,47 @@
+// epoll-style readiness multiplexing over perf events.
+//
+// NMO "uses epoll to monitor incoming updates to the ring buffer"
+// (section IV-A): one monitoring loop waits on all per-core SPE fds at
+// once.  The simulator's monitor does the same through this class.
+#pragma once
+
+#include <vector>
+
+#include "kernel/perf_event.hpp"
+
+namespace nmo::kern {
+
+class Poller {
+ public:
+  /// Registers an event (EPOLL_CTL_ADD analog).  Does not take ownership.
+  void add(PerfEvent* event) { events_.push_back(event); }
+
+  /// Returns all events with unacknowledged wakeups, acknowledging one
+  /// wakeup per returned event (level-triggered epoll semantics: an event
+  /// stays ready while data remains).
+  std::vector<PerfEvent*> poll() {
+    std::vector<PerfEvent*> ready;
+    for (auto* e : events_) {
+      if (e->pending_wakeups() > 0) {
+        e->ack_wakeup();
+        ready.push_back(e);
+      }
+    }
+    return ready;
+  }
+
+  /// True if any registered event has a pending wakeup.
+  [[nodiscard]] bool any_ready() const {
+    for (const auto* e : events_) {
+      if (e->pending_wakeups() > 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::vector<PerfEvent*>& events() const { return events_; }
+
+ private:
+  std::vector<PerfEvent*> events_;
+};
+
+}  // namespace nmo::kern

@@ -1,0 +1,69 @@
+#include "kernel/ring_buffer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nmo::kern {
+
+RingBuffer::RingBuffer(std::size_t pages, std::size_t page_size) {
+  if (pages == 0 || page_size == 0) {
+    throw std::invalid_argument("ring buffer needs at least one page");
+  }
+  data_.resize(pages * page_size);
+  meta_.data_size = data_.size();
+}
+
+void RingBuffer::copy_in(std::uint64_t pos, std::span<const std::byte> bytes) {
+  const std::size_t cap = data_.size();
+  std::size_t at = static_cast<std::size_t>(pos % cap);
+  const std::size_t first = std::min(bytes.size(), cap - at);
+  std::memcpy(data_.data() + at, bytes.data(), first);
+  if (first < bytes.size()) {
+    std::memcpy(data_.data(), bytes.data() + first, bytes.size() - first);
+  }
+}
+
+void RingBuffer::copy_out(std::uint64_t pos, std::span<std::byte> bytes) const {
+  const std::size_t cap = data_.size();
+  std::size_t at = static_cast<std::size_t>(pos % cap);
+  const std::size_t first = std::min(bytes.size(), cap - at);
+  std::memcpy(bytes.data(), data_.data() + at, first);
+  if (first < bytes.size()) {
+    std::memcpy(bytes.data() + first, data_.data(), bytes.size() - first);
+  }
+}
+
+bool RingBuffer::write(RecordType type, std::span<const std::byte> payload) {
+  const std::size_t total = sizeof(RecordHeader) + payload.size();
+  if (total > data_.size() ||
+      data_.size() - (meta_.data_head - meta_.data_tail) < total) {
+    ++lost_;
+    return false;
+  }
+  RecordHeader header{.type = type, .misc = 0, .size = static_cast<std::uint16_t>(total)};
+  copy_in(meta_.data_head,
+          std::span<const std::byte>(reinterpret_cast<const std::byte*>(&header), sizeof(header)));
+  if (!payload.empty()) copy_in(meta_.data_head + sizeof(header), payload);
+  meta_.data_head += total;
+  return true;
+}
+
+std::optional<Record> RingBuffer::read() {
+  if (readable() < sizeof(RecordHeader)) return std::nullopt;
+  Record rec;
+  copy_out(meta_.data_tail, std::span<std::byte>(reinterpret_cast<std::byte*>(&rec.header),
+                                                 sizeof(rec.header)));
+  if (rec.header.size < sizeof(RecordHeader) || rec.header.size > readable()) {
+    // Corrupt stream; drop everything rather than spin.
+    meta_.data_tail = meta_.data_head;
+    return std::nullopt;
+  }
+  const std::size_t payload_size = rec.header.size - sizeof(RecordHeader);
+  rec.payload.resize(payload_size);
+  copy_out(meta_.data_tail + sizeof(RecordHeader),
+           std::span<std::byte>(rec.payload.data(), payload_size));
+  meta_.data_tail += rec.header.size;
+  return rec;
+}
+
+}  // namespace nmo::kern

@@ -1,0 +1,66 @@
+// The perf data ring buffer: kernel-produced records (PERF_RECORD_AUX and
+// friends), consumer-read in a producer/consumer model via the head/tail
+// cursors of the metadata page.
+//
+// NMO allocates a ring of (N+1) pages where the first page is the metadata
+// page (section IV-A); here the metadata page is a struct and the data area
+// a byte ring.  Records never straddle logically: they are copied in and out
+// byte-wise across the wrap, as a memcpy-based consumer would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kernel/perf_abi.hpp"
+
+namespace nmo::kern {
+
+/// Header preceding every record in the data area (perf_event_header).
+struct RecordHeader {
+  RecordType type = RecordType::kAux;
+  std::uint16_t misc = 0;
+  std::uint16_t size = 0;  ///< Total record size including this header.
+};
+
+/// One record as returned to the consumer.
+struct Record {
+  RecordHeader header;
+  std::vector<std::byte> payload;
+};
+
+class RingBuffer {
+ public:
+  /// `pages` data pages of `page_size` bytes each (the metadata page is
+  /// separate, as in the (N+1)-page mmap layout).
+  RingBuffer(std::size_t pages, std::size_t page_size);
+
+  /// Kernel side: appends a record; returns false (and counts a loss) when
+  /// there is not enough free space.
+  bool write(RecordType type, std::span<const std::byte> payload);
+
+  /// Consumer side: pops the oldest record, advancing data_tail.
+  std::optional<Record> read();
+
+  /// Number of readable bytes (data_head - data_tail).
+  [[nodiscard]] std::uint64_t readable() const { return meta_.data_head - meta_.data_tail; }
+
+  /// Records dropped because the ring was full.
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] MetadataPage& metadata() { return meta_; }
+  [[nodiscard]] const MetadataPage& metadata() const { return meta_; }
+
+ private:
+  void copy_in(std::uint64_t pos, std::span<const std::byte> bytes);
+  void copy_out(std::uint64_t pos, std::span<std::byte> bytes) const;
+
+  std::vector<std::byte> data_;
+  MetadataPage meta_;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace nmo::kern

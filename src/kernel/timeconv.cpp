@@ -1,0 +1,31 @@
+#include "kernel/timeconv.hpp"
+
+namespace nmo::kern {
+
+TimeConv TimeConv::from_frequency(double freq_hz, std::uint64_t zero_ns) {
+  // Choose the largest shift such that mult = 1e9 * 2^shift / freq fits in
+  // 32 bits; larger shifts minimise rounding error, mirroring the kernel's
+  // clocks_calc_mult_shift.
+  std::uint16_t shift = 32;
+  std::uint64_t mult = 0;
+  for (; shift > 0; --shift) {
+    const double m = 1e9 * static_cast<double>(1ull << shift) / freq_hz;
+    if (m < 4294967295.0) {
+      mult = static_cast<std::uint64_t>(m + 0.5);
+      break;
+    }
+  }
+  return TimeConv(shift, static_cast<std::uint32_t>(mult), zero_ns);
+}
+
+TimeConv TimeConv::from_metadata(const MetadataPage& meta) {
+  return TimeConv(meta.time_shift, meta.time_mult, meta.time_zero);
+}
+
+std::uint64_t TimeConv::to_cycles(std::uint64_t ns) const {
+  if (mult_ == 0) return 0;
+  const std::uint64_t rel = ns - zero_;
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(rel) << shift_) / mult_);
+}
+
+}  // namespace nmo::kern

@@ -1,0 +1,56 @@
+// Timescale conversion between the SPE generic timer and perf-clock
+// nanoseconds.
+//
+// "The timestamp timer from ARM SPE uses a different timescale than perf,
+// so ... NMO also performs a timescale conversion using the time_zero,
+// time_shift and time_mult fields from the ring buffer metadata page"
+// (section IV-A).  The kernel formula is
+//     ns = time_zero + ((cycles * time_mult) >> time_shift)
+// and this class computes a (mult, shift, zero) triple for a given timer
+// frequency exactly the way the kernel does.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/perf_abi.hpp"
+
+namespace nmo::kern {
+
+class TimeConv {
+ public:
+  /// Builds a conversion for a timer running at `freq_hz`, with `zero_ns`
+  /// as the perf-clock time of timer value 0.
+  static TimeConv from_frequency(double freq_hz, std::uint64_t zero_ns = 0);
+
+  /// Reconstructs a conversion from metadata-page fields (consumer side).
+  static TimeConv from_metadata(const MetadataPage& meta);
+
+  /// Timer cycles -> perf-clock nanoseconds.
+  [[nodiscard]] std::uint64_t to_ns(std::uint64_t cycles) const {
+    return zero_ + ((static_cast<__uint128_t>(cycles) * mult_) >> shift_);
+  }
+
+  /// Inverse mapping (used by tests to check round-trip error bounds).
+  [[nodiscard]] std::uint64_t to_cycles(std::uint64_t ns) const;
+
+  /// Publishes the triple into a metadata page.
+  void fill_metadata(MetadataPage& meta) const {
+    meta.time_shift = shift_;
+    meta.time_mult = mult_;
+    meta.time_zero = zero_;
+  }
+
+  [[nodiscard]] std::uint16_t shift() const { return shift_; }
+  [[nodiscard]] std::uint32_t mult() const { return mult_; }
+  [[nodiscard]] std::uint64_t zero() const { return zero_; }
+
+ private:
+  TimeConv(std::uint16_t shift, std::uint32_t mult, std::uint64_t zero)
+      : shift_(shift), mult_(mult), zero_(zero) {}
+
+  std::uint16_t shift_;
+  std::uint32_t mult_;
+  std::uint64_t zero_;
+};
+
+}  // namespace nmo::kern

@@ -1,0 +1,90 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace nmo::mem {
+
+Cache::Cache(const CacheConfig& config) : config_(config), num_sets_(0) {
+  if (config_.line_size == 0 || (config_.line_size & (config_.line_size - 1)) != 0) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (config_.associativity == 0 || config_.associativity > 255) {
+    throw std::invalid_argument("associativity must be in [1, 255]");
+  }
+  num_sets_ = config_.num_sets();
+  if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0) {
+    throw std::invalid_argument("cache set count must be a nonzero power of two");
+  }
+  lines_.resize(num_sets_ * config_.associativity);
+  recency_.resize(num_sets_ * config_.associativity);
+  for (std::uint64_t s = 0; s < num_sets_; ++s) {
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+      recency_[s * config_.associativity + w] = static_cast<std::uint8_t>(w);
+    }
+  }
+}
+
+Cache::AccessOutcome Cache::access(Addr addr, bool is_store) {
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* set_lines = &lines_[set * config_.associativity];
+  std::uint8_t* order = &recency_[set * config_.associativity];
+  const std::uint32_t ways = config_.associativity;
+
+  // Search recency order so a hit can be moved to front in the same pass.
+  for (std::uint32_t pos = 0; pos < ways; ++pos) {
+    const std::uint8_t way = order[pos];
+    Line& line = set_lines[way];
+    if (line.valid && line.tag == tag) {
+      if (is_store) line.dirty = true;
+      // Move-to-front: shift [0, pos) right by one.
+      for (std::uint32_t i = pos; i > 0; --i) order[i] = order[i - 1];
+      order[0] = way;
+      ++stats_.hits;
+      return {.hit = true, .writeback = false};
+    }
+  }
+
+  // Miss: victim is the LRU way (last in recency order).
+  const std::uint8_t victim = order[ways - 1];
+  Line& line = set_lines[victim];
+  AccessOutcome out{.hit = false, .writeback = false, .victim_addr = 0};
+  if (line.valid) {
+    ++stats_.evictions;
+    if (line.dirty) {
+      ++stats_.writebacks;
+      out.writeback = true;
+      out.victim_addr = (line.tag * num_sets_ + set) * config_.line_size;
+    }
+  }
+  line.valid = true;
+  line.tag = tag;
+  line.dirty = is_store;
+  for (std::uint32_t i = ways - 1; i > 0; --i) order[i] = order[i - 1];
+  order[0] = victim;
+  ++stats_.misses;
+  return out;
+}
+
+bool Cache::contains(Addr addr) const {
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  const Line* set_lines = &lines_[set * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (set_lines[w].valid && set_lines[w].tag == tag) return true;
+  }
+  return false;
+}
+
+std::uint64_t Cache::invalidate_all() {
+  std::uint64_t dirty = 0;
+  for (auto& line : lines_) {
+    if (line.valid && line.dirty) ++dirty;
+    line.valid = false;
+    line.dirty = false;
+  }
+  return dirty;
+}
+
+}  // namespace nmo::mem

@@ -1,0 +1,90 @@
+// Single-level set-associative cache model with LRU replacement.
+//
+// This is the building block of the Ampere-like hierarchy in
+// mem/hierarchy.hpp.  The model is functional (hit/miss + dirty state), not
+// timed; latency is assigned by the hierarchy from the level that services
+// an access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nmo::mem {
+
+/// Geometry of one cache.
+struct CacheConfig {
+  std::uint64_t size_bytes = 64 * 1024;
+  std::uint32_t associativity = 4;
+  std::uint32_t line_size = 64;
+
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(associativity) * line_size);
+  }
+};
+
+/// Hit/miss counters for one cache instance.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    const auto a = accesses();
+    return a > 0 ? static_cast<double>(hits) / static_cast<double>(a) : 0.0;
+  }
+};
+
+/// Set-associative LRU cache.  Write policy is write-back/write-allocate,
+/// matching the Neoverse data caches.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Result of one lookup+fill.
+  struct AccessOutcome {
+    bool hit = false;
+    bool writeback = false;  ///< A dirty victim was evicted.
+    Addr victim_addr = 0;    ///< Line address of the dirty victim (when writeback).
+  };
+
+  /// Performs a lookup; on miss, allocates the line and evicts the LRU way.
+  AccessOutcome access(Addr addr, bool is_store);
+
+  /// Lookup without side effects (for tests and occupancy probes).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Drops all lines (returns the number of dirty lines discarded).
+  std::uint64_t invalidate_all();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_index(Addr addr) const {
+    return (addr / config_.line_size) & (num_sets_ - 1);
+  }
+  [[nodiscard]] Addr tag_of(Addr addr) const {
+    return addr / config_.line_size / num_sets_;
+  }
+
+  CacheConfig config_;
+  std::uint64_t num_sets_;
+  // lines_[set * associativity + way]; recency_ tracks LRU order per set as
+  // a permutation of way indices, MRU first.
+  std::vector<Line> lines_;
+  std::vector<std::uint8_t> recency_;
+  CacheStats stats_;
+};
+
+}  // namespace nmo::mem

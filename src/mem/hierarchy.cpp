@@ -1,0 +1,76 @@
+#include "mem/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace nmo::mem {
+
+Hierarchy::Hierarchy(const HierarchyConfig& config) : config_(config) {
+  if (config_.cores == 0) throw std::invalid_argument("hierarchy needs at least one core");
+  l1_.reserve(config_.cores);
+  l2_.reserve(config_.cores);
+  tlb_.reserve(config_.cores);
+  for (std::uint32_t c = 0; c < config_.cores; ++c) {
+    l1_.push_back(std::make_unique<Cache>(config_.l1));
+    l2_.push_back(std::make_unique<Cache>(config_.l2));
+    tlb_.push_back(std::make_unique<Tlb>(config_.tlb_entries, config_.page_size));
+  }
+  slc_ = std::make_unique<Cache>(config_.slc);
+}
+
+AccessResult Hierarchy::access(CoreId core, const MemAccess& a) {
+  if (core >= config_.cores) throw std::out_of_range("core id out of range");
+  const bool is_store = a.op == MemOp::kStore;
+
+  AccessResult result;
+  result.tlb_miss = !tlb_[core]->access(a.addr);
+
+  // Dirty victims are written back into the next level (write-back,
+  // write-allocate at every level); an SLC dirty eviction reaches the bus.
+  auto install_l2 = [&](Addr addr) {
+    const auto out = l2_[core]->access(addr, /*is_store=*/true);
+    if (out.writeback) {
+      const auto slc_out = slc_->access(out.victim_addr, /*is_store=*/true);
+      if (slc_out.writeback) ++bus_.writeback_lines;
+    }
+  };
+
+  const auto l1_out = l1_[core]->access(a.addr, is_store);
+  if (l1_out.writeback) install_l2(l1_out.victim_addr);
+  if (l1_out.hit) {
+    result.level = MemLevel::kL1;
+  } else {
+    const auto l2_out = l2_[core]->access(a.addr, /*is_store=*/false);
+    if (l2_out.writeback) {
+      const auto wb = slc_->access(l2_out.victim_addr, /*is_store=*/true);
+      if (wb.writeback) ++bus_.writeback_lines;
+    }
+    if (l2_out.hit) {
+      result.level = MemLevel::kL2;
+    } else {
+      const auto slc_out = slc_->access(a.addr, /*is_store=*/false);
+      if (slc_out.writeback) ++bus_.writeback_lines;
+      if (slc_out.hit) {
+        result.level = MemLevel::kSLC;
+      } else {
+        result.level = MemLevel::kDRAM;
+        ++bus_.read_lines;
+      }
+    }
+  }
+
+  ++level_counts_[static_cast<std::size_t>(result.level)];
+  result.latency = config_.latency.for_level(result.level);
+  if (result.tlb_miss) result.latency += config_.latency.tlb_miss;
+  return result;
+}
+
+void Hierarchy::reset() {
+  for (auto& c : l1_) c->invalidate_all();
+  for (auto& c : l2_) c->invalidate_all();
+  slc_->invalidate_all();
+  for (auto& t : tlb_) t->flush();
+  bus_ = BusCounters{};
+  level_counts_.fill(0);
+}
+
+}  // namespace nmo::mem

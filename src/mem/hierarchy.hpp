@@ -1,0 +1,94 @@
+// Multi-level memory hierarchy of the simulated ARM testbed (Table II):
+// per-core L1d and L2, a shared system-level cache (SLC), and DDR4 DRAM.
+//
+// The hierarchy is the ground truth that the SPE device model observes: for
+// every access it reports the level that serviced it, the load-to-use
+// latency (including TLB walks), and it maintains the bus event counters
+// that NMO's bandwidth estimator reads (paper section VI-B estimates
+// bandwidth by "counting the event of the load and store access on the bus
+// every second").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/latency.hpp"
+#include "mem/tlb.hpp"
+
+namespace nmo::mem {
+
+/// Geometry + timing of the whole hierarchy; defaults follow Table II of
+/// the paper (Ampere Altra Max).
+struct HierarchyConfig {
+  std::uint32_t cores = 128;
+  CacheConfig l1{.size_bytes = 64 * 1024, .associativity = 4, .line_size = 64};
+  CacheConfig l2{.size_bytes = 1024 * 1024, .associativity = 8, .line_size = 64};
+  CacheConfig slc{.size_bytes = 16 * 1024 * 1024, .associativity = 16, .line_size = 64};
+  LatencyModel latency{};
+  std::uint32_t tlb_entries = 48;
+  std::uint64_t page_size = 64 * 1024;
+  /// Peak DRAM bandwidth in bytes per cycle across the whole socket
+  /// (200 GB/s at 3 GHz ~= 66.7 B/cycle).  Used by the contention model.
+  double dram_bytes_per_cycle = 66.7;
+};
+
+/// Result of one hierarchy access.
+struct AccessResult {
+  MemLevel level = MemLevel::kL1;  ///< Level that serviced the access.
+  Cycles latency = 0;              ///< Load-to-use latency incl. TLB walk.
+  bool tlb_miss = false;
+};
+
+/// Counters read by NMO's bandwidth estimator: traffic that crossed the
+/// memory bus (SLC<->DRAM), in line-sized units.
+struct BusCounters {
+  std::uint64_t read_lines = 0;       ///< Lines fetched from DRAM.
+  std::uint64_t writeback_lines = 0;  ///< Dirty lines written to DRAM.
+
+  [[nodiscard]] std::uint64_t total_bytes(std::uint32_t line_size) const {
+    return (read_lines + writeback_lines) * line_size;
+  }
+};
+
+/// Whole-machine hierarchy: one L1+L2+TLB per core, one shared SLC.
+class Hierarchy {
+ public:
+  explicit Hierarchy(const HierarchyConfig& config);
+
+  /// Simulates one access issued by `core`.  Accesses that straddle a line
+  /// boundary touch only the first line (the second line's cost is noise at
+  /// the granularity this model feeds).
+  AccessResult access(CoreId core, const MemAccess& a);
+
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
+  [[nodiscard]] const BusCounters& bus() const { return bus_; }
+
+  /// Per-level service counts across all cores (how many accesses each
+  /// level satisfied).  Indexed by MemLevel.
+  [[nodiscard]] const std::array<std::uint64_t, kNumMemLevels>& level_counts() const {
+    return level_counts_;
+  }
+
+  [[nodiscard]] const Cache& l1(CoreId core) const { return *l1_[core]; }
+  [[nodiscard]] const Cache& l2(CoreId core) const { return *l2_[core]; }
+  [[nodiscard]] const Cache& slc() const { return *slc_; }
+  [[nodiscard]] const Tlb& tlb(CoreId core) const { return *tlb_[core]; }
+
+  /// Clears cache contents and counters (new workload run).
+  void reset();
+
+ private:
+  HierarchyConfig config_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;
+  std::unique_ptr<Cache> slc_;
+  std::vector<std::unique_ptr<Tlb>> tlb_;
+  BusCounters bus_;
+  std::array<std::uint64_t, kNumMemLevels> level_counts_{};
+};
+
+}  // namespace nmo::mem

@@ -1,0 +1,33 @@
+// Latency model for the simulated Ampere-like memory hierarchy.
+//
+// Values are load-to-use latencies in core cycles at 3.0 GHz, in the range
+// published for Neoverse N1/V1 class cores.  Absolute values matter less
+// than their ratios: SPE sample-collision behaviour depends on how long a
+// sampled operation stays in flight relative to the sampling interval.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nmo::mem {
+
+struct LatencyModel {
+  Cycles l1 = 4;
+  Cycles l2 = 13;
+  Cycles slc = 45;
+  Cycles dram = 330;      ///< ~110 ns at 3 GHz.
+  Cycles tlb_miss = 40;   ///< Page walk penalty added on a TLB miss.
+
+  [[nodiscard]] Cycles for_level(MemLevel level) const noexcept {
+    switch (level) {
+      case MemLevel::kL1: return l1;
+      case MemLevel::kL2: return l2;
+      case MemLevel::kSLC: return slc;
+      case MemLevel::kDRAM: return dram;
+    }
+    return dram;
+  }
+};
+
+}  // namespace nmo::mem

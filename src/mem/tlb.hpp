@@ -1,0 +1,54 @@
+// Small fully-associative TLB model.
+//
+// SPE sample records carry TLB events; the hierarchy consults a per-core
+// TLB so records can be flagged, and the page-walk penalty feeds the
+// latency of the sampled operation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nmo::mem {
+
+class Tlb {
+ public:
+  /// `entries` translations of `page_size`-byte pages, LRU replacement.
+  Tlb(std::uint32_t entries, std::uint64_t page_size)
+      : page_size_(page_size), slots_(entries, kInvalid) {}
+
+  /// Returns true on a TLB hit; on miss the translation is installed.
+  bool access(Addr addr) {
+    const Addr vpn = addr / page_size_;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i] == vpn) {
+        // Move to front (LRU).
+        for (std::size_t j = i; j > 0; --j) slots_[j] = slots_[j - 1];
+        slots_[0] = vpn;
+        ++hits_;
+        return true;
+      }
+    }
+    for (std::size_t j = slots_.size() - 1; j > 0; --j) slots_[j] = slots_[j - 1];
+    slots_[0] = vpn;
+    ++misses_;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  void flush() {
+    for (auto& s : slots_) s = kInvalid;
+  }
+
+ private:
+  static constexpr Addr kInvalid = ~Addr{0};
+  std::uint64_t page_size_;
+  std::vector<Addr> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace nmo::mem

@@ -1,0 +1,106 @@
+// Timing model of the NMO monitor process.
+//
+// On real hardware the NMO runtime spawns a monitoring loop that waits in
+// epoll on the per-core SPE file descriptors and drains aux data as wakeups
+// arrive.  Draining is not free - each record is decoded, MD5-fingerprinted
+// and appended to the output trace, and the loop interleaves other work
+// (capacity sampling, file flushing) - so in practice the monitor services
+// fds in *batched rounds*: a wakeup arms a round, the round drains every
+// ready descriptor, and rounds are separated by at least round_interval.
+//
+// The monitor's round latency is what turns aux-buffer sizing into the
+// accuracy/overhead trade-off of Figure 9 and thread count into the
+// accuracy dome of Figure 10: while a round is pending the devices keep
+// producing, and any buffer that cannot absorb fill_rate x round_latency
+// bytes drops samples (TRUNCATED).  Fewer threads push the same sample
+// volume through fewer buffers - "effectively reducing the buffer size" as
+// the paper puts it.
+//
+// Monitor is passive with respect to time: drivers call on_wakeup /
+// on_round_done and schedule the returned completion times on their own
+// event queues, so the same model serves both the statistical and the
+// exact trace driver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "kernel/perf_event.hpp"
+#include "sim/cost_model.hpp"
+#include "spe/aux_consumer.hpp"
+
+namespace nmo::sim {
+
+class Monitor {
+ public:
+  /// `events` is the full set of SPE events the monitor watches (the fds in
+  /// its epoll set).
+  Monitor(const CostModel& cost, spe::AuxConsumer* consumer,
+          std::vector<kern::PerfEvent*> events)
+      : cost_(cost), consumer_(consumer), events_(std::move(events)) {}
+
+  /// A wakeup fired at `now_cycles`.  If no round is armed, one is armed
+  /// and the returned value is its completion time (wake latency + drain
+  /// estimate, but no earlier than round_interval after the last round).
+  std::optional<Cycles> on_wakeup(Cycles now_cycles) {
+    if (round_armed_) return std::nullopt;
+    round_armed_ = true;
+    const Cycles earliest = last_round_end_ + cost_.monitor_round_interval_cycles;
+    const Cycles start = std::max(now_cycles + cost_.monitor_wake_cycles, earliest);
+    return start + round_cost();
+  }
+
+  /// The armed round completed: drain every ready descriptor.  Returns the
+  /// completion time of a follow-up round if data is still pending (a
+  /// buffer went full while this round was queued and can no longer raise
+  /// wakeups).
+  std::optional<Cycles> on_round_done(Cycles now_cycles) {
+    for (auto* ev : events_) {
+      bytes_drained_ += consumer_->drain(*ev);
+      while (ev->pending_wakeups() > 0) ev->ack_wakeup();
+    }
+    ++rounds_;
+    last_round_end_ = now_cycles;
+    round_armed_ = false;
+    for (auto* ev : events_) {
+      if (ev->aux().used() >= ev->effective_watermark()) {
+        round_armed_ = true;
+        return last_round_end_ + cost_.monitor_round_interval_cycles + round_cost();
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Synchronous end-of-run drain (after the timing window, matching the
+  /// paper's note that the final buffer drain happens after program exit).
+  void drain_all() {
+    for (auto* ev : events_) bytes_drained_ += consumer_->drain(*ev);
+    round_armed_ = false;
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t bytes_drained() const { return bytes_drained_; }
+  [[nodiscard]] bool round_armed() const { return round_armed_; }
+  [[nodiscard]] const std::vector<kern::PerfEvent*>& events() const { return events_; }
+
+ private:
+  /// Estimated cost of one drain round: fixed setup plus per-byte
+  /// processing of everything currently buffered.
+  [[nodiscard]] Cycles round_cost() const {
+    std::uint64_t bytes = 0;
+    for (const auto* ev : events_) bytes += ev->aux().used();
+    return cost_.monitor_service_base_cycles +
+           static_cast<Cycles>(static_cast<double>(bytes) * cost_.monitor_cycles_per_byte);
+  }
+
+  CostModel cost_;
+  spe::AuxConsumer* consumer_;
+  std::vector<kern::PerfEvent*> events_;
+  bool round_armed_ = false;
+  Cycles last_round_end_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t bytes_drained_ = 0;
+};
+
+}  // namespace nmo::sim

@@ -1,0 +1,57 @@
+#include "spe/aux_consumer.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace nmo::spe {
+
+std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
+  std::uint64_t bytes = 0;
+  while (auto rec = ev.read_record()) {
+    switch (rec->header.type) {
+      case kern::RecordType::kAux: {
+        kern::AuxRecord aux{};
+        if (rec->payload.size() < sizeof(aux)) break;
+        std::memcpy(&aux, rec->payload.data(), sizeof(aux));
+        ++counts_.aux_records;
+        if (aux.flags & kern::kAuxFlagCollision) ++counts_.collision_flags;
+        if (aux.flags & kern::kAuxFlagTruncated) ++counts_.truncated_flags;
+
+        std::vector<std::byte> data(aux.aux_size);
+        ev.read_aux(aux.aux_offset, data);
+        for (std::size_t off = 0; off + kRecordSize <= data.size(); off += kRecordSize) {
+          const auto result = decode(std::span<const std::byte>(data).subspan(off, kRecordSize));
+          if (result.ok()) {
+            ++counts_.records_ok;
+            if (sink_) sink_(*result.record, ev.core());
+          } else {
+            ++counts_.records_skipped;
+          }
+        }
+        ev.consume_aux(aux.aux_offset + aux.aux_size);
+        bytes += aux.aux_size;
+        break;
+      }
+      case kern::RecordType::kThrottle:
+        ++counts_.throttle_records;
+        break;
+      case kern::RecordType::kUnthrottle:
+        break;
+      case kern::RecordType::kLost: {
+        kern::LostRecord lost{};
+        if (rec->payload.size() >= sizeof(lost)) {
+          std::memcpy(&lost, rec->payload.data(), sizeof(lost));
+          counts_.lost_records += lost.lost;
+        } else {
+          ++counts_.lost_records;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace nmo::spe

@@ -1,0 +1,49 @@
+// Consumer-side draining of an SPE perf event: the record-processing loop
+// that NMO runs when epoll reports a wakeup.
+//
+// For every PERF_RECORD_AUX in the data ring this reads the referenced aux
+// bytes, splits them into 64-byte records, decodes each with NMO's
+// validation rules (spe/packet.hpp), forwards valid ones to a sink, and
+// advances aux_tail so the device can reuse the space.  It also tallies the
+// flags NMO's evaluation counts: COLLISION-flagged records (the paper's
+// "sample collision" metric) and TRUNCATED ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "kernel/perf_event.hpp"
+#include "spe/packet.hpp"
+
+namespace nmo::spe {
+
+class AuxConsumer {
+ public:
+  struct Counts {
+    std::uint64_t records_ok = 0;       ///< Decoded, validated samples.
+    std::uint64_t records_skipped = 0;  ///< Failed NMO's validation rules.
+    std::uint64_t aux_records = 0;      ///< PERF_RECORD_AUX seen.
+    std::uint64_t collision_flags = 0;  ///< AUX records with COLLISION flag.
+    std::uint64_t truncated_flags = 0;  ///< AUX records with TRUNCATED flag.
+    std::uint64_t throttle_records = 0;
+    std::uint64_t lost_records = 0;     ///< PERF_RECORD_LOST events.
+  };
+
+  /// `sink` receives every valid sample (may be empty for counting runs).
+  using Sink = std::function<void(const Record&, CoreId core)>;
+
+  explicit AuxConsumer(Sink sink = {}) : sink_(std::move(sink)) {}
+
+  /// Drains all pending records of `ev`; returns the number of aux bytes
+  /// consumed (what the monitor's timing model charges for).
+  std::uint64_t drain(kern::PerfEvent& ev);
+
+  [[nodiscard]] const Counts& counts() const { return counts_; }
+  void reset_counts() { counts_ = Counts{}; }
+
+ private:
+  Sink sink_;
+  Counts counts_;
+};
+
+}  // namespace nmo::spe

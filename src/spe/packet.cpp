@@ -1,0 +1,135 @@
+#include "spe/packet.hpp"
+
+#include <cstring>
+
+namespace nmo::spe {
+namespace {
+
+void put_u16(std::byte* at, std::uint16_t v) {
+  at[0] = static_cast<std::byte>(v & 0xff);
+  at[1] = static_cast<std::byte>(v >> 8);
+}
+
+std::uint16_t get_u16(const std::byte* at) {
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(at[0]) |
+                                    (static_cast<std::uint16_t>(static_cast<std::uint8_t>(at[1]))
+                                     << 8));
+}
+
+void put_u64(std::byte* at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) at[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t get_u64(const std::byte* at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(at[i]))
+                                   << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void encode(const Record& rec, std::span<std::byte, kRecordSize> out) {
+  std::memset(out.data(), 0, kRecordSize);
+  std::byte* p = out.data();
+
+  // [0]   PC packet.
+  p[0] = static_cast<std::byte>(kHdrPc);
+  put_u64(p + 1, rec.pc);
+  // [9]   operation type packet: payload bit0 = store.
+  p[9] = static_cast<std::byte>(kHdrOpType);
+  p[10] = static_cast<std::byte>(rec.op == MemOp::kStore ? 0x01 : 0x00);
+  // [11]  events packet (16-bit).
+  p[11] = static_cast<std::byte>(kHdrEvents);
+  put_u16(p + 12, rec.events);
+  // [14]  total latency counter.
+  p[14] = static_cast<std::byte>(kHdrLatTotal);
+  put_u16(p + 15, rec.total_latency);
+  // [17]  issue latency counter.
+  p[17] = static_cast<std::byte>(kHdrLatIssue);
+  put_u16(p + 18, rec.issue_latency);
+  // [20]  translation latency counter.
+  p[20] = static_cast<std::byte>(kHdrLatTranslation);
+  put_u16(p + 21, rec.translation_latency);
+  // [23]  data source packet (memory level).
+  p[23] = static_cast<std::byte>(kHdrDataSource);
+  p[24] = static_cast<std::byte>(static_cast<std::uint8_t>(rec.level));
+  // [25..29] padding (zero).
+  // [30]  data virtual address packet - the bytes NMO keys on.
+  p[kAddrHeaderOffset] = static_cast<std::byte>(kHdrAddress);
+  put_u64(p + kAddrOffset, rec.vaddr);
+  // [39..54] padding (zero).
+  // [55]  timestamp packet, 64-bit payload ends the record.
+  p[kTsHeaderOffset] = static_cast<std::byte>(kHdrTimestamp);
+  put_u64(p + kTsOffset, rec.timestamp);
+}
+
+DecodeResult decode(std::span<const std::byte> in) {
+  if (in.size() < kRecordSize) {
+    return {.record = std::nullopt, .error = DecodeError::kShortBuffer};
+  }
+  const std::byte* p = in.data();
+  if (static_cast<std::uint8_t>(p[kAddrHeaderOffset]) != kHdrAddress) {
+    return {.record = std::nullopt, .error = DecodeError::kBadAddressHeader};
+  }
+  if (static_cast<std::uint8_t>(p[kTsHeaderOffset]) != kHdrTimestamp) {
+    return {.record = std::nullopt, .error = DecodeError::kBadTimestampHeader};
+  }
+  Record rec;
+  rec.vaddr = get_u64(p + kAddrOffset);
+  rec.timestamp = get_u64(p + kTsOffset);
+  if (rec.vaddr == 0) {
+    return {.record = std::nullopt, .error = DecodeError::kZeroAddress};
+  }
+  if (rec.timestamp == 0) {
+    return {.record = std::nullopt, .error = DecodeError::kZeroTimestamp};
+  }
+
+  // Optional auxiliary packets; tolerate their absence so the decoder can
+  // consume traces from other producers.
+  if (static_cast<std::uint8_t>(p[0]) == kHdrPc) rec.pc = get_u64(p + 1);
+  if (static_cast<std::uint8_t>(p[9]) == kHdrOpType) {
+    rec.op = (static_cast<std::uint8_t>(p[10]) & 0x01) ? MemOp::kStore : MemOp::kLoad;
+  }
+  if (static_cast<std::uint8_t>(p[11]) == kHdrEvents) rec.events = get_u16(p + 12);
+  if (static_cast<std::uint8_t>(p[14]) == kHdrLatTotal) rec.total_latency = get_u16(p + 15);
+  if (static_cast<std::uint8_t>(p[17]) == kHdrLatIssue) rec.issue_latency = get_u16(p + 18);
+  if (static_cast<std::uint8_t>(p[20]) == kHdrLatTranslation) {
+    rec.translation_latency = get_u16(p + 21);
+  }
+  if (static_cast<std::uint8_t>(p[23]) == kHdrDataSource) {
+    const auto lvl = static_cast<std::uint8_t>(p[24]);
+    rec.level = lvl < kNumMemLevels ? static_cast<MemLevel>(lvl) : level_from_events(rec.events);
+  } else {
+    rec.level = level_from_events(rec.events);
+  }
+  return {.record = rec, .error = std::nullopt};
+}
+
+MemLevel level_from_events(std::uint16_t events) {
+  if (events & kEvtLlcMiss) return MemLevel::kDRAM;
+  if (events & kEvtLlcAccess) return MemLevel::kSLC;
+  if (events & kEvtL1Refill) return MemLevel::kL2;
+  return MemLevel::kL1;
+}
+
+std::uint16_t events_for_level(MemLevel level, bool tlb_miss) {
+  std::uint16_t ev = kEvtRetired;
+  switch (level) {
+    case MemLevel::kL1:
+      break;
+    case MemLevel::kL2:
+      ev |= kEvtL1Refill;
+      break;
+    case MemLevel::kSLC:
+      ev |= kEvtL1Refill | kEvtLlcAccess;
+      break;
+    case MemLevel::kDRAM:
+      ev |= kEvtL1Refill | kEvtLlcAccess | kEvtLlcMiss;
+      break;
+  }
+  if (tlb_miss) ev |= kEvtTlbWalk;
+  return ev;
+}
+
+}  // namespace nmo::spe

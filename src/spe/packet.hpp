@@ -1,0 +1,102 @@
+// ARM SPE sample record encoding and decoding.
+//
+// SPE emits each sample as a sequence of packets.  NMO relies on the
+// concrete layout produced by the perf arm_spe driver on the paper's
+// testbed: records are "64 bytes large and aligned", the data virtual
+// address is "a 64-bit value at an offset of 31 bytes from the base of the
+// packet" prefaced by the header byte 0xb2, and the timestamp is "at the
+// end of the packet at a 56-byte offset from the base" prefaced by 0x71
+// (section IV-A).  The encoder here produces exactly that layout; the
+// decoder applies NMO's validation rules: a record is skipped if either
+// header byte is wrong or if the address or timestamp is zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace nmo::spe {
+
+/// Fixed record geometry (see file comment).
+inline constexpr std::size_t kRecordSize = 64;
+inline constexpr std::size_t kAddrHeaderOffset = 30;
+inline constexpr std::size_t kAddrOffset = 31;
+inline constexpr std::size_t kTsHeaderOffset = 55;
+inline constexpr std::size_t kTsOffset = 56;
+
+/// Packet header bytes.  kHdrAddress and kHdrTimestamp are the values NMO
+/// checks (0xb2 / 0x71); the others follow the SPE packet family encodings
+/// for the auxiliary packets the record carries.
+inline constexpr std::uint8_t kHdrPc = 0xb0;           // instruction address packet
+inline constexpr std::uint8_t kHdrAddress = 0xb2;      // data virtual address packet
+inline constexpr std::uint8_t kHdrTimestamp = 0x71;    // timestamp packet
+inline constexpr std::uint8_t kHdrEvents = 0x52;       // events packet (16-bit payload)
+inline constexpr std::uint8_t kHdrOpType = 0x49;       // operation type: load/store
+inline constexpr std::uint8_t kHdrLatTotal = 0x98;     // counter: total latency
+inline constexpr std::uint8_t kHdrLatIssue = 0x99;     // counter: issue latency
+inline constexpr std::uint8_t kHdrLatTranslation = 0x9a;  // counter: translation latency
+inline constexpr std::uint8_t kHdrDataSource = 0x43;   // data source (memory level)
+inline constexpr std::uint8_t kHdrPadding = 0x00;
+
+/// Events packet bits (subset of the SPE events byte meanings).
+enum EventBit : std::uint16_t {
+  kEvtRetired = 1u << 1,        ///< Operation architecturally retired.
+  kEvtL1Refill = 1u << 2,       ///< L1D refill (access missed L1).
+  kEvtTlbWalk = 1u << 3,        ///< Translation walked the page table.
+  kEvtNotTaken = 1u << 4,
+  kEvtMispredict = 1u << 5,
+  kEvtLlcAccess = 1u << 6,      ///< Reached the last-level cache.
+  kEvtLlcMiss = 1u << 7,        ///< Missed the last-level cache (DRAM).
+  kEvtRemote = 1u << 8,         ///< Serviced by a remote socket.
+  kEvtCollision = 1u << 11,     ///< Sample collided in the profiling buffer.
+};
+
+/// Decoded (or to-be-encoded) sample record.
+struct Record {
+  Addr pc = 0;
+  Addr vaddr = 0;
+  std::uint64_t timestamp = 0;   ///< SPE timer cycles (pre-conversion).
+  MemOp op = MemOp::kLoad;
+  MemLevel level = MemLevel::kL1;
+  std::uint16_t events = 0;      ///< EventBit mask.
+  std::uint16_t total_latency = 0;
+  std::uint16_t issue_latency = 0;
+  std::uint16_t translation_latency = 0;
+};
+
+/// Serializes `rec` into the 64-byte wire layout.
+void encode(const Record& rec, std::span<std::byte, kRecordSize> out);
+
+/// Reasons a record fails NMO's validation (kept for diagnostics).
+enum class DecodeError {
+  kShortBuffer,
+  kBadAddressHeader,
+  kBadTimestampHeader,
+  kZeroAddress,
+  kZeroTimestamp,
+};
+
+/// Result of decoding: a record or the reason it was skipped.
+struct DecodeResult {
+  std::optional<Record> record;
+  std::optional<DecodeError> error;
+
+  [[nodiscard]] bool ok() const { return record.has_value(); }
+};
+
+/// Parses one record, applying NMO's skip rules (invalid packets "could be
+/// caused by sample collision if it were sampled before the previous
+/// sampled operation has not finished its execution pipeline").
+DecodeResult decode(std::span<const std::byte> in);
+
+/// Infers the MemLevel from the events mask alone; used when the data
+/// source packet is absent (the decoder prefers the explicit packet).
+[[nodiscard]] MemLevel level_from_events(std::uint16_t events);
+
+/// Builds the events mask appropriate for an access serviced by `level`.
+[[nodiscard]] std::uint16_t events_for_level(MemLevel level, bool tlb_miss);
+
+}  // namespace nmo::spe

@@ -1,0 +1,160 @@
+#include "spe/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernel/perf_abi.hpp"
+
+namespace nmo::spe {
+
+SampleFilter SampleFilter::from_config(std::uint64_t config) {
+  SampleFilter f;
+  f.loads = (config & kern::kSpeLoadFilter) != 0;
+  f.stores = (config & kern::kSpeStoreFilter) != 0;
+  f.branches = (config & kern::kSpeBranchFilter) != 0;
+  f.min_latency = static_cast<std::uint16_t>((config >> kern::kSpeMinLatencyShift) &
+                                             kern::kSpeMinLatencyMask);
+  return f;
+}
+
+bool SampleFilter::passes(OpClass cls, Cycles latency) const {
+  switch (cls) {
+    case OpClass::kLoad:
+      if (!loads) return false;
+      break;
+    case OpClass::kStore:
+      if (!stores) return false;
+      break;
+    case OpClass::kBranch:
+      if (!branches) return false;
+      break;
+    case OpClass::kOther:
+      // Plain ALU ops never match a load/store/branch filter; with no
+      // filter bits set at all, SPE records every operation.
+      if (loads || stores || branches) return false;
+      break;
+  }
+  return latency >= min_latency;
+}
+
+Sampler::Sampler(kern::PerfEvent* event, Rng rng)
+    : event_(event), rng_(rng) {
+  if (event_ == nullptr || event_->attr().type != kern::kPerfTypeArmSpe) {
+    throw std::invalid_argument("Sampler requires an SPE-mode perf event");
+  }
+  period_ = event_->attr().sample_period;
+  jitter_ = (event_->attr().config & kern::kSpeJitter) != 0;
+  filter_ = SampleFilter::from_config(event_->attr().config);
+  counter_ = draw_interval();
+}
+
+std::uint64_t Sampler::draw_interval() {
+  if (!jitter_) return period_ > 0 ? period_ : 1;
+  // Symmetric perturbation of up to +-128 decoded operations, modelling
+  // PMSIRR.RND without introducing a systematic rate bias.  For tiny
+  // periods the range shrinks so the distribution stays symmetric
+  // (and therefore unbiased) after clamping.
+  const auto range = static_cast<std::int64_t>(std::min<std::uint64_t>(128, period_ / 2));
+  const std::int64_t jitter = static_cast<std::int64_t>(rng_.uniform(
+                                  static_cast<std::uint64_t>(2 * range + 1))) -
+                              range;
+  const std::int64_t v = static_cast<std::int64_t>(period_) + jitter;
+  return v > 1 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+void Sampler::advance_other(std::uint64_t n, std::uint64_t start_cycles, double cycles_per_op) {
+  std::uint64_t used = 0;
+  while (n >= counter_) {
+    used += counter_;
+    n -= counter_;
+    const auto now =
+        start_cycles + static_cast<std::uint64_t>(static_cast<double>(used) * cycles_per_op);
+    OpInfo op;
+    op.cls = OpClass::kOther;
+    op.now_cycles = now;
+    op.latency = 8;  // ALU retire occupancy: a handful of cycles.
+    select(op);
+    counter_ = draw_interval();
+  }
+  counter_ -= n;
+}
+
+void Sampler::on_mem_op(const OpInfo& op) {
+  if (counter_ > 1) {
+    --counter_;
+    return;
+  }
+  select(op);
+  counter_ = draw_interval();
+}
+
+void Sampler::select(const OpInfo& op) {
+  if (!event_->enabled()) return;
+  finish_due(op.now_cycles);
+  const std::uint64_t now_ns = event_->time_conv().to_ns(op.now_cycles);
+  if (event_->throttled(now_ns)) {
+    ++stats_.throttled;
+    return;
+  }
+  ++stats_.selections;
+  if (pending_.has_value()) {
+    // Previous sampled operation still in its execution pipeline: the new
+    // selection is dropped and a collision recorded (section VII-A).
+    ++stats_.collisions;
+    event_->note_collision();
+    return;
+  }
+  pending_ = Pending{.op = op, .complete_at = op.now_cycles + op.latency};
+}
+
+void Sampler::finish_due(std::uint64_t now_cycles) {
+  if (pending_.has_value() && pending_->complete_at <= now_cycles) {
+    const Pending p = *pending_;
+    pending_.reset();
+    complete(p.op, p.complete_at);
+  }
+}
+
+void Sampler::flush([[maybe_unused]] std::uint64_t now_cycles) {
+  if (pending_.has_value()) {
+    const Pending p = *pending_;
+    pending_.reset();
+    // The record carries the operation's own completion time even when the
+    // flush happens much later (the device timestamps at retirement).
+    complete(p.op, p.complete_at);
+  }
+}
+
+void Sampler::complete(const OpInfo& op, std::uint64_t completion_cycles) {
+  if (!filter_.passes(op.cls, op.latency)) {
+    ++stats_.filtered;
+    return;
+  }
+  const std::uint64_t now_ns = event_->time_conv().to_ns(completion_cycles);
+  if (!event_->account_samples(now_ns, 1)) {
+    ++stats_.throttled;
+    return;
+  }
+
+  Record rec;
+  rec.pc = op.pc;
+  rec.vaddr = op.vaddr;
+  rec.timestamp = completion_cycles;
+  rec.op = op.cls == OpClass::kStore ? MemOp::kStore : MemOp::kLoad;
+  rec.level = op.level;
+  rec.events = events_for_level(op.level, op.tlb_miss);
+  rec.total_latency =
+      static_cast<std::uint16_t>(op.latency > 0xffff ? 0xffff : op.latency);
+  rec.issue_latency = static_cast<std::uint16_t>(std::min<Cycles>(op.latency, 4));
+  rec.translation_latency = op.tlb_miss ? 40 : 0;
+
+  std::array<std::byte, kRecordSize> wire{};
+  encode(rec, wire);
+  if (event_->aux_write(wire, now_ns)) {
+    ++stats_.written;
+  } else {
+    ++stats_.write_failed;
+  }
+}
+
+}  // namespace nmo::spe

@@ -1,0 +1,126 @@
+// The per-core ARM SPE sampling unit.
+//
+// Figure 1 of the paper describes the pipeline this class models:
+//
+//   1. the sampling interval counter is reset to the user-defined period
+//      (plus random perturbation to avoid bias) and decremented after each
+//      operation is decoded;
+//   2. when it reaches zero, that operation is selected and tracked through
+//      the execution pipeline, collecting timings, events, data address and
+//      memory level;
+//   3. if a new selection fires while the previous sampled operation is
+//      still in flight the new one is dropped and a sample collision is
+//      recorded ("SPE receives the next sampling command before it has
+//      finished processing the previous one", section VII-A);
+//   4. completed samples pass the programmable filter (operation type,
+//      minimum latency) and surviving records are encoded as packets into
+//      the aux buffer of the owning perf event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kernel/perf_event.hpp"
+#include "spe/packet.hpp"
+
+namespace nmo::spe {
+
+/// Classification of a decoded operation for filtering purposes.
+enum class OpClass : std::uint8_t {
+  kOther = 0,   ///< Non-memory, non-branch operation.
+  kLoad = 1,
+  kStore = 2,
+  kBranch = 3,
+};
+
+/// Everything the device learns about a decoded operation.
+struct OpInfo {
+  OpClass cls = OpClass::kOther;
+  Addr pc = 0;
+  Addr vaddr = 0;
+  MemLevel level = MemLevel::kL1;
+  bool tlb_miss = false;
+  Cycles latency = 1;           ///< Dispatch-to-complete occupancy in cycles.
+  std::uint64_t now_cycles = 0; ///< Decode time on the SPE timer.
+};
+
+/// Filter programming decoded from perf_event_attr.config.
+struct SampleFilter {
+  bool loads = true;
+  bool stores = true;
+  bool branches = false;
+  std::uint16_t min_latency = 0;
+
+  static SampleFilter from_config(std::uint64_t config);
+
+  [[nodiscard]] bool passes(OpClass cls, Cycles latency) const;
+};
+
+class Sampler {
+ public:
+  struct Stats {
+    std::uint64_t selections = 0;    ///< Interval counter expiries.
+    std::uint64_t collisions = 0;    ///< Selections dropped: pipeline busy.
+    std::uint64_t filtered = 0;      ///< Completed samples failing the filter.
+    std::uint64_t written = 0;       ///< Records written to the aux buffer.
+    std::uint64_t write_failed = 0;  ///< Records lost: aux buffer full.
+    std::uint64_t throttled = 0;     ///< Selections suppressed by throttling.
+  };
+
+  /// `event` must be an SPE-mode perf event; the sampler writes records
+  /// through it and respects its enable/throttle state.  `jitter` enables
+  /// the +-128 operation perturbation of the interval counter.
+  Sampler(kern::PerfEvent* event, Rng rng);
+
+  // -- exact mode (trace driver) --------------------------------------------
+  /// Advances the interval counter over `n` non-memory operations decoded
+  /// starting at `start_cycles`, each taking `cycles_per_op` cycles.
+  /// Selections landing inside the gap sample short-lived ALU ops that the
+  /// load/store filter will reject.
+  void advance_other(std::uint64_t n, std::uint64_t start_cycles, double cycles_per_op);
+
+  /// Feeds one decoded memory operation.
+  void on_mem_op(const OpInfo& op);
+
+  // -- shared core (also used by the statistical driver) ---------------------
+  /// Draws the next interval: period with random perturbation.
+  [[nodiscard]] std::uint64_t draw_interval();
+
+  /// Handles one selection event (collision check + tracking start).
+  void select(const OpInfo& op);
+
+  /// Completes the pending sample if its pipeline finished by `now_cycles`.
+  void finish_due(std::uint64_t now_cycles);
+
+  /// Unconditionally completes any pending sample (end of run).
+  void flush(std::uint64_t now_cycles);
+
+  /// Remaining decoded operations until the next selection.
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const SampleFilter& filter() const { return filter_; }
+  [[nodiscard]] kern::PerfEvent& event() { return *event_; }
+
+ private:
+  void complete(const OpInfo& op, std::uint64_t completion_cycles);
+
+  kern::PerfEvent* event_;
+  Rng rng_;
+  std::uint64_t period_;
+  bool jitter_ = true;
+  SampleFilter filter_;
+  std::uint64_t counter_;
+
+  /// The in-flight tracked operation, if any.
+  struct Pending {
+    OpInfo op;
+    std::uint64_t complete_at = 0;
+  };
+  std::optional<Pending> pending_;
+  Stats stats_;
+};
+
+}  // namespace nmo::spe

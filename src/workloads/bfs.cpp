@@ -1,0 +1,115 @@
+#include "workloads/bfs.hpp"
+
+#include <atomic>
+#include <deque>
+
+#include "core/nmo.h"
+
+namespace nmo::wl {
+
+std::vector<std::int32_t> reference_bfs(const CsrGraph& graph, std::uint32_t source) {
+  std::vector<std::int32_t> dist(graph.num_nodes, -1);
+  std::deque<std::uint32_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    for (std::uint64_t e = graph.row_offsets[v]; e < graph.row_offsets[v + 1]; ++e) {
+      const std::uint32_t w = graph.columns[e];
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+void Bfs::run(Executor& exec) {
+  nmo_start("graph-load");
+  exec.serial("graph-load", [&](MemRecorder& mem) {
+    graph_ = make_uniform_graph(config_.nodes, config_.edges_per_node, config_.seed);
+    // Model the generator's stores coarsely: one store per edge plus the
+    // row-offset array.
+    mem.alu(static_cast<std::uint32_t>(std::min<std::uint64_t>(graph_.num_edges(), 1u << 30)));
+  });
+  nmo_stop();
+
+  const std::uint32_t n = graph_.num_nodes;
+  const Addr rows_base = exec.alloc("row_offsets", (n + 1) * 8);
+  const Addr cols_base = exec.alloc("columns", graph_.num_edges() * 4);
+  const Addr cost_base = exec.alloc("cost", n * 4);
+  const Addr mask_base = exec.alloc("mask", n);
+  const Addr upd_base = exec.alloc("updating_mask", n);
+  const Addr vis_base = exec.alloc("visited", n);
+  nmo_tag_addr("row_offsets", rows_base, rows_base + (n + 1) * 8);
+  nmo_tag_addr("columns", cols_base, cols_base + graph_.num_edges() * 4);
+  nmo_tag_addr("cost", cost_base, cost_base + n * 4);
+
+  cost_.assign(n, -1);
+  std::vector<std::uint8_t> mask(n, 0), updating(n, 0), visited(n, 0);
+  cost_[config_.source] = 0;
+  mask[config_.source] = 1;
+  visited[config_.source] = 1;
+
+  levels_ = 0;
+  bool frontier_nonempty = true;
+  nmo_start("traversal");
+  while (frontier_nonempty) {
+    ++levels_;
+    // Kernel 1: expand the frontier.
+    exec.parallel_for("bfs_kernel1", n,
+                      [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+                        for (std::size_t v = lo; v < hi; ++v) {
+                          mem.load(mask_base + v, 1);
+                          if (!mask[v]) {
+                            mem.alu(1);
+                            continue;
+                          }
+                          mask[v] = 0;
+                          mem.store(mask_base + v, 1);
+                          mem.load(rows_base + v * 8);
+                          mem.load(rows_base + (v + 1) * 8);
+                          for (std::uint64_t e = graph_.row_offsets[v];
+                               e < graph_.row_offsets[v + 1]; ++e) {
+                            const std::uint32_t w = graph_.columns[e];
+                            mem.load(cols_base + e * 4, 4);
+                            mem.load(vis_base + w, 1);
+                            if (!visited[w]) {
+                              cost_[w] = cost_[v] + 1;
+                              updating[w] = 1;
+                              mem.load(cost_base + v * 4, 4);
+                              mem.store(cost_base + static_cast<Addr>(w) * 4, 4);
+                              mem.store(upd_base + w, 1);
+                            }
+                            mem.alu(3);
+                          }
+                        }
+                      });
+    // Kernel 2: promote updated nodes into the next frontier.
+    std::atomic<bool> any{false};
+    exec.parallel_for("bfs_kernel2", n,
+                      [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+                        bool local_any = false;
+                        for (std::size_t v = lo; v < hi; ++v) {
+                          mem.load(upd_base + v, 1);
+                          if (updating[v]) {
+                            mask[v] = 1;
+                            visited[v] = 1;
+                            updating[v] = 0;
+                            local_any = true;
+                            mem.store(mask_base + v, 1);
+                            mem.store(vis_base + v, 1);
+                            mem.store(upd_base + v, 1);
+                          }
+                          mem.alu(2);
+                        }
+                        if (local_any) any.store(true, std::memory_order_relaxed);
+                      });
+    frontier_nonempty = any.load();
+  }
+  nmo_stop();
+}
+
+}  // namespace nmo::wl

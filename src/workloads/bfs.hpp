@@ -1,0 +1,45 @@
+// Rodinia BFS: level-synchronous breadth-first search with frontier masks.
+//
+// Mirrors the Rodinia OpenMP structure: kernel 1 expands the current
+// frontier (mask array) into updating masks; kernel 2 promotes updated
+// nodes into the next frontier, until no node was updated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hpp"
+#include "workloads/workload.hpp"
+
+namespace nmo::wl {
+
+struct BfsConfig {
+  std::uint32_t nodes = 1 << 18;
+  std::uint32_t edges_per_node = 8;
+  std::uint32_t source = 0;
+  std::uint64_t seed = 7;
+};
+
+class Bfs final : public Workload {
+ public:
+  explicit Bfs(const BfsConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "bfs"; }
+  void run(Executor& exec) override;
+
+  /// Distances from the source (-1 for unreachable), valid after run().
+  [[nodiscard]] const std::vector<std::int32_t>& cost() const { return cost_; }
+  [[nodiscard]] const CsrGraph& graph() const { return graph_; }
+  [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+ private:
+  BfsConfig config_;
+  CsrGraph graph_;
+  std::vector<std::int32_t> cost_;
+  std::uint32_t levels_ = 0;
+};
+
+/// Reference serial BFS used by tests to validate the parallel kernel.
+std::vector<std::int32_t> reference_bfs(const CsrGraph& graph, std::uint32_t source);
+
+}  // namespace nmo::wl

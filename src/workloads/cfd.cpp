@@ -1,0 +1,163 @@
+#include "workloads/cfd.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/nmo.h"
+
+namespace nmo::wl {
+
+double Cfd::total_mass() const {
+  double sum = 0.0;
+  for (double d : density_) sum += d;
+  return sum;
+}
+
+void Cfd::run(Executor& exec) {
+  const std::size_t n = config_.num_cells;
+  neighbors_.assign(n * kNeighbors, 0);
+  normals_.assign(n * kNeighbors * 3, 0.0);
+  density_.assign(n, 0.0);
+  momentum_.assign(n * 3, 0.0);
+  energy_.assign(n, 0.0);
+  step_factor_.assign(n, 0.0);
+  flux_.assign(n * 5, 0.0);
+
+  const Addr nb_base = exec.alloc("elements_surrounding", n * kNeighbors * 4);
+  const Addr nrm_base = exec.alloc("normals", n * kNeighbors * 3 * 8);
+  const Addr rho_base = exec.alloc("density", n * 8);
+  const Addr mom_base = exec.alloc("momentum", n * 3 * 8);
+  const Addr en_base = exec.alloc("energy", n * 8);
+  const Addr sf_base = exec.alloc("step_factor", n * 8);
+  const Addr fl_base = exec.alloc("fluxes", n * 5 * 8);
+  nmo_tag_addr("elements_surrounding", nb_base, nb_base + n * kNeighbors * 4);
+  nmo_tag_addr("normals", nrm_base, nrm_base + n * kNeighbors * 3 * 8);
+  nmo_tag_addr("density", rho_base, rho_base + n * 8);
+  nmo_tag_addr("momentum", mom_base, mom_base + n * 3 * 8);
+  nmo_tag_addr("energy", en_base, en_base + n * 8);
+  nmo_tag_addr("step_factor", sf_base, sf_base + n * 8);
+  nmo_tag_addr("fluxes", fl_base, fl_base + n * 5 * 8);
+
+  // --- Mesh generation + initial conditions (serial load phase) -----------
+  nmo_start("mesh-load");
+  exec.serial("mesh-load", [&](MemRecorder& mem) {
+    Rng rng(config_.seed, 3);
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t k = 0; k < kNeighbors; ++k) {
+        std::size_t nb;
+        if (rng.uniform01() < config_.far_link_fraction) {
+          nb = rng.uniform(n);  // far link: irregular gather
+        } else {
+          // local link within a +-8 window (wrap-around)
+          nb = (c + n + static_cast<std::size_t>(rng.range(-8, 8))) % n;
+        }
+        neighbors_[c * kNeighbors + k] = static_cast<std::uint32_t>(nb);
+        for (int d = 0; d < 3; ++d) {
+          normals_[(c * kNeighbors + k) * 3 + d] = rng.normalish(0.0, 0.5);
+        }
+        mem.store(nb_base + (c * kNeighbors + k) * 4, 4);
+        mem.store(nrm_base + (c * kNeighbors + k) * 3 * 8, 8);
+        mem.alu(6);
+      }
+      // Freestream initial conditions.
+      density_[c] = 1.4;
+      momentum_[c * 3 + 0] = 1.0;
+      momentum_[c * 3 + 1] = 0.0;
+      momentum_[c * 3 + 2] = 0.0;
+      energy_[c] = 2.5;
+      mem.store(rho_base + c * 8);
+      mem.store(mom_base + c * 3 * 8);
+      mem.store(en_base + c * 8);
+      mem.alu(4);
+    }
+  });
+  nmo_stop();
+
+  // --- Computation loop (the paper's tagged phase) -------------------------
+  constexpr double kGamma = 1.4;
+  constexpr double kCfl = 0.1;
+
+  nmo_start("computation loop");
+  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
+    // compute_step_factor: local, per-cell.
+    exec.parallel_for(
+        "compute_step_factor", n,
+        [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+          for (std::size_t c = lo; c < hi; ++c) {
+            const double rho = density_[c];
+            const double mx = momentum_[c * 3], my = momentum_[c * 3 + 1],
+                         mz = momentum_[c * 3 + 2];
+            const double e = energy_[c];
+            const double v2 = (mx * mx + my * my + mz * mz) / (rho * rho);
+            const double pressure = (kGamma - 1.0) * (e - 0.5 * rho * v2);
+            const double speed_sound = std::sqrt(std::max(1e-9, kGamma * pressure / rho));
+            step_factor_[c] = kCfl / (std::sqrt(v2) + speed_sound);
+            mem.load(rho_base + c * 8);
+            mem.load(mom_base + c * 3 * 8, 24);
+            mem.load(en_base + c * 8);
+            mem.store(sf_base + c * 8);
+            mem.flop(14);
+            mem.alu(4);
+          }
+        });
+
+    // compute_flux: gather over the four neighbours (irregular).
+    exec.parallel_for(
+        "compute_flux", n, [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+          for (std::size_t c = lo; c < hi; ++c) {
+            double f[5] = {0, 0, 0, 0, 0};
+            const double rho_c = density_[c];
+            mem.load(rho_base + c * 8);
+            for (std::size_t k = 0; k < kNeighbors; ++k) {
+              const std::uint32_t nb = neighbors_[c * kNeighbors + k];
+              mem.load(nb_base + (c * kNeighbors + k) * 4, 4);
+              const double rho_n = density_[nb];
+              const double en_n = energy_[nb];
+              mem.load(rho_base + static_cast<Addr>(nb) * 8);
+              mem.load(en_base + static_cast<Addr>(nb) * 8);
+              for (int d = 0; d < 3; ++d) {
+                const double nrm = normals_[(c * kNeighbors + k) * 3 + d];
+                const double mom_n = momentum_[static_cast<std::size_t>(nb) * 3 +
+                                               static_cast<std::size_t>(d)];
+                f[0] += nrm * (rho_n - rho_c) * 0.25;
+                f[1 + d] += nrm * mom_n * 0.25;
+                f[4] += nrm * (en_n - energy_[c]) * 0.25;
+              }
+              mem.load(nrm_base + (c * kNeighbors + k) * 3 * 8, 24);
+              mem.load(mom_base + static_cast<Addr>(nb) * 3 * 8, 24);
+              mem.flop(27);
+              mem.alu(8);
+            }
+            for (int v = 0; v < 5; ++v) flux_[c * 5 + static_cast<std::size_t>(v)] = f[v];
+            mem.store(fl_base + c * 5 * 8, 40);
+            mem.load(en_base + c * 8);
+          }
+        });
+
+    // time_step: apply fluxes.
+    exec.parallel_for("time_step", n,
+                      [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+                        for (std::size_t c = lo; c < hi; ++c) {
+                          const double sf = step_factor_[c];
+                          density_[c] += sf * flux_[c * 5];
+                          momentum_[c * 3 + 0] += sf * flux_[c * 5 + 1];
+                          momentum_[c * 3 + 1] += sf * flux_[c * 5 + 2];
+                          momentum_[c * 3 + 2] += sf * flux_[c * 5 + 3];
+                          energy_[c] += sf * flux_[c * 5 + 4];
+                          mem.load(sf_base + c * 8);
+                          mem.load(fl_base + c * 5 * 8, 40);
+                          mem.load(rho_base + c * 8);
+                          mem.store(rho_base + c * 8);
+                          mem.load(mom_base + c * 3 * 8, 24);
+                          mem.store(mom_base + c * 3 * 8, 24);
+                          mem.load(en_base + c * 8);
+                          mem.store(en_base + c * 8);
+                          mem.flop(10);
+                          mem.alu(3);
+                        }
+                      });
+  }
+  nmo_stop();
+}
+
+}  // namespace nmo::wl

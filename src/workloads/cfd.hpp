@@ -1,0 +1,55 @@
+// Rodinia CFD (euler3d): unstructured-grid finite-volume solver for the 3D
+// Euler equations of compressible flow.
+//
+// This is a faithful re-implementation of the euler3d kernel structure:
+// five conserved variables per cell (density, 3 x momentum, energy), four
+// neighbours per cell with face normals, and the iteration
+//   compute_step_factor -> compute_flux -> time_step
+// over a "computation loop" phase tag (Figures 5 and 6).  The mesh is a
+// synthetic unstructured mesh: mostly-local neighbours with a fraction of
+// far links, which produces the irregular gather pattern the paper's
+// high-resolution trace shows at 32 threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace nmo::wl {
+
+struct CfdConfig {
+  std::size_t num_cells = 64 * 1024;
+  std::uint32_t iterations = 20;  ///< Paper runs 20 iterations in the tag.
+  std::uint64_t seed = 42;
+  double far_link_fraction = 0.15;  ///< Fraction of non-local neighbours.
+};
+
+class Cfd final : public Workload {
+ public:
+  explicit Cfd(const CfdConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "cfd"; }
+  void run(Executor& exec) override;
+
+  /// Verification hooks: densities must stay finite and positive, and the
+  /// total mass (sum of densities) should stay within a loose budget of the
+  /// initial mass for this smoothing-style update.
+  [[nodiscard]] const std::vector<double>& density() const { return density_; }
+  [[nodiscard]] double total_mass() const;
+
+ private:
+  static constexpr std::size_t kNeighbors = 4;
+
+  CfdConfig config_;
+  std::vector<std::uint32_t> neighbors_;      // num_cells * 4
+  std::vector<double> normals_;               // num_cells * 4 * 3
+  std::vector<double> density_;
+  std::vector<double> momentum_;              // num_cells * 3
+  std::vector<double> energy_;
+  std::vector<double> step_factor_;
+  std::vector<double> flux_;                  // num_cells * 5
+};
+
+}  // namespace nmo::wl

@@ -1,0 +1,74 @@
+#include "workloads/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nmo::wl {
+namespace {
+
+CsrGraph from_edge_list(std::uint32_t nodes,
+                        std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  CsrGraph g;
+  g.num_nodes = nodes;
+  g.row_offsets.assign(nodes + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    (void)dst;
+    ++g.row_offsets[src + 1];
+  }
+  for (std::uint32_t v = 0; v < nodes; ++v) g.row_offsets[v + 1] += g.row_offsets[v];
+  g.columns.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.row_offsets.begin(), g.row_offsets.end() - 1);
+  for (const auto& [src, dst] : edges) g.columns[cursor[src]++] = dst;
+  return g;
+}
+
+}  // namespace
+
+CsrGraph make_uniform_graph(std::uint32_t nodes, std::uint32_t edges_per_node,
+                            std::uint64_t seed) {
+  if (nodes == 0) throw std::invalid_argument("graph needs at least one node");
+  Rng rng(seed, 17);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(nodes) * edges_per_node);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    for (std::uint32_t e = 0; e < edges_per_node; ++e) {
+      edges.emplace_back(v, static_cast<std::uint32_t>(rng.uniform(nodes)));
+    }
+  }
+  return from_edge_list(nodes, edges);
+}
+
+CsrGraph make_rmat_graph(std::uint32_t nodes_log2, std::uint32_t edges_per_node,
+                         std::uint64_t seed) {
+  if (nodes_log2 == 0 || nodes_log2 > 30) throw std::invalid_argument("bad rmat size");
+  const std::uint32_t nodes = 1u << nodes_log2;
+  const std::uint64_t num_edges = static_cast<std::uint64_t>(nodes) * edges_per_node;
+  Rng rng(seed, 23);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(num_edges);
+  // RMAT quadrant probabilities.
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    std::uint32_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < nodes_log2; ++bit) {
+      const double u = rng.uniform01();
+      std::uint32_t sbit = 0, dbit = 0;
+      if (u < kA) {
+        // top-left: 0,0
+      } else if (u < kA + kB) {
+        dbit = 1;
+      } else if (u < kA + kB + kC) {
+        sbit = 1;
+      } else {
+        sbit = 1;
+        dbit = 1;
+      }
+      src = (src << 1) | sbit;
+      dst = (dst << 1) | dbit;
+    }
+    edges.emplace_back(src, dst);
+  }
+  return from_edge_list(nodes, edges);
+}
+
+}  // namespace nmo::wl

@@ -1,0 +1,35 @@
+// Deterministic graph generation (CSR) for BFS and PageRank.
+//
+// Rodinia's BFS inputs are uniform random graphs; CloudSuite's Graph
+// Analytics runs on a social-network-like (power-law) graph, which the
+// RMAT generator approximates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nmo::wl {
+
+/// Compressed-sparse-row directed graph.
+struct CsrGraph {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::uint64_t> row_offsets;  ///< size num_nodes + 1
+  std::vector<std::uint32_t> columns;      ///< size num_edges
+
+  [[nodiscard]] std::uint64_t num_edges() const { return columns.size(); }
+  [[nodiscard]] std::uint64_t degree(std::uint32_t v) const {
+    return row_offsets[v + 1] - row_offsets[v];
+  }
+};
+
+/// Uniform random multigraph with `edges_per_node` average out-degree.
+CsrGraph make_uniform_graph(std::uint32_t nodes, std::uint32_t edges_per_node,
+                            std::uint64_t seed);
+
+/// RMAT-style power-law graph (a=0.57, b=c=0.19, d=0.05), Graph500-like.
+CsrGraph make_rmat_graph(std::uint32_t nodes_log2, std::uint32_t edges_per_node,
+                         std::uint64_t seed);
+
+}  // namespace nmo::wl

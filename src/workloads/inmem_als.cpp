@@ -1,0 +1,172 @@
+#include "workloads/inmem_als.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/nmo.h"
+#include "workloads/linalg.hpp"
+
+namespace nmo::wl {
+
+double InMemAnalytics::compute_rmse() const {
+  const std::uint32_t k = config_.rank;
+  double se = 0.0;
+  std::uint64_t count = 0;
+  for (std::uint32_t u = 0; u < config_.users; ++u) {
+    for (std::uint64_t e = user_offsets_[u]; e < user_offsets_[u + 1]; ++e) {
+      const std::uint32_t m = user_movies_[e];
+      double pred = 0.0;
+      for (std::uint32_t f = 0; f < k; ++f) {
+        pred += user_factors_[u * k + f] * movie_factors_[m * k + f];
+      }
+      const double err = pred - user_ratings_[e];
+      se += err * err;
+      ++count;
+    }
+  }
+  return count > 0 ? std::sqrt(se / static_cast<double>(count)) : 0.0;
+}
+
+void InMemAnalytics::run(Executor& exec) {
+  const std::uint32_t users = config_.users, movies = config_.movies, k = config_.rank;
+
+  // --- Ratings load ---------------------------------------------------------
+  nmo_start("ratings-load");
+  exec.serial("ratings-load", [&](MemRecorder& mem) {
+    Rng rng(config_.seed, 31);
+    // Synthetic ground-truth factors generate consistent ratings so ALS has
+    // structure to recover.
+    std::vector<double> true_u(static_cast<std::size_t>(users) * k);
+    std::vector<double> true_m(static_cast<std::size_t>(movies) * k);
+    for (auto& v : true_u) v = rng.normalish(0.0, 0.5);
+    for (auto& v : true_m) v = rng.normalish(0.0, 0.5);
+
+    user_offsets_.assign(users + 1, 0);
+    std::vector<std::pair<std::uint32_t, double>> per_user_tmp;
+    user_movies_.clear();
+    user_ratings_.clear();
+    for (std::uint32_t u = 0; u < users; ++u) {
+      user_offsets_[u] = user_movies_.size();
+      for (std::uint32_t r = 0; r < config_.ratings_per_user; ++r) {
+        const auto m = static_cast<std::uint32_t>(rng.uniform(movies));
+        double rating = 3.0;
+        for (std::uint32_t f = 0; f < k; ++f) rating += true_u[u * k + f] * true_m[m * k + f];
+        user_movies_.push_back(m);
+        user_ratings_.push_back(rating);
+        mem.alu(2 + 2 * k);
+      }
+    }
+    user_offsets_[users] = user_movies_.size();
+
+    // Transpose into by-movie CSR.
+    movie_offsets_.assign(movies + 1, 0);
+    for (auto m : user_movies_) ++movie_offsets_[m + 1];
+    for (std::uint32_t m = 0; m < movies; ++m) movie_offsets_[m + 1] += movie_offsets_[m];
+    movie_users_.resize(user_movies_.size());
+    movie_ratings_.resize(user_movies_.size());
+    std::vector<std::uint64_t> cursor(movie_offsets_.begin(), movie_offsets_.end() - 1);
+    for (std::uint32_t u = 0; u < users; ++u) {
+      for (std::uint64_t e = user_offsets_[u]; e < user_offsets_[u + 1]; ++e) {
+        const std::uint32_t m = user_movies_[e];
+        movie_users_[cursor[m]] = u;
+        movie_ratings_[cursor[m]] = user_ratings_[e];
+        ++cursor[m];
+        mem.alu(5);
+      }
+    }
+
+    // Random initial factors.
+    user_factors_.assign(static_cast<std::size_t>(users) * k, 0.0);
+    movie_factors_.assign(static_cast<std::size_t>(movies) * k, 0.0);
+    for (auto& v : user_factors_) v = rng.normalish(0.3, 0.1);
+    for (auto& v : movie_factors_) v = rng.normalish(0.3, 0.1);
+  });
+
+  const std::uint64_t nnz = user_movies_.size();
+  const Addr uf_base = exec.alloc("user_factors", users * k * 8ull, config_.report_scale);
+  const Addr mf_base = exec.alloc("movie_factors", movies * k * 8ull, config_.report_scale);
+  // Ratings arrive in batches (the in-memory dataset load ramp of Figure 2,
+  // left): allocate each segment and stream it in.
+  constexpr std::uint32_t kBatches = 4;
+  Addr ur_base = 0, mr_base = 0;
+  for (std::uint32_t b = 0; b < kBatches; ++b) {
+    const std::uint64_t lo = nnz * 12ull * b / kBatches;
+    const std::uint64_t hi = nnz * 12ull * (b + 1) / kBatches;
+    const Addr useg = exec.alloc("ratings_by_user_batch", hi - lo, config_.report_scale);
+    const Addr mseg = exec.alloc("ratings_by_movie_batch", hi - lo, config_.report_scale);
+    if (b == 0) {
+      ur_base = useg;
+      mr_base = mseg;
+    }
+    exec.serial("ratings_batch", [&](MemRecorder& mem) {
+      for (std::uint64_t off = lo; off < hi; off += 48) {
+        mem.store(ur_base + off, 24);
+        mem.store(mr_base + off, 24);
+        mem.alu(6);
+      }
+    });
+  }
+  nmo_tag_addr("user_factors", uf_base, uf_base + users * k * 8ull);
+  nmo_tag_addr("movie_factors", mf_base, mf_base + movies * k * 8ull);
+  nmo_stop();
+
+  // --- ALS iterations ---------------------------------------------------------
+  const double lambda = config_.lambda;
+  rmse_.clear();
+
+  // One half-step: solve (F^T F + lambda I) x = F^T r for each entity.
+  auto half_step = [&](const char* kernel, std::uint32_t count,
+                       const std::vector<std::uint64_t>& offsets,
+                       const std::vector<std::uint32_t>& others,
+                       const std::vector<double>& ratings, std::vector<double>& mine,
+                       const std::vector<double>& theirs, Addr mine_base, Addr theirs_base,
+                       Addr ratings_base) {
+    exec.parallel_for(kernel, count, [&](ThreadId, std::size_t lo, std::size_t hi,
+                                         MemRecorder& mem) {
+      std::vector<double> ata(static_cast<std::size_t>(k) * k);
+      std::vector<double> atb(k);
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::fill(ata.begin(), ata.end(), 0.0);
+        std::fill(atb.begin(), atb.end(), 0.0);
+        for (std::uint32_t f = 0; f < k; ++f) ata[f * k + f] = lambda;
+        mem.load(ratings_base + i * 8);
+        for (std::uint64_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+          const std::uint32_t o = others[e];
+          const double* fo = &theirs[static_cast<std::size_t>(o) * k];
+          mem.load(ratings_base + e * 12, 12);
+          mem.load(theirs_base + static_cast<Addr>(o) * k * 8,
+                   static_cast<std::uint8_t>(std::min<std::uint32_t>(k * 8, 255)));
+          for (std::uint32_t r = 0; r < k; ++r) {
+            for (std::uint32_t c = 0; c <= r; ++c) ata[r * k + c] += fo[r] * fo[c];
+            atb[r] += fo[r] * ratings[e];
+          }
+          mem.flop(k * k + 2 * k);
+          mem.alu(k);
+        }
+        for (std::uint32_t r = 0; r < k; ++r) {
+          for (std::uint32_t c = r + 1; c < k; ++c) ata[r * k + c] = ata[c * k + r];
+        }
+        DenseMatrix a{ata.data(), k};
+        if (solve_spd(a, atb.data())) {
+          for (std::uint32_t f = 0; f < k; ++f) mine[i * k + f] = atb[f];
+        }
+        mem.store(mine_base + i * k * 8,
+                  static_cast<std::uint8_t>(std::min<std::uint32_t>(k * 8, 255)));
+        mem.flop(k * k * k / 3 + k * k);
+        mem.alu(2 * k);
+      }
+    });
+  };
+
+  nmo_start("als-iterations");
+  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
+    half_step("als_update_users", users, user_offsets_, user_movies_, user_ratings_,
+              user_factors_, movie_factors_, uf_base, mf_base, ur_base);
+    half_step("als_update_movies", movies, movie_offsets_, movie_users_, movie_ratings_,
+              movie_factors_, user_factors_, mf_base, uf_base, mr_base);
+    rmse_.push_back(compute_rmse());
+  }
+  nmo_stop();
+}
+
+}  // namespace nmo::wl

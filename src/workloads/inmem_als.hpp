@@ -1,0 +1,53 @@
+// CloudSuite In-memory Analytics: alternating least squares (ALS)
+// collaborative filtering on a user-movie rating matrix.
+//
+// The paper's benchmark runs Spark MLlib ALS in memory; this is the same
+// algorithm implemented directly: rank-k factorization R ~= U * M^T where
+// each ALS half-step solves a regularised normal-equation system per user
+// (or per movie) via Cholesky.  The phase structure gives Figure 2/3's
+// left panels: a ratings-load ramp, then per-iteration bandwidth waves
+// (user sweep + movie sweep) repeating every iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace nmo::wl {
+
+struct AlsConfig {
+  std::uint32_t users = 12'000;
+  std::uint32_t movies = 4'000;
+  std::uint32_t ratings_per_user = 40;
+  std::uint32_t rank = 12;          ///< Latent factor dimension.
+  std::uint32_t iterations = 6;
+  double lambda = 0.08;             ///< Ridge regularisation.
+  std::uint64_t seed = 5;
+  std::uint64_t report_scale = 2048;
+};
+
+class InMemAnalytics final : public Workload {
+ public:
+  explicit InMemAnalytics(const AlsConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "inmem-analytics"; }
+  void run(Executor& exec) override;
+
+  /// Root-mean-square error on the training ratings after each iteration;
+  /// must be non-increasing (tests assert this).
+  [[nodiscard]] const std::vector<double>& rmse_history() const { return rmse_; }
+
+ private:
+  double compute_rmse() const;
+
+  AlsConfig config_;
+  // Ratings in CSR-by-user and CSR-by-movie forms.
+  std::vector<std::uint64_t> user_offsets_, movie_offsets_;
+  std::vector<std::uint32_t> user_movies_, movie_users_;
+  std::vector<double> user_ratings_, movie_ratings_;
+  std::vector<double> user_factors_, movie_factors_;  // row-major (n x rank)
+  std::vector<double> rmse_;
+};
+
+}  // namespace nmo::wl

@@ -1,0 +1,47 @@
+#include "workloads/linalg.hpp"
+
+#include <cmath>
+
+namespace nmo::wl {
+
+bool cholesky_factor(DenseMatrix a) {
+  const std::size_t n = a.n;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = v / ljj;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve(const DenseMatrix& l, double* b) {
+  const std::size_t n = l.n;
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l.at(i, k) * b[k];
+    b[i] = v / l.at(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= l.at(k, i) * b[k];
+    b[i] = v / l.at(i, i);
+  }
+}
+
+bool solve_spd(DenseMatrix a, double* b) {
+  if (!cholesky_factor(a)) return false;
+  cholesky_solve(a, b);
+  return true;
+}
+
+}  // namespace nmo::wl

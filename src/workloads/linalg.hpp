@@ -1,0 +1,30 @@
+// Tiny dense linear algebra for the ALS workload: Cholesky factorization
+// and solve of small SPD systems (rank x rank normal equations).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nmo::wl {
+
+/// Row-major dense square matrix view over caller storage.
+struct DenseMatrix {
+  double* data = nullptr;
+  std::size_t n = 0;
+
+  double& at(std::size_t r, std::size_t c) { return data[r * n + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data[r * n + c]; }
+};
+
+/// In-place Cholesky factorization A = L * L^T (lower triangle).  Returns
+/// false when the matrix is not positive definite.
+bool cholesky_factor(DenseMatrix a);
+
+/// Solves L * L^T x = b given the factor from cholesky_factor; x overwrites b.
+void cholesky_solve(const DenseMatrix& l, double* b);
+
+/// Convenience: solves A x = b for SPD A (A and b are overwritten; the
+/// solution lands in b).  Returns false when factorization fails.
+bool solve_spd(DenseMatrix a, double* b);
+
+}  // namespace nmo::wl

@@ -1,0 +1,50 @@
+// CloudSuite Graph Analytics: PageRank.
+//
+// The paper runs the Spark/Hadoop Graph Analytics benchmark; here PageRank
+// is implemented directly (pull-based, damping 0.85) over an RMAT graph,
+// with the CloudSuite phase structure preserved: a data-ingest phase that
+// ramps the memory footprint to its plateau (Figure 2, right), then rank
+// iterations whose bandwidth decays after the initial load (Figure 3,
+// right).  report_scale maps the laptop-scale dataset onto the paper's
+// ~124 GiB footprint for capacity reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hpp"
+#include "workloads/workload.hpp"
+
+namespace nmo::wl {
+
+struct PageRankConfig {
+  std::uint32_t nodes_log2 = 17;
+  std::uint32_t edges_per_node = 12;
+  std::uint32_t iterations = 10;
+  double damping = 0.85;
+  std::uint64_t seed = 11;
+  /// Multiplier applied to reported allocation sizes (capacity figures).
+  std::uint64_t report_scale = 4096;
+};
+
+class PageRank final : public Workload {
+ public:
+  explicit PageRank(const PageRankConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "pagerank"; }
+  void run(Executor& exec) override;
+
+  [[nodiscard]] const std::vector<double>& ranks() const { return ranks_; }
+  [[nodiscard]] double rank_sum() const;
+  [[nodiscard]] const std::vector<double>& iteration_deltas() const { return deltas_; }
+
+ private:
+  PageRankConfig config_;
+  CsrGraph graph_;          ///< Transposed graph: in-edges for pull updates.
+  std::vector<std::uint32_t> out_degree_;
+  std::vector<double> ranks_;
+  std::vector<double> next_;
+  std::vector<double> deltas_;
+};
+
+}  // namespace nmo::wl

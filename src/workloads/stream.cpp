@@ -1,0 +1,100 @@
+#include "workloads/stream.hpp"
+
+#include "core/nmo.h"
+
+namespace nmo::wl {
+
+double Stream::expected_a(std::uint32_t iterations, double scalar) {
+  // Initial: a=1, b=2, c=0.  Each iteration: c=a; b=scalar*c; c=a+b;
+  // a=b+scalar*c (classic STREAM kernel order).
+  double a = 1.0, b = 2.0, c = 0.0;
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    c = a;
+    b = scalar * c;
+    c = a + b;
+    a = b + scalar * c;
+  }
+  return a;
+}
+
+void Stream::run(Executor& exec) {
+  const std::size_t n = config_.array_elems;
+  a_.assign(n, 0.0);
+  b_.assign(n, 0.0);
+  c_.assign(n, 0.0);
+  a_base_ = exec.alloc("a", n * sizeof(double));
+  b_base_ = exec.alloc("b", n * sizeof(double));
+  c_base_ = exec.alloc("c", n * sizeof(double));
+  nmo_tag_addr("a", a_base_, a_base_ + n * sizeof(double));
+  nmo_tag_addr("b", b_base_, b_base_ + n * sizeof(double));
+  nmo_tag_addr("c", c_base_, c_base_ + n * sizeof(double));
+
+  const double scalar = config_.scalar;
+
+  nmo_start("init");
+  exec.parallel_for("init", n, [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      a_[i] = 1.0;
+      b_[i] = 2.0;
+      c_[i] = 0.0;
+      mem.store(a_base_ + i * 8);
+      mem.store(b_base_ + i * 8);
+      mem.store(c_base_ + i * 8);
+      mem.alu(3);
+    }
+  });
+  nmo_stop();
+
+  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
+    nmo_start("copy");
+    exec.parallel_for("copy", n, [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        c_[i] = a_[i];
+        mem.load(a_base_ + i * 8);
+        mem.store(c_base_ + i * 8);
+        mem.alu(2);
+      }
+    });
+    nmo_stop();
+
+    nmo_start("scale");
+    exec.parallel_for("scale", n, [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        b_[i] = scalar * c_[i];
+        mem.load(c_base_ + i * 8);
+        mem.store(b_base_ + i * 8);
+        mem.flop(1);
+        mem.alu(2);
+      }
+    });
+    nmo_stop();
+
+    nmo_start("add");
+    exec.parallel_for("add", n, [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        c_[i] = a_[i] + b_[i];
+        mem.load(a_base_ + i * 8);
+        mem.load(b_base_ + i * 8);
+        mem.store(c_base_ + i * 8);
+        mem.flop(1);
+        mem.alu(2);
+      }
+    });
+    nmo_stop();
+
+    nmo_start("triad");
+    exec.parallel_for("triad", n, [&](ThreadId, std::size_t lo, std::size_t hi, MemRecorder& mem) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        a_[i] = b_[i] + scalar * c_[i];
+        mem.load(b_base_ + i * 8);
+        mem.load(c_base_ + i * 8);
+        mem.store(a_base_ + i * 8);
+        mem.flop(2);
+        mem.alu(2);
+      }
+    });
+    nmo_stop();
+  }
+}
+
+}  // namespace nmo::wl

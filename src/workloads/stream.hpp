@@ -1,0 +1,48 @@
+// STREAM (McCalpin) - the synthetic sustainable-bandwidth benchmark.
+//
+// Copy/Scale/Add/Triad kernels over three arrays; the paper reports the
+// Triad kernel (a[i] = b[i] + SCALAR * c[i]) and Figure 4 shows its tagged
+// access scatter on 8 OpenMP threads with arrays a, b, c tagged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace nmo::wl {
+
+struct StreamConfig {
+  std::size_t array_elems = 1 << 20;  ///< Doubles per array.
+  std::uint32_t iterations = 5;
+  double scalar = 3.0;
+};
+
+class Stream final : public Workload {
+ public:
+  explicit Stream(const StreamConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "stream"; }
+  void run(Executor& exec) override;
+
+  /// Verification: expected final element value after `iterations` rounds
+  /// of copy/scale/add/triad starting from a=1, b=2, c=0.
+  [[nodiscard]] static double expected_a(std::uint32_t iterations, double scalar);
+
+  /// Final arrays (after run) for verification.
+  [[nodiscard]] const std::vector<double>& a() const { return a_; }
+  [[nodiscard]] const std::vector<double>& b() const { return b_; }
+  [[nodiscard]] const std::vector<double>& c() const { return c_; }
+
+  /// Virtual base addresses of the tagged arrays (valid after run).
+  [[nodiscard]] Addr a_base() const { return a_base_; }
+  [[nodiscard]] Addr b_base() const { return b_base_; }
+  [[nodiscard]] Addr c_base() const { return c_base_; }
+
+ private:
+  StreamConfig config_;
+  std::vector<double> a_, b_, c_;
+  Addr a_base_ = 0, b_base_ = 0, c_base_ = 0;
+};
+
+}  // namespace nmo::wl

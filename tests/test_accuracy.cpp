@@ -1,0 +1,65 @@
+// Eq. 1 accuracy and time overhead metrics.
+#include "analysis/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::analysis {
+namespace {
+
+TEST(Accuracy, PerfectReconstruction) {
+  EXPECT_DOUBLE_EQ(accuracy(1'000'000, 1000, 1000), 1.0);
+}
+
+TEST(Accuracy, UnderSampling) {
+  // Half the samples -> 50%.
+  EXPECT_DOUBLE_EQ(accuracy(1'000'000, 500, 1000), 0.5);
+}
+
+TEST(Accuracy, OverSamplingSymmetric) {
+  // 1.1x reconstruction -> 90%, same as 0.9x (the |.| in Eq. 1).
+  EXPECT_NEAR(accuracy(1'000'000, 1100, 1000), 0.9, 1e-12);
+  EXPECT_NEAR(accuracy(1'000'000, 900, 1000), 0.9, 1e-12);
+}
+
+TEST(Accuracy, ZeroSamplesIsZero) {
+  EXPECT_DOUBLE_EQ(accuracy(123456, 0, 1000), 0.0);
+}
+
+TEST(Accuracy, ZeroCountedGuarded) {
+  EXPECT_DOUBLE_EQ(accuracy(0, 10, 10), 0.0);
+}
+
+TEST(Accuracy, CanGoNegativeOnWildOvershoot) {
+  // Eq. 1 is unbounded below; a 3x overshoot gives -1.
+  EXPECT_DOUBLE_EQ(accuracy(1000, 3000, 1), -1.0);
+}
+
+TEST(TimeOverhead, Zero) {
+  EXPECT_DOUBLE_EQ(time_overhead(100, 100), 0.0);
+}
+
+TEST(TimeOverhead, TenPercent) {
+  EXPECT_NEAR(time_overhead(1'000'000, 1'100'000), 0.10, 1e-12);
+}
+
+TEST(TimeOverhead, GuardsZeroBaseline) {
+  EXPECT_DOUBLE_EQ(time_overhead(0, 100), 0.0);
+}
+
+TEST(TimeOverhead, NegativePreserved) {
+  EXPECT_LT(time_overhead(1000, 990), 0.0);
+}
+
+TEST(Accuracy, StatResultAccessors) {
+  sim::StatResult r;
+  r.mem_counted = 1'000'000;
+  r.processed_samples = 980;
+  r.period = 1000;
+  r.baseline_ns = 1'000'000;
+  r.instrumented_ns = 1'020'000;
+  EXPECT_NEAR(accuracy(r), 0.98, 1e-12);
+  EXPECT_NEAR(time_overhead(r), 0.02, 1e-12);
+}
+
+}  // namespace
+}  // namespace nmo::analysis

@@ -1,0 +1,98 @@
+// Aux buffer: byte ring with head/tail, full-buffer drops.
+#include "kernel/aux_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace nmo::kern {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>((seed + i) & 0xff);
+  return v;
+}
+
+TEST(AuxBuffer, WriteAdvancesHead) {
+  AuxBuffer b(256);
+  EXPECT_TRUE(b.write(pattern(64)));
+  EXPECT_EQ(b.head(), 64u);
+  EXPECT_EQ(b.tail(), 0u);
+  EXPECT_EQ(b.used(), 64u);
+  EXPECT_EQ(b.free_space(), 192u);
+}
+
+TEST(AuxBuffer, ReadAtReturnsWrittenBytes) {
+  AuxBuffer b(256);
+  const auto data = pattern(64, 7);
+  b.write(data);
+  std::vector<std::byte> out(64);
+  b.read_at(0, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(AuxBuffer, FullBufferRejectsWrite) {
+  AuxBuffer b(128);
+  EXPECT_TRUE(b.write(pattern(128)));
+  EXPECT_FALSE(b.write(pattern(1)));
+  EXPECT_EQ(b.dropped_bytes(), 1u);
+}
+
+TEST(AuxBuffer, TailAdvanceFreesSpace) {
+  AuxBuffer b(128);
+  b.write(pattern(128));
+  b.advance_tail(64);
+  EXPECT_EQ(b.free_space(), 64u);
+  EXPECT_TRUE(b.write(pattern(64)));
+}
+
+TEST(AuxBuffer, WrapAroundContentPreserved) {
+  AuxBuffer b(128);
+  b.write(pattern(96, 1));
+  b.advance_tail(96);
+  const auto data = pattern(64, 42);  // wraps: 32 at end + 32 at start
+  ASSERT_TRUE(b.write(data));
+  std::vector<std::byte> out(64);
+  b.read_at(96, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(AuxBuffer, TailNeverExceedsHead) {
+  AuxBuffer b(128);
+  b.write(pattern(10));
+  b.advance_tail(999);
+  EXPECT_EQ(b.tail(), 10u);
+}
+
+TEST(AuxBuffer, TailNeverMovesBackwards) {
+  AuxBuffer b(128);
+  b.write(pattern(100));
+  b.advance_tail(60);
+  b.advance_tail(20);
+  EXPECT_EQ(b.tail(), 60u);
+}
+
+TEST(AuxBuffer, RejectsZeroSize) {
+  EXPECT_THROW(AuxBuffer(0), std::invalid_argument);
+}
+
+TEST(AuxBuffer, SustainedProducerConsumer) {
+  AuxBuffer b(1024);
+  std::uint64_t consumed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(b.write(pattern(64, static_cast<std::uint8_t>(i))));
+    if (b.used() >= 512) {
+      // Verify the oldest chunk before consuming.
+      std::vector<std::byte> out(64);
+      b.read_at(b.tail(), out);
+      EXPECT_EQ(out, pattern(64, static_cast<std::uint8_t>(consumed)));
+      b.advance_tail(b.tail() + 512);
+      consumed += 8;
+    }
+  }
+  EXPECT_EQ(b.dropped_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nmo::kern

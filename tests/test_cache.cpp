@@ -1,0 +1,150 @@
+// Set-associative LRU cache model.
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nmo::mem {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 64B lines = 512 B.
+  return CacheConfig{.size_bytes = 512, .associativity = 2, .line_size = 64};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x103f, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x1040, false).hit);  // next line
+}
+
+TEST(Cache, StatsCount) {
+  Cache c(small_cache());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(64, true);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 2u);
+  EXPECT_EQ(c.stats().accesses(), 3u);
+  EXPECT_NEAR(c.stats().hit_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(small_cache());
+  // Three lines mapping to the same set (set stride = 4 sets * 64 B = 256).
+  const Addr a = 0x0, b = 0x100, d = 0x200;
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);  // a is MRU, b is LRU
+  c.access(d, false);  // evicts b
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack) {
+  Cache c(small_cache());
+  c.access(0x0, true);  // dirty
+  c.access(0x100, false);
+  const auto out = c.access(0x200, false);  // evicts dirty 0x0
+  EXPECT_TRUE(out.writeback);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c(small_cache());
+  c.access(0x0, false);
+  c.access(0x100, false);
+  const auto out = c.access(0x200, false);
+  EXPECT_FALSE(out.writeback);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, StoreHitMarksDirty) {
+  Cache c(small_cache());
+  c.access(0x0, false);
+  c.access(0x0, true);  // hit, now dirty
+  c.access(0x100, false);
+  c.access(0x200, false);  // evict 0x0
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, InvalidateAllCountsDirty) {
+  Cache c(small_cache());
+  c.access(0x0, true);
+  c.access(0x40, false);
+  EXPECT_EQ(c.invalidate_all(), 1u);
+  EXPECT_FALSE(c.contains(0x0));
+  EXPECT_FALSE(c.access(0x0, false).hit);
+}
+
+TEST(Cache, ContainsHasNoSideEffects) {
+  Cache c(small_cache());
+  c.access(0x0, false);
+  const auto hits = c.stats().hits;
+  EXPECT_TRUE(c.contains(0x0));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_EQ(c.stats().hits, hits);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{.size_bytes = 100, .associativity = 2, .line_size = 60}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{.size_bytes = 384, .associativity = 2, .line_size = 64}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{.size_bytes = 512, .associativity = 0, .line_size = 64}),
+               std::invalid_argument);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  Cache c(CacheConfig{.size_bytes = 64 * 1024, .associativity = 4, .line_size = 64});
+  const std::size_t lines = 256;  // 16 KiB working set
+  for (std::size_t i = 0; i < lines; ++i) c.access(i * 64, false);
+  c.reset_stats();
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < lines; ++i) c.access(i * 64, false);
+  }
+  EXPECT_EQ(c.stats().misses, 0u);
+  EXPECT_EQ(c.stats().hits, 4 * lines);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashesWithLru) {
+  // Sequential sweep over 2x the cache size with LRU -> every access misses.
+  Cache c(CacheConfig{.size_bytes = 4096, .associativity = 4, .line_size = 64});
+  const std::size_t lines = 2 * 4096 / 64;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < lines; ++i) c.access(i * 64, false);
+  }
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+// Property sweep: hits + misses == accesses for random address streams over
+// multiple geometries.
+class CacheProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheProperty, CountersAreConsistent) {
+  const auto [size_kb, assoc] = GetParam();
+  Cache c(CacheConfig{.size_bytes = static_cast<std::uint64_t>(size_kb) * 1024,
+                      .associativity = static_cast<std::uint32_t>(assoc),
+                      .line_size = 64});
+  std::uint64_t x = 12345;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    c.access((x >> 16) % (1 << 20), (x & 1) != 0);
+  }
+  EXPECT_EQ(c.stats().hits + c.stats().misses, static_cast<std::uint64_t>(n));
+  EXPECT_LE(c.stats().writebacks, c.stats().evictions);
+  EXPECT_LE(c.stats().evictions, c.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheProperty,
+                         ::testing::Combine(::testing::Values(4, 64, 1024),
+                                            ::testing::Values(1, 4, 16)));
+
+}  // namespace
+}  // namespace nmo::mem

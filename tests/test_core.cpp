@@ -1,0 +1,295 @@
+// Core NMO components: config (Table I), regions/phases, trace, capacity,
+// bandwidth, C API routing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bandwidth.hpp"
+#include "core/capacity.hpp"
+#include "core/config.hpp"
+#include "core/nmo.h"
+#include "core/profiler.hpp"
+#include "core/regions.hpp"
+#include "core/trace.hpp"
+
+namespace nmo::core {
+namespace {
+
+// ----------------------------------------------------------------- Config --
+TEST(NmoConfig, TableIDefaults) {
+  const auto cfg = NmoConfig::from_env(Env(std::map<std::string, std::string>{}));
+  EXPECT_FALSE(cfg.enable);
+  EXPECT_EQ(cfg.name, "nmo");
+  EXPECT_EQ(cfg.mode, Mode::kNone);
+  EXPECT_EQ(cfg.period, 0u);
+  EXPECT_FALSE(cfg.track_rss);
+  EXPECT_EQ(cfg.bufsize_bytes, 1ull << 20);
+  EXPECT_EQ(cfg.auxbufsize_bytes, 1ull << 20);
+}
+
+TEST(NmoConfig, FullEnvironment) {
+  const auto cfg = NmoConfig::from_env(Env(std::map<std::string, std::string>{
+      {"NMO_ENABLE", "1"},
+      {"NMO_NAME", "run42"},
+      {"NMO_MODE", "sample,bandwidth"},
+      {"NMO_PERIOD", "4096"},
+      {"NMO_TRACK_RSS", "on"},
+      {"NMO_BUFSIZE", "2"},
+      {"NMO_AUXBUFSIZE", "8"},
+  }));
+  EXPECT_TRUE(cfg.enable);
+  EXPECT_EQ(cfg.name, "run42");
+  EXPECT_TRUE(has_mode(cfg.mode, Mode::kSample));
+  EXPECT_TRUE(has_mode(cfg.mode, Mode::kBandwidth));
+  EXPECT_TRUE(has_mode(cfg.mode, Mode::kCapacity));  // implied by TRACK_RSS
+  EXPECT_EQ(cfg.period, 4096u);
+  EXPECT_EQ(cfg.bufsize_bytes, 2ull << 20);
+  EXPECT_EQ(cfg.auxbufsize_bytes, 8ull << 20);
+}
+
+TEST(NmoConfig, ModeAll) {
+  EXPECT_EQ(NmoConfig::parse_mode("all"), Mode::kAll);
+  EXPECT_EQ(NmoConfig::parse_mode("none"), Mode::kNone);
+  EXPECT_EQ(NmoConfig::parse_mode(""), Mode::kNone);
+}
+
+TEST(NmoConfig, UnknownModeTokenWarns) {
+  std::vector<std::string> warnings;
+  NmoConfig::parse_mode("sample,bogus", &warnings);
+  ASSERT_EQ(warnings.size(), 1u);
+}
+
+TEST(NmoConfig, ModeParsingIsCaseAndSpaceTolerant) {
+  EXPECT_EQ(NmoConfig::parse_mode(" Sample , CAPACITY "),
+            Mode::kSample | Mode::kCapacity);
+}
+
+// ---------------------------------------------------------------- Regions --
+TEST(RegionTable, TagAndFind) {
+  RegionTable t;
+  t.tag_addr("data_a", 0x1000, 0x2000);
+  t.tag_addr("data_b", 0x3000, 0x4000);
+  EXPECT_EQ(t.find_region(0x1800), 0u);
+  EXPECT_EQ(t.find_region(0x3000), 1u);
+  EXPECT_FALSE(t.find_region(0x2800).has_value());
+  EXPECT_FALSE(t.find_region(0x4000).has_value());  // end exclusive
+}
+
+TEST(RegionTable, LaterTagWinsOnOverlap) {
+  RegionTable t;
+  t.tag_addr("outer", 0x0, 0x10000);
+  t.tag_addr("inner", 0x4000, 0x5000);
+  EXPECT_EQ(t.find_region(0x4800), 1u);
+  EXPECT_EQ(t.find_region(0x100), 0u);
+}
+
+TEST(RegionTable, ReversedBoundsNormalised) {
+  RegionTable t;
+  t.tag_addr("r", 0x2000, 0x1000);
+  EXPECT_TRUE(t.find_region(0x1800).has_value());
+}
+
+TEST(RegionTable, PhaseNesting) {
+  RegionTable t;
+  t.phase_start("outer", 100);
+  t.phase_start("inner", 200);
+  t.phase_stop(300);
+  t.phase_stop(400);
+  ASSERT_EQ(t.phases().size(), 2u);
+  EXPECT_EQ(t.phases()[0].name, "outer");
+  EXPECT_EQ(t.phases()[0].t_stop_ns, 400u);
+  EXPECT_EQ(t.phases()[1].name, "inner");
+  EXPECT_EQ(t.phases()[1].depth, 1u);
+  EXPECT_EQ(t.open_phases(), 0u);
+}
+
+TEST(RegionTable, PhaseAtPrefersInnermost) {
+  RegionTable t;
+  t.phase_start("outer", 100);
+  t.phase_start("inner", 200);
+  t.phase_stop(300);
+  t.phase_stop(400);
+  EXPECT_EQ(t.phase_at(250), 1u);
+  EXPECT_EQ(t.phase_at(350), 0u);
+  EXPECT_FALSE(t.phase_at(50).has_value());
+  EXPECT_FALSE(t.phase_at(400).has_value());
+}
+
+TEST(RegionTable, UnmatchedStopIgnored) {
+  RegionTable t;
+  t.phase_stop(100);  // no crash, no effect
+  EXPECT_TRUE(t.phases().empty());
+}
+
+// ------------------------------------------------------------------ Trace --
+TEST(SampleTrace, CsvFormat) {
+  SampleTrace trace;
+  trace.add(TraceSample{.time_ns = 10, .vaddr = 0x100, .pc = 0x400, .op = MemOp::kStore,
+                        .level = MemLevel::kDRAM, .latency = 330, .core = 2, .region = 1});
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "time_ns,vaddr,pc,op,level,latency,core,region\n"
+            "10,256,1024,store,DRAM,330,2,1\n");
+}
+
+TEST(SampleTrace, FingerprintChangesWithContent) {
+  SampleTrace a, b;
+  a.add(TraceSample{.time_ns = 1, .vaddr = 0x100});
+  b.add(TraceSample{.time_ns = 1, .vaddr = 0x101});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SampleTrace, EmptyFingerprintIsMd5OfNothing) {
+  SampleTrace t;
+  EXPECT_EQ(t.fingerprint(), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+// --------------------------------------------------------------- Capacity --
+TEST(CapacityTracker, TracksLiveAndPeak) {
+  CapacityTracker c;
+  c.on_alloc(100, 0);
+  c.on_alloc(50, 1);
+  c.on_free(100, 2);
+  EXPECT_EQ(c.live_bytes(), 50u);
+  EXPECT_EQ(c.peak_bytes(), 150u);
+}
+
+TEST(CapacityTracker, SeriesSampling) {
+  CapacityTracker c;
+  c.on_alloc(1000, 0);
+  c.sample(10);
+  c.on_alloc(1000, 11);
+  c.sample(20);
+  ASSERT_EQ(c.series().size(), 2u);
+  EXPECT_EQ(c.series()[0].live_bytes, 1000u);
+  EXPECT_EQ(c.series()[1].live_bytes, 2000u);
+}
+
+TEST(CapacityTracker, UnderflowClamped) {
+  CapacityTracker c;
+  c.on_free(10, 0);
+  EXPECT_EQ(c.live_bytes(), 0u);
+}
+
+TEST(CapacityTracker, PeakUtilization) {
+  CapacityTracker c;
+  c.on_alloc(128, 0);
+  EXPECT_DOUBLE_EQ(c.peak_utilization(256), 0.5);
+  EXPECT_DOUBLE_EQ(c.peak_utilization(0), 0.0);
+}
+
+// -------------------------------------------------------------- Bandwidth --
+TEST(BandwidthEstimator, DifferentiatesCumulativeBytes) {
+  BandwidthEstimator b;
+  b.tick(0, 0);
+  b.tick(1'000'000'000, 1ull << 30);  // 1 GiB in 1 s
+  ASSERT_EQ(b.series().size(), 1u);
+  EXPECT_NEAR(b.series()[0].gib_per_s, 1.0, 1e-9);
+}
+
+TEST(BandwidthEstimator, PeakAndIntensity) {
+  BandwidthEstimator b;
+  b.tick(0, 0, 0);
+  b.tick(1'000'000'000, 1ull << 30, 1ull << 31);
+  b.tick(2'000'000'000, (1ull << 30) + (1ull << 29), 1ull << 32);
+  EXPECT_NEAR(b.peak_gib_per_s(), 1.0, 1e-9);
+  EXPECT_NEAR(b.arithmetic_intensity(), 4.0 * (1ull << 30) / static_cast<double>((1ull << 30) + (1ull << 29)), 1e-9);
+}
+
+TEST(BandwidthEstimator, ZeroIntervalIgnored) {
+  BandwidthEstimator b;
+  b.tick(5, 100);
+  b.tick(5, 200);
+  EXPECT_TRUE(b.series().empty());
+}
+
+// -------------------------------------------------------------- C API -----
+TEST(NmoCApi, RoutesToActiveProfiler) {
+  NmoConfig cfg;
+  cfg.enable = true;
+  cfg.mode = Mode::kAll;
+  Profiler profiler(cfg);
+  std::uint64_t t = 123;
+  profiler.set_time_source([&] { return t; });
+  Profiler* prev = set_active_profiler(&profiler);
+
+  EXPECT_EQ(nmo_enabled(), 1);
+  nmo_tag_addr("obj", 0x1000, 0x2000);
+  nmo_start("kernel0");
+  t = 456;
+  nmo_stop();
+  nmo_note_alloc(4096);
+  nmo_note_free(1024);
+
+  set_active_profiler(prev);
+
+  ASSERT_EQ(profiler.regions().regions().size(), 1u);
+  EXPECT_EQ(profiler.regions().regions()[0].name, "obj");
+  ASSERT_EQ(profiler.regions().phases().size(), 1u);
+  EXPECT_EQ(profiler.regions().phases()[0].t_start_ns, 123u);
+  EXPECT_EQ(profiler.regions().phases()[0].t_stop_ns, 456u);
+  EXPECT_EQ(profiler.capacity().live_bytes(), 3072u);
+}
+
+TEST(NmoCApi, NoopsWithoutProfiler) {
+  Profiler* prev = set_active_profiler(nullptr);
+  EXPECT_EQ(nmo_enabled(), 0);
+  nmo_tag_addr("x", 0, 1);  // must not crash
+  nmo_start("y");
+  nmo_stop();
+  nmo_note_alloc(1);
+  nmo_note_free(1);
+  set_active_profiler(prev);
+}
+
+TEST(NmoCApi, NullNamesIgnored) {
+  NmoConfig cfg;
+  cfg.enable = true;
+  Profiler profiler(cfg);
+  Profiler* prev = set_active_profiler(&profiler);
+  nmo_tag_addr(nullptr, 0, 1);
+  nmo_start(nullptr);
+  set_active_profiler(prev);
+  EXPECT_TRUE(profiler.regions().regions().empty());
+  EXPECT_TRUE(profiler.regions().phases().empty());
+}
+
+// --------------------------------------------------------------- Profiler --
+TEST(Profiler, SampleDecodingAndAttribution) {
+  NmoConfig cfg;
+  cfg.enable = true;
+  cfg.mode = Mode::kSample;
+  Profiler p(cfg);
+  p.set_time_conv(kern::TimeConv::from_frequency(1e9));  // 1 cycle = 1 ns
+  p.tag_addr("buf", 0x1000, 0x2000);
+
+  spe::Record rec;
+  rec.vaddr = 0x1800;
+  rec.timestamp = 777;
+  rec.op = MemOp::kStore;
+  rec.level = MemLevel::kL2;
+  rec.total_latency = 13;
+  p.on_sample(rec, /*core=*/3);
+
+  ASSERT_EQ(p.trace().size(), 1u);
+  const auto& s = p.trace().samples()[0];
+  EXPECT_EQ(s.time_ns, 777u);
+  EXPECT_EQ(s.region, 0);
+  EXPECT_EQ(s.core, 3u);
+  EXPECT_EQ(s.level, MemLevel::kL2);
+}
+
+TEST(Profiler, SamplesIgnoredWithoutSampleMode) {
+  NmoConfig cfg;
+  cfg.mode = Mode::kCapacity;
+  Profiler p(cfg);
+  spe::Record rec;
+  rec.vaddr = 0x1;
+  rec.timestamp = 1;
+  p.on_sample(rec, 0);
+  EXPECT_TRUE(p.trace().empty());
+}
+
+}  // namespace
+}  // namespace nmo::core

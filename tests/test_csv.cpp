@@ -1,0 +1,59 @@
+// CSV writer quoting and formatting rules.
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo {
+namespace {
+
+TEST(Csv, SimpleRow) {
+  CsvWriter w;
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(w.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCommas) {
+  CsvWriter w;
+  w.row({"x,y", "z"});
+  EXPECT_EQ(w.str(), "\"x,y\",z\n");
+}
+
+TEST(Csv, QuotesQuotes) {
+  CsvWriter w;
+  w.row({"say \"hi\""});
+  EXPECT_EQ(w.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  CsvWriter w;
+  w.row({"two\nlines", "plain"});
+  EXPECT_EQ(w.str(), "\"two\nlines\",plain\n");
+}
+
+TEST(Csv, VectorRow) {
+  CsvWriter w;
+  w.row(std::vector<std::string>{"1", "2"});
+  EXPECT_EQ(w.str(), "1,2\n");
+}
+
+TEST(Csv, NumericRow) {
+  CsvWriter w;
+  w.numeric_row("series", {1.0, 0.5, 1e6}, 6);
+  EXPECT_EQ(w.str(), "series,1,0.5,1e+06\n");
+}
+
+TEST(Csv, MultipleRows) {
+  CsvWriter w;
+  w.row({"h1", "h2"});
+  w.row({"v1", "v2"});
+  EXPECT_EQ(w.str(), "h1,h2\nv1,v2\n");
+}
+
+TEST(Csv, EmptyFields) {
+  CsvWriter w;
+  w.row({"", "x", ""});
+  EXPECT_EQ(w.str(), ",x,\n");
+}
+
+}  // namespace
+}  // namespace nmo

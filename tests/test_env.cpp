@@ -1,0 +1,84 @@
+// Environment-variable parsing (Table I configuration surface).
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace nmo {
+namespace {
+
+Env make_env(std::map<std::string, std::string> vars) { return Env(std::move(vars)); }
+
+TEST(Env, StringDefaults) {
+  const auto env = make_env({{"NMO_NAME", "run1"}});
+  EXPECT_EQ(env.get_string("NMO_NAME", "nmo"), "run1");
+  EXPECT_EQ(env.get_string("NMO_MODE", "none"), "none");
+}
+
+TEST(Env, U64ParsesAndDefaults) {
+  const auto env = make_env({{"NMO_PERIOD", "4096"}});
+  EXPECT_EQ(env.get_u64("NMO_PERIOD", 0), 4096u);
+  EXPECT_EQ(env.get_u64("MISSING", 7), 7u);
+}
+
+TEST(Env, U64MalformedFallsBackAndRecordsError) {
+  const auto env = make_env({{"NMO_PERIOD", "4k96"}});
+  EXPECT_EQ(env.get_u64("NMO_PERIOD", 11), 11u);
+  ASSERT_EQ(env.parse_errors().size(), 1u);
+  EXPECT_EQ(env.parse_errors()[0], "NMO_PERIOD");
+}
+
+TEST(Env, BoolVariants) {
+  const auto env = make_env({{"A", "1"}, {"B", "true"}, {"C", "YES"}, {"D", "on"},
+                             {"E", "0"}, {"F", "false"}, {"G", "No"}, {"H", "off"}});
+  EXPECT_TRUE(env.get_bool("A", false));
+  EXPECT_TRUE(env.get_bool("B", false));
+  EXPECT_TRUE(env.get_bool("C", false));
+  EXPECT_TRUE(env.get_bool("D", false));
+  EXPECT_FALSE(env.get_bool("E", true));
+  EXPECT_FALSE(env.get_bool("F", true));
+  EXPECT_FALSE(env.get_bool("G", true));
+  EXPECT_FALSE(env.get_bool("H", true));
+}
+
+TEST(Env, BoolUnsetAndMalformed) {
+  const auto env = make_env({{"X", "maybe"}});
+  EXPECT_TRUE(env.get_bool("MISSING", true));
+  EXPECT_FALSE(env.get_bool("MISSING", false));
+  EXPECT_TRUE(env.get_bool("X", true));  // malformed -> default
+  EXPECT_FALSE(env.parse_errors().empty());
+}
+
+TEST(Env, SizePlainNumberUsesPlainUnit) {
+  // Table I documents NMO_BUFSIZE/NMO_AUXBUFSIZE in MiB: "1" means 1 MiB.
+  const auto env = make_env({{"NMO_BUFSIZE", "4"}});
+  EXPECT_EQ(env.get_size("NMO_BUFSIZE", kMiB, kMiB), 4 * kMiB);
+}
+
+TEST(Env, SizeExplicitSuffixWins) {
+  const auto env = make_env({{"NMO_AUXBUFSIZE", "256K"}});
+  EXPECT_EQ(env.get_size("NMO_AUXBUFSIZE", kMiB, kMiB), 256 * kKiB);
+}
+
+TEST(Env, SizeUnsetDefault) {
+  const auto env = make_env({});
+  EXPECT_EQ(env.get_size("NMO_AUXBUFSIZE", kMiB, kMiB), kMiB);
+}
+
+TEST(Env, SizeMalformed) {
+  const auto env = make_env({{"NMO_BUFSIZE", "many"}});
+  EXPECT_EQ(env.get_size("NMO_BUFSIZE", 3 * kMiB, kMiB), 3 * kMiB);
+  EXPECT_FALSE(env.parse_errors().empty());
+}
+
+TEST(Env, ProcessEnvironmentLookup) {
+  ::setenv("NMO_TEST_VARIABLE_XYZ", "present", 1);
+  const Env env;
+  EXPECT_EQ(env.get_string("NMO_TEST_VARIABLE_XYZ", ""), "present");
+  ::unsetenv("NMO_TEST_VARIABLE_XYZ");
+  EXPECT_EQ(env.get_string("NMO_TEST_VARIABLE_XYZ", "gone"), "gone");
+}
+
+}  // namespace
+}  // namespace nmo

@@ -1,0 +1,135 @@
+// Extension features beyond the paper's main evaluation: the min-latency
+// filter stage (SPE supports filtering by latency; Figure 1's filter
+// criteria include latency), branch sampling with its documented Neoverse
+// bias (the reason NMO excludes branches, section IV-A), and failure
+// injection on the decode path.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernel/perf_abi.hpp"
+#include "spe/aux_consumer.hpp"
+#include "spe/sampler.hpp"
+
+namespace nmo::spe {
+namespace {
+
+constexpr std::size_t kPage = 64 * 1024;
+
+std::unique_ptr<kern::PerfEvent> make_event(std::uint64_t config, std::uint64_t period = 4) {
+  kern::PerfEventAttr attr;
+  attr.type = kern::kPerfTypeArmSpe;
+  attr.config = config;
+  attr.sample_period = period;
+  attr.disabled = false;
+  return kern::open_event(attr, 0, 4, kPage, 16 * kPage,
+                          kern::TimeConv::from_frequency(3e9), nullptr);
+}
+
+OpInfo op_with(OpClass cls, Cycles latency, std::uint64_t now) {
+  OpInfo op;
+  op.cls = cls;
+  op.vaddr = 0x1000;
+  op.latency = latency;
+  op.now_cycles = now;
+  return op;
+}
+
+// --- min-latency filter -------------------------------------------------------
+TEST(MinLatencyFilter, DropsFastHitsKeepsMisses) {
+  const std::uint64_t config = kern::kSpeConfigLoadsAndStores |
+                               (std::uint64_t{50} << kern::kSpeMinLatencyShift);
+  auto ev = make_event(config, 1);  // sample every op
+  Sampler sampler(ev.get(), Rng(3));
+  std::uint64_t now = 0;
+  // 10 L1 hits (latency 4) and 10 DRAM misses (latency 330).
+  for (int i = 0; i < 10; ++i) sampler.on_mem_op(op_with(OpClass::kLoad, 4, now += 1000));
+  for (int i = 0; i < 10; ++i) sampler.on_mem_op(op_with(OpClass::kLoad, 330, now += 1000));
+  sampler.flush(now + 1000);
+  EXPECT_EQ(sampler.stats().filtered, 10u);
+  EXPECT_EQ(sampler.stats().written, 10u);
+}
+
+TEST(MinLatencyFilter, ZeroThresholdKeepsEverything) {
+  auto ev = make_event(kern::kSpeConfigLoadsAndStores, 1);
+  Sampler sampler(ev.get(), Rng(3));
+  std::uint64_t now = 0;
+  for (int i = 0; i < 20; ++i) sampler.on_mem_op(op_with(OpClass::kLoad, 4, now += 1000));
+  sampler.flush(now + 1000);
+  EXPECT_EQ(sampler.stats().written, 20u);
+}
+
+// --- branch sampling (future-work ablation) ------------------------------------
+TEST(BranchSampling, BranchFilterSelectsBranches) {
+  auto ev = make_event(kern::kSpeTsEnable | kern::kSpeBranchFilter, 1);
+  Sampler sampler(ev.get(), Rng(3));
+  std::uint64_t now = 0;
+  sampler.on_mem_op(op_with(OpClass::kBranch, 2, now += 100));
+  sampler.on_mem_op(op_with(OpClass::kLoad, 4, now += 100));
+  sampler.flush(now + 100);
+  // Only the branch passes a branch-only filter.
+  EXPECT_EQ(sampler.stats().written, 1u);
+  EXPECT_EQ(sampler.stats().filtered, 1u);
+}
+
+TEST(BranchSampling, DefaultNmoConfigExcludesBranches) {
+  // Section IV-A: "The current implementation of NMO excludes branch
+  // instructions in sampling" (known Neoverse N1 bias).
+  const auto f = SampleFilter::from_config(kern::kSpeConfigLoadsAndStores);
+  EXPECT_FALSE(f.branches);
+  EXPECT_FALSE(f.passes(OpClass::kBranch, 1000));
+}
+
+// --- failure injection on the decode path ---------------------------------------
+TEST(DecodeFailureInjection, CorruptedStreamSkipsOnlyBadRecords) {
+  auto ev = make_event(kern::kSpeConfigLoadsAndStores);
+  // Write 16 records, corrupt a deterministic subset in the aux area via
+  // re-encoding with bad fields.
+  Rng rng(1234);
+  int expected_ok = 0;
+  for (int i = 0; i < 16; ++i) {
+    Record r;
+    const bool corrupt = (i % 4) == 3;
+    r.vaddr = corrupt ? 0 : 0x1000 + static_cast<Addr>(i) * 64;  // zero addr -> skip
+    r.timestamp = 1 + static_cast<std::uint64_t>(i);
+    std::array<std::byte, kRecordSize> wire{};
+    encode(r, wire);
+    ASSERT_TRUE(ev->aux_write(wire, static_cast<std::uint64_t>(i)));
+    if (!corrupt) ++expected_ok;
+  }
+  ev->flush_aux(99);
+  AuxConsumer consumer;
+  consumer.drain(*ev);
+  EXPECT_EQ(consumer.counts().records_ok, static_cast<std::uint64_t>(expected_ok));
+  EXPECT_EQ(consumer.counts().records_skipped, 16u - static_cast<std::uint64_t>(expected_ok));
+}
+
+TEST(DecodeFailureInjection, GarbageBytesNeverCrash) {
+  auto ev = make_event(kern::kSpeConfigLoadsAndStores);
+  Rng rng(99);
+  std::array<std::byte, kRecordSize> junk{};
+  for (int rec = 0; rec < 64; ++rec) {
+    for (auto& b : junk) b = static_cast<std::byte>(rng.uniform(256));
+    ev->aux_write(junk, 0);
+  }
+  ev->flush_aux(0);
+  AuxConsumer consumer;
+  const auto bytes = consumer.drain(*ev);
+  EXPECT_EQ(bytes, 64u * kRecordSize);
+  EXPECT_EQ(consumer.counts().records_ok + consumer.counts().records_skipped, 64u);
+}
+
+// --- disabled-sampler semantics ------------------------------------------------
+TEST(EnableDisable, DisabledEventIgnoresSelections) {
+  auto ev = make_event(kern::kSpeConfigLoadsAndStores, 1);
+  Sampler sampler(ev.get(), Rng(3));
+  ev->disable();
+  std::uint64_t now = 0;
+  for (int i = 0; i < 10; ++i) sampler.on_mem_op(op_with(OpClass::kLoad, 4, now += 100));
+  EXPECT_EQ(sampler.stats().selections, 0u);
+  ev->enable();
+  for (int i = 0; i < 10; ++i) sampler.on_mem_op(op_with(OpClass::kLoad, 4, now += 100));
+  EXPECT_GT(sampler.stats().selections, 0u);
+}
+
+}  // namespace
+}  // namespace nmo::spe

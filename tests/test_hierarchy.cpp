@@ -1,0 +1,125 @@
+// Multi-level hierarchy: level attribution, latency, bus counters.
+#include "mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::mem {
+namespace {
+
+HierarchyConfig tiny_config() {
+  HierarchyConfig c;
+  c.cores = 2;
+  c.l1 = {.size_bytes = 1024, .associativity = 2, .line_size = 64};
+  c.l2 = {.size_bytes = 4096, .associativity = 4, .line_size = 64};
+  c.slc = {.size_bytes = 16384, .associativity = 4, .line_size = 64};
+  c.tlb_entries = 4;
+  c.page_size = 4096;
+  return c;
+}
+
+TEST(Hierarchy, ColdAccessGoesToDram) {
+  Hierarchy h(tiny_config());
+  const auto r = h.access(0, MemAccess{.addr = 0x10000, .op = MemOp::kLoad});
+  EXPECT_EQ(r.level, MemLevel::kDRAM);
+  EXPECT_EQ(h.bus().read_lines, 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h(tiny_config());
+  h.access(0, MemAccess{.addr = 0x10000, .op = MemOp::kLoad});
+  const auto r = h.access(0, MemAccess{.addr = 0x10008, .op = MemOp::kLoad});
+  EXPECT_EQ(r.level, MemLevel::kL1);
+}
+
+TEST(Hierarchy, LatencyOrdering) {
+  Hierarchy h(tiny_config());
+  const auto dram = h.access(0, MemAccess{.addr = 0x20000});
+  const auto l1 = h.access(0, MemAccess{.addr = 0x20000});
+  EXPECT_GT(dram.latency, l1.latency);
+}
+
+TEST(Hierarchy, TlbMissAddsLatency) {
+  HierarchyConfig cfg = tiny_config();
+  Hierarchy h(cfg);
+  const auto first = h.access(0, MemAccess{.addr = 0x30000});
+  EXPECT_TRUE(first.tlb_miss);
+  // Same page again: TLB hit, and the line is in L1.
+  const auto second = h.access(0, MemAccess{.addr = 0x30008});
+  EXPECT_FALSE(second.tlb_miss);
+  EXPECT_EQ(first.latency, cfg.latency.dram + cfg.latency.tlb_miss);
+  EXPECT_EQ(second.latency, cfg.latency.l1);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  // Working set bigger than L1 (1 KiB = 16 lines) but inside L2 (4 KiB).
+  Hierarchy h(tiny_config());
+  for (Addr a = 0; a < 4096; a += 64) h.access(0, MemAccess{.addr = a});
+  // L1 now holds the tail of the sweep; the head is in L2.
+  const auto r = h.access(0, MemAccess{.addr = 0});
+  EXPECT_EQ(r.level, MemLevel::kL2);
+}
+
+TEST(Hierarchy, SlcSharedBetweenCores) {
+  Hierarchy h(tiny_config());
+  h.access(0, MemAccess{.addr = 0x40000});  // core 0 pulls into SLC
+  const auto r = h.access(1, MemAccess{.addr = 0x40000});
+  EXPECT_EQ(r.level, MemLevel::kSLC);  // core 1 misses private L1/L2, hits SLC
+}
+
+TEST(Hierarchy, PerCoreL1Private) {
+  Hierarchy h(tiny_config());
+  h.access(0, MemAccess{.addr = 0x50000});
+  EXPECT_TRUE(h.l1(0).contains(0x50000));
+  EXPECT_FALSE(h.l1(1).contains(0x50000));
+}
+
+TEST(Hierarchy, LevelCountsSumToAccesses) {
+  Hierarchy h(tiny_config());
+  std::uint64_t x = 99;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    h.access(static_cast<CoreId>(x % 2), MemAccess{.addr = (x >> 8) % (1 << 18)});
+  }
+  std::uint64_t sum = 0;
+  for (auto v : h.level_counts()) sum += v;
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n));
+}
+
+TEST(Hierarchy, WritebackTrafficCounted) {
+  Hierarchy h(tiny_config());
+  // Dirty a large footprint then sweep a disjoint one to force writebacks
+  // all the way out of the SLC.
+  for (Addr a = 0; a < 64 * 1024; a += 64) h.access(0, MemAccess{.addr = a, .op = MemOp::kStore});
+  EXPECT_GT(h.bus().writeback_lines, 0u);
+  EXPECT_GT(h.bus().total_bytes(64), h.bus().read_lines * 64);
+}
+
+TEST(Hierarchy, ResetClearsEverything) {
+  Hierarchy h(tiny_config());
+  h.access(0, MemAccess{.addr = 0x1234});
+  h.reset();
+  EXPECT_EQ(h.bus().read_lines, 0u);
+  std::uint64_t sum = 0;
+  for (auto v : h.level_counts()) sum += v;
+  EXPECT_EQ(sum, 0u);
+  const auto r = h.access(0, MemAccess{.addr = 0x1234});
+  EXPECT_EQ(r.level, MemLevel::kDRAM);
+}
+
+TEST(Hierarchy, RejectsOutOfRangeCore) {
+  Hierarchy h(tiny_config());
+  EXPECT_THROW(h.access(7, MemAccess{.addr = 0}), std::out_of_range);
+}
+
+TEST(Hierarchy, DefaultsMatchTableII) {
+  const HierarchyConfig c;
+  EXPECT_EQ(c.cores, 128u);
+  EXPECT_EQ(c.l1.size_bytes, 64u * 1024);
+  EXPECT_EQ(c.l2.size_bytes, 1024u * 1024);
+  EXPECT_EQ(c.slc.size_bytes, 16u * 1024 * 1024);
+  EXPECT_EQ(c.page_size, 64u * 1024);
+}
+
+}  // namespace
+}  // namespace nmo::mem

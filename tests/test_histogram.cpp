@@ -1,0 +1,66 @@
+// Fixed-bucket histogram.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo {
+namespace {
+
+TEST(Histogram, AddAndCount) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0, 10, 10);
+  h.add(-5);
+  h.add(100);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, Weights) {
+  Histogram h(0, 4, 4);
+  h.add(1.0, 10);
+  EXPECT_EQ(h.count(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, Edges) {
+  Histogram h(0, 100, 10);
+  EXPECT_DOUBLE_EQ(h.edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.edge(5), 50.0);
+}
+
+TEST(Histogram, MedianOfUniform) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  Histogram h(0, 10, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileClampedInput) {
+  Histogram h(0, 10, 10);
+  h.add(5);
+  EXPECT_GE(h.quantile(-1), 0.0);
+  EXPECT_LE(h.quantile(2), 10.0);
+}
+
+TEST(Histogram, UpperBoundGoesToLastBucket) {
+  Histogram h(0, 10, 10);
+  h.add(10.0);  // hi is exclusive -> clamped to last bucket
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+}  // namespace
+}  // namespace nmo

@@ -1,0 +1,84 @@
+// MD5 against the RFC 1321 reference vectors plus streaming-equivalence
+// properties (NMO fingerprints sample traces with MD5; digests must be
+// byte-identical with any conformant implementation).
+#include "common/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nmo {
+namespace {
+
+TEST(Md5, Rfc1321EmptyString) {
+  EXPECT_EQ(Md5::hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5, Rfc1321SingleChar) {
+  EXPECT_EQ(Md5::hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+}
+
+TEST(Md5, Rfc1321Abc) {
+  EXPECT_EQ(Md5::hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, Rfc1321MessageDigest) {
+  EXPECT_EQ(Md5::hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5, Rfc1321Alphabet) {
+  EXPECT_EQ(Md5::hex("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5, Rfc1321AlphaNum) {
+  EXPECT_EQ(Md5::hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5, Rfc1321Numbers) {
+  EXPECT_EQ(Md5::hex("12345678901234567890123456789012345678901234567890123456789012345678901234"
+                     "567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, StreamingMatchesOneShot) {
+  const std::string text = "The quick brown fox jumps over the lazy dog";
+  Md5 h;
+  for (char c : text) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.hex_digest(), Md5::hex(text));
+}
+
+TEST(Md5, StreamingChunkBoundaries) {
+  // Exercise partial-block buffering around the 64-byte block size.
+  std::string text(200, 'x');
+  for (std::size_t split : {1u, 63u, 64u, 65u, 127u, 128u, 199u}) {
+    Md5 h;
+    h.update(std::string_view(text).substr(0, split));
+    h.update(std::string_view(text).substr(split));
+    EXPECT_EQ(h.hex_digest(), Md5::hex(text)) << "split at " << split;
+  }
+}
+
+TEST(Md5, ExactBlockLength) {
+  std::string block(64, 'b');
+  std::string two_blocks(128, 'b');
+  EXPECT_NE(Md5::hex(block), Md5::hex(two_blocks));
+  // Reference digest from coreutils md5sum for 'b' * 64.
+  EXPECT_EQ(Md5::hex(block), "0b649bcb5a82868817fec9a6e709d233");
+}
+
+TEST(Md5, ResetReusesHasher) {
+  Md5 h;
+  h.update("abc");
+  (void)h.hex_digest();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.hex_digest(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::hex("trace-a"), Md5::hex("trace-b"));
+}
+
+}  // namespace
+}  // namespace nmo

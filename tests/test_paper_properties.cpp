@@ -1,0 +1,197 @@
+// Property tests pinning the paper's headline findings as invariants of
+// the statistical driver.  These are the regression guards for the
+// calibration: if a model change breaks a paper shape, these fail.
+#include <gtest/gtest.h>
+
+#include "analysis/accuracy.hpp"
+#include "common/stats.hpp"
+#include "sim/profile.hpp"
+#include "sim/stat_driver.hpp"
+
+namespace nmo::sim {
+namespace {
+
+SweepConfig counting_cfg(std::uint64_t period, std::uint32_t threads = 32,
+                         std::uint64_t seed = 11) {
+  SweepConfig cfg;
+  cfg.threads = threads;
+  cfg.period = period;
+  cfg.seed = seed;
+  cfg.monitor_round_interval_cycles = 45'000'000;  // responsive monitor
+  return cfg;
+}
+
+WorkloadProfile scaled(WorkloadProfile p, double f) {
+  p.scale_ops(f);
+  return p;
+}
+
+// --- Figure 7: linearity ----------------------------------------------------
+TEST(PaperProperties, SamplesScaleInverselyWithPeriod) {
+  const auto profile = scaled(profiles::stream(), 0.25);
+  LinearFit loglog;
+  for (std::uint64_t period : {4096ull, 16384ull, 65536ull}) {
+    const auto r = run_statistical(profile, MachineConfig{}, counting_cfg(period));
+    loglog.add(std::log2(static_cast<double>(period)),
+               std::log2(static_cast<double>(r.processed_samples)));
+  }
+  EXPECT_NEAR(loglog.slope(), -1.0, 0.1);
+  EXPECT_LT(loglog.correlation(), -0.999);
+}
+
+TEST(PaperProperties, SmallestPeriodFallsBelowTheLine) {
+  // Collisions push the smallest-period sample count below proportional
+  // scaling (Fig. 7's anomaly).
+  const auto profile = scaled(profiles::stream(), 0.25);
+  const auto fine = run_statistical(profile, MachineConfig{}, counting_cfg(512));
+  const auto coarse = run_statistical(profile, MachineConfig{}, counting_cfg(8192));
+  const double expected_ratio = 8192.0 / 512.0;
+  const double actual_ratio = static_cast<double>(fine.processed_samples) /
+                              static_cast<double>(coarse.processed_samples);
+  EXPECT_LT(actual_ratio, expected_ratio * 0.95);
+}
+
+// --- Figure 8a: accuracy rise and plateau ------------------------------------
+TEST(PaperProperties, AccuracyRisesSharplyBelow4000) {
+  const auto profile = scaled(profiles::stream(), 0.25);
+  const auto a1000 = run_with_baseline(profile, MachineConfig{}, counting_cfg(1000));
+  const auto a4000 = run_with_baseline(profile, MachineConfig{}, counting_cfg(4000));
+  EXPECT_LT(analysis::accuracy(a1000), 0.93);
+  EXPECT_GT(analysis::accuracy(a4000), 0.94);
+}
+
+TEST(PaperProperties, PlateauAccuracyAbove94Percent) {
+  for (const auto& profile : {profiles::stream(), profiles::cfd(), profiles::bfs()}) {
+    auto p = scaled(profile, 0.2);
+    for (std::uint64_t period : {4000ull, 16000ull, 64000ull}) {
+      const auto r = run_with_baseline(p, MachineConfig{}, counting_cfg(period));
+      EXPECT_GT(analysis::accuracy(r), 0.94) << profile.name << " @ " << period;
+      EXPECT_LE(analysis::accuracy(r), 1.0) << profile.name << " @ " << period;
+    }
+  }
+}
+
+// --- Figure 8b: overhead ordering --------------------------------------------
+TEST(PaperProperties, BfsOverheadSpikesAtSmallPeriods) {
+  const auto bfs = scaled(profiles::bfs(), 0.5);
+  const auto fine = run_with_baseline(bfs, MachineConfig{}, counting_cfg(1000));
+  const auto coarse = run_with_baseline(bfs, MachineConfig{}, counting_cfg(32000));
+  EXPECT_GT(analysis::time_overhead(fine), 0.05);   // paper: ~11%
+  EXPECT_LT(analysis::time_overhead(coarse), 0.01);
+}
+
+TEST(PaperProperties, BfsOverheadExceedsStreamAtSmallPeriod) {
+  const auto bfs = run_with_baseline(scaled(profiles::bfs(), 0.5), MachineConfig{},
+                                     counting_cfg(1000));
+  const auto stream = run_with_baseline(scaled(profiles::stream(), 0.25), MachineConfig{},
+                                        counting_cfg(1000));
+  EXPECT_GT(analysis::time_overhead(bfs), 2.0 * analysis::time_overhead(stream));
+}
+
+TEST(PaperProperties, OverheadMonotoneDecreasingInPeriodForBfs) {
+  const auto bfs = scaled(profiles::bfs(), 0.5);
+  double prev = 1e9;
+  for (std::uint64_t period : {1000ull, 4000ull, 16000ull, 64000ull}) {
+    const auto r = run_with_baseline(bfs, MachineConfig{}, counting_cfg(period));
+    const double ov = analysis::time_overhead(r);
+    EXPECT_LT(ov, prev) << period;
+    prev = ov;
+  }
+}
+
+// --- Figure 8c: collision ordering -------------------------------------------
+TEST(PaperProperties, CfdCollidesMoreThanStreamMoreThanBfs) {
+  const auto cfd = run_statistical(scaled(profiles::cfd(), 0.2), MachineConfig{},
+                                   counting_cfg(1000));
+  const auto stream = run_statistical(scaled(profiles::stream(), 0.2), MachineConfig{},
+                                      counting_cfg(1000));
+  const auto bfs = run_statistical(scaled(profiles::bfs(), 0.2), MachineConfig{},
+                                   counting_cfg(1000));
+  EXPECT_GT(cfd.hw_collisions, stream.hw_collisions);
+  EXPECT_GT(stream.hw_collisions, 100u);
+  EXPECT_LT(bfs.hw_collisions, stream.hw_collisions / 10);
+}
+
+TEST(PaperProperties, CollisionsVanishAtLargePeriods) {
+  const auto r = run_statistical(scaled(profiles::stream(), 0.25), MachineConfig{},
+                                 counting_cfg(32000));
+  EXPECT_EQ(r.hw_collisions, 0u);
+}
+
+// --- Figure 9: aux buffer ----------------------------------------------------
+TEST(PaperProperties, TwoPageAuxBufferLosesEverything) {
+  SweepConfig cfg = counting_cfg(4096);
+  cfg.aux_bytes = 2 * 64 * 1024;
+  const auto r = run_statistical(scaled(profiles::stream(), 0.25), MachineConfig{}, cfg);
+  EXPECT_EQ(r.processed_samples, 0u);
+}
+
+TEST(PaperProperties, AccuracyMonotoneInAuxBufferSize) {
+  auto profile = scaled(profiles::stream(), 1.0);
+  double first = 0.0, prev = -1.0;
+  for (std::uint64_t pages : {4ull, 16ull, 64ull}) {
+    SweepConfig cfg;  // loaded-monitor (trace-mode) configuration
+    cfg.threads = 32;
+    cfg.period = 4096;
+    cfg.seed = 5;
+    cfg.aux_bytes = pages * 64 * 1024;
+    const auto r = run_statistical(profile, MachineConfig{}, cfg);
+    const double acc = analysis::accuracy(r);
+    EXPECT_GE(acc, prev) << pages << " pages";  // non-decreasing in size
+    if (first == 0.0) first = acc;
+    prev = acc;
+  }
+  EXPECT_GT(prev, 0.9);         // large buffers approach full capture
+  EXPECT_GT(prev, first + 0.1); // small buffers lose markedly more
+}
+
+// --- Figure 11: collisions grow with threads ---------------------------------
+TEST(PaperProperties, CollisionsGrowWithThreadCountPastSaturation) {
+  auto profile = scaled(profiles::stream(), 0.5);
+  SweepConfig c32;
+  c32.threads = 32;
+  c32.period = 4096;
+  c32.seed = 9;
+  SweepConfig c128 = c32;
+  c128.threads = 128;
+  const auto r32 = run_statistical(profile, MachineConfig{}, c32);
+  const auto r128 = run_statistical(profile, MachineConfig{}, c128);
+  EXPECT_GT(r32.hw_collisions, 0u);
+  EXPECT_GT(r128.hw_collisions, 2 * r32.hw_collisions);
+}
+
+TEST(PaperProperties, NoCollisionsBelowSaturation) {
+  auto profile = scaled(profiles::stream(), 0.5);
+  SweepConfig cfg;
+  cfg.threads = 4;
+  cfg.period = 4096;
+  cfg.seed = 9;
+  const auto r = run_statistical(profile, MachineConfig{}, cfg);
+  EXPECT_EQ(r.hw_collisions, 0u);
+}
+
+// --- Throttling (kernel protection; exercised as an ablation) ----------------
+TEST(PaperProperties, ThrottlingActivatesUnderTightBudget) {
+  auto profile = scaled(profiles::bfs(), 0.5);
+  MachineConfig mc;
+  mc.throttle.max_samples_per_sec = 50'000;  // artificially tight budget
+  const auto r = run_statistical(profile, mc, counting_cfg(1000, 8));
+  EXPECT_GT(r.throttle_events, 0u);
+  EXPECT_GT(r.throttled, 0u);
+  // Throttled runs lose samples -> lower accuracy than unthrottled.
+  const auto open = run_statistical(profile, MachineConfig{}, counting_cfg(1000, 8));
+  EXPECT_LT(r.processed_samples, open.processed_samples);
+}
+
+// --- Recommended operating point ---------------------------------------------
+TEST(PaperProperties, RecommendedPeriodsBalanceAccuracyAndOverhead) {
+  // "users are supposed to avoid using a small sampling period below 2000
+  //  ... Considering time overhead, 10,000 to 50,000 are suggested."
+  const auto profile = scaled(profiles::stream(), 0.25);
+  const auto r = run_with_baseline(profile, MachineConfig{}, counting_cfg(16000));
+  EXPECT_GT(analysis::accuracy(r), 0.94);
+  EXPECT_LT(analysis::time_overhead(r), 0.01);
+}
+
+}  // namespace
+}  // namespace nmo::sim

@@ -1,0 +1,118 @@
+// Access-pattern analysis helpers.
+#include "analysis/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::analysis {
+namespace {
+
+core::TraceSample sample(std::uint64_t t, Addr a, CoreId core = 0,
+                         MemOp op = MemOp::kLoad, std::int32_t region = -1) {
+  core::TraceSample s;
+  s.time_ns = t;
+  s.vaddr = a;
+  s.core = core;
+  s.op = op;
+  s.region = region;
+  return s;
+}
+
+TEST(Pattern, RegionBreakdownCountsAndRanges) {
+  core::RegionTable regions;
+  regions.tag_addr("a", 0x1000, 0x2000);
+  regions.tag_addr("b", 0x3000, 0x4000);
+  core::SampleTrace trace;
+  trace.add(sample(1, 0x1100, 0, MemOp::kLoad, 0));
+  trace.add(sample(2, 0x1200, 0, MemOp::kStore, 0));
+  trace.add(sample(3, 0x3100, 0, MemOp::kLoad, 1));
+  trace.add(sample(4, 0x9999, 0, MemOp::kLoad, -1));
+  const auto breakdown = region_breakdown(trace, regions);
+  ASSERT_EQ(breakdown.size(), 3u);
+  EXPECT_EQ(breakdown[0].samples, 2u);
+  EXPECT_EQ(breakdown[0].loads, 1u);
+  EXPECT_EQ(breakdown[0].stores, 1u);
+  EXPECT_EQ(breakdown[0].min_addr, 0x1100u);
+  EXPECT_EQ(breakdown[0].max_addr, 0x1200u);
+  EXPECT_EQ(breakdown[1].samples, 1u);
+  EXPECT_EQ(breakdown[2].name, "(untagged)");
+  EXPECT_EQ(breakdown[2].samples, 1u);
+}
+
+TEST(Pattern, SamplesInPhaseFiltersByTime) {
+  core::RegionTable regions;
+  regions.phase_start("k0", 100);
+  regions.phase_stop(200);
+  regions.phase_start("k1", 200);
+  regions.phase_stop(300);
+  core::SampleTrace trace;
+  trace.add(sample(150, 0x1));
+  trace.add(sample(250, 0x2));
+  trace.add(sample(350, 0x3));
+  const auto k0 = samples_in_phase(trace, regions, "k0");
+  ASSERT_EQ(k0.size(), 1u);
+  EXPECT_EQ(k0[0].vaddr, 0x1u);
+  const auto k1 = samples_in_phase(trace, regions, "k1");
+  ASSERT_EQ(k1.size(), 1u);
+  EXPECT_EQ(k1[0].vaddr, 0x2u);
+  EXPECT_TRUE(samples_in_phase(trace, regions, "nope").empty());
+}
+
+TEST(Pattern, RepeatedPhaseNameCollectsAllSpans) {
+  core::RegionTable regions;
+  regions.phase_start("triad", 0);
+  regions.phase_stop(10);
+  regions.phase_start("triad", 20);
+  regions.phase_stop(30);
+  core::SampleTrace trace;
+  trace.add(sample(5, 0x1));
+  trace.add(sample(15, 0x2));
+  trace.add(sample(25, 0x3));
+  EXPECT_EQ(samples_in_phase(trace, regions, "triad").size(), 2u);
+}
+
+TEST(Pattern, StrideRegularityOfSequentialSweep) {
+  std::vector<core::TraceSample> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(sample(i, 0x1000 + i * 64));
+  EXPECT_DOUBLE_EQ(stride_regularity(samples), 1.0);
+}
+
+TEST(Pattern, StrideRegularityOfRandomAccess) {
+  std::vector<core::TraceSample> samples;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    samples.push_back(sample(i, (x >> 16) % (1 << 26)));
+  }
+  EXPECT_LT(stride_regularity(samples), 0.05);
+}
+
+TEST(Pattern, StrideRegularityPerCore) {
+  // Two cores each sweep their own range: per-core deltas are constant.
+  std::vector<core::TraceSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back(sample(2 * i, 0x1000 + i * 8, 0));
+    samples.push_back(sample(2 * i + 1, 0x800000 + i * 8, 1));
+  }
+  EXPECT_DOUBLE_EQ(stride_regularity(samples), 1.0);
+}
+
+TEST(Pattern, LocalityFraction) {
+  std::vector<core::TraceSample> samples;
+  samples.push_back(sample(0, 1000));
+  samples.push_back(sample(1, 1100));   // local
+  samples.push_back(sample(2, 999999)); // far
+  samples.push_back(sample(3, 999990)); // local again
+  EXPECT_DOUBLE_EQ(locality_fraction(samples, 1024), 2.0 / 3.0);
+}
+
+TEST(Pattern, EmptyInputsAreSafe) {
+  std::vector<core::TraceSample> empty;
+  EXPECT_DOUBLE_EQ(stride_regularity(empty), 0.0);
+  EXPECT_DOUBLE_EQ(locality_fraction(empty, 64), 0.0);
+  core::RegionTable regions;
+  core::SampleTrace trace;
+  EXPECT_EQ(region_breakdown(trace, regions).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nmo::analysis

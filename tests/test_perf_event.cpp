@@ -1,0 +1,210 @@
+// PerfEvent: counting mode, SPE aux plumbing, watermark AUX records, flags.
+#include "kernel/perf_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace nmo::kern {
+namespace {
+
+constexpr std::size_t kPage = 64 * 1024;
+
+PerfEventAttr spe_attr(std::uint64_t period = 1024, std::uint64_t watermark = 0) {
+  PerfEventAttr attr;
+  attr.type = kPerfTypeArmSpe;
+  attr.config = kSpeConfigLoadsAndStores;
+  attr.sample_period = period;
+  attr.aux_watermark = watermark;
+  attr.disabled = false;
+  return attr;
+}
+
+std::unique_ptr<PerfEvent> make_spe(std::size_t aux_pages = 16, std::uint64_t watermark = 0,
+                                    Throttler* throttler = nullptr) {
+  return open_event(spe_attr(1024, watermark), 0, /*ring_pages=*/4, kPage, aux_pages * kPage,
+                    TimeConv::from_frequency(3e9), throttler);
+}
+
+std::vector<std::byte> record_bytes() { return std::vector<std::byte>(64); }
+
+AuxRecord read_aux_record(PerfEvent& ev) {
+  const auto rec = ev.read_record();
+  EXPECT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->header.type, RecordType::kAux);
+  AuxRecord aux{};
+  std::memcpy(&aux, rec->payload.data(), sizeof(aux));
+  return aux;
+}
+
+TEST(PerfEventCounting, CountsWhenEnabled) {
+  PerfEventAttr attr;
+  attr.type = kPerfTypeHardware;
+  attr.count_event = CountEvent::kMemAccess;
+  attr.disabled = false;
+  const auto ev = open_event(attr, 0, 0, kPage, 0, TimeConv::from_frequency(3e9), nullptr);
+  ev->add_count(10);
+  ev->add_count(5);
+  EXPECT_EQ(ev->read_count(), 15u);
+}
+
+TEST(PerfEventCounting, DisabledIgnoresCounts) {
+  PerfEventAttr attr;
+  attr.type = kPerfTypeHardware;
+  attr.disabled = true;
+  const auto ev = open_event(attr, 0, 0, kPage, 0, TimeConv::from_frequency(3e9), nullptr);
+  ev->add_count(10);
+  EXPECT_EQ(ev->read_count(), 0u);
+  ev->enable();
+  ev->add_count(3);
+  EXPECT_EQ(ev->read_count(), 3u);
+}
+
+TEST(PerfEventSpe, DefaultWatermarkIsHalfBuffer) {
+  const auto ev = make_spe(16);
+  EXPECT_EQ(ev->effective_watermark(), 8 * kPage);
+}
+
+TEST(PerfEventSpe, AuxRecordEmittedAtWatermark) {
+  const auto ev = make_spe(16, /*watermark=*/128);
+  ASSERT_TRUE(ev->aux_write(record_bytes(), 100));
+  EXPECT_EQ(ev->stats().aux_records, 0u);  // 64 < 128
+  ASSERT_TRUE(ev->aux_write(record_bytes(), 200));
+  EXPECT_EQ(ev->stats().aux_records, 1u);  // 128 >= 128
+  const auto aux = read_aux_record(*ev);
+  EXPECT_EQ(aux.aux_offset, 0u);
+  EXPECT_EQ(aux.aux_size, 128u);
+  EXPECT_EQ(aux.flags, 0u);
+}
+
+TEST(PerfEventSpe, WakeupCallbackFires) {
+  const auto ev = make_spe(16, 64);
+  int wakeups = 0;
+  std::uint64_t seen_ns = 0;
+  ev->set_wakeup_callback([&](PerfEvent&, std::uint64_t ns) {
+    ++wakeups;
+    seen_ns = ns;
+  });
+  ev->aux_write(record_bytes(), 4242);
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_EQ(seen_ns, 4242u);
+  EXPECT_EQ(ev->pending_wakeups(), 1u);
+  ev->ack_wakeup();
+  EXPECT_EQ(ev->pending_wakeups(), 0u);
+}
+
+TEST(PerfEventSpe, FullAuxDropsAndFlagsTruncated) {
+  // Aux of exactly 4 pages; watermark = full buffer so no records are
+  // emitted until we force the overflow path.
+  const auto ev = make_spe(4, 4 * kPage);
+  const std::size_t capacity_records = 4 * kPage / 64;
+  for (std::size_t i = 0; i < capacity_records; ++i) {
+    ASSERT_TRUE(ev->aux_write(record_bytes(), i));
+  }
+  EXPECT_FALSE(ev->aux_write(record_bytes(), 999));  // full -> dropped
+  EXPECT_EQ(ev->stats().dropped_samples, 1u);
+  ev->flush_aux(1000);
+  // The filling writes emitted a watermark AUX record; the flush emits a
+  // second one carrying the TRUNCATED flag.
+  bool saw_truncated = false;
+  while (auto rec = ev->read_record()) {
+    AuxRecord aux{};
+    std::memcpy(&aux, rec->payload.data(), sizeof(aux));
+    if (aux.flags & kAuxFlagTruncated) saw_truncated = true;
+  }
+  EXPECT_TRUE(saw_truncated);
+  EXPECT_EQ(ev->stats().truncated_records, 1u);
+}
+
+TEST(PerfEventSpe, ConsumeAuxFreesSpaceForDevice) {
+  const auto ev = make_spe(4, 4 * kPage);
+  const std::size_t capacity_records = 4 * kPage / 64;
+  for (std::size_t i = 0; i < capacity_records; ++i) {
+    ASSERT_TRUE(ev->aux_write(record_bytes(), i));
+  }
+  EXPECT_FALSE(ev->aux_write(record_bytes(), 0));
+  ev->consume_aux(64 * 10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ev->aux_write(record_bytes(), 0)) << i;
+  }
+  EXPECT_FALSE(ev->aux_write(record_bytes(), 0));
+}
+
+TEST(PerfEventSpe, CollisionFlagCarriedOnNextRecord) {
+  const auto ev = make_spe(16, 64);
+  ev->note_collision();
+  ev->aux_write(record_bytes(), 1);
+  const auto aux = read_aux_record(*ev);
+  EXPECT_TRUE(aux.flags & kAuxFlagCollision);
+  EXPECT_EQ(ev->stats().collision_records, 1u);
+  // Flag is cleared after being reported once.
+  ev->aux_write(record_bytes(), 2);
+  const auto aux2 = read_aux_record(*ev);
+  EXPECT_FALSE(aux2.flags & kAuxFlagCollision);
+}
+
+TEST(PerfEventSpe, TinyAuxBufferIsNonFunctional) {
+  // Below 4 pages the device never starts: every write is lost (paper
+  // section VII-B: SPE "loses all samples if the Aux buffer is not large
+  // enough"; minimum is 4 pages).
+  const auto ev = make_spe(2);
+  EXPECT_FALSE(ev->aux_functional());
+  EXPECT_FALSE(ev->aux_write(record_bytes(), 0));
+  EXPECT_EQ(ev->stats().dropped_samples, 1u);
+  const auto ev4 = make_spe(4);
+  EXPECT_TRUE(ev4->aux_functional());
+}
+
+TEST(PerfEventSpe, FlushEmitsPartialData) {
+  const auto ev = make_spe(16);  // watermark = 512 KiB, far away
+  ev->aux_write(record_bytes(), 1);
+  ev->aux_write(record_bytes(), 2);
+  EXPECT_EQ(ev->stats().aux_records, 0u);
+  ev->flush_aux(3);
+  EXPECT_EQ(ev->stats().aux_records, 1u);
+  const auto aux = read_aux_record(*ev);
+  EXPECT_EQ(aux.aux_size, 128u);
+}
+
+TEST(PerfEventSpe, DisabledEventRejectsWrites) {
+  const auto ev = make_spe(16);
+  ev->disable();
+  EXPECT_FALSE(ev->aux_write(record_bytes(), 0));
+}
+
+TEST(PerfEventSpe, ThrottleEmitsRecordOnce) {
+  Throttler throttler(ThrottleConfig{.enabled = true, .max_samples_per_sec = 10});
+  const auto ev = make_spe(16, 0, &throttler);
+  EXPECT_TRUE(ev->account_samples(0, 5));
+  EXPECT_FALSE(ev->account_samples(1000, 10));  // budget blown
+  EXPECT_EQ(ev->stats().throttle_records, 1u);
+  EXPECT_FALSE(ev->account_samples(2000, 1));
+  EXPECT_EQ(ev->stats().throttle_records, 1u);  // no duplicate
+  EXPECT_TRUE(ev->throttled(5000));
+  // Next window: unthrottled again.
+  EXPECT_FALSE(ev->throttled(1'000'000'001ull));
+  EXPECT_TRUE(ev->account_samples(1'000'000'002ull, 1));
+}
+
+TEST(PerfEventOpen, Validation) {
+  const auto tc = TimeConv::from_frequency(3e9);
+  auto attr = spe_attr(0);
+  EXPECT_THROW(open_event(attr, 0, 4, kPage, 16 * kPage, tc, nullptr), PerfOpenError);
+  attr = spe_attr(1024);
+  EXPECT_THROW(open_event(attr, 0, 0, kPage, 16 * kPage, tc, nullptr), PerfOpenError);
+  EXPECT_THROW(open_event(attr, 0, 4, kPage, 0, tc, nullptr), PerfOpenError);
+  attr = spe_attr(1024, /*watermark=*/17 * kPage);
+  EXPECT_THROW(open_event(attr, 0, 4, kPage, 16 * kPage, tc, nullptr), PerfOpenError);
+}
+
+TEST(PerfEventSpe, MetadataPagePopulated) {
+  const auto ev = make_spe(16);
+  const auto& meta = ev->ring().metadata();
+  EXPECT_EQ(meta.aux_size, 16 * kPage);
+  EXPECT_GT(meta.time_mult, 0u);
+  ASSERT_TRUE(ev->aux_write(record_bytes(), 0));
+  EXPECT_EQ(ev->ring().metadata().aux_head, 64u);
+}
+
+}  // namespace
+}  // namespace nmo::kern

@@ -1,0 +1,66 @@
+// epoll-style poller over perf events.
+#include "kernel/poller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::kern {
+namespace {
+
+constexpr std::size_t kPage = 64 * 1024;
+
+std::unique_ptr<PerfEvent> make_event() {
+  PerfEventAttr attr;
+  attr.type = kPerfTypeArmSpe;
+  attr.config = kSpeConfigLoadsAndStores;
+  attr.sample_period = 1000;
+  attr.aux_watermark = 64;
+  attr.disabled = false;
+  return open_event(attr, 0, 4, kPage, 16 * kPage, TimeConv::from_frequency(3e9), nullptr);
+}
+
+TEST(Poller, EmptyPollReturnsNothing) {
+  Poller p;
+  auto ev = make_event();
+  p.add(ev.get());
+  EXPECT_TRUE(p.poll().empty());
+  EXPECT_FALSE(p.any_ready());
+}
+
+TEST(Poller, ReadyAfterWakeup) {
+  Poller p;
+  auto ev = make_event();
+  p.add(ev.get());
+  ev->aux_write(std::vector<std::byte>(64), 0);
+  EXPECT_TRUE(p.any_ready());
+  const auto ready = p.poll();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], ev.get());
+  EXPECT_TRUE(p.poll().empty());  // acked
+}
+
+TEST(Poller, MultipleEventsIndependent) {
+  Poller p;
+  auto a = make_event();
+  auto b = make_event();
+  p.add(a.get());
+  p.add(b.get());
+  b->aux_write(std::vector<std::byte>(64), 0);
+  const auto ready = p.poll();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], b.get());
+}
+
+TEST(Poller, MultipleWakeupsNeedMultiplePolls) {
+  Poller p;
+  auto ev = make_event();
+  p.add(ev.get());
+  ev->aux_write(std::vector<std::byte>(64), 0);
+  ev->aux_write(std::vector<std::byte>(64), 0);
+  EXPECT_EQ(ev->pending_wakeups(), 2u);
+  EXPECT_EQ(p.poll().size(), 1u);
+  EXPECT_EQ(p.poll().size(), 1u);
+  EXPECT_TRUE(p.poll().empty());
+}
+
+}  // namespace
+}  // namespace nmo::kern

@@ -1,0 +1,109 @@
+// perf data ring buffer: record framing, wraparound, loss accounting.
+#include "kernel/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace nmo::kern {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(RingBuffer, WriteThenRead) {
+  RingBuffer rb(1, 4096);
+  const auto payload = bytes_of("hello");
+  ASSERT_TRUE(rb.write(RecordType::kAux, payload));
+  const auto rec = rb.read();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->header.type, RecordType::kAux);
+  EXPECT_EQ(rec->payload, payload);
+}
+
+TEST(RingBuffer, EmptyReadReturnsNothing) {
+  RingBuffer rb(1, 4096);
+  EXPECT_FALSE(rb.read().has_value());
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer rb(1, 4096);
+  rb.write(RecordType::kAux, bytes_of("one"));
+  rb.write(RecordType::kThrottle, bytes_of("two"));
+  EXPECT_EQ(rb.read()->header.type, RecordType::kAux);
+  EXPECT_EQ(rb.read()->header.type, RecordType::kThrottle);
+}
+
+TEST(RingBuffer, HeadTailAdvance) {
+  RingBuffer rb(1, 4096);
+  rb.write(RecordType::kAux, bytes_of("abc"));
+  EXPECT_GT(rb.metadata().data_head, 0u);
+  EXPECT_EQ(rb.metadata().data_tail, 0u);
+  rb.read();
+  EXPECT_EQ(rb.metadata().data_tail, rb.metadata().data_head);
+}
+
+TEST(RingBuffer, FullBufferDropsAndCountsLost) {
+  RingBuffer rb(1, 64);  // tiny: 64 bytes
+  const auto big = std::vector<std::byte>(48);
+  ASSERT_TRUE(rb.write(RecordType::kAux, big));   // 8 hdr + 48 = 56
+  EXPECT_FALSE(rb.write(RecordType::kAux, big));  // no room
+  EXPECT_EQ(rb.lost(), 1u);
+}
+
+TEST(RingBuffer, SpaceReclaimedAfterRead) {
+  RingBuffer rb(1, 64);
+  const auto payload = std::vector<std::byte>(40);
+  ASSERT_TRUE(rb.write(RecordType::kAux, payload));
+  EXPECT_FALSE(rb.write(RecordType::kAux, payload));
+  rb.read();
+  EXPECT_TRUE(rb.write(RecordType::kAux, payload));
+}
+
+TEST(RingBuffer, WrapAroundPreservesPayload) {
+  RingBuffer rb(1, 128);
+  // Fill and drain repeatedly so records straddle the wrap point.
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::byte> payload(33);
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::byte>((i + static_cast<int>(j)) & 0xff);
+    }
+    ASSERT_TRUE(rb.write(RecordType::kAux, payload)) << i;
+    const auto rec = rb.read();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->payload, payload) << "iteration " << i;
+  }
+}
+
+TEST(RingBuffer, ReadableBytes) {
+  RingBuffer rb(1, 4096);
+  EXPECT_EQ(rb.readable(), 0u);
+  rb.write(RecordType::kAux, bytes_of("xy"));
+  EXPECT_EQ(rb.readable(), sizeof(RecordHeader) + 2);
+}
+
+TEST(RingBuffer, RejectsZeroPages) {
+  EXPECT_THROW(RingBuffer(0, 4096), std::invalid_argument);
+  EXPECT_THROW(RingBuffer(1, 0), std::invalid_argument);
+}
+
+TEST(RingBuffer, ManyRecordsStressWithInterleavedReads) {
+  RingBuffer rb(2, 256);
+  std::uint64_t written = 0, read = 0, x = 1;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    std::vector<std::byte> payload((x >> 8) % 32);
+    if (rb.write(RecordType::kAux, payload)) ++written;
+    if ((x & 3) == 0) {
+      while (rb.read().has_value()) ++read;
+    }
+  }
+  while (rb.read().has_value()) ++read;
+  EXPECT_EQ(written, read);
+}
+
+}  // namespace
+}  // namespace nmo::kern

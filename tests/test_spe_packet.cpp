@@ -1,0 +1,167 @@
+// SPE record wire format: encode/decode round trips and NMO's skip rules.
+#include "spe/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nmo::spe {
+namespace {
+
+Record sample_record() {
+  Record r;
+  r.pc = 0x400123;
+  r.vaddr = 0x7fff'1234'5678;
+  r.timestamp = 987654321;
+  r.op = MemOp::kStore;
+  r.level = MemLevel::kSLC;
+  r.events = events_for_level(MemLevel::kSLC, true);
+  r.total_latency = 45;
+  r.issue_latency = 4;
+  r.translation_latency = 40;
+  return r;
+}
+
+TEST(SpePacket, EncodeDecodeRoundTrip) {
+  const Record r = sample_record();
+  std::array<std::byte, kRecordSize> wire{};
+  encode(r, wire);
+  const auto result = decode(wire);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.record->pc, r.pc);
+  EXPECT_EQ(result.record->vaddr, r.vaddr);
+  EXPECT_EQ(result.record->timestamp, r.timestamp);
+  EXPECT_EQ(result.record->op, r.op);
+  EXPECT_EQ(result.record->level, r.level);
+  EXPECT_EQ(result.record->events, r.events);
+  EXPECT_EQ(result.record->total_latency, r.total_latency);
+  EXPECT_EQ(result.record->issue_latency, r.issue_latency);
+  EXPECT_EQ(result.record->translation_latency, r.translation_latency);
+}
+
+TEST(SpePacket, PaperLayoutOffsets) {
+  // Section IV-A: vaddr is a 64-bit value at offset 31 prefaced by 0xb2;
+  // the timestamp is at offset 56 prefaced by 0x71.
+  Record r = sample_record();
+  r.vaddr = 0x0102030405060708;
+  r.timestamp = 0x1112131415161718;
+  std::array<std::byte, kRecordSize> wire{};
+  encode(r, wire);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[30]), 0xb2);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[31]), 0x08);  // little endian LSB
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[38]), 0x01);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[55]), 0x71);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[56]), 0x18);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[63]), 0x11);
+}
+
+TEST(SpePacket, RecordIs64Bytes) {
+  EXPECT_EQ(kRecordSize, 64u);
+}
+
+TEST(SpePacket, SkipsBadAddressHeader) {
+  std::array<std::byte, kRecordSize> wire{};
+  encode(sample_record(), wire);
+  wire[30] = std::byte{0x00};
+  const auto result = decode(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kBadAddressHeader);
+}
+
+TEST(SpePacket, SkipsBadTimestampHeader) {
+  std::array<std::byte, kRecordSize> wire{};
+  encode(sample_record(), wire);
+  wire[55] = std::byte{0xff};
+  const auto result = decode(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kBadTimestampHeader);
+}
+
+TEST(SpePacket, SkipsZeroAddress) {
+  Record r = sample_record();
+  r.vaddr = 0;
+  std::array<std::byte, kRecordSize> wire{};
+  encode(r, wire);
+  const auto result = decode(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kZeroAddress);
+}
+
+TEST(SpePacket, SkipsZeroTimestamp) {
+  Record r = sample_record();
+  r.timestamp = 0;
+  std::array<std::byte, kRecordSize> wire{};
+  encode(r, wire);
+  const auto result = decode(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kZeroTimestamp);
+}
+
+TEST(SpePacket, ShortBufferRejected) {
+  std::array<std::byte, 32> small{};
+  const auto result = decode(std::span<const std::byte>(small));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kShortBuffer);
+}
+
+TEST(SpePacket, LevelFromEventsFallback) {
+  EXPECT_EQ(level_from_events(kEvtRetired), MemLevel::kL1);
+  EXPECT_EQ(level_from_events(kEvtRetired | kEvtL1Refill), MemLevel::kL2);
+  EXPECT_EQ(level_from_events(kEvtRetired | kEvtL1Refill | kEvtLlcAccess), MemLevel::kSLC);
+  EXPECT_EQ(level_from_events(kEvtRetired | kEvtL1Refill | kEvtLlcAccess | kEvtLlcMiss),
+            MemLevel::kDRAM);
+}
+
+TEST(SpePacket, EventsForLevelConsistentWithFallback) {
+  for (auto level : {MemLevel::kL1, MemLevel::kL2, MemLevel::kSLC, MemLevel::kDRAM}) {
+    EXPECT_EQ(level_from_events(events_for_level(level, false)), level);
+  }
+}
+
+TEST(SpePacket, TlbWalkBitSet) {
+  EXPECT_TRUE(events_for_level(MemLevel::kL1, true) & kEvtTlbWalk);
+  EXPECT_FALSE(events_for_level(MemLevel::kL1, false) & kEvtTlbWalk);
+}
+
+TEST(SpePacket, LoadStoreEncoding) {
+  for (auto op : {MemOp::kLoad, MemOp::kStore}) {
+    Record r = sample_record();
+    r.op = op;
+    std::array<std::byte, kRecordSize> wire{};
+    encode(r, wire);
+    const auto result = decode(wire);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.record->op, op);
+  }
+}
+
+// Property: every (level, tlb, op) combination survives the wire format.
+class PacketRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, bool, int>> {};
+
+TEST_P(PacketRoundTrip, Lossless) {
+  const auto [level, tlb, op] = GetParam();
+  Record r;
+  r.pc = 0xffff'0000'1111 + static_cast<Addr>(level);
+  r.vaddr = 0x1000 + static_cast<Addr>(level) * 64;
+  r.timestamp = 1 + static_cast<std::uint64_t>(level);
+  r.level = static_cast<MemLevel>(level);
+  r.op = static_cast<MemOp>(op);
+  r.events = events_for_level(r.level, tlb);
+  r.total_latency = static_cast<std::uint16_t>(4 << level);
+  std::array<std::byte, kRecordSize> wire{};
+  encode(r, wire);
+  const auto result = decode(wire);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.record->level, r.level);
+  EXPECT_EQ(result.record->op, r.op);
+  EXPECT_EQ(result.record->events, r.events);
+  EXPECT_EQ(result.record->vaddr, r.vaddr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, PacketRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Bool(),
+                                            ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace nmo::spe

@@ -1,0 +1,96 @@
+// RunningStats (Welford) and LinearFit.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of that sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 3;
+    (i < 40 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(LinearFit, ExactLine) {
+  LinearFit f;
+  for (int x = 0; x < 10; ++x) f.add(x, 3.0 * x + 2.0);
+  EXPECT_NEAR(f.slope(), 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept(), 2.0, 1e-12);
+  EXPECT_NEAR(f.correlation(), 1.0, 1e-12);
+}
+
+TEST(LinearFit, NegativeSlope) {
+  LinearFit f;
+  for (int x = 0; x < 10; ++x) f.add(x, -2.0 * x + 7.0);
+  EXPECT_NEAR(f.slope(), -2.0, 1e-12);
+  EXPECT_NEAR(f.correlation(), -1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataStillCorrelated) {
+  LinearFit f;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    const double noise = static_cast<double>(x >> 40) / (1 << 24) - 0.5;
+    f.add(i, 2.0 * i + noise * 20);
+  }
+  EXPECT_NEAR(f.slope(), 2.0, 0.05);
+  EXPECT_GT(f.correlation(), 0.99);
+}
+
+TEST(LinearFit, DegenerateInput) {
+  LinearFit f;
+  EXPECT_DOUBLE_EQ(f.slope(), 0.0);
+  f.add(5, 10);
+  EXPECT_DOUBLE_EQ(f.slope(), 0.0);  // single point: denominator zero
+}
+
+}  // namespace
+}  // namespace nmo

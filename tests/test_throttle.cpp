@@ -1,0 +1,61 @@
+// Kernel-style interrupt-rate throttling.
+#include "kernel/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::kern {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST(Throttler, AllowsUnderBudget) {
+  Throttler t(ThrottleConfig{.enabled = true, .max_samples_per_sec = 100});
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(t.on_samples(i * 1000, 1));
+  EXPECT_EQ(t.throttle_events(), 0u);
+}
+
+TEST(Throttler, TripsOverBudget) {
+  Throttler t(ThrottleConfig{.enabled = true, .max_samples_per_sec = 100});
+  for (int i = 0; i < 100; ++i) t.on_samples(0, 1);
+  EXPECT_FALSE(t.on_samples(1, 1));
+  EXPECT_TRUE(t.is_throttled(2));
+  EXPECT_EQ(t.throttle_events(), 1u);
+}
+
+TEST(Throttler, WindowRollsOver) {
+  Throttler t(ThrottleConfig{.enabled = true, .max_samples_per_sec = 10});
+  t.on_samples(0, 11);
+  EXPECT_TRUE(t.is_throttled(kSec - 1));
+  EXPECT_FALSE(t.is_throttled(kSec));
+  EXPECT_TRUE(t.on_samples(kSec + 1, 1));
+}
+
+TEST(Throttler, WindowEndReported) {
+  Throttler t;
+  t.on_samples(kSec * 3 + 17, 1);
+  EXPECT_EQ(t.window_end_ns(), kSec * 4);
+}
+
+TEST(Throttler, DisabledNeverThrottles) {
+  Throttler t(ThrottleConfig{.enabled = false, .max_samples_per_sec = 1});
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(t.on_samples(0, 100));
+  EXPECT_FALSE(t.is_throttled(0));
+}
+
+TEST(Throttler, EachWindowCountsOneEpisode) {
+  Throttler t(ThrottleConfig{.enabled = true, .max_samples_per_sec = 5});
+  t.on_samples(0, 10);
+  t.on_samples(10, 10);  // still same window, already throttled
+  EXPECT_EQ(t.throttle_events(), 1u);
+  t.on_samples(kSec, 10);  // next window trips again
+  EXPECT_EQ(t.throttle_events(), 2u);
+}
+
+TEST(Throttler, BulkCountTripsImmediately) {
+  Throttler t(ThrottleConfig{.enabled = true, .max_samples_per_sec = 100});
+  EXPECT_FALSE(t.on_samples(0, 1000));
+  EXPECT_EQ(t.throttle_events(), 1u);
+}
+
+}  // namespace
+}  // namespace nmo::kern

@@ -1,0 +1,76 @@
+// Timescale conversion (time_zero/time_shift/time_mult), section IV-A.
+#include "kernel/timeconv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::kern {
+namespace {
+
+TEST(TimeConv, ThreeGhzCyclesToNs) {
+  const auto tc = TimeConv::from_frequency(3e9);
+  // 3 cycles at 3 GHz = 1 ns.
+  EXPECT_NEAR(static_cast<double>(tc.to_ns(3'000'000'000ull)), 1e9, 1e3);
+  EXPECT_EQ(tc.to_ns(0), 0u);
+}
+
+TEST(TimeConv, OneGhzIsIdentityInNs) {
+  const auto tc = TimeConv::from_frequency(1e9);
+  EXPECT_EQ(tc.to_ns(12345), 12345u);
+}
+
+TEST(TimeConv, ZeroOffsetApplied) {
+  const auto tc = TimeConv::from_frequency(1e9, 1000);
+  EXPECT_EQ(tc.to_ns(0), 1000u);
+  EXPECT_EQ(tc.to_ns(10), 1010u);
+}
+
+TEST(TimeConv, MetadataRoundTrip) {
+  const auto tc = TimeConv::from_frequency(3e9, 777);
+  MetadataPage meta;
+  tc.fill_metadata(meta);
+  const auto back = TimeConv::from_metadata(meta);
+  for (std::uint64_t cycles : {0ull, 1ull, 12345678ull, 3'000'000'000ull}) {
+    EXPECT_EQ(tc.to_ns(cycles), back.to_ns(cycles));
+  }
+}
+
+TEST(TimeConv, InverseRoundTripErrorBounded) {
+  const auto tc = TimeConv::from_frequency(3e9);
+  for (std::uint64_t cycles : {100ull, 99999ull, 123456789ull, 987654321012ull}) {
+    const auto ns = tc.to_ns(cycles);
+    const auto back = tc.to_cycles(ns);
+    // Rounding through the fixed-point mult/shift loses at most a few
+    // cycles.
+    const auto diff = back > cycles ? back - cycles : cycles - back;
+    EXPECT_LE(diff, 8u) << "cycles=" << cycles;
+  }
+}
+
+TEST(TimeConv, MonotoneInCycles) {
+  const auto tc = TimeConv::from_frequency(2.5e9);
+  std::uint64_t prev = 0;
+  for (std::uint64_t c = 0; c < 1'000'000; c += 7919) {
+    const auto ns = tc.to_ns(c);
+    EXPECT_GE(ns, prev);
+    prev = ns;
+  }
+}
+
+TEST(TimeConv, LargeValuesNoOverflow) {
+  const auto tc = TimeConv::from_frequency(3e9);
+  // ~100 days of cycles.
+  const std::uint64_t cycles = 3ull * 1000000000 * 86400 * 100;
+  const auto ns = tc.to_ns(cycles);
+  EXPECT_NEAR(static_cast<double>(ns), 86400.0 * 100 * 1e9, 1e12 * 0.001);
+}
+
+TEST(TimeConv, RelativeErrorTiny) {
+  const auto tc = TimeConv::from_frequency(3e9);
+  const std::uint64_t cycles = 3'000'000'000ull * 60;  // one minute
+  const double expect_ns = 60e9;
+  const double got = static_cast<double>(tc.to_ns(cycles));
+  EXPECT_LT(std::abs(got - expect_ns) / expect_ns, 1e-6);
+}
+
+}  // namespace
+}  // namespace nmo::kern

@@ -1,0 +1,53 @@
+// TLB model: LRU replacement over page translations.
+#include "mem/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo::mem {
+namespace {
+
+TEST(Tlb, MissThenHit) {
+  Tlb t(4, 4096);
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1fff));  // same page
+  EXPECT_FALSE(t.access(0x2000));
+  EXPECT_EQ(t.misses(), 2u);
+  EXPECT_EQ(t.hits(), 1u);
+}
+
+TEST(Tlb, LruReplacement) {
+  Tlb t(2, 4096);
+  t.access(0x0000);
+  t.access(0x1000);
+  t.access(0x0000);  // page 0 MRU
+  t.access(0x2000);  // evicts page 1
+  EXPECT_TRUE(t.access(0x0000));
+  EXPECT_FALSE(t.access(0x1000));
+}
+
+TEST(Tlb, FlushForgetsAll) {
+  Tlb t(4, 4096);
+  t.access(0x1000);
+  t.flush();
+  EXPECT_FALSE(t.access(0x1000));
+}
+
+TEST(Tlb, LargeWorkingSetAlwaysMisses) {
+  Tlb t(8, 4096);
+  for (int round = 0; round < 3; ++round) {
+    for (Addr p = 0; p < 16; ++p) {
+      t.access(p * 4096);
+    }
+  }
+  EXPECT_EQ(t.hits(), 0u);  // 16 pages through 8 entries, sequential LRU
+}
+
+TEST(Tlb, PageSize64K) {
+  Tlb t(4, 64 * 1024);
+  t.access(0x0);
+  EXPECT_TRUE(t.access(0xFFFF));
+  EXPECT_FALSE(t.access(0x10000));
+}
+
+}  // namespace
+}  // namespace nmo::mem

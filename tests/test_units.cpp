@@ -1,0 +1,71 @@
+// Size parsing/formatting used by Table I configuration handling.
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmo {
+namespace {
+
+TEST(ParseSize, PlainBytes) {
+  EXPECT_EQ(parse_size("123"), 123u);
+  EXPECT_EQ(parse_size("0"), 0u);
+}
+
+TEST(ParseSize, Suffixes) {
+  EXPECT_EQ(parse_size("4K"), 4 * kKiB);
+  EXPECT_EQ(parse_size("4k"), 4 * kKiB);
+  EXPECT_EQ(parse_size("4KiB"), 4 * kKiB);
+  EXPECT_EQ(parse_size("2M"), 2 * kMiB);
+  EXPECT_EQ(parse_size("2MB"), 2 * kMiB);
+  EXPECT_EQ(parse_size("1G"), kGiB);
+  EXPECT_EQ(parse_size("1GiB"), kGiB);
+  EXPECT_EQ(parse_size("16B"), 16u);
+}
+
+TEST(ParseSize, Whitespace) {
+  EXPECT_EQ(parse_size("  8M "), 8 * kMiB);
+  EXPECT_EQ(parse_size("8 M"), 8 * kMiB);
+}
+
+TEST(ParseSize, Malformed) {
+  EXPECT_FALSE(parse_size("").has_value());
+  EXPECT_FALSE(parse_size("abc").has_value());
+  EXPECT_FALSE(parse_size("12X").has_value());
+  EXPECT_FALSE(parse_size("-5M").has_value());
+}
+
+TEST(ParseSize, OverflowRejected) {
+  EXPECT_FALSE(parse_size("99999999999999999999G").has_value());
+  EXPECT_FALSE(parse_size("18446744073709551615G").has_value());
+}
+
+TEST(FormatSize, HumanReadable) {
+  EXPECT_EQ(format_size(0), "0 B");
+  EXPECT_EQ(format_size(512), "512.0 B");
+  EXPECT_EQ(format_size(kKiB), "1.0 KiB");
+  EXPECT_EQ(format_size(kMiB + kMiB / 2), "1.5 MiB");
+  EXPECT_EQ(format_size(2 * kGiB), "2.0 GiB");
+}
+
+TEST(Units, SimPageSizeMatchesPaperTestbed) {
+  // Section IV-A: "on ARM processors in this work 64KB pages are used".
+  EXPECT_EQ(kSimPageSize, 64 * kKiB);
+}
+
+TEST(ParseSize, FractionalValues) {
+  EXPECT_EQ(parse_size("1.5M"), kMiB + kMiB / 2);
+  EXPECT_EQ(parse_size("0.5G"), kGiB / 2);
+  EXPECT_EQ(parse_size("2.0 KiB"), 2 * kKiB);
+  EXPECT_FALSE(parse_size("4.K").has_value());
+}
+
+TEST(ParseSize, RoundTripThroughFormat) {
+  for (std::uint64_t v : {kKiB, 4 * kKiB, kMiB, 64 * kMiB, kGiB}) {
+    const auto parsed = parse_size(format_size(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+}  // namespace
+}  // namespace nmo

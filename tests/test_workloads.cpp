@@ -1,0 +1,301 @@
+// Correctness of the five workload implementations: the algorithms must
+// compute real, verifiable results (they are not access-pattern stubs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/bfs.hpp"
+#include "workloads/cfd.hpp"
+#include "workloads/graph.hpp"
+#include "workloads/inmem_als.hpp"
+#include "workloads/linalg.hpp"
+#include "workloads/pagerank.hpp"
+#include "workloads/stream.hpp"
+
+namespace nmo::wl {
+namespace {
+
+/// Minimal executor that runs kernels inline without simulation.
+class InlineExecutor final : public Executor {
+ public:
+  class NullRecorder final : public MemRecorder {
+   public:
+    void load(Addr, std::uint8_t) override { ++mem; }
+    void store(Addr, std::uint8_t) override { ++mem; }
+    void alu(std::uint32_t n) override { alu_ops += n; }
+    void flop(std::uint32_t n) override { flops += n; }
+    std::uint64_t mem = 0, alu_ops = 0, flops = 0;
+  };
+
+  explicit InlineExecutor(std::uint32_t nt = 4) : nt_(nt) {}
+
+  [[nodiscard]] std::uint32_t threads() const override { return nt_; }
+
+  void parallel_for(std::string_view, std::size_t n, const KernelBody& body) override {
+    const std::size_t chunk = (n + nt_ - 1) / nt_;
+    for (std::uint32_t t = 0; t < nt_; ++t) {
+      const std::size_t lo = std::min<std::size_t>(t * chunk, n);
+      const std::size_t hi = std::min<std::size_t>(lo + chunk, n);
+      if (lo < hi) body(t, lo, hi, recorder);
+    }
+  }
+  void serial(std::string_view, const SerialBody& body) override { body(recorder); }
+  Addr alloc(std::string_view, std::uint64_t bytes, std::uint64_t) override {
+    const Addr base = next_;
+    next_ += (bytes + 0xffff) & ~Addr{0xffff};
+    return base;
+  }
+  void dealloc(Addr) override {}
+  [[nodiscard]] std::uint64_t now_ns() const override { return 0; }
+
+  NullRecorder recorder;
+
+ private:
+  std::uint32_t nt_;
+  Addr next_ = 0x10000;
+};
+
+// ---------------------------------------------------------------- STREAM --
+TEST(StreamWorkload, TriadValuesMatchClosedForm) {
+  InlineExecutor exec;
+  StreamConfig cfg;
+  cfg.array_elems = 4096;
+  cfg.iterations = 3;
+  Stream s(cfg);
+  s.run(exec);
+  const double expect = Stream::expected_a(3, cfg.scalar);
+  for (std::size_t i = 0; i < cfg.array_elems; i += 777) {
+    EXPECT_DOUBLE_EQ(s.a()[i], expect);
+  }
+}
+
+TEST(StreamWorkload, RecordsThreeAccessesPerTriadElement) {
+  InlineExecutor exec;
+  StreamConfig cfg;
+  cfg.array_elems = 1000;
+  cfg.iterations = 1;
+  Stream s(cfg);
+  s.run(exec);
+  // init: 3n stores; copy 2n; scale 2n; add 3n; triad 3n => 13n total.
+  EXPECT_EQ(exec.recorder.mem, 13u * cfg.array_elems);
+}
+
+TEST(StreamWorkload, DistinctArrayBases) {
+  InlineExecutor exec;
+  StreamConfig cfg;
+  cfg.array_elems = 128;
+  Stream s(cfg);
+  s.run(exec);
+  EXPECT_NE(s.a_base(), s.b_base());
+  EXPECT_NE(s.b_base(), s.c_base());
+  EXPECT_GT(s.b_base(), s.a_base());
+}
+
+// ------------------------------------------------------------------- CFD --
+TEST(CfdWorkload, DensityStaysFiniteAndPositive) {
+  InlineExecutor exec;
+  CfdConfig cfg;
+  cfg.num_cells = 2048;
+  cfg.iterations = 10;
+  Cfd cfd(cfg);
+  cfd.run(exec);
+  for (double d : cfd.density()) {
+    ASSERT_TRUE(std::isfinite(d));
+    ASSERT_GT(d, 0.0);
+  }
+}
+
+TEST(CfdWorkload, MassStaysBounded) {
+  InlineExecutor exec;
+  CfdConfig cfg;
+  cfg.num_cells = 2048;
+  cfg.iterations = 10;
+  Cfd cfd(cfg);
+  cfd.run(exec);
+  const double mass = cfd.total_mass();
+  const double initial = 1.4 * static_cast<double>(cfg.num_cells);
+  EXPECT_NEAR(mass, initial, 0.2 * initial);
+}
+
+TEST(CfdWorkload, DeterministicForSeed) {
+  InlineExecutor e1, e2;
+  CfdConfig cfg;
+  cfg.num_cells = 1024;
+  cfg.iterations = 5;
+  Cfd a(cfg), b(cfg);
+  a.run(e1);
+  b.run(e2);
+  EXPECT_EQ(a.density(), b.density());
+}
+
+// ------------------------------------------------------------------- BFS --
+TEST(BfsWorkload, MatchesReferenceBfs) {
+  InlineExecutor exec;
+  BfsConfig cfg;
+  cfg.nodes = 4096;
+  cfg.edges_per_node = 4;
+  Bfs bfs(cfg);
+  bfs.run(exec);
+  const auto ref = reference_bfs(bfs.graph(), cfg.source);
+  ASSERT_EQ(bfs.cost().size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_EQ(bfs.cost()[v], ref[v]) << "node " << v;
+  }
+}
+
+TEST(BfsWorkload, SourceHasDistanceZero) {
+  InlineExecutor exec;
+  BfsConfig cfg;
+  cfg.nodes = 1024;
+  Bfs bfs(cfg);
+  bfs.run(exec);
+  EXPECT_EQ(bfs.cost()[cfg.source], 0);
+  EXPECT_GE(bfs.levels(), 1u);
+}
+
+// ------------------------------------------------------------------ Graph --
+TEST(Graph, UniformDegreeAndDeterminism) {
+  const auto g1 = make_uniform_graph(1000, 8, 3);
+  const auto g2 = make_uniform_graph(1000, 8, 3);
+  EXPECT_EQ(g1.num_edges(), 8000u);
+  EXPECT_EQ(g1.columns, g2.columns);
+  for (std::uint32_t v = 0; v < g1.num_nodes; ++v) EXPECT_EQ(g1.degree(v), 8u);
+}
+
+TEST(Graph, RmatIsSkewed) {
+  const auto g = make_rmat_graph(12, 8, 5);
+  EXPECT_EQ(g.num_nodes, 4096u);
+  // Power-law-ish: the max out-degree far exceeds the mean.
+  std::uint64_t max_deg = 0;
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GT(max_deg, 8u * 8u);
+}
+
+TEST(Graph, CsrOffsetsConsistent) {
+  const auto g = make_rmat_graph(10, 4, 9);
+  EXPECT_EQ(g.row_offsets.front(), 0u);
+  EXPECT_EQ(g.row_offsets.back(), g.num_edges());
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    EXPECT_LE(g.row_offsets[v], g.row_offsets[v + 1]);
+  }
+  for (auto c : g.columns) EXPECT_LT(c, g.num_nodes);
+}
+
+// --------------------------------------------------------------- PageRank --
+TEST(PageRankWorkload, RanksSumToOne) {
+  InlineExecutor exec;
+  PageRankConfig cfg;
+  cfg.nodes_log2 = 10;
+  cfg.iterations = 8;
+  PageRank pr(cfg);
+  pr.run(exec);
+  EXPECT_NEAR(pr.rank_sum(), 1.0, 1e-6);
+}
+
+TEST(PageRankWorkload, Converges) {
+  InlineExecutor exec;
+  PageRankConfig cfg;
+  cfg.nodes_log2 = 10;
+  cfg.iterations = 10;
+  PageRank pr(cfg);
+  pr.run(exec);
+  const auto& deltas = pr.iteration_deltas();
+  ASSERT_GE(deltas.size(), 3u);
+  EXPECT_LT(deltas.back(), deltas.front());
+}
+
+TEST(PageRankWorkload, AllRanksPositive) {
+  InlineExecutor exec;
+  PageRankConfig cfg;
+  cfg.nodes_log2 = 9;
+  cfg.iterations = 5;
+  PageRank pr(cfg);
+  pr.run(exec);
+  for (double r : pr.ranks()) EXPECT_GT(r, 0.0);
+}
+
+// -------------------------------------------------------------------- ALS --
+TEST(AlsWorkload, RmseDecreases) {
+  InlineExecutor exec;
+  AlsConfig cfg;
+  cfg.users = 600;
+  cfg.movies = 200;
+  cfg.ratings_per_user = 20;
+  cfg.rank = 8;
+  cfg.iterations = 4;
+  InMemAnalytics als(cfg);
+  als.run(exec);
+  const auto& rmse = als.rmse_history();
+  ASSERT_EQ(rmse.size(), cfg.iterations);
+  EXPECT_LT(rmse.back(), rmse.front());
+  for (std::size_t i = 1; i < rmse.size(); ++i) {
+    EXPECT_LE(rmse[i], rmse[i - 1] + 1e-9) << "iteration " << i;
+  }
+}
+
+TEST(AlsWorkload, FitsTheSyntheticRatings) {
+  InlineExecutor exec;
+  AlsConfig cfg;
+  cfg.users = 600;
+  cfg.movies = 200;
+  cfg.ratings_per_user = 30;
+  cfg.rank = 8;
+  cfg.iterations = 6;
+  InMemAnalytics als(cfg);
+  als.run(exec);
+  // The ratings were generated from a rank-12 model plus offset; a rank-8
+  // fit should still reach a small residual.
+  EXPECT_LT(als.rmse_history().back(), 0.5);
+}
+
+// ----------------------------------------------------------------- LinAlg --
+TEST(LinAlg, CholeskySolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {10, 8};
+  ASSERT_TRUE(solve_spd(DenseMatrix{a.data(), 2}, b.data()));
+  EXPECT_NEAR(b[0], 1.75, 1e-12);
+  EXPECT_NEAR(b[1], 1.5, 1e-12);
+}
+
+TEST(LinAlg, RejectsIndefinite) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(solve_spd(DenseMatrix{a.data(), 2}, b.data()));
+}
+
+TEST(LinAlg, IdentitySolve) {
+  std::vector<double> a = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<double> b = {3, -2, 7};
+  ASSERT_TRUE(solve_spd(DenseMatrix{a.data(), 3}, b.data()));
+  EXPECT_DOUBLE_EQ(b[0], 3);
+  EXPECT_DOUBLE_EQ(b[1], -2);
+  EXPECT_DOUBLE_EQ(b[2], 7);
+}
+
+TEST(LinAlg, LargerRandomSpd) {
+  // Build SPD as M^T M + I and check A x = b round trip.
+  constexpr std::size_t n = 12;
+  std::vector<double> m(n * n), a(n * n, 0.0);
+  std::uint64_t s = 99;
+  for (auto& v : m) {
+    s = s * 6364136223846793005ull + 1;
+    v = static_cast<double>(s >> 40) / (1 << 24) - 0.5;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) a[i * n + j] += m[k * n + i] * m[k * n + j];
+    }
+    a[i * n + i] += 1.0;
+  }
+  std::vector<double> x_true(n, 1.0), b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+  }
+  std::vector<double> a_copy = a;
+  ASSERT_TRUE(solve_spd(DenseMatrix{a_copy.data(), n}, b.data()));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace nmo::wl
