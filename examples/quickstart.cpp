@@ -59,5 +59,17 @@ int main() {
               session.profiler().bandwidth().peak_gib_per_s());
   std::printf("\nSanity: STREAM still computed the right answer: a[0] = %.4f (expect %.4f)\n",
               stream.a()[0], nmo::wl::Stream::expected_a(scfg.iterations, scfg.scalar));
-  return 0;
+
+  // 5. The parallel decode pipeline (spe/decode_pool.hpp) must reproduce
+  //    the serial trace bit-for-bit: same samples, same canonical order,
+  //    same MD5 fingerprint.
+  engine.decode_shards = 4;
+  nmo::wl::Stream stream_par(scfg);
+  nmo::core::ProfileSession session_par(config, engine);
+  session_par.profile(stream_par, /*with_baseline=*/false);
+  const std::string serial_md5 = session.profiler().trace().fingerprint();
+  const std::string parallel_md5 = session_par.profiler().trace().fingerprint();
+  std::printf("parallel decode (4 shards) fingerprint: %s -> %s\n", parallel_md5.c_str(),
+              parallel_md5 == serial_md5 ? "matches serial" : "MISMATCH");
+  return parallel_md5 == serial_md5 ? 0 : 1;
 }

@@ -13,8 +13,7 @@ Profiler* set_active_profiler(Profiler* profiler) {
 
 Profiler* active_profiler() { return g_active; }
 
-void Profiler::on_sample(const spe::Record& rec, CoreId core) {
-  if (!has_mode(config_.mode, Mode::kSample)) return;
+core::TraceSample Profiler::convert(const spe::Record& rec, CoreId core) const {
   TraceSample s;
   s.time_ns = time_conv_.to_ns(rec.timestamp);
   s.vaddr = rec.vaddr;
@@ -25,7 +24,37 @@ void Profiler::on_sample(const spe::Record& rec, CoreId core) {
   s.core = core;
   const auto region = regions_.find_region(rec.vaddr);
   s.region = region ? static_cast<std::int32_t>(*region) : -1;
-  trace_.add(s);
+  return s;
+}
+
+void Profiler::on_sample(const spe::Record& rec, CoreId core) {
+  if (!has_mode(config_.mode, Mode::kSample)) return;
+  trace_.add(convert(rec, core));
+}
+
+void Profiler::on_sample_batch(std::span<const spe::Record> records, CoreId core) {
+  if (!has_mode(config_.mode, Mode::kSample)) return;
+  for (const spe::Record& rec : records) trace_.add(convert(rec, core));
+}
+
+void Profiler::bind_trace_shards(std::uint32_t n) {
+  trace_shards_.assign(n, SampleTrace{});
+}
+
+spe::DecodePool::BatchSink Profiler::make_shard_sink() {
+  return [this](std::span<const spe::Record> records, CoreId core, std::uint32_t shard) {
+    if (!has_mode(config_.mode, Mode::kSample)) return;
+    SampleTrace& out = trace_shards_[shard];
+    for (const spe::Record& rec : records) out.add(convert(rec, core));
+  };
+}
+
+void Profiler::finalize_trace() {
+  for (auto& shard : trace_shards_) {
+    trace_.append(shard);
+    shard.clear();
+  }
+  trace_.sort_canonical();
 }
 
 void Profiler::tick(std::uint64_t now_ns, std::uint64_t bus_bytes_cum,

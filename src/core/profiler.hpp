@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/bandwidth.hpp"
 #include "core/capacity.hpp"
@@ -18,6 +20,7 @@
 #include "core/trace.hpp"
 #include "kernel/timeconv.hpp"
 #include "spe/aux_consumer.hpp"
+#include "spe/decode_pool.hpp"
 
 namespace nmo::core {
 
@@ -32,12 +35,28 @@ class Profiler {
   /// metadata page, section IV-A).
   void set_time_conv(const kern::TimeConv& conv) { time_conv_ = conv; }
 
-  /// Sink compatible with spe::AuxConsumer: decodes, converts timestamps,
-  /// attributes regions, appends to the trace.
+  /// Sink logic for spe::AuxConsumer: converts timestamps, attributes
+  /// regions, appends to the trace.
   void on_sample(const spe::Record& rec, CoreId core);
-  [[nodiscard]] spe::AuxConsumer::Sink make_sink() {
-    return [this](const spe::Record& r, CoreId c) { on_sample(r, c); };
+
+  /// Batched variant of on_sample: one call per decoded record batch.
+  void on_sample_batch(std::span<const spe::Record> records, CoreId core);
+  [[nodiscard]] spe::AuxConsumer::BatchSink make_batch_sink() {
+    return [this](std::span<const spe::Record> r, CoreId c) { on_sample_batch(r, c); };
   }
+
+  // -- sharded collection (parallel decode pipeline) --------------------------
+  /// Creates `n` per-shard traces for a spe::DecodePool with `n` shards.
+  void bind_trace_shards(std::uint32_t n);
+  /// Sink for spe::DecodePool workers: each shard appends only to its own
+  /// trace, so no locking is needed.  Requires bind_trace_shards(n) first.
+  [[nodiscard]] spe::DecodePool::BatchSink make_shard_sink();
+  [[nodiscard]] bool sharded() const { return !trace_shards_.empty(); }
+
+  /// Finalizes the trace: merges any shard traces into the main one and
+  /// sorts into the canonical order (core/trace.hpp), so the serial and the
+  /// sharded decode paths emit byte-identical CSV and MD5 fingerprints.
+  void finalize_trace();
 
   /// Periodic tick with cumulative machine counters.
   void tick(std::uint64_t now_ns, std::uint64_t bus_bytes_cum, std::uint64_t fp_ops_cum);
@@ -65,11 +84,14 @@ class Profiler {
   [[nodiscard]] std::uint64_t now() const { return now_ns_ ? now_ns_() : 0; }
 
  private:
+  [[nodiscard]] TraceSample convert(const spe::Record& rec, CoreId core) const;
+
   NmoConfig config_;
   std::function<std::uint64_t()> now_ns_;
   kern::TimeConv time_conv_ = kern::TimeConv::from_frequency(1e9);
   RegionTable regions_;
   SampleTrace trace_;
+  std::vector<SampleTrace> trace_shards_;  ///< One per decode-pool shard.
   CapacityTracker capacity_;
   BandwidthEstimator bandwidth_;
 };

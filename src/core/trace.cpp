@@ -1,8 +1,17 @@
 #include "core/trace.hpp"
 
+#include <algorithm>
 #include <array>
+#include <tuple>
 
 namespace nmo::core {
+
+void SampleTrace::sort_canonical() {
+  std::sort(samples_.begin(), samples_.end(), [](const TraceSample& a, const TraceSample& b) {
+    return std::tie(a.time_ns, a.core, a.vaddr, a.pc, a.op, a.level, a.latency, a.region) <
+           std::tie(b.time_ns, b.core, b.vaddr, b.pc, b.op, b.level, b.latency, b.region);
+  });
+}
 
 std::string SampleTrace::fingerprint() const {
   Md5 hasher;

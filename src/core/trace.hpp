@@ -29,6 +29,19 @@ class SampleTrace {
  public:
   void add(const TraceSample& s) { samples_.push_back(s); }
 
+  /// Appends every sample of `other` (shard merge at finalize).
+  void append(const SampleTrace& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
+  /// Sorts into the canonical order: timestamp, then core, then the
+  /// remaining fields as tie-breakers.  The comparator is a total order
+  /// over the full sample content, so any two traces holding the same
+  /// multiset of samples - e.g. the serial decode path and the sharded
+  /// parallel one - canonicalize to byte-identical CSV/fingerprint output
+  /// regardless of arrival order.
+  void sort_canonical();
+
   [[nodiscard]] const std::vector<TraceSample>& samples() const { return samples_; }
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }

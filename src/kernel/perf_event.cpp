@@ -42,6 +42,18 @@ bool PerfEvent::aux_write(std::span<const std::byte> bytes, std::uint64_t now_ns
   return true;
 }
 
+std::size_t PerfEvent::aux_write_batch(std::span<const std::byte> records,
+                                       std::size_t record_size,
+                                       std::span<const std::uint64_t> times_ns) {
+  std::size_t accepted = 0;
+  std::size_t i = 0;
+  for (std::size_t off = 0; off + record_size <= records.size(); off += record_size, ++i) {
+    const std::uint64_t now_ns = i < times_ns.size() ? times_ns[i] : 0;
+    if (aux_write(records.subspan(off, record_size), now_ns)) ++accepted;
+  }
+  return accepted;
+}
+
 void PerfEvent::flush_aux(std::uint64_t now_ns) {
   if (ring_ == nullptr) return;
   if (aux_->head() > emitted_head_ || pending_flags_ != 0) {

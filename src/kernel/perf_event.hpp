@@ -73,6 +73,16 @@ class PerfEvent {
   /// dropped (a TRUNCATED flag will be carried by the next AUX record).
   bool aux_write(std::span<const std::byte> bytes, std::uint64_t now_ns);
 
+  /// Batched variant: writes `records.size() / record_size` fixed-size
+  /// records in one call, each stamped with its own timestamp from
+  /// `times_ns`.  Watermark checks, AUX record emission and truncation
+  /// accounting are applied per record, so the observable event stream is
+  /// identical to calling aux_write() in a loop; the batch only removes the
+  /// per-record call boundary on the producer's hot path.  Returns the
+  /// number of records accepted.
+  std::size_t aux_write_batch(std::span<const std::byte> records, std::size_t record_size,
+                              std::span<const std::uint64_t> times_ns);
+
   /// Device-side notification that a hardware sample collision occurred;
   /// the next AUX record carries the COLLISION flag (what NMO counts).
   void note_collision() { pending_flags_ |= kAuxFlagCollision; }

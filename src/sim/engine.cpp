@@ -61,7 +61,17 @@ TraceEngine::TraceEngine(const EngineConfig& config, core::Profiler* profiler)
       samplers_.push_back(std::make_unique<spe::Sampler>(&ev, Rng(config_.seed, 900 + t)));
       events_.push_back(&ev);
     }
-    consumer_ = std::make_unique<spe::AuxConsumer>(profiler_->make_sink());
+    if (config_.decode_shards > 1) {
+      // Parallel decode pipeline: raw record batches fan out to shard
+      // workers that decode into per-shard traces, merged canonically at
+      // finalize.
+      profiler_->bind_trace_shards(config_.decode_shards);
+      decode_pool_ = std::make_unique<spe::DecodePool>(config_.decode_shards,
+                                                       profiler_->make_shard_sink());
+      consumer_ = std::make_unique<spe::AuxConsumer>(decode_pool_.get());
+    } else {
+      consumer_ = std::make_unique<spe::AuxConsumer>(profiler_->make_batch_sink());
+    }
     monitor_ = std::make_unique<Monitor>(machine_->cost(), consumer_.get(), events_);
     profiler_->set_time_conv(machine_->time_conv());
   }
@@ -283,6 +293,11 @@ void TraceEngine::finalize() {
   if (monitor_) {
     process_monitor_until(~Cycles{0} >> 1);
     monitor_->drain_all();
+  }
+  if (profiler_ != nullptr && consumer_ != nullptr) {
+    // Merge shard traces (parallel path) and canonicalize the order so the
+    // serial and parallel pipelines emit byte-identical CSV/fingerprints.
+    profiler_->finalize_trace();
   }
   if (profiler_ != nullptr && config_.tick_interval_ns != 0) {
     const auto& bus = machine_->hierarchy().bus();

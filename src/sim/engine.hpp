@@ -24,6 +24,7 @@
 #include "sim/machine.hpp"
 #include "sim/monitor.hpp"
 #include "spe/aux_consumer.hpp"
+#include "spe/decode_pool.hpp"
 #include "spe/sampler.hpp"
 #include "workloads/workload.hpp"
 
@@ -38,6 +39,11 @@ struct EngineConfig {
   std::uint64_t tick_interval_ns = 10'000'000;
   /// Same PMU population mismatch as the statistical driver.
   double pmu_overcount = 0.015;
+  /// Decode shards for the parallel SPE decode pipeline (spe/decode_pool).
+  /// <= 1 selects the serial inline decode path.  Any value produces
+  /// byte-identical traces: shard traces are merged canonically at
+  /// finalize (core/trace.hpp sort_canonical).
+  std::uint32_t decode_shards = 1;
 };
 
 /// Aggregated sampling statistics of one engine run.
@@ -104,6 +110,7 @@ class TraceEngine final : public wl::Executor {
 
   std::vector<std::unique_ptr<spe::Sampler>> samplers_;
   std::vector<kern::PerfEvent*> events_;
+  std::unique_ptr<spe::DecodePool> decode_pool_;  ///< Non-null when decode_shards > 1.
   std::unique_ptr<spe::AuxConsumer> consumer_;
   std::unique_ptr<Monitor> monitor_;
   std::optional<Cycles> monitor_due_;

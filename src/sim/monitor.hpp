@@ -60,6 +60,11 @@ class Monitor {
       bytes_drained_ += consumer_->drain(*ev);
       while (ev->pending_wakeups() > 0) ev->ack_wakeup();
     }
+    // Fork/join barrier of the parallel decode path: shard workers decode
+    // the whole round concurrently while the round is still "open", so the
+    // simulated timeline never observes a half-decoded buffer.  (No-op for
+    // the serial inline consumer.)
+    consumer_->sync();
     ++rounds_;
     last_round_end_ = now_cycles;
     round_armed_ = false;
@@ -76,6 +81,7 @@ class Monitor {
   /// paper's note that the final buffer drain happens after program exit).
   void drain_all() {
     for (auto* ev : events_) bytes_drained_ += consumer_->drain(*ev);
+    consumer_->sync();
     round_armed_ = false;
   }
 

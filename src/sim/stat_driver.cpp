@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "sim/monitor.hpp"
 #include "spe/aux_consumer.hpp"
+#include "spe/decode_pool.hpp"
 #include "spe/sampler.hpp"
 
 namespace nmo::sim {
@@ -124,7 +125,12 @@ StatResult run_statistical(const WorkloadProfile& profile, const MachineConfig& 
   }
   for (std::uint32_t t = 0; t < threads; ++t) ts[t].op_rng = Rng(cfg.seed, 2000 + t);
 
-  spe::AuxConsumer consumer;
+  std::unique_ptr<spe::DecodePool> decode_pool;
+  if (cfg.decode_shards > 1) {
+    decode_pool = std::make_unique<spe::DecodePool>(cfg.decode_shards);
+  }
+  spe::AuxConsumer consumer =
+      decode_pool ? spe::AuxConsumer(decode_pool.get()) : spe::AuxConsumer();
   CostModel monitor_cost = cost;
   if (cfg.monitor_round_interval_cycles != 0) {
     monitor_cost.monitor_round_interval_cycles = cfg.monitor_round_interval_cycles;

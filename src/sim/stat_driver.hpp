@@ -50,6 +50,10 @@ struct SweepConfig {
   /// responsive; full-trace runs with RSS tracking and tagged regions
   /// (Figures 9-11) load the monitor loop and stretch its rounds.
   Cycles monitor_round_interval_cycles = 0;
+  /// Decode shards for the parallel SPE decode pipeline (spe/decode_pool);
+  /// <= 1 keeps the serial inline decode.  All StatResult tallies are
+  /// identical either way - the monitor syncs the pool at every round.
+  std::uint32_t decode_shards = 1;
 };
 
 /// Aggregated outcome of a run; analysis/accuracy.hpp turns this into the

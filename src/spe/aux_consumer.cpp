@@ -1,5 +1,7 @@
 #include "spe/aux_consumer.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 #include <vector>
 
@@ -7,6 +9,7 @@ namespace nmo::spe {
 
 std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
   std::uint64_t bytes = 0;
+  std::array<Record, RecordBatch::kMaxRecords> decoded;
   while (auto rec = ev.read_record()) {
     switch (rec->header.type) {
       case kern::RecordType::kAux: {
@@ -19,13 +22,24 @@ std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
 
         std::vector<std::byte> data(aux.aux_size);
         ev.read_aux(aux.aux_offset, data);
-        for (std::size_t off = 0; off + kRecordSize <= data.size(); off += kRecordSize) {
-          const auto result = decode(std::span<const std::byte>(data).subspan(off, kRecordSize));
-          if (result.ok()) {
-            ++counts_.records_ok;
-            if (sink_) sink_(*result.record, ev.core());
-          } else {
-            ++counts_.records_skipped;
+        const std::size_t whole = data.size() / kRecordSize * kRecordSize;
+        if (pool_ != nullptr) {
+          // Parallel path: hand the raw records to the shard queues; the
+          // aux space can be recycled as soon as the bytes are copied out.
+          pool_->submit(std::span<const std::byte>(data.data(), whole), ev.core());
+        } else {
+          // Serial path: decode inline with the same chunk loop the pool
+          // workers use, flushing valid records to the sink in batches.
+          constexpr std::size_t kChunkBytes = RecordBatch::kMaxRecords * kRecordSize;
+          for (std::size_t off = 0; off < whole; off += kChunkBytes) {
+            const std::size_t len = std::min(kChunkBytes, whole - off);
+            const DecodedChunk chunk =
+                decode_chunk(std::span<const std::byte>(data).subspan(off, len), decoded);
+            counts_.records_ok += chunk.ok;
+            counts_.records_skipped += chunk.skipped;
+            if (batch_sink_ && chunk.ok > 0) {
+              batch_sink_(std::span<const Record>(decoded.data(), chunk.ok), ev.core());
+            }
           }
         }
         ev.consume_aux(aux.aux_offset + aux.aux_size);
@@ -52,6 +66,22 @@ std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
     }
   }
   return bytes;
+}
+
+void AuxConsumer::sync() {
+  if (pool_ == nullptr) return;
+  pool_->sync();
+  const auto decoded = pool_->counts();
+  counts_.records_ok = decoded.records_ok;
+  counts_.records_skipped = decoded.records_skipped;
+}
+
+void AuxConsumer::reset_counts() {
+  counts_ = Counts{};
+  if (pool_ != nullptr) {
+    pool_->sync();
+    pool_->reset_counts();
+  }
 }
 
 }  // namespace nmo::spe

@@ -2,17 +2,27 @@
 // that NMO runs when epoll reports a wakeup.
 //
 // For every PERF_RECORD_AUX in the data ring this reads the referenced aux
-// bytes, splits them into 64-byte records, decodes each with NMO's
-// validation rules (spe/packet.hpp), forwards valid ones to a sink, and
-// advances aux_tail so the device can reuse the space.  It also tallies the
-// flags NMO's evaluation counts: COLLISION-flagged records (the paper's
-// "sample collision" metric) and TRUNCATED ones.
+// bytes, splits them into 64-byte records and forwards them down one of two
+// decode paths:
+//
+//  * serial (default): records are decoded inline with NMO's validation
+//    rules (spe/packet.hpp) and valid ones are handed to the sink in
+//    batches (spans of up to RecordBatch::kMaxRecords records);
+//  * parallel: raw record bytes are fanned out to a spe::DecodePool, whose
+//    worker shards decode them off the drain thread.  sync() is the
+//    barrier that makes counts and sink state coherent again.
+//
+// Either way the consumer advances aux_tail so the device can reuse the
+// space, and tallies the flags NMO's evaluation counts: COLLISION-flagged
+// records (the paper's "sample collision" metric) and TRUNCATED ones.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 
 #include "kernel/perf_event.hpp"
+#include "spe/decode_pool.hpp"
 #include "spe/packet.hpp"
 
 namespace nmo::spe {
@@ -29,20 +39,41 @@ class AuxConsumer {
     std::uint64_t lost_records = 0;     ///< PERF_RECORD_LOST events.
   };
 
-  /// `sink` receives every valid sample (may be empty for counting runs).
+  /// Batched sink: receives every valid sample of one AUX record as a span.
+  using BatchSink = std::function<void(std::span<const Record>, CoreId core)>;
+  /// Legacy per-record sink, adapted onto the batched path.
   using Sink = std::function<void(const Record&, CoreId core)>;
 
-  explicit AuxConsumer(Sink sink = {}) : sink_(std::move(sink)) {}
+  AuxConsumer() = default;
+  explicit AuxConsumer(BatchSink sink) : batch_sink_(std::move(sink)) {}
+  explicit AuxConsumer(Sink sink) {
+    if (sink) {
+      batch_sink_ = [s = std::move(sink)](std::span<const Record> records, CoreId core) {
+        for (const Record& r : records) s(r, core);
+      };
+    }
+  }
+  /// Parallel mode: raw records are submitted to `pool` (not owned) instead
+  /// of being decoded inline.  counts() is coherent only after sync().
+  explicit AuxConsumer(DecodePool* pool) : pool_(pool) {}
 
   /// Drains all pending records of `ev`; returns the number of aux bytes
   /// consumed (what the monitor's timing model charges for).
   std::uint64_t drain(kern::PerfEvent& ev);
 
+  /// Barrier for the parallel path: waits for every in-flight batch, then
+  /// folds the pool's decode tallies into counts().  No-op in serial mode.
+  void sync();
+
+  [[nodiscard]] bool parallel() const { return pool_ != nullptr; }
+  [[nodiscard]] const DecodePool* pool() const { return pool_; }
+
   [[nodiscard]] const Counts& counts() const { return counts_; }
-  void reset_counts() { counts_ = Counts{}; }
+  void reset_counts();
 
  private:
-  Sink sink_;
+  BatchSink batch_sink_;
+  DecodePool* pool_ = nullptr;
   Counts counts_;
 };
 

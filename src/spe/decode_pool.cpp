@@ -1,0 +1,151 @@
+#include "spe/decode_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace nmo::spe {
+
+DecodedChunk decode_chunk(std::span<const std::byte> raw, std::span<Record> out) {
+  DecodedChunk chunk;
+  for (std::size_t off = 0;
+       off + kRecordSize <= raw.size() && chunk.ok < out.size(); off += kRecordSize) {
+    const auto result = decode(raw.subspan(off, kRecordSize));
+    if (result.ok()) {
+      out[chunk.ok++] = *result.record;
+    } else {
+      ++chunk.skipped;
+    }
+  }
+  return chunk;
+}
+
+SpscBatchQueue::SpscBatchQueue(std::size_t capacity)
+    : slots_(std::bit_ceil(std::max<std::size_t>(2, capacity))), mask_(slots_.size() - 1) {}
+
+bool SpscBatchQueue::try_push(const RecordBatch& batch) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= slots_.size()) return false;
+  slots_[head & mask_] = batch;
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+bool SpscBatchQueue::try_pop(RecordBatch& out) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail == head) return false;
+  out = slots_[tail & mask_];
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+DecodePool::DecodePool(std::uint32_t shards, BatchSink sink, std::size_t queue_capacity)
+    : sink_(std::move(sink)) {
+  if (shards == 0) throw std::invalid_argument("DecodePool needs at least one shard");
+  shards_.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(queue_capacity));
+  }
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    shards_[i]->worker = std::thread([this, i] { worker_loop(*shards_[i], i); });
+  }
+}
+
+DecodePool::~DecodePool() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->wake_mutex);
+    }
+    shard->wake_cv.notify_one();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void DecodePool::submit(std::span<const std::byte> raw, CoreId core) {
+  Shard& shard = *shards_[shard_of(core)];
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    RecordBatch batch;
+    batch.core = core;
+    const std::size_t records =
+        std::min<std::size_t>(RecordBatch::kMaxRecords, (raw.size() - off) / kRecordSize);
+    batch.records = static_cast<std::uint32_t>(records);
+    std::memcpy(batch.bytes.data(), raw.data() + off, records * kRecordSize);
+    off += records * kRecordSize;
+
+    // Backpressure: the producer waits for queue space rather than dropping
+    // (loss is the device model's job, not the decode pipeline's).
+    while (!shard.queue.try_push(batch)) std::this_thread::yield();
+    shard.submitted.fetch_add(1, std::memory_order_release);
+    // Taking the mutex (even empty) orders this push against the worker's
+    // predicate-check-then-block window, so the notify cannot be lost.
+    {
+      std::lock_guard<std::mutex> lock(shard.wake_mutex);
+    }
+    shard.wake_cv.notify_one();
+  }
+}
+
+void DecodePool::sync() {
+  for (auto& shard : shards_) {
+    const std::uint64_t target = shard->submitted.load(std::memory_order_acquire);
+    while (shard->processed.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+DecodePool::DecodeCounts DecodePool::counts() const {
+  DecodeCounts total;
+  for (const auto& shard : shards_) {
+    total.records_ok += shard->records_ok;
+    total.records_skipped += shard->records_skipped;
+  }
+  return total;
+}
+
+void DecodePool::reset_counts() {
+  for (auto& shard : shards_) {
+    shard->records_ok = 0;
+    shard->records_skipped = 0;
+  }
+}
+
+void DecodePool::worker_loop(Shard& shard, std::uint32_t index) {
+  std::array<Record, RecordBatch::kMaxRecords> decoded;
+  RecordBatch batch;
+  std::uint32_t idle_polls = 0;
+  while (true) {
+    if (!shard.queue.try_pop(batch)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      // Spin briefly (drain rounds arrive in bursts), then park on the
+      // condvar so an idle pool costs nothing between rounds.
+      if (++idle_polls < 1024) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(shard.wake_mutex);
+        shard.wake_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+          return stop_.load(std::memory_order_acquire) || !shard.queue.empty();
+        });
+        idle_polls = 0;
+      }
+      continue;
+    }
+    idle_polls = 0;
+
+    const DecodedChunk chunk = decode_chunk(batch.payload(), decoded);
+    shard.records_ok += chunk.ok;
+    shard.records_skipped += chunk.skipped;
+    if (sink_ && chunk.ok > 0) {
+      sink_(std::span<const Record>(decoded.data(), chunk.ok), batch.core, index);
+    }
+    shard.processed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace nmo::spe

@@ -1,0 +1,156 @@
+// Parallel sharded decode pipeline for SPE aux data.
+//
+// The serial consumer (spe/aux_consumer.hpp) decodes every 64-byte record
+// inline on the monitor thread; at production scale the monitor is bounded
+// by decode throughput, which is exactly why the paper sweeps period and
+// aux-buffer size (Figs. 7-9): whatever cannot be drained in time is lost.
+// DecodePool decouples draining from decoding: the producer (the monitor
+// loop) packs raw 64-byte records into fixed-size RecordBatches and fans
+// them out to N worker shards, one lock-free SPSC batch queue per shard
+// (same head/tail cursor discipline as kernel/ring_buffer.hpp, with atomics
+// because the two sides really are different threads here).  Records are
+// sharded by producing core, so each shard observes one or more cores'
+// streams in order and a per-shard sink never needs a lock.
+//
+// The pool is fork/join with respect to the simulator's virtual time:
+// sync() is a barrier that waits until every submitted batch has been
+// decoded, so callers that sync at the end of a drain round observe exactly
+// the counts the serial path would have produced, and per-shard traces can
+// be merged deterministically at finalize (core/trace.hpp sort_canonical).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "spe/packet.hpp"
+
+namespace nmo::spe {
+
+/// A fixed-capacity batch of raw 64-byte SPE records from one core: the
+/// unit of transport between the drain loop and a decode shard.
+struct RecordBatch {
+  /// Records per batch: 64 x 64 B = 4 KiB per queue slot, large enough to
+  /// amortize the queue handoff, small enough to keep shards load-balanced.
+  static constexpr std::size_t kMaxRecords = 64;
+
+  CoreId core = 0;
+  std::uint32_t records = 0;  ///< Occupied records in `bytes`.
+  std::array<std::byte, kMaxRecords * kRecordSize> bytes;
+
+  [[nodiscard]] std::span<const std::byte> payload() const {
+    return std::span<const std::byte>(bytes.data(), records * kRecordSize);
+  }
+};
+
+/// Lock-free single-producer/single-consumer ring of RecordBatches.  The
+/// producer is the drain loop; the consumer is one shard worker.
+class SpscBatchQueue {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit SpscBatchQueue(std::size_t capacity);
+
+  /// Producer side; returns false when the ring is full.
+  bool try_push(const RecordBatch& batch);
+  /// Consumer side; returns false when the ring is empty.
+  bool try_pop(RecordBatch& out);
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<RecordBatch> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< Next write slot (producer).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< Next read slot (consumer).
+};
+
+/// Result of decoding one chunk of raw records.
+struct DecodedChunk {
+  std::uint32_t ok = 0;       ///< Valid records written to `out`.
+  std::uint32_t skipped = 0;  ///< Records failing NMO's validation rules.
+};
+
+/// Decodes every whole 64-byte record in `raw` (at most out.size() of
+/// them), writing valid ones to the front of `out`.  The single decode
+/// loop shared by the serial inline consumer and the pool workers, so the
+/// two paths cannot drift apart.
+DecodedChunk decode_chunk(std::span<const std::byte> raw, std::span<Record> out);
+
+class DecodePool {
+ public:
+  /// Decode tallies, aggregated across shards (valid after sync()).
+  struct DecodeCounts {
+    std::uint64_t records_ok = 0;
+    std::uint64_t records_skipped = 0;
+  };
+
+  /// Receives every decoded batch on the shard's worker thread.  `shard` is
+  /// the worker index, so a sink writing into per-shard storage needs no
+  /// locking.  May be empty (counting-only runs).
+  using BatchSink = std::function<void(std::span<const Record>, CoreId, std::uint32_t shard)>;
+
+  /// Spawns `shards` worker threads, each owning one SPSC queue of
+  /// `queue_capacity` batches.
+  explicit DecodePool(std::uint32_t shards, BatchSink sink = {},
+                      std::size_t queue_capacity = 256);
+  ~DecodePool();
+
+  DecodePool(const DecodePool&) = delete;
+  DecodePool& operator=(const DecodePool&) = delete;
+
+  /// Producer side (one thread): splits `raw` into RecordBatches and
+  /// enqueues them on core's shard.  Blocks (spin + yield) while the shard
+  /// queue is full - backpressure instead of loss, matching the semantics
+  /// of the serial inline decode.  `raw.size()` must be a multiple of
+  /// kRecordSize.
+  void submit(std::span<const std::byte> raw, CoreId core);
+
+  /// Barrier: returns once every submitted batch has been decoded and its
+  /// sink call has returned.  Afterwards counts() and all per-shard sink
+  /// state are coherent with the producer thread.
+  void sync();
+
+  [[nodiscard]] std::uint32_t shards() const { return static_cast<std::uint32_t>(shards_.size()); }
+  [[nodiscard]] std::uint32_t shard_of(CoreId core) const {
+    return static_cast<std::uint32_t>(core % shards_.size());
+  }
+
+  /// Aggregated decode tallies; call sync() first.
+  [[nodiscard]] DecodeCounts counts() const;
+  /// Resets the tallies (between bench iterations); call sync() first.
+  void reset_counts();
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+    SpscBatchQueue queue;
+    /// Batches handed to the queue / fully decoded; equality means idle.
+    alignas(64) std::atomic<std::uint64_t> submitted{0};
+    alignas(64) std::atomic<std::uint64_t> processed{0};
+    std::uint64_t records_ok = 0;       ///< Worker-private until sync().
+    std::uint64_t records_skipped = 0;  ///< Worker-private until sync().
+    std::mutex wake_mutex;
+    std::condition_variable wake_cv;
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard, std::uint32_t index);
+
+  BatchSink sink_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace nmo::spe

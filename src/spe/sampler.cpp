@@ -123,6 +123,24 @@ void Sampler::flush([[maybe_unused]] std::uint64_t now_cycles) {
     // flush happens much later (the device timestamps at retirement).
     complete(p.op, p.complete_at);
   }
+  flush_writes();
+}
+
+void Sampler::set_write_batch(std::uint32_t n) {
+  flush_writes();
+  write_batch_ = n > 0 ? n : 1;
+  staged_bytes_.reserve(static_cast<std::size_t>(write_batch_) * kRecordSize);
+  staged_ns_.reserve(write_batch_);
+}
+
+void Sampler::flush_writes() {
+  if (staged_ns_.empty()) return;
+  const std::size_t total = staged_ns_.size();
+  const std::size_t accepted = event_->aux_write_batch(staged_bytes_, kRecordSize, staged_ns_);
+  stats_.written += accepted;
+  stats_.write_failed += total - accepted;
+  staged_bytes_.clear();
+  staged_ns_.clear();
 }
 
 void Sampler::complete(const OpInfo& op, std::uint64_t completion_cycles) {
@@ -150,11 +168,9 @@ void Sampler::complete(const OpInfo& op, std::uint64_t completion_cycles) {
 
   std::array<std::byte, kRecordSize> wire{};
   encode(rec, wire);
-  if (event_->aux_write(wire, now_ns)) {
-    ++stats_.written;
-  } else {
-    ++stats_.write_failed;
-  }
+  staged_bytes_.insert(staged_bytes_.end(), wire.begin(), wire.end());
+  staged_ns_.push_back(now_ns);
+  if (staged_ns_.size() >= write_batch_) flush_writes();
 }
 
 }  // namespace nmo::spe

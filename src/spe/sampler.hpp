@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -94,8 +95,19 @@ class Sampler {
   /// Completes the pending sample if its pipeline finished by `now_cycles`.
   void finish_due(std::uint64_t now_cycles);
 
-  /// Unconditionally completes any pending sample (end of run).
+  /// Unconditionally completes any pending sample (end of run), then
+  /// flushes any staged records to the aux buffer.
   void flush(std::uint64_t now_cycles);
+
+  /// Write-combining: completed records are staged and flushed to the aux
+  /// buffer in batches of `n` via kern::PerfEvent::aux_write_batch.  The
+  /// default n == 1 flushes every record immediately - byte-identical to
+  /// the per-record path - while larger batches remove the per-record call
+  /// boundary on the producer side at the cost of deferring the records'
+  /// visibility to the consumer until the batch fills (or flush_writes()).
+  void set_write_batch(std::uint32_t n);
+  /// Flushes staged records now; no-op when the stage is empty.
+  void flush_writes();
 
   /// Remaining decoded operations until the next selection.
   [[nodiscard]] std::uint64_t counter() const { return counter_; }
@@ -121,6 +133,12 @@ class Sampler {
   };
   std::optional<Pending> pending_;
   Stats stats_;
+
+  /// Write-combining stage (set_write_batch): encoded records and their
+  /// per-record timestamps awaiting one aux_write_batch call.
+  std::uint32_t write_batch_ = 1;
+  std::vector<std::byte> staged_bytes_;
+  std::vector<std::uint64_t> staged_ns_;
 };
 
 }  // namespace nmo::spe

@@ -223,5 +223,37 @@ TEST_P(SamplerLinearity, SelectionsMatchExpectation) {
 INSTANTIATE_TEST_SUITE_P(Periods, SamplerLinearity,
                          ::testing::Values(64, 256, 1024, 4096, 16384));
 
+/// Write-combining parity: a sampler staging records in batches must land
+/// the identical record stream (and written/write_failed totals) in the
+/// aux buffer as the per-record default, once flushed.
+TEST(Sampler, WriteBatchingIsRecordIdentical) {
+  const auto run = [](std::uint32_t write_batch) {
+    Fixture fx(64);
+    if (write_batch > 1) fx.sampler->set_write_batch(write_batch);
+    std::uint64_t now = 0;
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      fx.sampler->on_mem_op(load_at(now += 5, 4, 0x1000 + i * 8));
+    }
+    fx.sampler->flush(now);
+    fx.event->flush_aux(0);
+    std::vector<std::pair<Addr, std::uint64_t>> records;
+    AuxConsumer consumer([&](const Record& r, CoreId) {
+      records.emplace_back(r.vaddr, r.timestamp);
+    });
+    consumer.drain(*fx.event);
+    return std::tuple{fx.sampler->stats().written, fx.sampler->stats().write_failed,
+                      records};
+  };
+
+  const auto [written1, failed1, records1] = run(1);
+  ASSERT_GT(written1, 0u);
+  for (const std::uint32_t batch : {8u, 64u}) {
+    const auto [written, failed, records] = run(batch);
+    EXPECT_EQ(written, written1) << "batch=" << batch;
+    EXPECT_EQ(failed, failed1) << "batch=" << batch;
+    EXPECT_EQ(records, records1) << "batch=" << batch;
+  }
+}
+
 }  // namespace
 }  // namespace nmo::spe
