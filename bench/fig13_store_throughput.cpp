@@ -1,0 +1,159 @@
+// Trace-store throughput: write/read/merge MB/s and samples/sec of the
+// binary trace format (store/trace_file.hpp) against CSV export.
+//
+// Not a paper figure: it characterizes the store subsystem this repo adds
+// on top of the paper's per-run CSV workflow.  The numbers that matter at
+// many-concurrent-sessions scale are (a) how fast a session can persist
+// its trace, (b) how fast nmo-trace can stream it back, and (c) how fast
+// the k-way merger folds N session files into the canonical trace.
+//
+//   ./bench_fig13_store_throughput [samples] [trials] [shards]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/trace.hpp"
+#include "store/trace_file.hpp"
+#include "store/trace_merger.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A plausible canonical trace: monotone timestamps, clustered addresses.
+nmo::core::SampleTrace make_trace(std::size_t samples) {
+  nmo::core::SampleTrace trace;
+  nmo::Rng rng(42, 13);
+  std::uint64_t t = 1000;
+  for (std::size_t i = 0; i < samples; ++i) {
+    nmo::core::TraceSample s;
+    t += 1 + rng.uniform(200);
+    s.time_ns = t;
+    s.core = static_cast<nmo::CoreId>(rng.uniform(8));
+    s.vaddr = 0x4000'0000 + s.core * 0x100'0000 + rng.uniform(1 << 20) * 8;
+    s.pc = 0x400000 + rng.uniform(0x10000);
+    s.op = rng.uniform(4) == 0 ? nmo::MemOp::kStore : nmo::MemOp::kLoad;
+    const unsigned level = static_cast<unsigned>(rng.uniform(4));
+    s.level = static_cast<nmo::MemLevel>(level);
+    s.latency = static_cast<std::uint16_t>(level == 3 ? 330 : 4 + level * 9);
+    s.region = rng.uniform(8) == 0 ? -1 : static_cast<std::int32_t>(rng.uniform(4));
+    trace.add(s);
+  }
+  trace.sort_canonical();
+  return trace;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+void report(const char* name, const nmo::RunningStats& seconds, std::uint64_t bytes,
+            std::size_t samples) {
+  char rate[64], through[64];
+  std::snprintf(rate, sizeof(rate), "%.1f MB/s", mib(bytes) / seconds.mean());
+  std::snprintf(through, sizeof(through), "%.3g samples/s",
+                static_cast<double>(samples) / seconds.mean());
+  nmo::bench::print_row({name, rate, through}, 20);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t samples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 20;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::size_t shards = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  if (samples == 0 || trials <= 0 || shards == 0) {
+    std::fprintf(stderr, "usage: %s [samples > 0] [trials > 0] [shards > 0]\n", argv[0]);
+    return 2;
+  }
+
+  nmo::bench::banner("fig13", "trace store: binary write/read/merge vs CSV export");
+  std::printf("%zu samples, %d trials, %zu merge shards\n\n", samples, trials, shards);
+
+  const fs::path dir = fs::temp_directory_path() / "nmo_fig13_store";
+  fs::create_directories(dir);
+  const std::string bin_path = (dir / "trace.nmot").string();
+  const std::string csv_path = (dir / "trace.csv").string();
+
+  const nmo::core::SampleTrace trace = make_trace(samples);
+  const std::string reference_md5 = trace.fingerprint();
+
+  nmo::RunningStats write_s, read_s, merge_s, csv_s;
+  std::uint64_t bin_bytes = 0, csv_bytes = 0;
+  bool round_trip_ok = true;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    // Binary write.
+    auto t0 = std::chrono::steady_clock::now();
+    {
+      nmo::store::TraceWriter writer(bin_path);
+      writer.write_all(trace);
+      writer.close();
+      round_trip_ok = round_trip_ok && writer.fingerprint() == reference_md5;
+    }
+    write_s.add(seconds_since(t0));
+    bin_bytes = fs::file_size(bin_path);
+
+    // Binary read (streaming decode of every sample).
+    t0 = std::chrono::steady_clock::now();
+    {
+      nmo::store::TraceReader reader(bin_path);
+      const auto back = reader.read_all();
+      round_trip_ok = round_trip_ok && reader.ok() && back.fingerprint() == reference_md5;
+    }
+    read_s.add(seconds_since(t0));
+
+    // CSV export (the paper's post-processing input format).
+    t0 = std::chrono::steady_clock::now();
+    {
+      std::ofstream out(csv_path);
+      trace.write_csv(out);
+    }
+    csv_s.add(seconds_since(t0));
+    csv_bytes = fs::file_size(csv_path);
+  }
+
+  // k-way merge: split the canonical trace round-robin into sorted shards.
+  std::vector<std::string> shard_paths;
+  {
+    std::vector<std::unique_ptr<nmo::store::TraceWriter>> writers;
+    for (std::size_t i = 0; i < shards; ++i) {
+      shard_paths.push_back((dir / ("shard" + std::to_string(i) + ".nmot")).string());
+      writers.push_back(std::make_unique<nmo::store::TraceWriter>(shard_paths.back()));
+    }
+    std::size_t i = 0;
+    for (const auto& s : trace.samples()) writers[i++ % shards]->add(s);
+    for (auto& w : writers) w->close();
+  }
+  const std::string merged_path = (dir / "merged.nmot").string();
+  for (int trial = 0; trial < trials; ++trial) {
+    nmo::store::TraceMerger merger;
+    for (const auto& p : shard_paths) merger.add_input(p);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = merger.merge_to(merged_path);
+    merge_s.add(seconds_since(t0));
+    round_trip_ok = round_trip_ok && stats && stats->fingerprint == reference_md5;
+  }
+
+  nmo::bench::print_row({"path", "throughput", "samples/sec"}, 20);
+  report("binary write", write_s, bin_bytes, samples);
+  report("binary read", read_s, bin_bytes, samples);
+  report("k-way merge", merge_s, bin_bytes, samples);
+  report("csv export", csv_s, csv_bytes, samples);
+  std::printf("\nbinary size %.1f MiB vs CSV %.1f MiB (%.0f%% of CSV, %.1f B/sample)\n",
+              mib(bin_bytes), mib(csv_bytes),
+              100.0 * static_cast<double>(bin_bytes) / static_cast<double>(csv_bytes),
+              static_cast<double>(bin_bytes) / static_cast<double>(samples));
+  std::printf("round-trip fingerprints: %s\n", round_trip_ok ? "all match" : "MISMATCH");
+
+  fs::remove_all(dir);
+  return round_trip_ok ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Multi-session profiling: N concurrent profiled jobs, one trace file each.
+//
+// The step toward serving many profiled jobs at once (ROADMAP): a
+// SessionStore hands each job its own session directory, run_sessions
+// profiles every job on its own thread, and each session writes its binary
+// trace (store/trace_file.hpp) without touching the others.  Afterwards the
+// traces merge back into one canonical trace - here in-process via
+// TraceMerger, in scripted workflows via `nmo-trace merge`.
+//
+// The example prints the per-session results plus the *expected* merged
+// sample count and fingerprint, computed independently in memory with
+// SampleTrace::append + sort_canonical.  CI's smoke step compares these
+// expectations against what `nmo-trace merge` + `nmo-trace info` report,
+// closing the loop between the in-memory canonical order and the on-disk
+// store.
+//
+//   ./example_multi_session [store_root]     (default ./nmo_sessions)
+#include <cstdio>
+#include <memory>
+
+#include "store/session_store.hpp"
+#include "store/trace_file.hpp"
+#include "store/trace_merger.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/stream.hpp"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : "nmo_sessions";
+
+  nmo::core::NmoConfig nmo_cfg;
+  nmo_cfg.enable = true;
+  nmo_cfg.mode = nmo::core::Mode::kAll;
+  nmo_cfg.period = 1024;
+
+  nmo::sim::EngineConfig engine;
+  engine.threads = 8;
+  engine.machine.hierarchy.cores = 8;
+
+  // Two different jobs profiled concurrently: a STREAM run and a BFS run.
+  std::vector<nmo::store::SessionJob> jobs(2);
+  jobs[0].name = "stream";
+  jobs[0].nmo = nmo_cfg;
+  jobs[0].engine = engine;
+  jobs[0].engine.seed = 1;
+  jobs[0].make_workload = [] {
+    nmo::wl::StreamConfig cfg;
+    cfg.array_elems = 1 << 17;
+    cfg.iterations = 2;
+    return std::make_unique<nmo::wl::Stream>(cfg);
+  };
+  jobs[1].name = "bfs";
+  jobs[1].nmo = nmo_cfg;
+  jobs[1].engine = engine;
+  jobs[1].engine.seed = 2;
+  jobs[1].make_workload = [] {
+    nmo::wl::BfsConfig cfg;
+    cfg.nodes = 1 << 15;
+    cfg.edges_per_node = 8;
+    return std::make_unique<nmo::wl::Bfs>(cfg);
+  };
+
+  nmo::store::SessionStore store(root);
+  const auto results = nmo::store::run_sessions(store, jobs);
+
+  std::printf("=== multi-session run (%zu concurrent jobs) ===\n", results.size());
+  nmo::core::SampleTrace expected;
+  bool ok = true;
+  for (const auto& r : results) {
+    if (!r.error.empty()) {
+      std::printf("session %u (%s): FAILED: %s\n", r.session.id, r.session.name.c_str(),
+                  r.error.c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("session %u (%s): %llu samples -> %s\n", r.session.id, r.session.name.c_str(),
+                static_cast<unsigned long long>(r.samples), r.session.trace_path.c_str());
+    std::printf("  fingerprint: %s  accuracy: %.2f%%\n", r.fingerprint.c_str(),
+                r.report.accuracy() * 100.0);
+
+    // Re-read the session's file: the round-trip must be lossless.
+    nmo::store::TraceReader reader(r.session.trace_path);
+    nmo::core::SampleTrace from_disk = reader.read_all();
+    if (!reader.ok() || from_disk.fingerprint() != r.fingerprint) {
+      std::printf("  round-trip MISMATCH: %s\n", reader.error().c_str());
+      ok = false;
+    }
+    expected.append(from_disk);
+  }
+  if (!ok) return 1;
+
+  // The independent in-memory reference for the merged trace.
+  expected.sort_canonical();
+  std::printf("\nmerged samples (expected)    : %zu\n", expected.size());
+  std::printf("merged fingerprint (expected): %s\n", expected.fingerprint().c_str());
+
+  // And the store's own streaming merge must agree with it.
+  nmo::store::TraceMerger merger;
+  for (const auto& r : results) merger.add_input(r.session.trace_path);
+  const std::string merged_path = root + "/merged.nmot";
+  const auto stats = merger.merge_to(merged_path);
+  if (!stats) {
+    std::printf("merge failed: %s\n", merger.error().c_str());
+    return 1;
+  }
+  const bool match =
+      stats->samples == expected.size() && stats->fingerprint == expected.fingerprint();
+  std::printf("streaming merge              : %llu samples, %s -> %s\n",
+              static_cast<unsigned long long>(stats->samples), stats->fingerprint.c_str(),
+              match ? "matches in-memory canonical order" : "MISMATCH");
+  return match ? 0 : 1;
+}

@@ -66,10 +66,12 @@ int main() {
   engine.decode_shards = 4;
   nmo::wl::Stream stream_par(scfg);
   nmo::core::ProfileSession session_par(config, engine);
-  session_par.profile(stream_par, /*with_baseline=*/false);
+  const auto report_par = session_par.profile(stream_par, /*with_baseline=*/false);
   const std::string serial_md5 = session.profiler().trace().fingerprint();
   const std::string parallel_md5 = session_par.profiler().trace().fingerprint();
   std::printf("parallel decode (4 shards) fingerprint: %s -> %s\n", parallel_md5.c_str(),
               parallel_md5 == serial_md5 ? "matches serial" : "MISMATCH");
+  std::printf("decode backpressure : %llu producer queue-full spins\n",
+              static_cast<unsigned long long>(report_par.decode_stalls));
   return parallel_md5 == serial_md5 ? 0 : 1;
 }

@@ -129,12 +129,13 @@ std::array<std::uint8_t, 16> Md5::digest() noexcept {
   return out;
 }
 
-std::string Md5::hex_digest() noexcept {
-  const auto d = digest();
+std::string Md5::hex_digest() noexcept { return to_hex(digest()); }
+
+std::string Md5::to_hex(const std::array<std::uint8_t, 16>& digest) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(32);
-  for (std::uint8_t byte : d) {
+  for (std::uint8_t byte : digest) {
     out.push_back(kHex[byte >> 4]);
     out.push_back(kHex[byte & 0xf]);
   }

@@ -36,6 +36,10 @@ class Md5 {
   /// One-shot convenience.
   [[nodiscard]] static std::string hex(std::string_view text);
 
+  /// Formats a raw 16-byte digest as the lowercase hex string hex_digest()
+  /// produces (shared with consumers that store raw digests on disk).
+  [[nodiscard]] static std::string to_hex(const std::array<std::uint8_t, 16>& digest);
+
  private:
   void process_block(const std::uint8_t* block) noexcept;
 

@@ -2,7 +2,15 @@
 
 namespace nmo::core {
 namespace {
-Profiler* g_active = nullptr;
+// Thread-local so N concurrent ProfileSessions (store/session_store.hpp)
+// can each install their own profiler for the C annotation API without
+// interfering.  Deliberately NO process-wide fallback: nullptr must mean
+// "explicitly no profiler" (baseline runs install it to run
+// uninstrumented), and a fallback would leak a concurrent session's
+// profiler into those runs - an unsynchronized cross-thread write.  The
+// contract is that annotations come from the thread running the session,
+// which is where the engine replays every workload.
+thread_local Profiler* g_active = nullptr;
 }  // namespace
 
 Profiler* set_active_profiler(Profiler* profiler) {

@@ -96,8 +96,13 @@ class Profiler {
   BandwidthEstimator bandwidth_;
 };
 
-/// Installs/clears the profiler the C API (core/nmo.h) routes to.  Returns
-/// the previous one so callers can restore it.
+/// Installs/clears the profiler the C API (core/nmo.h) routes to on the
+/// calling thread.  The binding is strictly thread-local: concurrent
+/// sessions cannot interfere, and installing nullptr (the baseline run)
+/// reliably means "no profiler" on this thread.  Annotations must
+/// therefore come from the session's own thread - which is where the
+/// engine replays every workload.  Returns the previous binding so
+/// callers can restore it.
 Profiler* set_active_profiler(Profiler* profiler);
 [[nodiscard]] Profiler* active_profiler();
 

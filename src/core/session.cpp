@@ -47,6 +47,7 @@ SessionReport ProfileSession::profile(wl::Workload& workload, bool with_baseline
   report.collisions = stats.collisions;
   report.dropped_full = stats.dropped_full;
   report.wakeups = stats.wakeups;
+  report.decode_stalls = stats.decode_stalls;
   report.processed_samples = profiler_->trace().size();
   if (const auto* consumer = engine_->consumer()) {
     report.skipped_records = consumer->counts().records_skipped;

@@ -33,6 +33,7 @@ struct SessionReport {
   std::uint64_t collision_flags = 0;
   std::uint64_t dropped_full = 0;
   std::uint64_t wakeups = 0;
+  std::uint64_t decode_stalls = 0;  ///< Decode-pool backpressure (queue-full spins).
 
   /// Eq. 1 of the paper.
   [[nodiscard]] double accuracy() const;

@@ -6,33 +6,61 @@
 
 namespace nmo::core {
 
+bool canonical_less(const TraceSample& a, const TraceSample& b) noexcept {
+  return std::tie(a.time_ns, a.core, a.vaddr, a.pc, a.op, a.level, a.latency, a.region) <
+         std::tie(b.time_ns, b.core, b.vaddr, b.pc, b.op, b.level, b.latency, b.region);
+}
+
+void fingerprint_update(Md5& hasher, const TraceSample& s) {
+  // Every field participates, so the digest certifies the full CSV content
+  // (including region) - the property the trace store's footer check and
+  // the merge-parity acceptance rely on.  The words are serialized
+  // explicitly little-endian (matching the .nmot wire format) so the
+  // digest is identical across host endianness.
+  const std::array<std::uint64_t, 5> words{
+      s.time_ns, s.vaddr, s.pc,
+      static_cast<std::uint64_t>(s.latency) | (static_cast<std::uint64_t>(s.core) << 16) |
+          (static_cast<std::uint64_t>(s.op) << 48) |
+          (static_cast<std::uint64_t>(s.level) << 56),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(s.region))};
+  std::array<std::byte, sizeof(words)> bytes;
+  std::size_t off = 0;
+  for (std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) bytes[off++] = static_cast<std::byte>((w >> (8 * i)) & 0xff);
+  }
+  hasher.update(bytes);
+}
+
+void write_csv_row(std::ostream& out, const TraceSample& s) {
+  out << s.time_ns << ',' << s.vaddr << ',' << s.pc << ',' << to_string(s.op) << ','
+      << to_string(s.level) << ',' << s.latency << ',' << s.core << ',' << s.region << '\n';
+}
+
+void SampleTrace::append(const SampleTrace& other) {
+  if (&other == this) {
+    // Self-append: insert() from a container into itself invalidates the
+    // source iterators on reallocation, so duplicate by index instead.
+    const std::size_t n = samples_.size();
+    samples_.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) samples_.push_back(samples_[i]);
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
 void SampleTrace::sort_canonical() {
-  std::sort(samples_.begin(), samples_.end(), [](const TraceSample& a, const TraceSample& b) {
-    return std::tie(a.time_ns, a.core, a.vaddr, a.pc, a.op, a.level, a.latency, a.region) <
-           std::tie(b.time_ns, b.core, b.vaddr, b.pc, b.op, b.level, b.latency, b.region);
-  });
+  std::sort(samples_.begin(), samples_.end(), canonical_less);
 }
 
 std::string SampleTrace::fingerprint() const {
   Md5 hasher;
-  for (const auto& s : samples_) {
-    std::array<std::uint64_t, 4> words{
-        s.time_ns, s.vaddr, s.pc,
-        static_cast<std::uint64_t>(s.latency) | (static_cast<std::uint64_t>(s.core) << 16) |
-            (static_cast<std::uint64_t>(s.op) << 48) |
-            (static_cast<std::uint64_t>(s.level) << 56)};
-    hasher.update(std::span<const std::byte>(reinterpret_cast<const std::byte*>(words.data()),
-                                             sizeof(words)));
-  }
+  for (const auto& s : samples_) fingerprint_update(hasher, s);
   return hasher.hex_digest();
 }
 
 void SampleTrace::write_csv(std::ostream& out) const {
-  out << "time_ns,vaddr,pc,op,level,latency,core,region\n";
-  for (const auto& s : samples_) {
-    out << s.time_ns << ',' << s.vaddr << ',' << s.pc << ',' << to_string(s.op) << ','
-        << to_string(s.level) << ',' << s.latency << ',' << s.core << ',' << s.region << '\n';
-  }
+  out << kTraceCsvHeader;
+  for (const auto& s : samples_) write_csv_row(out, s);
 }
 
 }  // namespace nmo::core

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/md5.hpp"
@@ -25,14 +26,32 @@ struct TraceSample {
   std::int32_t region = -1;  ///< Index into RegionTable::regions(), -1 = untagged.
 };
 
+/// The canonical total order over samples: timestamp, then core, then the
+/// remaining fields as tie-breakers.  Shared by SampleTrace::sort_canonical
+/// and the on-disk store's k-way merger (store/trace_merger.hpp), so the
+/// two can never order traces differently.
+[[nodiscard]] bool canonical_less(const TraceSample& a, const TraceSample& b) noexcept;
+
+/// Absorbs one sample into `hasher` exactly as SampleTrace::fingerprint
+/// does; store::TraceWriter uses the same routine for its footer digest.
+void fingerprint_update(Md5& hasher, const TraceSample& s);
+
+/// Writes one sample as a CSV row (no header).  SampleTrace::write_csv and
+/// the nmo-trace export-csv streaming path share this formatter, keeping
+/// their output byte-identical.
+void write_csv_row(std::ostream& out, const TraceSample& s);
+
+/// The CSV column header line (with trailing newline).
+inline constexpr std::string_view kTraceCsvHeader =
+    "time_ns,vaddr,pc,op,level,latency,core,region\n";
+
 class SampleTrace {
  public:
   void add(const TraceSample& s) { samples_.push_back(s); }
 
-  /// Appends every sample of `other` (shard merge at finalize).
-  void append(const SampleTrace& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
-  }
+  /// Appends every sample of `other` (shard merge at finalize).  Appending
+  /// a trace to itself duplicates its samples.
+  void append(const SampleTrace& other);
 
   /// Sorts into the canonical order: timestamp, then core, then the
   /// remaining fields as tie-breakers.  The comparator is a total order

@@ -59,6 +59,7 @@ TraceEngine::TraceEngine(const EngineConfig& config, core::Profiler* profiler)
       auto& ev = machine_->open_spe(attr, t % config_.machine.hierarchy.cores, ring_pages,
                                     profiler_->config().auxbufsize_bytes);
       samplers_.push_back(std::make_unique<spe::Sampler>(&ev, Rng(config_.seed, 900 + t)));
+      samplers_.back()->set_write_batch(config_.write_batch);
       events_.push_back(&ev);
     }
     if (config_.decode_shards > 1) {
@@ -321,6 +322,7 @@ EngineStats TraceEngine::stats() const {
     s.filtered += ss.filtered;
   }
   for (const auto* ev : events_) s.wakeups += ev->stats().wakeups;
+  if (decode_pool_ != nullptr) s.decode_stalls = decode_pool_->counts().producer_stalls;
   return s;
 }
 

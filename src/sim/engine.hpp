@@ -44,6 +44,11 @@ struct EngineConfig {
   /// byte-identical traces: shard traces are merged canonically at
   /// finalize (core/trace.hpp sort_canonical).
   std::uint32_t decode_shards = 1;
+  /// Write-combining batch for Sampler aux writes (Sampler::set_write_batch).
+  /// A conservative default keeps wakeup timing close to per-record writes
+  /// while removing most of the per-record call boundary; 1 restores the
+  /// exact per-record path.
+  std::uint32_t write_batch = 8;
 };
 
 /// Aggregated sampling statistics of one engine run.
@@ -58,6 +63,9 @@ struct EngineStats {
   std::uint64_t filtered = 0;
   std::uint64_t wakeups = 0;
   std::uint64_t instrumented_ns = 0;
+  /// Producer queue-full spins in the decode pool (0 on the serial path):
+  /// the backpressure signal that decode shards bound the drain loop.
+  std::uint64_t decode_stalls = 0;
 };
 
 class TraceEngine final : public wl::Executor {

@@ -118,6 +118,7 @@ StatResult run_statistical(const WorkloadProfile& profile, const MachineConfig& 
       auto& ev = machine.open_spe(attr, t % machine_config.hierarchy.cores, cfg.ring_pages,
                                   cfg.aux_bytes);
       samplers.push_back(std::make_unique<spe::Sampler>(&ev, Rng(cfg.seed, 1000 + t)));
+      samplers.back()->set_write_batch(cfg.write_batch);
       events.push_back(&ev);
       ts[t].sampler = samplers.back().get();
       ts[t].event = &ev;
@@ -314,6 +315,9 @@ StatResult run_statistical(const WorkloadProfile& profile, const MachineConfig& 
     result.truncated_flags = cc.truncated_flags;
     result.throttle_events = machine.throttler().throttle_events();
     result.monitor_services = monitor.rounds();
+    if (decode_pool != nullptr) {
+      result.decode_stalls = decode_pool->counts().producer_stalls;
+    }
   }
 
   result.mem_counted = mem_counter.read_count();

@@ -54,6 +54,9 @@ struct SweepConfig {
   /// <= 1 keeps the serial inline decode.  All StatResult tallies are
   /// identical either way - the monitor syncs the pool at every round.
   std::uint32_t decode_shards = 1;
+  /// Write-combining batch for Sampler aux writes (Sampler::set_write_batch);
+  /// 1 restores the exact per-record write path.
+  std::uint32_t write_batch = 8;
 };
 
 /// Aggregated outcome of a run; analysis/accuracy.hpp turns this into the
@@ -82,6 +85,7 @@ struct StatResult {
   std::uint64_t aux_records = 0;
   std::uint64_t truncated_flags = 0;
   std::uint64_t monitor_services = 0;
+  std::uint64_t decode_stalls = 0;      ///< Producer queue-full spins (parallel decode).
 };
 
 /// Executes one statistical run.  With cfg.spe_enabled == false only the

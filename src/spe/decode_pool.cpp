@@ -79,8 +79,15 @@ void DecodePool::submit(std::span<const std::byte> raw, CoreId core) {
     off += records * kRecordSize;
 
     // Backpressure: the producer waits for queue space rather than dropping
-    // (loss is the device model's job, not the decode pipeline's).
-    while (!shard.queue.try_push(batch)) std::this_thread::yield();
+    // (loss is the device model's job, not the decode pipeline's).  Each
+    // failed push is counted as a stall so EngineStats/StatResult can show
+    // when decode throughput, not aux capacity, bounds the drain loop.
+    std::uint64_t spins = 0;
+    while (!shard.queue.try_push(batch)) {
+      ++spins;
+      std::this_thread::yield();
+    }
+    if (spins > 0) producer_stalls_.fetch_add(spins, std::memory_order_relaxed);
     shard.submitted.fetch_add(1, std::memory_order_release);
     // Taking the mutex (even empty) orders this push against the worker's
     // predicate-check-then-block window, so the notify cannot be lost.
@@ -106,6 +113,7 @@ DecodePool::DecodeCounts DecodePool::counts() const {
     total.records_ok += shard->records_ok;
     total.records_skipped += shard->records_skipped;
   }
+  total.producer_stalls = producer_stalls_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -114,6 +122,7 @@ void DecodePool::reset_counts() {
     shard->records_ok = 0;
     shard->records_skipped = 0;
   }
+  producer_stalls_.store(0, std::memory_order_relaxed);
 }
 
 void DecodePool::worker_loop(Shard& shard, std::uint32_t index) {

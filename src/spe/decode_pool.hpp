@@ -93,6 +93,10 @@ class DecodePool {
   struct DecodeCounts {
     std::uint64_t records_ok = 0;
     std::uint64_t records_skipped = 0;
+    /// Producer queue-full spins in submit(): each one is a failed push
+    /// that cost the drain loop a yield - the backpressure signal that the
+    /// decode shards (not the aux buffer) are the bottleneck.
+    std::uint64_t producer_stalls = 0;
   };
 
   /// Receives every decoded batch on the shard's worker thread.  `shard` is
@@ -151,6 +155,9 @@ class DecodePool {
   BatchSink sink_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
+  /// Only the producer writes this; atomic so counts() can read it from
+  /// any thread without a data race.
+  alignas(64) std::atomic<std::uint64_t> producer_stalls_{0};
 };
 
 }  // namespace nmo::spe

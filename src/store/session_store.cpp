@@ -1,0 +1,111 @@
+#include "store/session_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "store/trace_file.hpp"
+
+namespace nmo::store {
+namespace {
+
+/// Session names become path components; anything that could escape the
+/// store root (separators, "..") or upset a shell glob is mapped to '_'.
+std::string sanitize_name(std::string_view name) {
+  std::string safe(name.empty() ? std::string_view("job") : name);
+  for (char& c : safe) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) c = '_';
+  }
+  if (safe.find_first_not_of('.') == std::string::npos) safe = "job";
+  return safe;
+}
+
+}  // namespace
+
+SessionStore::SessionStore(std::string root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+  // Resume id assignment past any sessions already in the root, so a
+  // process reusing an earlier store (or following another process) does
+  // not re-issue ids and truncate existing trace files.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    const std::string stem = entry.path().filename().string();
+    unsigned id = 0;
+    if (std::sscanf(stem.c_str(), "session-%u-", &id) == 1 && id >= next_id_) {
+      next_id_ = id + 1;
+    }
+  }
+}
+
+SessionInfo SessionStore::create_session(std::string_view name) {
+  SessionInfo info;
+  std::lock_guard<std::mutex> lock(mutex_);
+  info.name = sanitize_name(name);
+  for (;;) {
+    info.id = next_id_++;
+    char id_buf[16];
+    std::snprintf(id_buf, sizeof(id_buf), "%04u", info.id);
+    info.dir = root_ + "/session-" + id_buf + "-" + info.name;
+    // Atomic claim: create_directory fails (without error) if the
+    // directory exists, so two processes sharing the root can never both
+    // claim this session directory - the loser moves to the next id.
+    std::error_code ec;
+    if (std::filesystem::create_directory(info.dir, ec)) break;
+    if (ec) {
+      // Not an already-exists collision (e.g. the root vanished); fall
+      // back to best-effort creation rather than spinning.
+      std::filesystem::create_directories(info.dir, ec);
+      break;
+    }
+  }
+  info.trace_path = info.dir + "/trace" + std::string(kTraceExtension);
+  sessions_.push_back(info);
+  return info;
+}
+
+std::vector<SessionInfo> SessionStore::sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_;
+}
+
+std::vector<SessionResult> run_sessions(SessionStore& store,
+                                        const std::vector<SessionJob>& jobs) {
+  std::vector<SessionResult> results(jobs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    threads.emplace_back([&store, &job = jobs[i], &result = results[i]] {
+      try {
+        result.session = store.create_session(job.name);
+        if (!job.make_workload) {
+          result.error = "job has no workload factory";
+          return;
+        }
+        auto workload = job.make_workload();
+        core::ProfileSession session(job.nmo, job.engine);
+        result.report = session.profile(*workload, job.with_baseline);
+
+        TraceWriter writer(result.session.trace_path);
+        writer.write_all(session.profiler().trace());
+        if (!writer.close()) {
+          result.error = writer.error();
+          return;
+        }
+        result.samples = writer.samples_written();
+        result.fingerprint = writer.fingerprint();
+      } catch (const std::exception& e) {
+        result.error = e.what();
+      } catch (...) {
+        // A non-std exception escaping the thread would std::terminate the
+        // whole process and take every concurrent session down with it.
+        result.error = "unknown exception";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace nmo::store

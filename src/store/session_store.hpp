@@ -1,0 +1,86 @@
+// Multi-session trace storage: the step toward serving many concurrent
+// profiled jobs (ROADMAP: "multi-process/multi-session output").
+//
+// A SessionStore owns one root directory and hands out per-session
+// subdirectories with monotonically increasing ids; id assignment is
+// mutex-protected so sessions can be created from any thread.  Each
+// session's trace lands in its own file (store/trace_file.hpp), so N
+// concurrent ProfileSessions never contend on output - the per-process
+// analogue of upstream NMO's one-trace-per-run layout, with nmo-trace
+// (tools/nmo_trace.cpp) as the merge/query companion.
+//
+// run_sessions is the concurrent runner: one std::thread per job, each
+// building its own ProfileSession (engine, machine, profiler), profiling
+// its workload and writing the canonical trace to the session's file.
+// This relies on the active-profiler binding of the C annotation API
+// being thread-local (core/profiler.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/session.hpp"
+#include "sim/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace nmo::store {
+
+/// One registered session: its id and where its artifacts live.
+struct SessionInfo {
+  std::uint32_t id = 0;
+  std::string name;        ///< Sanitized to a safe path component.
+  std::string dir;         ///< "<root>/session-<id>-<name>"
+  std::string trace_path;  ///< "<dir>/trace.nmot"
+};
+
+class SessionStore {
+ public:
+  /// Creates `root` (and parents) if needed.
+  explicit SessionStore(std::string root);
+
+  /// Registers a new session and creates its directory.  Thread-safe; ids
+  /// are unique and dense in creation order.
+  SessionInfo create_session(std::string_view name);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  /// Snapshot of every session created so far (thread-safe copy).
+  [[nodiscard]] std::vector<SessionInfo> sessions() const;
+
+ private:
+  std::string root_;
+  mutable std::mutex mutex_;
+  std::uint32_t next_id_ = 0;
+  std::vector<SessionInfo> sessions_;
+};
+
+/// One profiled job of the concurrent runner.
+struct SessionJob {
+  std::string name = "job";
+  core::NmoConfig nmo;
+  sim::EngineConfig engine;
+  /// Built on the session's own thread (workloads are not shared).
+  std::function<std::unique_ptr<wl::Workload>()> make_workload;
+  bool with_baseline = false;
+};
+
+/// Outcome of one job: where the trace landed and what it contained.
+struct SessionResult {
+  SessionInfo session;
+  core::SessionReport report;
+  std::uint64_t samples = 0;
+  std::string fingerprint;  ///< MD5 of the written trace file.
+  std::string error;        ///< Non-empty if the job failed.
+};
+
+/// Runs every job concurrently (one std::thread per job), each writing its
+/// canonical trace to its own session file in `store`.  Results are in job
+/// order.
+std::vector<SessionResult> run_sessions(SessionStore& store,
+                                        const std::vector<SessionJob>& jobs);
+
+}  // namespace nmo::store

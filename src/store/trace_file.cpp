@@ -1,0 +1,353 @@
+#include "store/trace_file.hpp"
+
+#include <array>
+#include <cstddef>
+
+namespace nmo::store {
+namespace {
+
+// --- little-endian fixed-width + LEB128 varint codec ------------------------
+
+void put_bytes(std::vector<std::byte>& out, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::byte>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Signed delta between two u64 counters (wrap-around safe).
+std::uint64_t delta_of(std::uint64_t value, std::uint64_t base) {
+  return zigzag(static_cast<std::int64_t>(value - base));
+}
+
+std::uint64_t apply_delta(std::uint64_t base, std::uint64_t encoded) {
+  return base + static_cast<std::uint64_t>(unzigzag(encoded));
+}
+
+void write_raw(std::ofstream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+bool read_raw(std::ifstream& in, void* data, std::size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(in.gcount()) == n;
+}
+
+bool read_fixed(std::ifstream& in, std::uint64_t& v, std::size_t n) {
+  std::array<unsigned char, 8> buf{};
+  if (!read_raw(in, buf.data(), n)) return false;
+  v = 0;
+  for (std::size_t i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool read_varint(std::ifstream& in, std::uint64_t& v) {
+  v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const int c = in.get();
+    if (c == std::ifstream::traits_type::eof()) return false;
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return true;
+  }
+  return false;  // over-long varint: corrupt
+}
+
+/// `core` must already be validated against kMaxCores.
+detail::CorePredictor& predictor_for(std::vector<detail::CorePredictor>& predictors,
+                                     CoreId core) {
+  if (core >= predictors.size()) predictors.resize(static_cast<std::size_t>(core) + 1);
+  return predictors[core];
+}
+
+/// Fixed footer size: marker + u64 count + 16-byte MD5 + end magic.
+constexpr std::size_t kFooterBytes = 1 + 8 + 16 + 4;
+constexpr std::size_t kHeaderBytes = 4 + 2 + 2;
+
+}  // namespace
+
+// --- TraceWriter ------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    error_ = "cannot open " + path + " for writing";
+    closed_ = true;
+    return;
+  }
+  std::vector<std::byte> header;
+  put_bytes(header, kTraceMagic, 4);
+  put_bytes(header, kTraceVersion, 2);
+  put_bytes(header, 0, 2);  // reserved
+  write_raw(out_, header.data(), header.size());
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::add(const core::TraceSample& s) {
+  if (closed_) {
+    // Make misuse loud: without an error the caller's ok()/close() signals
+    // would still report success while samples silently vanish.
+    if (error_.empty()) error_ = "add after close";
+    return;
+  }
+  if (!ok()) return;
+  if (s.core >= kMaxCores) {
+    error_ = "core id " + std::to_string(s.core) + " exceeds the format limit";
+    return;
+  }
+  if (block_count_ > 0 && (s.core != block_core_ || block_count_ >= kMaxBlockSamples)) {
+    flush_block();
+  }
+  if (block_count_ == 0) block_core_ = s.core;
+
+  auto& pred = predictor_for(predictors_, s.core);
+  put_varint(block_, delta_of(s.time_ns, pred.time_ns));
+  put_varint(block_, delta_of(s.vaddr, pred.vaddr));
+  put_varint(block_, delta_of(s.pc, pred.pc));
+  block_.push_back(static_cast<std::byte>((static_cast<unsigned>(s.op) << 4) |
+                                          static_cast<unsigned>(s.level)));
+  put_varint(block_, s.latency);
+  put_varint(block_, zigzag(s.region));
+  pred.time_ns = s.time_ns;
+  pred.vaddr = s.vaddr;
+  pred.pc = s.pc;
+
+  core::fingerprint_update(md5_, s);
+  ++count_;
+  ++block_count_;
+}
+
+void TraceWriter::write_all(const core::SampleTrace& trace) {
+  for (const auto& s : trace.samples()) add(s);
+}
+
+void TraceWriter::flush_block() {
+  if (block_count_ == 0) return;
+  std::vector<std::byte> head;
+  head.push_back(static_cast<std::byte>(kBlockMarker));
+  put_varint(head, block_core_);
+  put_varint(head, block_count_);
+  write_raw(out_, head.data(), head.size());
+  write_raw(out_, block_.data(), block_.size());
+  block_.clear();
+  block_count_ = 0;
+}
+
+bool TraceWriter::close() {
+  if (closed_) return ok();
+  if (!ok()) {
+    // A sticky add() error means samples were dropped; withholding the
+    // footer keeps the partial file rejectable instead of letting it
+    // validate as a complete (but silently truncated) trace.
+    abandon();
+    return false;
+  }
+  closed_ = true;
+  flush_block();
+
+  const auto digest = md5_.digest();
+  fingerprint_ = Md5::to_hex(digest);
+  std::vector<std::byte> footer;
+  footer.push_back(static_cast<std::byte>(kFooterMarker));
+  put_bytes(footer, count_, 8);
+  for (const std::uint8_t b : digest) footer.push_back(static_cast<std::byte>(b));
+  put_bytes(footer, kTraceEndMagic, 4);
+  write_raw(out_, footer.data(), footer.size());
+  out_.flush();
+  if (!out_) error_ = "write failed";
+  out_.close();
+  return ok();
+}
+
+void TraceWriter::abandon() {
+  if (closed_) return;
+  closed_ = true;
+  out_.close();
+  if (error_.empty()) error_ = "abandoned before close";
+}
+
+// --- TraceReader ------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) {
+    fail("cannot open " + path);
+    return;
+  }
+  std::uint64_t magic = 0, version = 0, reserved = 0;
+  if (!read_fixed(in_, magic, 4) || !read_fixed(in_, version, 2) ||
+      !read_fixed(in_, reserved, 2)) {
+    fail("truncated header");
+    return;
+  }
+  if (magic != kTraceMagic) {
+    fail("bad magic: not an nmo trace file");
+    return;
+  }
+  if (version != kTraceVersion) {
+    fail("unsupported trace version " + std::to_string(version));
+    return;
+  }
+  info_.version = static_cast<std::uint16_t>(version);
+}
+
+void TraceReader::fail(std::string message) {
+  error_ = std::move(message);
+  done_ = true;
+}
+
+bool TraceReader::read_footer() {
+  std::uint64_t declared = 0;
+  if (!read_fixed(in_, declared, 8)) {
+    fail("truncated footer");
+    return false;
+  }
+  std::array<std::uint8_t, 16> stored{};
+  if (!read_raw(in_, stored.data(), stored.size())) {
+    fail("truncated footer");
+    return false;
+  }
+  std::uint64_t end_magic = 0;
+  if (!read_fixed(in_, end_magic, 4) || end_magic != kTraceEndMagic) {
+    fail("bad end magic");
+    return false;
+  }
+  if (in_.peek() != std::ifstream::traits_type::eof()) {
+    fail("trailing bytes after footer");
+    return false;
+  }
+  if (declared != count_) {
+    fail("sample count mismatch: footer declares " + std::to_string(declared) + ", decoded " +
+         std::to_string(count_));
+    return false;
+  }
+  const auto digest = md5_.digest();
+  if (digest != stored) {
+    fail("fingerprint mismatch: trace is corrupt");
+    return false;
+  }
+  info_.samples = declared;
+  info_.fingerprint = Md5::to_hex(stored);
+  done_ = true;
+  return true;
+}
+
+bool TraceReader::next(core::TraceSample& out) {
+  if (done_ || !ok()) return false;
+  if (block_remaining_ == 0) {
+    const int marker = in_.get();
+    if (marker == std::ifstream::traits_type::eof()) {
+      fail("truncated: missing footer");
+      return false;
+    }
+    if (marker == kFooterMarker) {
+      read_footer();
+      return false;
+    }
+    if (marker != kBlockMarker) {
+      fail("corrupt block marker");
+      return false;
+    }
+    std::uint64_t core = 0, count = 0;
+    if (!read_varint(in_, core) || !read_varint(in_, count)) {
+      fail("truncated block header");
+      return false;
+    }
+    if (count == 0 || count > TraceWriter::kMaxBlockSamples || core >= kMaxCores) {
+      fail("corrupt block header");
+      return false;
+    }
+    block_core_ = static_cast<CoreId>(core);
+    block_remaining_ = static_cast<std::uint32_t>(count);
+  }
+
+  std::uint64_t dt = 0, dvaddr = 0, dpc = 0, latency = 0, region = 0;
+  if (!read_varint(in_, dt) || !read_varint(in_, dvaddr) || !read_varint(in_, dpc)) {
+    fail("truncated sample");
+    return false;
+  }
+  const int packed = in_.get();
+  if (packed == std::ifstream::traits_type::eof()) {
+    fail("truncated sample");
+    return false;
+  }
+  if (!read_varint(in_, latency) || !read_varint(in_, region)) {
+    fail("truncated sample");
+    return false;
+  }
+  const unsigned op = static_cast<unsigned>(packed) >> 4;
+  const unsigned level = static_cast<unsigned>(packed) & 0xf;
+  if (op > 1 || level >= kNumMemLevels || latency > 0xffff) {
+    fail("corrupt sample encoding");
+    return false;
+  }
+
+  auto& pred = predictor_for(predictors_, block_core_);
+  out.time_ns = apply_delta(pred.time_ns, dt);
+  out.vaddr = apply_delta(pred.vaddr, dvaddr);
+  out.pc = apply_delta(pred.pc, dpc);
+  out.op = static_cast<MemOp>(op);
+  out.level = static_cast<MemLevel>(level);
+  out.latency = static_cast<std::uint16_t>(latency);
+  out.core = block_core_;
+  out.region = static_cast<std::int32_t>(unzigzag(region));
+  pred.time_ns = out.time_ns;
+  pred.vaddr = out.vaddr;
+  pred.pc = out.pc;
+
+  core::fingerprint_update(md5_, out);
+  ++count_;
+  --block_remaining_;
+  return true;
+}
+
+core::SampleTrace TraceReader::read_all() {
+  core::SampleTrace trace;
+  core::TraceSample s;
+  while (next(s)) trace.add(s);
+  if (!ok()) trace.clear();
+  return trace;
+}
+
+std::optional<TraceFileInfo> TraceReader::probe(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size < kHeaderBytes + kFooterBytes) return std::nullopt;
+
+  in.seekg(0);
+  std::uint64_t magic = 0, version = 0, reserved = 0;
+  if (!read_fixed(in, magic, 4) || !read_fixed(in, version, 2) || !read_fixed(in, reserved, 2) ||
+      magic != kTraceMagic || version != kTraceVersion) {
+    return std::nullopt;
+  }
+
+  in.seekg(static_cast<std::streamoff>(size - kFooterBytes));
+  if (in.get() != kFooterMarker) return std::nullopt;
+  TraceFileInfo info;
+  info.version = static_cast<std::uint16_t>(version);
+  if (!read_fixed(in, info.samples, 8)) return std::nullopt;
+  std::array<std::uint8_t, 16> digest{};
+  if (!read_raw(in, digest.data(), digest.size())) return std::nullopt;
+  std::uint64_t end_magic = 0;
+  if (!read_fixed(in, end_magic, 4) || end_magic != kTraceEndMagic) return std::nullopt;
+  info.fingerprint = Md5::to_hex(digest);
+  return info;
+}
+
+}  // namespace nmo::store

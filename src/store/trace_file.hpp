@@ -1,0 +1,163 @@
+// The on-disk sample trace: a compact, versioned binary format that
+// round-trips core::SampleTrace losslessly.
+//
+// NMO's post-processing workflow (section III of the paper) consumes one
+// trace per run; serving many concurrent profiled jobs needs traces to be
+// first-class on-disk artifacts that sessions write independently and a
+// merge tool folds back together (ROADMAP: multi-process/multi-session
+// output).  The layout borrows what makes the BSC/PROMPT trace formats
+// cheap to stream:
+//
+//   header   u32 magic "NMOT" | u16 version | u16 reserved
+//   blocks   marker 0xB7 | varint core | varint count | count samples
+//   footer   marker 0xF5 | u64 sample count | 16-byte MD5 | u32 end magic
+//
+// Samples are written in add() order, chopped into per-core blocks: a block
+// covers a maximal run of consecutive samples from one core (bounded by
+// kMaxBlockSamples).  Within a core the writer keeps predictor state across
+// blocks, so timestamps, data addresses and PCs are zigzag-varint deltas
+// against that core's previous sample - the fields that change slowly per
+// core and would dominate a fixed-width encoding.  Latency is a plain
+// varint, op/level pack into one byte, region is a zigzag varint.
+//
+// The footer carries the sample count and the MD5 fingerprint over the
+// samples in file order, computed with the very routine SampleTrace uses
+// (core::fingerprint_update), so `TraceReader::read_all().fingerprint()`
+// equals the footer digest and a writer fed a trace reproduces that
+// trace's own fingerprint().  Readers reject bad magic, unknown versions,
+// truncated files, and count/digest mismatches.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/md5.hpp"
+#include "core/trace.hpp"
+
+namespace nmo::store {
+
+inline constexpr std::uint32_t kTraceMagic = 0x544F4D4E;     // "NMOT" little-endian
+inline constexpr std::uint32_t kTraceEndMagic = 0x454F4D4E;  // "NMOE" little-endian
+inline constexpr std::uint16_t kTraceVersion = 1;
+inline constexpr std::uint8_t kBlockMarker = 0xB7;
+inline constexpr std::uint8_t kFooterMarker = 0xF5;
+/// Largest core id the format accepts.  Bounds the per-core predictor
+/// tables on both sides, so a corrupt block header cannot drive a reader
+/// into an absurd allocation; generous against any machine the simulator
+/// (or the paper's testbed) models.
+inline constexpr std::uint32_t kMaxCores = 1u << 16;
+/// Conventional extension for trace files ("<name>.nmot").
+inline constexpr std::string_view kTraceExtension = ".nmot";
+
+namespace detail {
+/// Per-core delta predictor (persists across blocks of the same core);
+/// writer and reader must evolve it identically.
+struct CorePredictor {
+  std::uint64_t time_ns = 0;
+  Addr vaddr = 0;
+  Addr pc = 0;
+};
+}  // namespace detail
+
+/// What the header + footer declare about a trace file.
+struct TraceFileInfo {
+  std::uint16_t version = 0;
+  std::uint64_t samples = 0;
+  std::string fingerprint;  ///< Lowercase MD5 hex from the footer.
+};
+
+class TraceWriter {
+ public:
+  /// Longest run of same-core samples one block may cover; bounds the
+  /// decode working set of a streaming reader.
+  static constexpr std::size_t kMaxBlockSamples = 512;
+
+  /// Opens `path` for writing and emits the header.  Check ok().
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one sample (buffered; flushed on core change / block full).
+  void add(const core::TraceSample& s);
+  /// Appends every sample of `trace` in order.
+  void write_all(const core::SampleTrace& trace);
+
+  /// Flushes the open block, writes the footer and closes the file.
+  /// Idempotent; also run by the destructor.  Returns ok().  If an add()
+  /// error is pending the footer is withheld (see abandon()) so the
+  /// partial file can never validate as complete.
+  bool close();
+
+  /// Closes the file WITHOUT writing a footer (error paths): the partial
+  /// file on disk stays rejectable-by-design so it can never pass for a
+  /// complete trace.  After abandon(), close() is a no-op.
+  void abandon();
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::uint64_t samples_written() const { return count_; }
+  /// The footer digest; valid (non-empty) only after close().
+  [[nodiscard]] const std::string& fingerprint() const { return fingerprint_; }
+
+ private:
+  void flush_block();
+
+  std::ofstream out_;
+  std::string error_;
+  std::vector<std::byte> block_;  ///< Encoded payload of the open block.
+  CoreId block_core_ = 0;
+  std::uint32_t block_count_ = 0;
+  std::vector<detail::CorePredictor> predictors_;  ///< Indexed by core (grown on demand).
+  Md5 md5_;
+  std::uint64_t count_ = 0;
+  std::string fingerprint_;
+  bool closed_ = false;
+};
+
+class TraceReader {
+ public:
+  /// Opens `path` and validates the header.  Check ok().
+  explicit TraceReader(const std::string& path);
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Streams the next sample.  Returns false at end of trace (after the
+  /// footer validated) or on error - distinguish with ok().
+  bool next(core::TraceSample& out);
+
+  /// Reads and validates the entire file into a SampleTrace (in file
+  /// order).  On error the partial trace is discarded; check ok().
+  [[nodiscard]] core::SampleTrace read_all();
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Footer metadata; fully populated once the stream hit the footer
+  /// (i.e. after next() returned false with ok(), or via probe()).
+  [[nodiscard]] const TraceFileInfo& info() const { return info_; }
+
+  /// Reads header + footer only (seeks past the blocks); validates magic,
+  /// version and end marker but not the sample stream.  nullopt on error.
+  static std::optional<TraceFileInfo> probe(const std::string& path);
+
+ private:
+  void fail(std::string message);
+  bool read_footer();
+
+  std::ifstream in_;
+  std::string error_;
+  TraceFileInfo info_;
+  std::vector<detail::CorePredictor> predictors_;
+  CoreId block_core_ = 0;
+  std::uint32_t block_remaining_ = 0;
+  Md5 md5_;
+  std::uint64_t count_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace nmo::store

@@ -1,0 +1,121 @@
+#include "store/trace_merger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <queue>
+#include <system_error>
+
+namespace nmo::store {
+namespace {
+
+/// One input's head-of-stream sample.
+struct HeapEntry {
+  core::TraceSample sample;
+  std::size_t input;
+};
+
+struct HeapGreater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (core::canonical_less(b.sample, a.sample)) return true;
+    if (core::canonical_less(a.sample, b.sample)) return false;
+    return a.input > b.input;  // stable tie-break: lower input first
+  }
+};
+
+}  // namespace
+
+void TraceMerger::add_input(const std::string& path) { inputs_.push_back(path); }
+
+std::optional<MergeStats> TraceMerger::merge_to(const std::string& out_path) {
+  error_.clear();
+
+  // Writing the output truncates it; if it is also an input the merge
+  // would destroy that input, so refuse before any file is opened.  An
+  // existing output is compared by inode (equivalent), which also catches
+  // hardlinks and symlink chains; the canonical-path comparison covers
+  // outputs that do not exist yet.
+  std::error_code out_ec;
+  const auto out_canon = std::filesystem::weakly_canonical(out_path, out_ec);
+  for (const auto& in : inputs_) {
+    std::error_code ec;
+    bool same = in == out_path;
+    if (!same && !out_ec) same = std::filesystem::weakly_canonical(in, ec) == out_canon && !ec;
+    if (!same) same = std::filesystem::equivalent(in, out_path, ec) && !ec;
+    if (same) {
+      error_ = out_path + ": output path is also a merge input";
+      return std::nullopt;
+    }
+  }
+
+  std::vector<std::unique_ptr<TraceReader>> readers;
+  readers.reserve(inputs_.size());
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    readers.push_back(std::make_unique<TraceReader>(inputs_[i]));
+    TraceReader& reader = *readers.back();
+    if (!reader.ok()) {
+      error_ = inputs_[i] + ": " + reader.error();
+      return std::nullopt;
+    }
+    core::TraceSample s;
+    if (reader.next(s)) {
+      heap.push(HeapEntry{s, i});
+    } else if (!reader.ok()) {
+      error_ = inputs_[i] + ": " + reader.error();
+      return std::nullopt;
+    }
+  }
+
+  TraceWriter writer(out_path);
+  if (!writer.ok()) {
+    error_ = writer.error();
+    return std::nullopt;
+  }
+
+  // On any failure past this point the partial output must not survive as
+  // a plausible trace: abandon() withholds the footer (so a leftover file
+  // cannot validate) and the file itself is removed.
+  const auto fail = [&](std::string message) {
+    error_ = std::move(message);
+    writer.abandon();
+    std::remove(out_path.c_str());
+    return std::nullopt;
+  };
+
+  core::TraceSample prev{};
+  bool have_prev = false;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (have_prev && core::canonical_less(top.sample, prev)) {
+      // A k-way merge of sorted streams can never regress; this input was
+      // not in canonical order.
+      return fail(inputs_[top.input] + ": not in canonical order (merge would be unsorted)");
+    }
+    writer.add(top.sample);
+    prev = top.sample;
+    have_prev = true;
+
+    TraceReader& reader = *readers[top.input];
+    core::TraceSample s;
+    if (reader.next(s)) {
+      heap.push(HeapEntry{s, top.input});
+    } else if (!reader.ok()) {
+      return fail(inputs_[top.input] + ": " + reader.error());
+    }
+  }
+
+  if (!writer.close()) {
+    error_ = out_path + ": " + writer.error();
+    std::remove(out_path.c_str());
+    return std::nullopt;
+  }
+  MergeStats stats;
+  stats.samples = writer.samples_written();
+  stats.inputs = inputs_.size();
+  stats.fingerprint = writer.fingerprint();
+  return stats;
+}
+
+}  // namespace nmo::store

@@ -1,0 +1,51 @@
+// Streaming k-way merge of per-session / per-shard trace files.
+//
+// Each ProfileSession (and each decode-pool shard flushed through
+// Profiler::finalize_trace) emits a trace already in the canonical order of
+// core::SampleTrace::sort_canonical().  Merging N such files is therefore a
+// k-way merge under core::canonical_less: a min-heap holds one sample per
+// input, so memory is O(inputs), not O(samples) - the property that lets
+// nmo-trace fold traces far larger than RAM.  The merged file's CSV and MD5
+// are byte-identical to sort_canonical() over the concatenated samples in
+// memory (verified by tests/test_store.cpp and the CI smoke step).
+//
+// Inputs that are not canonically sorted are detected on the fly (the
+// output would regress) and reported as an error instead of silently
+// producing a non-canonical trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/trace_file.hpp"
+
+namespace nmo::store {
+
+/// Outcome of one merge.
+struct MergeStats {
+  std::uint64_t samples = 0;   ///< Samples written to the output.
+  std::size_t inputs = 0;      ///< Input files consumed.
+  std::string fingerprint;     ///< MD5 of the merged trace.
+};
+
+class TraceMerger {
+ public:
+  /// Registers one input trace file (read lazily during merge).
+  void add_input(const std::string& path);
+
+  /// Streams all inputs into `out_path` in canonical order.  Returns the
+  /// stats on success; on failure returns std::nullopt and error() names
+  /// the offending input.
+  std::optional<MergeStats> merge_to(const std::string& out_path);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::vector<std::string> inputs_;
+  std::string error_;
+};
+
+}  // namespace nmo::store

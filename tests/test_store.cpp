@@ -1,0 +1,524 @@
+// The trace store: binary round-trip fidelity, streaming merge parity with
+// sort_canonical, corruption rejection, and concurrent session isolation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "store/session_store.hpp"
+#include "store/trace_file.hpp"
+#include "store/trace_merger.hpp"
+#include "workloads/stream.hpp"
+
+namespace nmo::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nmo_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// A randomized trace covering every field's range, including the cases the
+/// delta codec must not mangle: time going backwards between cores, region
+/// -1, zero addresses, max latency.
+core::SampleTrace random_trace(std::size_t n, std::uint64_t seed, bool canonical = true) {
+  core::SampleTrace trace;
+  Rng rng(seed, 5);
+  std::uint64_t t = 50;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TraceSample s;
+    t += rng.uniform(300);
+    s.time_ns = t;
+    s.core = static_cast<CoreId>(rng.uniform(16));
+    s.vaddr = rng.uniform(64) == 0 ? 0 : 0x1000'0000 + rng.uniform(1 << 24);
+    s.pc = 0x400000 + rng.uniform(1 << 16);
+    s.op = rng.uniform(2) == 0 ? MemOp::kLoad : MemOp::kStore;
+    s.level = static_cast<MemLevel>(rng.uniform(4));
+    s.latency = static_cast<std::uint16_t>(rng.uniform(0x10000));
+    s.region = static_cast<std::int32_t>(rng.uniform(5)) - 1;
+    trace.add(s);
+  }
+  if (canonical) trace.sort_canonical();
+  return trace;
+}
+
+std::string csv_of(const core::SampleTrace& t) {
+  std::ostringstream out;
+  t.write_csv(out);
+  return out.str();
+}
+
+// ------------------------------------------------------------- round trip --
+
+TEST_F(StoreTest, RoundTripPreservesCsvBytesAndMd5) {
+  const auto trace = random_trace(5000, 1);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close()) << writer.error();
+  EXPECT_EQ(writer.samples_written(), trace.size());
+  EXPECT_EQ(writer.fingerprint(), trace.fingerprint());
+
+  TraceReader reader(path("t.nmot"));
+  const auto back = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(csv_of(back), csv_of(trace));
+  EXPECT_EQ(back.fingerprint(), trace.fingerprint());
+  EXPECT_EQ(reader.info().samples, trace.size());
+  EXPECT_EQ(reader.info().fingerprint, trace.fingerprint());
+  EXPECT_EQ(reader.info().version, kTraceVersion);
+}
+
+TEST_F(StoreTest, RoundTripPreservesArbitraryOrder) {
+  // Not canonically sorted: the store must preserve add() order exactly.
+  const auto trace = random_trace(2000, 2, /*canonical=*/false);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceReader reader(path("t.nmot"));
+  const auto back = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(csv_of(back), csv_of(trace));
+}
+
+TEST_F(StoreTest, EmptyTraceRoundTrips) {
+  core::SampleTrace empty;
+  TraceWriter writer(path("e.nmot"));
+  writer.write_all(empty);
+  ASSERT_TRUE(writer.close());
+  EXPECT_EQ(writer.fingerprint(), empty.fingerprint());
+
+  TraceReader reader(path("e.nmot"));
+  const auto back = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(reader.info().samples, 0u);
+}
+
+TEST_F(StoreTest, ProbeReadsFooterWithoutScanning) {
+  const auto trace = random_trace(1000, 3);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  const auto info = TraceReader::probe(path("t.nmot"));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->samples, trace.size());
+  EXPECT_EQ(info->fingerprint, trace.fingerprint());
+}
+
+TEST_F(StoreTest, BinaryIsSmallerThanCsv) {
+  const auto trace = random_trace(10000, 4);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+  EXPECT_LT(fs::file_size(path("t.nmot")), csv_of(trace).size());
+}
+
+// -------------------------------------------------------------- rejection --
+
+TEST_F(StoreTest, ReaderRejectsBadMagic) {
+  std::ofstream out(path("bad.nmot"), std::ios::binary);
+  out << "this is not a trace file at all";
+  out.close();
+
+  TraceReader reader(path("bad.nmot"));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("magic"), std::string::npos);
+  EXPECT_FALSE(TraceReader::probe(path("bad.nmot")).has_value());
+}
+
+TEST_F(StoreTest, ReaderRejectsMissingFile) {
+  TraceReader reader(path("does_not_exist.nmot"));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(StoreTest, ReaderRejectsTruncatedFile) {
+  const auto trace = random_trace(3000, 5);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  // Drop the last 10 bytes (footer destroyed).
+  const auto size = fs::file_size(path("t.nmot"));
+  fs::resize_file(path("t.nmot"), size - 10);
+
+  TraceReader reader(path("t.nmot"));
+  core::TraceSample s;
+  while (reader.next(s)) {
+  }
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.read_all().empty());
+}
+
+TEST_F(StoreTest, ReaderRejectsCorruptedPayload) {
+  const auto trace = random_trace(3000, 6);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  // Flip one byte in the middle of the sample stream: the footer MD5 (or
+  // the block structure) must catch it.
+  std::fstream f(path("t.nmot"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(fs::file_size(path("t.nmot")) / 2));
+  f.put('\x7f');
+  f.close();
+
+  TraceReader reader(path("t.nmot"));
+  core::TraceSample s;
+  while (reader.next(s)) {
+  }
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(StoreTest, ReaderRejectsUnsupportedVersion) {
+  const auto trace = random_trace(10, 7);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  std::fstream f(path("t.nmot"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4);  // version field
+  f.put('\x63');
+  f.close();
+
+  TraceReader reader(path("t.nmot"));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("version"), std::string::npos);
+}
+
+TEST_F(StoreTest, ReaderRejectsOutOfRangeCoreId) {
+  // A crafted block header with an absurd core id must be rejected, not
+  // drive the predictor table into a giant allocation or OOB access.
+  std::ofstream out(path("bad.nmot"), std::ios::binary);
+  const unsigned char header[] = {0x4e, 0x4d, 0x4f, 0x54, 0x01, 0x00, 0x00, 0x00};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.put(static_cast<char>(kBlockMarker));
+  // varint core = 0xffffffff, count = 1.
+  const unsigned char block[] = {0xff, 0xff, 0xff, 0xff, 0x0f, 0x01};
+  out.write(reinterpret_cast<const char*>(block), sizeof(block));
+  out.close();
+
+  TraceReader reader(path("bad.nmot"));
+  core::TraceSample s;
+  EXPECT_FALSE(reader.next(s));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(StoreTest, WriterRejectsOutOfRangeCoreId) {
+  TraceWriter writer(path("t.nmot"));
+  core::TraceSample s;
+  s.core = kMaxCores;
+  writer.add(s);
+  EXPECT_FALSE(writer.ok());
+  // The sticky error withholds the footer: the partial file must not
+  // validate as a complete trace.
+  EXPECT_FALSE(writer.close());
+  TraceReader reader(path("t.nmot"));
+  core::TraceSample out;
+  while (reader.next(out)) {
+  }
+  EXPECT_FALSE(reader.ok());
+}
+
+// ------------------------------------------------------------------ merge --
+
+TEST_F(StoreTest, MergeOfRandomShardsEqualsSortCanonicalOfConcatenation) {
+  // Reference: sort_canonical over all samples in memory.
+  auto all = random_trace(8000, 8, /*canonical=*/false);
+  core::SampleTrace reference;
+  reference.append(all);
+  reference.sort_canonical();
+
+  // Shards: randomly assign each *canonically sorted* sample to one of 5
+  // files; each shard is then itself sorted (a subsequence of sorted data).
+  constexpr std::size_t kShards = 5;
+  all.sort_canonical();
+  std::mt19937 rng(99);
+  std::vector<std::unique_ptr<TraceWriter>> writers;
+  TraceMerger merger;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const std::string p = path("shard" + std::to_string(i) + ".nmot");
+    writers.push_back(std::make_unique<TraceWriter>(p));
+    merger.add_input(p);
+  }
+  for (const auto& s : all.samples()) {
+    writers[rng() % kShards]->add(s);
+  }
+  for (auto& w : writers) ASSERT_TRUE(w->close());
+
+  const auto stats = merger.merge_to(path("merged.nmot"));
+  ASSERT_TRUE(stats.has_value()) << merger.error();
+  EXPECT_EQ(stats->samples, reference.size());
+  EXPECT_EQ(stats->inputs, kShards);
+  EXPECT_EQ(stats->fingerprint, reference.fingerprint());
+
+  TraceReader reader(path("merged.nmot"));
+  const auto merged = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(csv_of(merged), csv_of(reference));
+  EXPECT_EQ(merged.fingerprint(), reference.fingerprint());
+}
+
+TEST_F(StoreTest, MergeOfSingleFileIsIdentity) {
+  const auto trace = random_trace(1000, 9);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceMerger merger;
+  merger.add_input(path("t.nmot"));
+  const auto stats = merger.merge_to(path("m.nmot"));
+  ASSERT_TRUE(stats.has_value()) << merger.error();
+  EXPECT_EQ(stats->fingerprint, trace.fingerprint());
+}
+
+TEST_F(StoreTest, MergeIncludesEmptyInputs) {
+  const auto trace = random_trace(500, 10);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+  TraceWriter empty(path("e.nmot"));
+  ASSERT_TRUE(empty.close());
+
+  TraceMerger merger;
+  merger.add_input(path("e.nmot"));
+  merger.add_input(path("t.nmot"));
+  const auto stats = merger.merge_to(path("m.nmot"));
+  ASSERT_TRUE(stats.has_value()) << merger.error();
+  EXPECT_EQ(stats->samples, trace.size());
+  EXPECT_EQ(stats->fingerprint, trace.fingerprint());
+}
+
+TEST_F(StoreTest, MergeRejectsUnsortedInput) {
+  core::SampleTrace unsorted;
+  core::TraceSample s;
+  s.time_ns = 100;
+  unsorted.add(s);
+  s.time_ns = 1;  // regression
+  unsorted.add(s);
+  s.time_ns = 200;
+  unsorted.add(s);
+  TraceWriter writer(path("u.nmot"));
+  writer.write_all(unsorted);
+  ASSERT_TRUE(writer.close());
+
+  TraceMerger merger;
+  merger.add_input(path("u.nmot"));
+  EXPECT_FALSE(merger.merge_to(path("m.nmot")).has_value());
+  EXPECT_NE(merger.error().find("canonical"), std::string::npos);
+}
+
+TEST_F(StoreTest, MergeReportsMissingInput) {
+  TraceMerger merger;
+  merger.add_input(path("nope.nmot"));
+  EXPECT_FALSE(merger.merge_to(path("m.nmot")).has_value());
+  EXPECT_FALSE(merger.error().empty());
+}
+
+TEST_F(StoreTest, MergeRefusesOutputThatIsAlsoAnInput) {
+  // Truncating-then-removing an input would be data loss; the merger must
+  // refuse up front and leave the input untouched.
+  const auto trace = random_trace(200, 11);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceMerger merger;
+  merger.add_input(path("t.nmot"));
+  EXPECT_FALSE(merger.merge_to(path("t.nmot")).has_value());
+  EXPECT_NE(merger.error().find("also a merge input"), std::string::npos);
+
+  TraceReader reader(path("t.nmot"));
+  const auto back = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(back.fingerprint(), trace.fingerprint());
+}
+
+TEST_F(StoreTest, FailedMergeLeavesNoValidOutputFile) {
+  // An unsorted input aborts the merge mid-stream; the partial output must
+  // not survive as a file that could pass for a complete trace.
+  core::SampleTrace unsorted;
+  core::TraceSample s;
+  s.time_ns = 100;
+  unsorted.add(s);
+  s.time_ns = 1;
+  unsorted.add(s);
+  TraceWriter writer(path("u.nmot"));
+  writer.write_all(unsorted);
+  ASSERT_TRUE(writer.close());
+
+  TraceMerger merger;
+  merger.add_input(path("u.nmot"));
+  ASSERT_FALSE(merger.merge_to(path("m.nmot")).has_value());
+  EXPECT_FALSE(fs::exists(path("m.nmot")));
+}
+
+// --------------------------------------------------------------- sessions --
+
+TEST_F(StoreTest, SessionStoreAssignsUniqueIdsAndDirs) {
+  SessionStore store(path("store"));
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&store] { store.create_session("job"); });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto sessions = store.sessions();
+  ASSERT_EQ(sessions.size(), static_cast<std::size_t>(kThreads));
+  std::set<std::uint32_t> ids;
+  std::set<std::string> dirs;
+  for (const auto& s : sessions) {
+    ids.insert(s.id);
+    dirs.insert(s.dir);
+    EXPECT_TRUE(fs::is_directory(s.dir));
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(dirs.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(StoreTest, SessionIdsResumeAcrossStoreInstances) {
+  // A second store (or process) on the same root must not re-issue ids
+  // and truncate the earlier sessions' trace files.
+  {
+    SessionStore store(path("store"));
+    store.create_session("a");
+    store.create_session("b");
+  }
+  SessionStore resumed(path("store"));
+  const auto s = resumed.create_session("c");
+  EXPECT_EQ(s.id, 2u);
+}
+
+TEST_F(StoreTest, SessionNamesAreSanitizedToSafePathComponents) {
+  SessionStore store(path("store"));
+  const auto evil = store.create_session("../../escape/me");
+  EXPECT_EQ(evil.name, ".._.._escape_me");
+  EXPECT_EQ(evil.dir.find(path("store")), 0u);
+  EXPECT_TRUE(fs::is_directory(evil.dir));
+  const auto empty = store.create_session("");
+  EXPECT_EQ(empty.name, "job");
+}
+
+TEST_F(StoreTest, ConcurrentSessionsWriteDistinctValidTraces) {
+  core::NmoConfig nmo_cfg;
+  nmo_cfg.enable = true;
+  nmo_cfg.mode = core::Mode::kAll;
+  nmo_cfg.period = 512;
+
+  sim::EngineConfig engine;
+  engine.threads = 4;
+  engine.machine.hierarchy.cores = 4;
+
+  std::vector<SessionJob> jobs(3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].name = "s" + std::to_string(i);
+    jobs[i].nmo = nmo_cfg;
+    jobs[i].engine = engine;
+    jobs[i].engine.seed = 10 + i;
+    jobs[i].make_workload = [] {
+      wl::StreamConfig cfg;
+      cfg.array_elems = 1 << 14;
+      cfg.iterations = 1;
+      return std::make_unique<wl::Stream>(cfg);
+    };
+  }
+  // One job runs an uninstrumented baseline pass concurrently with the
+  // others' profiled runs: its nullptr binding must not observe (or
+  // annotate) any concurrent session's profiler.
+  jobs[0].with_baseline = true;
+
+  SessionStore store(path("store"));
+  const auto results = run_sessions(store, jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+
+  core::SampleTrace reference;
+  std::set<std::string> paths;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    EXPECT_GT(r.samples, 0u);
+    paths.insert(r.session.trace_path);
+
+    TraceReader reader(r.session.trace_path);
+    const auto trace = reader.read_all();
+    ASSERT_TRUE(reader.ok()) << r.session.trace_path << ": " << reader.error();
+    EXPECT_EQ(trace.size(), r.samples);
+    EXPECT_EQ(trace.fingerprint(), r.fingerprint);
+    EXPECT_EQ(r.samples, r.report.processed_samples);
+    reference.append(trace);
+  }
+  // No clobbering: three sessions, three distinct files.
+  EXPECT_EQ(paths.size(), jobs.size());
+
+  // Merging the session files equals the canonical concatenation.
+  reference.sort_canonical();
+  TraceMerger merger;
+  for (const auto& r : results) merger.add_input(r.session.trace_path);
+  const auto stats = merger.merge_to(path("merged.nmot"));
+  ASSERT_TRUE(stats.has_value()) << merger.error();
+  EXPECT_EQ(stats->samples, reference.size());
+  EXPECT_EQ(stats->fingerprint, reference.fingerprint());
+}
+
+TEST_F(StoreTest, IdenticalJobsProduceIdenticalFingerprints) {
+  // Concurrency must not leak between sessions: two identical jobs (same
+  // seed, same workload) yield byte-identical traces.
+  core::NmoConfig nmo_cfg;
+  nmo_cfg.enable = true;
+  nmo_cfg.mode = core::Mode::kSample;
+  nmo_cfg.period = 512;
+
+  sim::EngineConfig engine;
+  engine.threads = 4;
+  engine.machine.hierarchy.cores = 4;
+  engine.seed = 77;
+
+  std::vector<SessionJob> jobs(2);
+  for (auto& job : jobs) {
+    job.name = "twin";
+    job.nmo = nmo_cfg;
+    job.engine = engine;
+    job.make_workload = [] {
+      wl::StreamConfig cfg;
+      cfg.array_elems = 1 << 14;
+      cfg.iterations = 1;
+      return std::make_unique<wl::Stream>(cfg);
+    };
+  }
+
+  SessionStore store(path("store"));
+  const auto results = run_sessions(store, jobs);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+  ASSERT_TRUE(results[1].error.empty()) << results[1].error;
+  EXPECT_EQ(results[0].fingerprint, results[1].fingerprint);
+  EXPECT_NE(results[0].session.trace_path, results[1].session.trace_path);
+}
+
+}  // namespace
+}  // namespace nmo::store

@@ -1,0 +1,135 @@
+// SampleTrace edge cases: append/sort_canonical under empty traces,
+// duplicate samples, already-sorted input, and self-append.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "core/trace.hpp"
+
+namespace nmo::core {
+namespace {
+
+TraceSample sample(std::uint64_t t, CoreId core, Addr vaddr = 0x1000) {
+  TraceSample s;
+  s.time_ns = t;
+  s.core = core;
+  s.vaddr = vaddr;
+  s.pc = 0x400000 + (vaddr & 0xfff);
+  s.latency = 10;
+  return s;
+}
+
+std::string csv_of(const SampleTrace& t) {
+  std::ostringstream out;
+  t.write_csv(out);
+  return out.str();
+}
+
+TEST(SampleTraceEdge, SortCanonicalOnEmptyTrace) {
+  SampleTrace t;
+  t.sort_canonical();  // must not crash
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.fingerprint(), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(SampleTraceEdge, AppendEmptyToEmpty) {
+  SampleTrace a, b;
+  a.append(b);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SampleTraceEdge, AppendEmptyLeavesTraceUnchanged) {
+  SampleTrace a, empty;
+  a.add(sample(1, 0));
+  const std::string before = csv_of(a);
+  a.append(empty);
+  EXPECT_EQ(csv_of(a), before);
+}
+
+TEST(SampleTraceEdge, AppendToEmptyCopiesAll) {
+  SampleTrace a, b;
+  b.add(sample(2, 1));
+  b.add(sample(1, 0));
+  a.append(b);
+  EXPECT_EQ(csv_of(a), csv_of(b));
+}
+
+TEST(SampleTraceEdge, SelfAppendDuplicatesSamples) {
+  SampleTrace t;
+  // Enough samples that insert-into-self would reallocate mid-copy.
+  for (std::uint64_t i = 0; i < 100; ++i) t.add(sample(i, static_cast<CoreId>(i % 4)));
+  const std::string before = csv_of(t);
+  t.append(t);
+  ASSERT_EQ(t.size(), 200u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.samples()[i].time_ns, t.samples()[100 + i].time_ns);
+    EXPECT_EQ(t.samples()[i].core, t.samples()[100 + i].core);
+  }
+  // The first half is still the original trace.
+  SampleTrace head;
+  for (std::size_t i = 0; i < 100; ++i) head.add(t.samples()[i]);
+  EXPECT_EQ(csv_of(head), before);
+}
+
+TEST(SampleTraceEdge, DuplicateSamplesSurviveCanonicalSort) {
+  SampleTrace t;
+  t.add(sample(5, 1));
+  t.add(sample(5, 1));
+  t.add(sample(1, 2));
+  t.add(sample(5, 1));
+  t.sort_canonical();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.samples()[0].time_ns, 1u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(t.samples()[i].time_ns, 5u);
+    EXPECT_EQ(t.samples()[i].core, 1u);
+  }
+}
+
+TEST(SampleTraceEdge, AlreadySortedInputIsUnchanged) {
+  SampleTrace t;
+  t.add(sample(1, 0));
+  t.add(sample(1, 1));
+  t.add(sample(2, 0, 0x1000));
+  t.add(sample(2, 0, 0x2000));
+  const std::string before = csv_of(t);
+  const std::string md5_before = t.fingerprint();
+  t.sort_canonical();
+  EXPECT_EQ(csv_of(t), before);
+  EXPECT_EQ(t.fingerprint(), md5_before);
+}
+
+TEST(SampleTraceEdge, CanonicalOrderIsPermutationInvariant) {
+  std::vector<TraceSample> samples;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    samples.push_back(sample(i / 3, static_cast<CoreId>(i % 5), 0x1000 + 8 * (i % 7)));
+  }
+  SampleTrace a;
+  for (const auto& s : samples) a.add(s);
+  std::mt19937 rng(7);
+  std::shuffle(samples.begin(), samples.end(), rng);
+  SampleTrace b;
+  for (const auto& s : samples) b.add(s);
+
+  a.sort_canonical();
+  b.sort_canonical();
+  EXPECT_EQ(csv_of(a), csv_of(b));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SampleTraceEdge, CanonicalLessIsStrictTotalOrder) {
+  const TraceSample a = sample(1, 0);
+  const TraceSample b = sample(1, 1);
+  EXPECT_FALSE(canonical_less(a, a));
+  EXPECT_TRUE(canonical_less(a, b));
+  EXPECT_FALSE(canonical_less(b, a));
+  // Ties on every field compare equal in both directions.
+  const TraceSample c = a;
+  EXPECT_FALSE(canonical_less(a, c));
+  EXPECT_FALSE(canonical_less(c, a));
+}
+
+}  // namespace
+}  // namespace nmo::core

@@ -1,0 +1,305 @@
+// nmo-trace: merge/query CLI over binary sample trace files.
+//
+// The user-facing entry point of the trace store (src/store/): where the
+// paper's post-processing scripts consume one CSV per run, a multi-session
+// deployment leaves behind one .nmot file per session and this tool folds
+// and inspects them:
+//
+//   nmo-trace info FILE...                 header/footer + per-level stats
+//   nmo-trace merge -o OUT FILE...         streaming k-way canonical merge
+//   nmo-trace export-csv FILE [-o OUT]     CSV byte-identical to write_csv
+//   nmo-trace top FILE [--by region|level|core|latency] [-n N]
+//
+// Exit codes: 0 success, 1 operation failed, 2 usage error.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "store/trace_file.hpp"
+#include "store/trace_merger.hpp"
+
+namespace {
+
+using nmo::core::TraceSample;
+using nmo::store::TraceReader;
+using nmo::store::TraceMerger;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nmo-trace <command> [args]\n"
+               "\n"
+               "  info FILE...                  validate and summarize trace files\n"
+               "  merge -o OUT FILE...          k-way merge into canonical order\n"
+               "  export-csv FILE [-o OUT]      write the trace as CSV (stdout default)\n"
+               "  top FILE [--by KEY] [-n N]    hottest groups; KEY: region|level|core|latency\n");
+  return 2;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  bool all_ok = true;
+  for (const auto& path : args) {
+    TraceReader reader(path);
+    std::uint64_t samples = 0;
+    std::uint64_t per_level[nmo::kNumMemLevels] = {};
+    std::uint64_t latency_sum = 0;
+    std::uint64_t t_min = ~std::uint64_t{0}, t_max = 0;
+    std::map<nmo::CoreId, std::uint64_t> per_core;
+    TraceSample s;
+    while (reader.next(s)) {
+      ++samples;
+      ++per_level[static_cast<std::size_t>(s.level)];
+      ++per_core[s.core];
+      latency_sum += s.latency;
+      t_min = std::min(t_min, s.time_ns);
+      t_max = std::max(t_max, s.time_ns);
+    }
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), reader.error().c_str());
+      all_ok = false;
+      continue;
+    }
+    const auto& info = reader.info();
+    std::printf("%s\n", path.c_str());
+    std::printf("  version    : %u\n", info.version);
+    std::printf("  samples    : %" PRIu64 "\n", info.samples);
+    std::printf("  fingerprint: %s\n", info.fingerprint.c_str());
+    std::printf("  cores      : %zu\n", per_core.size());
+    if (samples > 0) {
+      std::printf("  time range : %" PRIu64 " .. %" PRIu64 " ns\n", t_min, t_max);
+      std::printf("  avg latency: %.1f cycles\n",
+                  static_cast<double>(latency_sum) / static_cast<double>(samples));
+      std::printf("  levels     :");
+      for (std::size_t l = 0; l < nmo::kNumMemLevels; ++l) {
+        std::printf(" %s=%" PRIu64, std::string(to_string(static_cast<nmo::MemLevel>(l))).c_str(),
+                    per_level[l]);
+      }
+      std::printf("\n");
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return usage();
+
+  TraceMerger merger;
+  for (const auto& in : inputs) merger.add_input(in);
+  const auto stats = merger.merge_to(out_path);
+  if (!stats) {
+    std::fprintf(stderr, "merge failed: %s\n", merger.error().c_str());
+    return 1;
+  }
+  std::printf("merged %zu file%s -> %s\n", stats->inputs, stats->inputs == 1 ? "" : "s",
+              out_path.c_str());
+  std::printf("samples    : %" PRIu64 "\n", stats->samples);
+  std::printf("fingerprint: %s\n", stats->fingerprint.c_str());
+  return 0;
+}
+
+int cmd_export_csv(const std::vector<std::string>& args) {
+  std::string in_path, out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
+    } else if (in_path.empty()) {
+      in_path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path.empty()) return usage();
+
+  // Opening the output truncates it; refuse when it aliases the input
+  // (same guard class as TraceMerger's output-is-input check).
+  if (!out_path.empty()) {
+    std::error_code ec;
+    if (out_path == in_path || (std::filesystem::equivalent(in_path, out_path, ec) && !ec)) {
+      std::fprintf(stderr, "%s: output path is also the input trace\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  // Validate the input before creating the output, so a bad input path
+  // never leaves a header-only CSV behind.
+  TraceReader reader(in_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in_path.c_str(), reader.error().c_str());
+    return 1;
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  // On any failure a partial CSV must not be left behind looking like a
+  // complete export (the analogue of TraceMerger's cleanup).
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s\n", message.c_str());
+    if (!out_path.empty()) {
+      file.close();
+      std::remove(out_path.c_str());
+    }
+    return 1;
+  };
+
+  out << nmo::core::kTraceCsvHeader;
+  TraceSample s;
+  while (reader.next(s)) nmo::core::write_csv_row(out, s);
+  if (!reader.ok()) return fail(in_path + ": " + reader.error());
+  out.flush();
+  if (!out) return fail(out_path.empty() ? "write to stdout failed"
+                                         : out_path + ": write failed");
+  return 0;
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  std::string in_path, by = "region";
+  std::size_t top_n = 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--by") {
+      if (i + 1 >= args.size()) return usage();
+      by = args[++i];
+    } else if (args[i] == "-n") {
+      if (i + 1 >= args.size()) return usage();
+      const std::string& value = args[++i];
+      char* end = nullptr;
+      top_n = static_cast<std::size_t>(std::strtoull(value.c_str(), &end, 10));
+      // Strict digits-only parse: "-1" would wrap to 2^64-1 and defeat the
+      // bounded heap.
+      if (value.empty() || end != value.c_str() + value.size() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return usage();
+      }
+    } else if (in_path.empty()) {
+      in_path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path.empty() || top_n == 0) return usage();
+  if (by != "region" && by != "level" && by != "core" && by != "latency") return usage();
+
+  TraceReader reader(in_path);
+  TraceSample s;
+
+  if (by == "latency") {
+    // The N highest-latency samples (a bounded min-heap over the stream).
+    const auto latency_gt = [](const TraceSample& a, const TraceSample& b) {
+      return a.latency > b.latency;
+    };
+    std::vector<TraceSample> worst;
+    while (reader.next(s)) {
+      worst.push_back(s);
+      std::push_heap(worst.begin(), worst.end(), latency_gt);
+      if (worst.size() > top_n) {
+        std::pop_heap(worst.begin(), worst.end(), latency_gt);
+        worst.pop_back();
+      }
+    }
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s: %s\n", in_path.c_str(), reader.error().c_str());
+      return 1;
+    }
+    std::sort(worst.begin(), worst.end(), latency_gt);
+    std::printf("%-12s %-18s %-6s %-6s %-6s %s\n", "latency", "vaddr", "level", "core", "region",
+                "time_ns");
+    for (const auto& w : worst) {
+      std::printf("%-12u 0x%-16" PRIx64 " %-6s %-6u %-6d %" PRIu64 "\n", w.latency, w.vaddr,
+                  std::string(to_string(w.level)).c_str(), w.core, w.region, w.time_ns);
+    }
+    return 0;
+  }
+
+  struct Group {
+    std::uint64_t count = 0;
+    std::uint64_t latency_sum = 0;
+    std::uint16_t latency_max = 0;
+  };
+  std::map<std::int64_t, Group> groups;
+  std::uint64_t total = 0;
+  while (reader.next(s)) {
+    std::int64_t key = 0;
+    if (by == "region") {
+      key = s.region;
+    } else if (by == "level") {
+      key = static_cast<std::int64_t>(s.level);
+    } else {
+      key = static_cast<std::int64_t>(s.core);
+    }
+    auto& g = groups[key];
+    ++g.count;
+    g.latency_sum += s.latency;
+    g.latency_max = std::max(g.latency_max, s.latency);
+    ++total;
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in_path.c_str(), reader.error().c_str());
+    return 1;
+  }
+
+  std::vector<std::pair<std::int64_t, Group>> rows(groups.begin(), groups.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.count > b.second.count; });
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  std::printf("%-10s %-12s %-8s %-12s %s\n", by.c_str(), "samples", "share", "avg_lat",
+              "max_lat");
+  for (const auto& [key, g] : rows) {
+    char label[32];
+    if (by == "level") {
+      std::snprintf(label, sizeof(label), "%s",
+                    std::string(to_string(static_cast<nmo::MemLevel>(key))).c_str());
+    } else if (by == "region" && key < 0) {
+      std::snprintf(label, sizeof(label), "untagged");
+    } else {
+      std::snprintf(label, sizeof(label), "%" PRId64, key);
+    }
+    std::printf("%-10s %-12" PRIu64 " %-8.2f %-12.1f %u\n", label, g.count,
+                total > 0 ? 100.0 * static_cast<double>(g.count) / static_cast<double>(total)
+                          : 0.0,
+                g.count > 0 ? static_cast<double>(g.latency_sum) / static_cast<double>(g.count)
+                            : 0.0,
+                g.latency_max);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "info") return cmd_info(args);
+  if (command == "merge") return cmd_merge(args);
+  if (command == "export-csv") return cmd_export_csv(args);
+  if (command == "top") return cmd_top(args);
+  return usage();
+}
