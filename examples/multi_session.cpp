@@ -1,31 +1,65 @@
-// Multi-session profiling: N concurrent profiled jobs, one trace file each.
+// Multi-session profiling: N profiled jobs admitted onto a bounded
+// scheduler, one trace file each.
 //
 // The step toward serving many profiled jobs at once (ROADMAP): a
-// SessionStore hands each job its own session directory, run_sessions
-// profiles every job on its own thread, and each session writes its binary
-// trace (store/trace_file.hpp) without touching the others.  Afterwards the
+// SessionStore hands each job its own session directory, and run_sessions
+// schedules every job onto a worker pool of `max_workers` threads behind a
+// priority-aware admission queue (store/scheduler.hpp) - N can far exceed
+// the worker count without spawning N threads.  Each session writes its
+// binary trace (store/trace_file.hpp) plus its region-table sidecar
+// (store/region_file.hpp) without touching the others.  Afterwards the
 // traces merge back into one canonical trace - here in-process via
 // TraceMerger, in scripted workflows via `nmo-trace merge`.
 //
-// The example prints the per-session results plus the *expected* merged
-// sample count and fingerprint, computed independently in memory with
-// SampleTrace::append + sort_canonical.  CI's smoke step compares these
-// expectations against what `nmo-trace merge` + `nmo-trace info` report,
-// closing the loop between the in-memory canonical order and the on-disk
-// store.
+// The example prints the per-session results, the scheduler's aggregate
+// stats, and the *expected* merged sample count and fingerprint, computed
+// independently in memory with SampleTrace::append + sort_canonical (with
+// region indices remapped through the same RegionUnion the merger uses).
+// CI's smoke step compares these expectations against what `nmo-trace
+// merge` + `nmo-trace info` report - for the stress leg with 32 sessions
+// capped at 4 workers - closing the loop between the in-memory canonical
+// order and the on-disk store.
 //
-//   ./example_multi_session [store_root]     (default ./nmo_sessions)
+//   ./example_multi_session [store_root] [sessions] [max_workers] [policy]
+//   defaults: ./nmo_sessions 8 3 block       (policy: block|reject|shed-oldest)
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 
+#include "store/region_file.hpp"
 #include "store/session_store.hpp"
 #include "store/trace_file.hpp"
 #include "store/trace_merger.hpp"
 #include "workloads/bfs.hpp"
 #include "workloads/stream.hpp"
 
+// Digits-only count parse: "-1" must hit the usage message, not wrap
+// through strtoull to 2^64-1 and blow up a vector allocation.
+std::optional<std::uint64_t> parse_count(const char* text) {
+  if (!text || *text < '0' || *text > '9') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (*end != '\0') return std::nullopt;
+  return value;
+}
+
 int main(int argc, char** argv) {
   const std::string root = argc > 1 ? argv[1] : "nmo_sessions";
+  const auto sessions = argc > 2 ? parse_count(argv[2]) : std::uint64_t{8};
+  const auto workers = argc > 3 ? parse_count(argv[3]) : std::uint64_t{3};
+  const std::string policy_text = argc > 4 ? argv[4] : "block";
+  const auto policy = nmo::store::parse_admission_policy(policy_text);
+  if (!sessions || *sessions == 0 || !workers || *workers == 0 || *workers > 0xffffffffULL ||
+      !policy) {
+    std::fprintf(stderr,
+                 "usage: %s [store_root] [sessions > 0] [max_workers > 0] "
+                 "[block|reject|shed-oldest]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::size_t n_sessions = static_cast<std::size_t>(*sessions);
+  const std::uint32_t n_workers = static_cast<std::uint32_t>(*workers);
 
   nmo::core::NmoConfig nmo_cfg;
   nmo_cfg.enable = true;
@@ -33,60 +67,126 @@ int main(int argc, char** argv) {
   nmo_cfg.period = 1024;
 
   nmo::sim::EngineConfig engine;
-  engine.threads = 8;
-  engine.machine.hierarchy.cores = 8;
+  engine.threads = 4;
+  engine.machine.hierarchy.cores = 4;
 
-  // Two different jobs profiled concurrently: a STREAM run and a BFS run.
-  std::vector<nmo::store::SessionJob> jobs(2);
-  jobs[0].name = "stream";
-  jobs[0].nmo = nmo_cfg;
-  jobs[0].engine = engine;
-  jobs[0].engine.seed = 1;
-  jobs[0].make_workload = [] {
-    nmo::wl::StreamConfig cfg;
-    cfg.array_elems = 1 << 17;
-    cfg.iterations = 2;
-    return std::make_unique<nmo::wl::Stream>(cfg);
-  };
-  jobs[1].name = "bfs";
-  jobs[1].nmo = nmo_cfg;
-  jobs[1].engine = engine;
-  jobs[1].engine.seed = 2;
-  jobs[1].make_workload = [] {
-    nmo::wl::BfsConfig cfg;
-    cfg.nodes = 1 << 15;
-    cfg.edges_per_node = 8;
-    return std::make_unique<nmo::wl::Bfs>(cfg);
-  };
+  // N jobs, far more than workers: alternating STREAM and BFS runs with
+  // distinct seeds, every third job submitted at a higher priority class.
+  std::vector<nmo::store::SessionJob> jobs(n_sessions);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    jobs[i].nmo = nmo_cfg;
+    jobs[i].engine = engine;
+    jobs[i].engine.seed = i + 1;
+    jobs[i].priority = i % 3 == 0 ? 1 : 0;
+    if (i % 2 == 0) {
+      jobs[i].name = "stream-" + std::to_string(i);
+      jobs[i].make_workload = [] {
+        nmo::wl::StreamConfig cfg;
+        cfg.array_elems = 1 << 15;
+        cfg.iterations = 2;
+        return std::make_unique<nmo::wl::Stream>(cfg);
+      };
+    } else {
+      jobs[i].name = "bfs-" + std::to_string(i);
+      jobs[i].make_workload = [] {
+        nmo::wl::BfsConfig cfg;
+        cfg.nodes = 1 << 13;
+        cfg.edges_per_node = 8;
+        return std::make_unique<nmo::wl::Bfs>(cfg);
+      };
+    }
+  }
+
+  nmo::store::SchedulerConfig sched;
+  sched.max_workers = n_workers;
+  // Under the block policy a finite queue exercises real backpressure
+  // (submission stalls until a worker frees a slot) while still admitting
+  // every job eventually; reject/shed-oldest keep the queue unbounded so
+  // the example's merge oracle is not at the mercy of timing.
+  sched.queue_depth =
+      *policy == nmo::store::AdmissionPolicy::kBlock ? std::size_t{2} * n_workers : 0;
+  sched.policy = *policy;
 
   nmo::store::SessionStore store(root);
-  const auto results = nmo::store::run_sessions(store, jobs);
+  const auto run = nmo::store::run_sessions(store, jobs, sched);
 
-  std::printf("=== multi-session run (%zu concurrent jobs) ===\n", results.size());
+  std::printf("=== multi-session run (%zu jobs on %u workers, policy %s) ===\n",
+              run.results.size(), n_workers, policy_text.c_str());
   nmo::core::SampleTrace expected;
+  nmo::store::RegionUnion expected_regions;
+  std::vector<std::string> merge_inputs;
+  struct PendingTrace {
+    nmo::core::SampleTrace samples;
+    std::optional<std::size_t> table;  ///< RegionUnion handle, if a sidecar exists.
+  };
+  std::vector<PendingTrace> pending;
   bool ok = true;
-  for (const auto& r : results) {
+  for (const auto& r : run.results) {
     if (!r.error.empty()) {
-      std::printf("session %u (%s): FAILED: %s\n", r.session.id, r.session.name.c_str(),
-                  r.error.c_str());
+      std::printf("session %u (%s): %s: %s\n", r.session.id, r.session.name.c_str(),
+                  std::string(nmo::core::to_string(r.state)).c_str(), r.error.c_str());
       ok = false;
       continue;
     }
     std::printf("session %u (%s): %llu samples -> %s\n", r.session.id, r.session.name.c_str(),
                 static_cast<unsigned long long>(r.samples), r.session.trace_path.c_str());
-    std::printf("  fingerprint: %s  accuracy: %.2f%%\n", r.fingerprint.c_str(),
-                r.report.accuracy() * 100.0);
+    std::printf("  fingerprint: %s  accuracy: %.2f%%  worker: %u  queue wait: %.3f ms\n",
+                r.fingerprint.c_str(), r.report.accuracy() * 100.0, r.worker,
+                static_cast<double>(r.queue_wait_ns) / 1e6);
 
     // Re-read the session's file: the round-trip must be lossless.
     nmo::store::TraceReader reader(r.session.trace_path);
-    nmo::core::SampleTrace from_disk = reader.read_all();
-    if (!reader.ok() || from_disk.fingerprint() != r.fingerprint) {
+    PendingTrace trace;
+    trace.samples = reader.read_all();
+    if (!reader.ok() || trace.samples.fingerprint() != r.fingerprint) {
       std::printf("  round-trip MISMATCH: %s\n", reader.error().c_str());
       ok = false;
     }
-    expected.append(from_disk);
+    if (auto table =
+            nmo::store::read_region_file(nmo::store::region_path_for(r.session.trace_path))) {
+      trace.table = expected_regions.add(std::move(*table));
+    }
+    pending.push_back(std::move(trace));
+    merge_inputs.push_back(r.session.trace_path);
   }
   if (!ok) return 1;
+
+  // Mirror the merger's region handling: remap every session's samples
+  // into the (sorted, order-independent) union index space.  Done after
+  // the loop because union indices are only final once every table is in.
+  for (const auto& trace : pending) {
+    if (!trace.table) {
+      expected.append(trace.samples);
+      continue;
+    }
+    const auto remap = expected_regions.mapping(*trace.table);
+    nmo::core::SampleTrace remapped;
+    for (auto s : trace.samples.samples()) {
+      if (s.region >= 0 && static_cast<std::size_t>(s.region) < remap.size()) {
+        s.region = remap[static_cast<std::size_t>(s.region)];
+      }
+      remapped.add(s);
+    }
+    expected.append(remapped);
+  }
+
+  const auto& stats = run.stats;
+  std::printf("\n=== scheduler stats ===\n");
+  std::printf("submitted/admitted/rejected/shed : %llu/%llu/%llu/%llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.shed));
+  std::printf("completed/failed                 : %llu/%llu\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("peak queue depth / occupancy     : %zu / %u of %u workers\n",
+              stats.peak_queue_depth, stats.peak_occupancy, stats.workers);
+  std::printf("queue wait (avg/max)             : %.3f ms / %.3f ms\n",
+              stats.admitted > 0 ? static_cast<double>(stats.queue_wait_ns_total) /
+                                       static_cast<double>(stats.admitted) / 1e6
+                                 : 0.0,
+              static_cast<double>(stats.queue_wait_ns_max) / 1e6);
 
   // The independent in-memory reference for the merged trace.
   expected.sort_canonical();
@@ -95,17 +195,21 @@ int main(int argc, char** argv) {
 
   // And the store's own streaming merge must agree with it.
   nmo::store::TraceMerger merger;
-  for (const auto& r : results) merger.add_input(r.session.trace_path);
+  for (const auto& in : merge_inputs) merger.add_input(in);
   const std::string merged_path = root + "/merged.nmot";
-  const auto stats = merger.merge_to(merged_path);
-  if (!stats) {
+  const auto merge_stats = merger.merge_to(merged_path);
+  if (!merge_stats) {
     std::printf("merge failed: %s\n", merger.error().c_str());
     return 1;
   }
-  const bool match =
-      stats->samples == expected.size() && stats->fingerprint == expected.fingerprint();
+  const bool match = merge_stats->samples == expected.size() &&
+                     merge_stats->fingerprint == expected.fingerprint();
   std::printf("streaming merge              : %llu samples, %s -> %s\n",
-              static_cast<unsigned long long>(stats->samples), stats->fingerprint.c_str(),
+              static_cast<unsigned long long>(merge_stats->samples),
+              merge_stats->fingerprint.c_str(),
               match ? "matches in-memory canonical order" : "MISMATCH");
+  std::printf("merged region table          : %zu named regions -> %s\n",
+              merge_stats->regions,
+              nmo::store::region_path_for(merged_path).c_str());
   return match ? 0 : 1;
 }

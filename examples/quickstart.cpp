@@ -57,6 +57,10 @@ int main() {
               static_cast<unsigned long long>(session.profiler().capacity().peak_bytes()));
   std::printf("bandwidth peak      : %.2f GiB/s\n",
               session.profiler().bandwidth().peak_gib_per_s());
+  std::printf("scheduler placement : %s (queue wait %.3f ms, worker %u) - "
+              "see example_multi_session for the bounded pool\n",
+              std::string(nmo::core::to_string(report.sched_state)).c_str(),
+              static_cast<double>(report.sched_queue_wait_ns) / 1e6, report.sched_worker);
   std::printf("\nSanity: STREAM still computed the right answer: a[0] = %.4f (expect %.4f)\n",
               stream.a()[0], nmo::wl::Stream::expected_a(scfg.iterations, scfg.scalar));
 

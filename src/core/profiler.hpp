@@ -106,4 +106,23 @@ class Profiler {
 Profiler* set_active_profiler(Profiler* profiler);
 [[nodiscard]] Profiler* active_profiler();
 
+/// RAII form of set_active_profiler: installs `profiler` (which may be
+/// nullptr for baseline runs) and restores the previous binding on scope
+/// exit - including exceptional exit.  This is what keeps a pooled worker
+/// thread (store/scheduler.hpp) safe to reuse across sessions: even if a
+/// profiled workload throws, the worker's thread-local binding can never
+/// leak one session's profiler into the next session scheduled onto the
+/// same worker.
+class ActiveProfilerScope {
+ public:
+  explicit ActiveProfilerScope(Profiler* profiler) : prev_(set_active_profiler(profiler)) {}
+  ~ActiveProfilerScope() { set_active_profiler(prev_); }
+
+  ActiveProfilerScope(const ActiveProfilerScope&) = delete;
+  ActiveProfilerScope& operator=(const ActiveProfilerScope&) = delete;
+
+ private:
+  Profiler* prev_;
+};
+
 }  // namespace nmo::core

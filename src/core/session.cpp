@@ -4,6 +4,26 @@
 
 namespace nmo::core {
 
+std::string_view to_string(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kAdmitted:
+      return "admitted";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kFailed:
+      return "failed";
+    case SessionState::kRejected:
+      return "rejected";
+    case SessionState::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
 double SessionReport::accuracy() const {
   return analysis::accuracy(mem_counted, processed_samples, period);
 }
@@ -21,23 +41,23 @@ SessionReport ProfileSession::profile(wl::Workload& workload, bool with_baseline
   report.period = nmo_config_.period;
 
   if (with_baseline) {
-    // Uninstrumented timing run on an identical, independent machine.
-    Profiler* prev = set_active_profiler(nullptr);
-    {
-      sim::TraceEngine baseline(engine_config_, nullptr);
-      workload.run(baseline);
-      baseline.finalize();
-      report.baseline_ns = baseline.stats().instrumented_ns;
-    }
-    set_active_profiler(prev);
+    // Uninstrumented timing run on an identical, independent machine.  The
+    // RAII scope restores the previous binding even if the workload
+    // throws, so a pooled worker thread stays clean for its next session.
+    ActiveProfilerScope scope(nullptr);
+    sim::TraceEngine baseline(engine_config_, nullptr);
+    workload.run(baseline);
+    baseline.finalize();
+    report.baseline_ns = baseline.stats().instrumented_ns;
   }
 
   profiler_ = std::make_unique<Profiler>(nmo_config_);
   engine_ = std::make_unique<sim::TraceEngine>(engine_config_, profiler_.get());
-  Profiler* prev = set_active_profiler(profiler_.get());
-  workload.run(*engine_);
-  engine_->finalize();
-  set_active_profiler(prev);
+  {
+    ActiveProfilerScope scope(profiler_.get());
+    workload.run(*engine_);
+    engine_->finalize();
+  }
 
   const auto stats = engine_->stats();
   report.mem_ops = stats.mem_ops;

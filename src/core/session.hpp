@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 
 #include "core/config.hpp"
 #include "core/profiler.hpp"
@@ -18,6 +19,25 @@
 #include "workloads/workload.hpp"
 
 namespace nmo::core {
+
+/// Lifecycle of a session under the bounded scheduler
+/// (store/scheduler.hpp): queued -> admitted -> running -> done/failed.
+/// kRejected and kShed are terminal admission-control outcomes - the
+/// session never ran.  A ProfileSession driven directly (no scheduler)
+/// reports kDone.
+enum class SessionState : std::uint8_t {
+  kQueued = 0,
+  kAdmitted,
+  kRunning,
+  kDone,
+  kFailed,
+  kRejected,
+  kShed,
+};
+
+/// Stable lowercase names ("queued", "done", ...) used in session
+/// metadata files and CLI output.
+[[nodiscard]] std::string_view to_string(SessionState state) noexcept;
 
 /// Summary of one profiled run (Eq. 1 inputs + diagnostics).
 struct SessionReport {
@@ -34,6 +54,13 @@ struct SessionReport {
   std::uint64_t dropped_full = 0;
   std::uint64_t wakeups = 0;
   std::uint64_t decode_stalls = 0;  ///< Decode-pool backpressure (queue-full spins).
+
+  // Scheduler placement (filled by store::run_sessions when the session ran
+  // under the bounded worker pool; a direct ProfileSession::profile call
+  // leaves the defaults: kDone, no queue wait, worker 0).
+  SessionState sched_state = SessionState::kDone;
+  std::uint64_t sched_queue_wait_ns = 0;  ///< Time spent in the admission queue.
+  std::uint32_t sched_worker = 0;         ///< Worker-pool slot that ran the session.
 
   /// Eq. 1 of the paper.
   [[nodiscard]] double accuracy() const;

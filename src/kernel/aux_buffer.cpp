@@ -15,6 +15,9 @@ bool AuxBuffer::write(std::span<const std::byte> bytes) {
     dropped_bytes_ += bytes.size();
     return false;
   }
+  // An empty span may carry a null data(); memcpy's pointer arguments must
+  // never be null even for n == 0 (UBSan enforces this).
+  if (bytes.empty()) return true;
   const std::size_t cap = data_.size();
   std::size_t at = static_cast<std::size_t>(head_ % cap);
   const std::size_t first = std::min(bytes.size(), cap - at);
@@ -27,6 +30,7 @@ bool AuxBuffer::write(std::span<const std::byte> bytes) {
 }
 
 void AuxBuffer::read_at(std::uint64_t pos, std::span<std::byte> out) const {
+  if (out.empty()) return;
   const std::size_t cap = data_.size();
   std::size_t at = static_cast<std::size_t>(pos % cap);
   const std::size_t first = std::min(out.size(), cap - at);

@@ -14,6 +14,9 @@ RingBuffer::RingBuffer(std::size_t pages, std::size_t page_size) {
 }
 
 void RingBuffer::copy_in(std::uint64_t pos, std::span<const std::byte> bytes) {
+  // An empty span may carry a null data(); memcpy's pointer arguments must
+  // never be null even for n == 0 (UBSan enforces this).
+  if (bytes.empty()) return;
   const std::size_t cap = data_.size();
   std::size_t at = static_cast<std::size_t>(pos % cap);
   const std::size_t first = std::min(bytes.size(), cap - at);
@@ -24,6 +27,7 @@ void RingBuffer::copy_in(std::uint64_t pos, std::span<const std::byte> bytes) {
 }
 
 void RingBuffer::copy_out(std::uint64_t pos, std::span<std::byte> bytes) const {
+  if (bytes.empty()) return;
   const std::size_t cap = data_.size();
   std::size_t at = static_cast<std::size_t>(pos % cap);
   const std::size_t first = std::min(bytes.size(), cap - at);

@@ -1,0 +1,228 @@
+#include "store/region_file.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace nmo::store {
+namespace {
+
+constexpr std::string_view kMagic = "nmo-regions";
+constexpr int kVersion = 1;
+
+void set_error(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+}
+
+std::string escape_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape_name(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (++i == text.size()) return std::nullopt;  // dangling escape
+    switch (text[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string region_path_for(const std::string& trace_path) {
+  const std::string trace_ext = ".nmot";
+  if (trace_path.size() > trace_ext.size() &&
+      trace_path.compare(trace_path.size() - trace_ext.size(), trace_ext.size(), trace_ext) ==
+          0) {
+    return trace_path.substr(0, trace_path.size() - trace_ext.size()) +
+           std::string(kRegionExtension);
+  }
+  return trace_path + std::string(kRegionExtension);
+}
+
+bool write_region_file(const std::string& path, const std::vector<core::AddrRegion>& regions,
+                       std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    set_error(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  out << kMagic << '\t' << kVersion << '\n';
+  out << regions.size() << '\n';
+  char range[40];
+  for (const auto& r : regions) {
+    std::snprintf(range, sizeof(range), "%llx\t%llx\t",
+                  static_cast<unsigned long long>(r.start),
+                  static_cast<unsigned long long>(r.end));
+    out << range << escape_name(r.name) << '\n';
+  }
+  out.flush();
+  if (!out) {
+    set_error(error, path + ": write failed");
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<core::AddrRegion>> read_region_file(const std::string& path,
+                                                              std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    set_error(error, path + ": empty file");
+    return std::nullopt;
+  }
+  std::string magic;
+  int version = -1;
+  {
+    std::istringstream header(line);
+    std::getline(header, magic, '\t');
+    header >> version;
+  }
+  if (magic != kMagic) {
+    set_error(error, path + ": not a region sidecar file");
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    set_error(error, path + ": unsupported region sidecar version " + std::to_string(version));
+    return std::nullopt;
+  }
+  if (!std::getline(in, line)) {
+    set_error(error, path + ": missing region count");
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  try {
+    count = std::stoull(line);
+  } catch (...) {
+    set_error(error, path + ": bad region count");
+    return std::nullopt;
+  }
+
+  std::vector<core::AddrRegion> regions;
+  regions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      set_error(error, path + ": truncated at region " + std::to_string(i));
+      return std::nullopt;
+    }
+    const auto first_tab = line.find('\t');
+    const auto second_tab =
+        first_tab == std::string::npos ? std::string::npos : line.find('\t', first_tab + 1);
+    if (second_tab == std::string::npos) {
+      set_error(error, path + ": malformed region row " + std::to_string(i));
+      return std::nullopt;
+    }
+    core::AddrRegion region;
+    char* end = nullptr;
+    const std::string start_text = line.substr(0, first_tab);
+    const std::string end_text = line.substr(first_tab + 1, second_tab - first_tab - 1);
+    region.start = std::strtoull(start_text.c_str(), &end, 16);
+    if (start_text.empty() || end != start_text.c_str() + start_text.size()) {
+      set_error(error, path + ": bad start address in region row " + std::to_string(i));
+      return std::nullopt;
+    }
+    region.end = std::strtoull(end_text.c_str(), &end, 16);
+    if (end_text.empty() || end != end_text.c_str() + end_text.size()) {
+      set_error(error, path + ": bad end address in region row " + std::to_string(i));
+      return std::nullopt;
+    }
+    auto name = unescape_name(line.substr(second_tab + 1));
+    if (!name) {
+      set_error(error, path + ": bad name escape in region row " + std::to_string(i));
+      return std::nullopt;
+    }
+    region.name = std::move(*name);
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+namespace {
+
+bool region_less(const core::AddrRegion& a, const core::AddrRegion& b) {
+  if (a.name != b.name) return a.name < b.name;
+  if (a.start != b.start) return a.start < b.start;
+  return a.end < b.end;
+}
+
+bool region_equal(const core::AddrRegion& a, const core::AddrRegion& b) {
+  return a.name == b.name && a.start == b.start && a.end == b.end;
+}
+
+}  // namespace
+
+std::size_t RegionUnion::add(std::vector<core::AddrRegion> regions) {
+  tables_.push_back(std::move(regions));
+  built_ = false;
+  return tables_.size() - 1;
+}
+
+void RegionUnion::build() const {
+  if (built_) return;
+  union_.clear();
+  for (const auto& table : tables_) union_.insert(union_.end(), table.begin(), table.end());
+  std::sort(union_.begin(), union_.end(), region_less);
+  union_.erase(std::unique(union_.begin(), union_.end(), region_equal), union_.end());
+  built_ = true;
+}
+
+const std::vector<core::AddrRegion>& RegionUnion::regions() const {
+  build();
+  return union_;
+}
+
+std::vector<std::int32_t> RegionUnion::mapping(std::size_t handle) const {
+  build();
+  std::vector<std::int32_t> mapping;
+  const auto& table = tables_[handle];
+  mapping.reserve(table.size());
+  for (const auto& r : table) {
+    const auto it = std::lower_bound(union_.begin(), union_.end(), r, region_less);
+    // build() guarantees every table entry is present in the union.
+    mapping.push_back(static_cast<std::int32_t>(it - union_.begin()));
+  }
+  return mapping;
+}
+
+}  // namespace nmo::store

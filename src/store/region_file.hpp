@@ -1,0 +1,78 @@
+// Per-session RegionTable persistence (ROADMAP: "nmo-trace query depth").
+//
+// Trace samples carry only a region *index*; the names live in the
+// session's core::RegionTable and used to die with the process.  Each
+// session now writes its table to a sidecar next to the trace
+// ("trace.nmot" -> "trace.nmor"), so nmo-trace `top --by region` can
+// label rows with names instead of bare indices.
+//
+// The sidecar is a line-based text format (regions are few; compactness
+// does not matter here the way it does for samples):
+//
+//   nmo-regions<TAB>1          header: magic + version
+//   <count>
+//   <start-hex><TAB><end-hex><TAB><name>   per region, in index order
+//
+// Names are escaped (\\, \t, \n) so arbitrary tag names round-trip.
+//
+// Merging traces merges tables too: RegionUnion folds N session tables
+// into one de-duplicated union (keyed by name + range, first-seen order)
+// and hands back, per input table, the old-index -> union-index mapping
+// the merger applies to every sample it writes (store/trace_merger.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/regions.hpp"
+
+namespace nmo::store {
+
+/// Conventional extension for region sidecar files ("<name>.nmor").
+inline constexpr std::string_view kRegionExtension = ".nmor";
+
+/// Sidecar path for a trace file: swaps a trailing ".nmot" for ".nmor"
+/// (appends ".nmor" when the trace path has some other extension).
+[[nodiscard]] std::string region_path_for(const std::string& trace_path);
+
+/// Writes `regions` to `path`.  Returns false (and sets *error) on I/O
+/// failure.
+bool write_region_file(const std::string& path, const std::vector<core::AddrRegion>& regions,
+                       std::string* error = nullptr);
+
+/// Reads a sidecar written by write_region_file.  nullopt (and *error) on
+/// missing file, bad magic/version, or malformed rows.
+std::optional<std::vector<core::AddrRegion>> read_region_file(const std::string& path,
+                                                              std::string* error = nullptr);
+
+/// Folds per-session region tables into one union table.  Identical
+/// regions (same name, start and end) collapse to one union entry, and
+/// the union is sorted by (name, start, end) - so the union (and every
+/// remapped sample, and therefore the merged trace's fingerprint) is
+/// identical no matter what order the tables were added in.  That
+/// order-independence is what lets CI merge session files from a shell
+/// glob while the example computes its expectation in job order.
+class RegionUnion {
+ public:
+  /// Adds one table; returns a handle for mapping().
+  std::size_t add(std::vector<core::AddrRegion> regions);
+
+  /// The sorted, de-duplicated union of every table added so far.
+  [[nodiscard]] const std::vector<core::AddrRegion>& regions() const;
+
+  /// old-index -> union-index for the table behind `handle`.  (Union
+  /// indices are only stable once all tables are added: a later add()
+  /// can shift the sorted positions.)
+  [[nodiscard]] std::vector<std::int32_t> mapping(std::size_t handle) const;
+
+ private:
+  void build() const;
+
+  std::vector<std::vector<core::AddrRegion>> tables_;
+  mutable std::vector<core::AddrRegion> union_;  ///< Cache; rebuilt after add().
+  mutable bool built_ = false;
+};
+
+}  // namespace nmo::store

@@ -1,0 +1,223 @@
+#include "store/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/profiler.hpp"
+
+namespace nmo::store {
+
+std::string_view to_string(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "?";
+}
+
+std::optional<AdmissionPolicy> parse_admission_policy(std::string_view text) {
+  if (text == "block") return AdmissionPolicy::kBlock;
+  if (text == "reject") return AdmissionPolicy::kReject;
+  if (text == "shed-oldest") return AdmissionPolicy::kShedOldest;
+  return std::nullopt;
+}
+
+std::uint32_t default_max_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(config) {
+  if (config_.max_workers == 0) {
+    throw std::invalid_argument(
+        "SchedulerConfig::max_workers is 0: a pool with no workers can never "
+        "drain its queue (use default_max_workers() for the hardware default)");
+  }
+  stats_.workers = config_.max_workers;
+  workers_.reserve(config_.max_workers);
+  for (std::uint32_t i = 0; i < config_.max_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  // Workers drain whatever is still queued before exiting; blocked
+  // submitters wake and fail their submission.
+  work_ready_.notify_all();
+  space_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Scheduler::shed_oldest_locked() {
+  // rbegin() is the lowest priority class (map is ordered descending);
+  // front() is its oldest entry.
+  auto lowest = queue_.rbegin();
+  Entry victim = std::move(lowest->second.front());
+  lowest->second.pop_front();
+  if (lowest->second.empty()) queue_.erase(lowest->first);
+  --queued_;
+  statuses_[victim.id].state = core::SessionState::kShed;
+  ++stats_.shed;
+}
+
+std::optional<TaskId> Scheduler::submit(Task task, std::uint8_t priority) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Queue wait is measured from here - including any time the submitter
+  // spends blocked on a full queue below, which is exactly when the wait
+  // numbers matter.
+  const auto submitted_at = std::chrono::steady_clock::now();
+  ++stats_.submitted;
+  if (config_.queue_depth > 0 && queued_ >= config_.queue_depth) {
+    switch (config_.policy) {
+      case AdmissionPolicy::kBlock:
+        space_ready_.wait(lock,
+                          [this] { return stopping_ || queued_ < config_.queue_depth; });
+        break;
+      case AdmissionPolicy::kReject:
+        ++stats_.rejected;
+        return std::nullopt;
+      case AdmissionPolicy::kShedOldest:
+        // Shedding favors fresh *and higher-priority* work: a submission
+        // that outranks (or ties) the lowest queued class displaces that
+        // class's oldest entry; one that ranks below everything queued is
+        // rejected instead - otherwise a burst of low-priority jobs could
+        // drain every queued high-priority session.
+        if (queue_.rbegin()->first > priority) {
+          ++stats_.rejected;
+          return std::nullopt;
+        }
+        shed_oldest_locked();
+        break;
+    }
+  }
+  if (stopping_) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+
+  Entry entry;
+  entry.id = next_id_++;
+  entry.task = std::move(task);
+  entry.priority = priority;
+  entry.submitted_at = submitted_at;
+
+  TaskStatus status;
+  status.id = entry.id;
+  status.priority = priority;
+  status.state = core::SessionState::kQueued;
+  statuses_.emplace(entry.id, status);
+
+  queue_[priority].push_back(std::move(entry));
+  ++queued_;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queued_);
+  work_ready_.notify_one();
+  return status.id;
+}
+
+void Scheduler::worker_loop(std::uint32_t worker_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (queued_ == 0) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Highest priority class first (map ordered descending), FIFO within.
+    auto highest = queue_.begin();
+    Entry entry = std::move(highest->second.front());
+    highest->second.pop_front();
+    if (highest->second.empty()) queue_.erase(highest->first);
+    --queued_;
+    space_ready_.notify_one();
+
+    const auto wait_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - entry.submitted_at)
+            .count());
+    TaskStatus& status = statuses_[entry.id];
+    status.state = core::SessionState::kAdmitted;
+    status.queue_wait_ns = wait_ns;
+    status.worker = worker_index;
+    ++stats_.admitted;
+    stats_.queue_wait_ns_total += wait_ns;
+    stats_.queue_wait_ns_max = std::max(stats_.queue_wait_ns_max, wait_ns);
+    ++running_;
+    stats_.peak_occupancy = std::max(stats_.peak_occupancy, running_);
+    status.state = core::SessionState::kRunning;
+    const TaskStatus snapshot = status;
+
+    lock.unlock();
+    // Worker hygiene: a fresh task must never observe a profiler binding
+    // left on this thread by a previous session (ProfileSession restores
+    // its binding via RAII, but a task calling set_active_profiler
+    // directly could leak one).
+    core::set_active_profiler(nullptr);
+    bool failed = false;
+    try {
+      entry.task(snapshot);
+    } catch (...) {
+      // Contain the failure to this task: the worker (and the pool) keeps
+      // serving; run_sessions reports the error through SessionResult.
+      failed = true;
+    }
+    core::set_active_profiler(nullptr);
+    lock.lock();
+
+    --running_;
+    TaskStatus& done = statuses_[entry.id];
+    done.state = failed ? core::SessionState::kFailed : core::SessionState::kDone;
+    if (failed) {
+      ++stats_.failed;
+    } else {
+      ++stats_.completed;
+    }
+    if (queued_ == 0 && running_ == 0) idle_.notify_all();
+  }
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+std::optional<TaskStatus> Scheduler::status(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = statuses_.find(id);
+  if (it == statuses_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Scheduler::forget(TaskId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = statuses_.find(id);
+  if (it == statuses_.end()) return false;
+  switch (it->second.state) {
+    case core::SessionState::kDone:
+    case core::SessionState::kFailed:
+    case core::SessionState::kShed:
+    case core::SessionState::kRejected:
+      statuses_.erase(it);
+      return true;
+    case core::SessionState::kQueued:
+    case core::SessionState::kAdmitted:
+    case core::SessionState::kRunning:
+      return false;
+  }
+  return false;
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nmo::store

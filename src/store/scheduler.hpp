@@ -1,0 +1,168 @@
+// Bounded session scheduler with admission control (ROADMAP: "session
+// scheduler").
+//
+// run_sessions used to spawn one std::thread per ProfileSession, which
+// collapses under fleet-scale job counts: a thousand queued jobs meant a
+// thousand live threads contending for the same cores.  The Scheduler
+// treats profiled jobs as *admitted workload* instead: a fixed pool of
+// `max_workers` worker threads pulls from a priority-aware admission
+// queue with a configurable depth limit.  What happens when the queue is
+// full is the admission policy:
+//
+//   kBlock      submit() waits for space (backpressure on the producer),
+//   kReject     submit() fails immediately (load shedding at the door),
+//   kShedOldest the oldest entry of the lowest priority class is dropped
+//               to make room (favor fresh, high-priority work); a
+//               submission ranked below everything queued is rejected
+//               instead of displacing its betters.
+//
+// Every task moves through the lifecycle of core::SessionState:
+// queued -> admitted -> running -> done/failed, with rejected/shed as the
+// terminal admission outcomes.  SchedulerStats aggregates what the pool
+// did: admissions, rejections, queue-wait time, peak queue depth and peak
+// worker occupancy - the numbers run_sessions persists to the store root
+// and nmo-trace prints back.
+//
+// Worker threads are reused across sessions, so the thread-local
+// active-profiler binding of the C annotation API must not leak between
+// jobs: the worker resets the binding around every task (belt) and
+// ProfileSession::profile restores it via RAII even on exceptions
+// (suspenders).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace nmo::store {
+
+/// What submit() does when the admission queue is at its depth limit.
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock = 0,  ///< Wait for a queue slot (producer backpressure).
+  kReject,     ///< Fail the submission immediately.
+  /// Drop the oldest queued entry of the lowest priority class - unless
+  /// the incoming task ranks below every queued class, in which case the
+  /// incoming task is rejected instead.
+  kShedOldest,
+};
+
+[[nodiscard]] std::string_view to_string(AdmissionPolicy policy) noexcept;
+/// Parses "block" / "reject" / "shed-oldest" (CLI and example flags).
+[[nodiscard]] std::optional<AdmissionPolicy> parse_admission_policy(std::string_view text);
+
+/// Worker count used when SchedulerConfig is defaulted: the hardware
+/// concurrency, never less than 1.
+[[nodiscard]] std::uint32_t default_max_workers() noexcept;
+
+struct SchedulerConfig {
+  /// Size of the worker pool.  Explicit 0 is a configuration error
+  /// (the Scheduler constructor throws std::invalid_argument).
+  std::uint32_t max_workers = default_max_workers();
+  /// Admission queue depth limit (queued, not yet admitted).  0 = unbounded.
+  std::size_t queue_depth = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+};
+
+using TaskId = std::uint64_t;
+
+/// Snapshot of one task's scheduling outcome.
+struct TaskStatus {
+  TaskId id = 0;
+  core::SessionState state = core::SessionState::kQueued;
+  std::uint8_t priority = 0;
+  std::uint64_t queue_wait_ns = 0;  ///< submit -> admitted (0 until admitted).
+  std::uint32_t worker = 0;         ///< Pool slot that ran it (valid once admitted).
+};
+
+/// Aggregate report of everything the pool did.
+struct SchedulerStats {
+  std::uint32_t workers = 0;
+  std::uint64_t submitted = 0;  ///< All submit() calls (admitted + rejected + shed).
+  std::uint64_t admitted = 0;   ///< Handed to a worker.
+  std::uint64_t rejected = 0;   ///< Refused at the door (kReject / stopped pool).
+  std::uint64_t shed = 0;       ///< Dropped from the queue (kShedOldest).
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_wait_ns_total = 0;  ///< Sum over admitted tasks.
+  std::uint64_t queue_wait_ns_max = 0;
+  std::size_t peak_queue_depth = 0;  ///< Most tasks ever waiting at once.
+  std::uint32_t peak_occupancy = 0;  ///< Most workers ever running at once.
+};
+
+class Scheduler {
+ public:
+  /// The work unit; receives the task's own admission snapshot (id, queue
+  /// wait, worker slot).  A task that throws is recorded as kFailed - the
+  /// exception is contained and the worker keeps serving.
+  using Task = std::function<void(const TaskStatus&)>;
+
+  /// Starts `config.max_workers` workers.  Throws std::invalid_argument on
+  /// an explicit zero-worker configuration.
+  explicit Scheduler(SchedulerConfig config = {});
+  /// Drains the queue (every admitted task completes) and joins the pool.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submits a task at `priority` (higher runs first; FIFO within a
+  /// class).  Returns the task id, or std::nullopt when admission control
+  /// turned the task away (kReject with a full queue, or a stopping pool).
+  std::optional<TaskId> submit(Task task, std::uint8_t priority = 0);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  void wait_idle();
+
+  /// Status snapshot of a previously submitted task (including shed ones).
+  /// Statuses are retained until forget(): a long-lived pool that never
+  /// forgets (or never queries) completed tasks accumulates one entry per
+  /// submission.
+  [[nodiscard]] std::optional<TaskStatus> status(TaskId id) const;
+
+  /// Drops a *terminal* (done/failed/shed) task's status entry, bounding
+  /// the ledger for long-lived pools.  A task still queued or running is
+  /// kept (returns false).
+  bool forget(TaskId id);
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    TaskId id = 0;
+    Task task;
+    std::uint8_t priority = 0;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void worker_loop(std::uint32_t worker_index);
+  /// Drops the oldest entry of the lowest-priority class (queue lock held).
+  void shed_oldest_locked();
+
+  SchedulerConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   ///< Queue non-empty or stopping.
+  std::condition_variable space_ready_;  ///< Queue below its depth limit.
+  std::condition_variable idle_;         ///< Queue empty and pool quiescent.
+  /// Priority classes, highest first; FIFO deque within a class.
+  std::map<std::uint8_t, std::deque<Entry>, std::greater<>> queue_;
+  std::unordered_map<TaskId, TaskStatus> statuses_;
+  std::vector<std::thread> workers_;
+  TaskId next_id_ = 1;
+  std::size_t queued_ = 0;
+  std::uint32_t running_ = 0;
+  bool stopping_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace nmo::store

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <thread>
 
+#include "store/region_file.hpp"
 #include "store/trace_file.hpp"
 
 namespace nmo::store {
@@ -22,7 +25,106 @@ std::string sanitize_name(std::string_view name) {
   return safe;
 }
 
+/// Values land in a key=value-per-line file; newlines in error strings
+/// would break the framing.
+std::string meta_escape(std::string_view value) {
+  std::string out(value);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+/// Profiles one job into its session directory: canonical trace, region
+/// sidecar.  Fills everything in `result` except the scheduler placement
+/// fields.  Never throws; failures land in result.error.
+void run_one_session(SessionStore& store, const SessionJob& job, SessionResult& result) {
+  try {
+    result.session = store.create_session(job.name);
+    if (!job.make_workload) {
+      result.error = "job has no workload factory";
+      return;
+    }
+    auto workload = job.make_workload();
+    core::ProfileSession session(job.nmo, job.engine);
+    result.report = session.profile(*workload, job.with_baseline);
+
+    TraceWriter writer(result.session.trace_path);
+    writer.write_all(session.profiler().trace());
+    if (!writer.close()) {
+      result.error = writer.error();
+      return;
+    }
+    result.samples = writer.samples_written();
+    result.fingerprint = writer.fingerprint();
+
+    // The region table gives the trace's region indices their names;
+    // without it nmo-trace can only print bare indices.
+    std::string region_error;
+    if (!write_region_file(region_path_for(result.session.trace_path),
+                           session.profiler().regions().regions(), &region_error)) {
+      result.error = region_error;
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    // A non-std exception escaping here would either wedge a pool worker
+    // or (on the threaded path) std::terminate the whole process.
+    result.error = "unknown exception";
+  }
+}
+
+/// Persists one session's outcome next to its trace (best-effort: metadata
+/// must never turn a successful profile into a failure).
+void write_session_meta(const SessionResult& result) {
+  if (result.session.dir.empty()) return;
+  std::ofstream out(result.session.dir + "/" + std::string(kSessionMetaFile), std::ios::trunc);
+  if (!out) return;
+  out << "id=" << result.session.id << '\n';
+  out << "name=" << result.session.name << '\n';
+  out << "state=" << core::to_string(result.state) << '\n';
+  out << "worker=" << result.worker << '\n';
+  out << "queue_wait_ns=" << result.queue_wait_ns << '\n';
+  out << "samples=" << result.samples << '\n';
+  out << "fingerprint=" << result.fingerprint << '\n';
+  out << "accuracy=" << result.report.accuracy() << '\n';
+  out << "error=" << meta_escape(result.error) << '\n';
+}
+
+/// Persists the pool's aggregate stats at the store root.
+void write_scheduler_meta(const std::string& root, const SchedulerConfig& config,
+                          const SchedulerStats& stats) {
+  std::ofstream out(root + "/" + std::string(kSchedulerMetaFile), std::ios::trunc);
+  if (!out) return;
+  out << "workers=" << stats.workers << '\n';
+  out << "queue_depth=" << config.queue_depth << '\n';
+  out << "policy=" << to_string(config.policy) << '\n';
+  out << "submitted=" << stats.submitted << '\n';
+  out << "admitted=" << stats.admitted << '\n';
+  out << "rejected=" << stats.rejected << '\n';
+  out << "shed=" << stats.shed << '\n';
+  out << "completed=" << stats.completed << '\n';
+  out << "failed=" << stats.failed << '\n';
+  out << "queue_wait_ns_total=" << stats.queue_wait_ns_total << '\n';
+  out << "queue_wait_ns_max=" << stats.queue_wait_ns_max << '\n';
+  out << "peak_queue_depth=" << stats.peak_queue_depth << '\n';
+  out << "peak_occupancy=" << stats.peak_occupancy << '\n';
+}
+
 }  // namespace
+
+std::optional<std::map<std::string, std::string>> read_metadata_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::map<std::string, std::string> meta;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    meta[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return meta;
+}
 
 SessionStore::SessionStore(std::string root) : root_(std::move(root)) {
   std::filesystem::create_directories(root_);
@@ -70,38 +172,75 @@ std::vector<SessionInfo> SessionStore::sessions() const {
   return sessions_;
 }
 
+MultiSessionRun run_sessions(SessionStore& store, const std::vector<SessionJob>& jobs,
+                             const SchedulerConfig& config) {
+  MultiSessionRun run;
+  run.results.resize(jobs.size());
+  std::vector<std::optional<TaskId>> tickets(jobs.size());
+  {
+    Scheduler scheduler(config);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      tickets[i] = scheduler.submit(
+          [&store, &job = jobs[i], &result = run.results[i]](const TaskStatus& task) {
+            run_one_session(store, job, result);
+            // Placement fields go in AFTER the profile: run_one_session
+            // replaces result.report wholesale, which would zero them.
+            result.queue_wait_ns = task.queue_wait_ns;
+            result.worker = task.worker;
+            result.report.sched_queue_wait_ns = task.queue_wait_ns;
+            result.report.sched_worker = task.worker;
+            result.state =
+                result.error.empty() ? core::SessionState::kDone : core::SessionState::kFailed;
+            result.report.sched_state = result.state;
+            write_session_meta(result);
+            // Surface the failure to the scheduler's accounting (the
+            // worker contains it; the pool keeps serving).
+            if (!result.error.empty()) throw std::runtime_error(result.error);
+          },
+          jobs[i].priority);
+      if (!tickets[i]) {
+        run.results[i].state = core::SessionState::kRejected;
+        run.results[i].report.sched_state = core::SessionState::kRejected;
+        run.results[i].error = "rejected by scheduler admission control (queue full)";
+      }
+    }
+    scheduler.wait_idle();
+    run.stats = scheduler.stats();
+    // Jobs shed from the queue never ran their task body; their terminal
+    // state only exists in the scheduler's ledger.  Reading a ticket also
+    // releases it (forget), so the ledger stays bounded.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!tickets[i]) continue;
+      if (const auto status = scheduler.status(*tickets[i]);
+          status && status->state == core::SessionState::kShed) {
+        run.results[i].state = core::SessionState::kShed;
+        run.results[i].report.sched_state = core::SessionState::kShed;
+        run.results[i].error = "shed by scheduler admission control (queue full)";
+      }
+      scheduler.forget(*tickets[i]);
+    }
+  }
+  write_scheduler_meta(store.root(), config, run.stats);
+  return run;
+}
+
 std::vector<SessionResult> run_sessions(SessionStore& store,
                                         const std::vector<SessionJob>& jobs) {
+  return run_sessions(store, jobs, SchedulerConfig{}).results;
+}
+
+std::vector<SessionResult> run_sessions_threaded(SessionStore& store,
+                                                 const std::vector<SessionJob>& jobs) {
   std::vector<SessionResult> results(jobs.size());
   std::vector<std::thread> threads;
   threads.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     threads.emplace_back([&store, &job = jobs[i], &result = results[i]] {
-      try {
-        result.session = store.create_session(job.name);
-        if (!job.make_workload) {
-          result.error = "job has no workload factory";
-          return;
-        }
-        auto workload = job.make_workload();
-        core::ProfileSession session(job.nmo, job.engine);
-        result.report = session.profile(*workload, job.with_baseline);
-
-        TraceWriter writer(result.session.trace_path);
-        writer.write_all(session.profiler().trace());
-        if (!writer.close()) {
-          result.error = writer.error();
-          return;
-        }
-        result.samples = writer.samples_written();
-        result.fingerprint = writer.fingerprint();
-      } catch (const std::exception& e) {
-        result.error = e.what();
-      } catch (...) {
-        // A non-std exception escaping the thread would std::terminate the
-        // whole process and take every concurrent session down with it.
-        result.error = "unknown exception";
-      }
+      run_one_session(store, job, result);
+      result.state =
+          result.error.empty() ? core::SessionState::kDone : core::SessionState::kFailed;
+      result.report.sched_state = result.state;
+      write_session_meta(result);
     });
   }
   for (auto& t : threads) t.join();

@@ -4,28 +4,40 @@
 // A SessionStore owns one root directory and hands out per-session
 // subdirectories with monotonically increasing ids; id assignment is
 // mutex-protected so sessions can be created from any thread.  Each
-// session's trace lands in its own file (store/trace_file.hpp), so N
-// concurrent ProfileSessions never contend on output - the per-process
-// analogue of upstream NMO's one-trace-per-run layout, with nmo-trace
+// session's trace lands in its own file (store/trace_file.hpp) with its
+// region table beside it (store/region_file.hpp), so N concurrent
+// ProfileSessions never contend on output - the per-process analogue of
+// upstream NMO's one-trace-per-run layout, with nmo-trace
 // (tools/nmo_trace.cpp) as the merge/query companion.
 //
-// run_sessions is the concurrent runner: one std::thread per job, each
-// building its own ProfileSession (engine, machine, profiler), profiling
-// its workload and writing the canonical trace to the session's file.
-// This relies on the active-profiler binding of the C annotation API
-// being thread-local (core/profiler.cpp).
+// run_sessions is the concurrent runner.  It schedules jobs onto the
+// bounded worker pool of store/scheduler.hpp: `max_workers` workers pull
+// from a priority-aware admission queue instead of the old
+// thread-per-session spawn (which collapses under fleet-scale job
+// counts).  The thread-per-session path survives as
+// run_sessions_threaded, the baseline the scheduler bench and the parity
+// tests compare against: both paths must produce byte-identical session
+// traces (and therefore byte-identical merges).
+//
+// Alongside each trace the runner persists a `session.meta` key=value
+// file (lifecycle state, worker slot, queue wait, samples, fingerprint)
+// and, at the store root, a `scheduler.meta` with the pool's aggregate
+// SchedulerStats - what `nmo-trace sessions` prints back.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "sim/engine.hpp"
+#include "store/scheduler.hpp"
 #include "workloads/workload.hpp"
 
 namespace nmo::store {
@@ -37,6 +49,15 @@ struct SessionInfo {
   std::string dir;         ///< "<root>/session-<id>-<name>"
   std::string trace_path;  ///< "<dir>/trace.nmot"
 };
+
+/// Per-session metadata file name (inside the session directory).
+inline constexpr std::string_view kSessionMetaFile = "session.meta";
+/// Store-level scheduler stats file name (at the store root).
+inline constexpr std::string_view kSchedulerMetaFile = "scheduler.meta";
+
+/// Reads a "key=value"-per-line metadata file (session.meta /
+/// scheduler.meta).  nullopt when the file cannot be opened.
+std::optional<std::map<std::string, std::string>> read_metadata_file(const std::string& path);
 
 class SessionStore {
  public:
@@ -63,9 +84,11 @@ struct SessionJob {
   std::string name = "job";
   core::NmoConfig nmo;
   sim::EngineConfig engine;
-  /// Built on the session's own thread (workloads are not shared).
+  /// Built on the session's worker (workloads are not shared).
   std::function<std::unique_ptr<wl::Workload>()> make_workload;
   bool with_baseline = false;
+  /// Admission priority: higher runs first, FIFO within a class.
+  std::uint8_t priority = 0;
 };
 
 /// Outcome of one job: where the trace landed and what it contained.
@@ -74,13 +97,39 @@ struct SessionResult {
   core::SessionReport report;
   std::uint64_t samples = 0;
   std::string fingerprint;  ///< MD5 of the written trace file.
-  std::string error;        ///< Non-empty if the job failed.
+  std::string error;        ///< Non-empty if the job failed / was turned away.
+  /// Final lifecycle state (kDone, kFailed, kRejected, kShed).
+  core::SessionState state = core::SessionState::kDone;
+  std::uint64_t queue_wait_ns = 0;  ///< Admission-queue wait (scheduler path).
+  std::uint32_t worker = 0;         ///< Worker-pool slot that ran the job.
 };
 
-/// Runs every job concurrently (one std::thread per job), each writing its
-/// canonical trace to its own session file in `store`.  Results are in job
-/// order.
+/// run_sessions outcome: per-job results (in job order) plus the pool's
+/// aggregate stats.
+struct MultiSessionRun {
+  std::vector<SessionResult> results;
+  SchedulerStats stats;
+};
+
+/// Runs every job on the bounded scheduler (`config` sizes the pool and
+/// the admission queue), each admitted job writing its canonical trace +
+/// region sidecar + session.meta into its own session directory, and the
+/// aggregate SchedulerStats into `<root>/scheduler.meta`.  Results are in
+/// job order; jobs turned away by admission control carry kRejected/kShed
+/// and a non-empty error.
+MultiSessionRun run_sessions(SessionStore& store, const std::vector<SessionJob>& jobs,
+                             const SchedulerConfig& config);
+
+/// Scheduler-backed runner with the default pool (hardware-concurrency
+/// workers, unbounded queue): the drop-in replacement for the old
+/// thread-per-session API.
 std::vector<SessionResult> run_sessions(SessionStore& store,
                                         const std::vector<SessionJob>& jobs);
+
+/// The old thread-per-session runner (one std::thread per job, no
+/// admission control), kept as the baseline the scheduler is benchmarked
+/// and parity-tested against.  Writes the same per-session artifacts.
+std::vector<SessionResult> run_sessions_threaded(SessionStore& store,
+                                                 const std::vector<SessionJob>& jobs);
 
 }  // namespace nmo::store

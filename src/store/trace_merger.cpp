@@ -6,6 +6,8 @@
 #include <queue>
 #include <system_error>
 
+#include "store/region_file.hpp"
+
 namespace nmo::store {
 namespace {
 
@@ -48,6 +50,47 @@ std::optional<MergeStats> TraceMerger::merge_to(const std::string& out_path) {
     }
   }
 
+  // Region sidecars: union the tables of every input that has one and
+  // remap that input's sample indices into the union.  A missing sidecar
+  // means "no remap" (indices pass through untouched); a sidecar that
+  // exists but does not parse is an error - silently dropping it would
+  // mislabel every region in the merged trace.  The union is sorted (see
+  // RegionUnion), so the merged bytes do not depend on input order.
+  RegionUnion region_union;
+  std::vector<std::size_t> handles(inputs_.size(), 0);
+  std::vector<bool> has_regions(inputs_.size(), false);
+  bool any_regions = false;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const std::string sidecar = region_path_for(inputs_[i]);
+    std::error_code ec;
+    if (!std::filesystem::exists(sidecar, ec)) continue;
+    std::string region_error;
+    auto table = read_region_file(sidecar, &region_error);
+    if (!table) {
+      error_ = region_error;
+      return std::nullopt;
+    }
+    handles[i] = region_union.add(std::move(*table));
+    has_regions[i] = true;
+    any_regions = true;
+  }
+  std::vector<std::vector<std::int32_t>> remaps(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (has_regions[i]) remaps[i] = region_union.mapping(handles[i]);
+  }
+  // Remaps an input's sample into the union index space; false (with
+  // error_ set) on an index the sidecar table cannot account for.
+  const auto remap_region = [&](core::TraceSample& s, std::size_t input) {
+    if (!has_regions[input] || s.region < 0) return true;
+    if (static_cast<std::size_t>(s.region) >= remaps[input].size()) {
+      error_ = inputs_[input] + ": sample region index " + std::to_string(s.region) +
+               " is out of range of its region sidecar";
+      return false;
+    }
+    s.region = remaps[input][static_cast<std::size_t>(s.region)];
+    return true;
+  };
+
   std::vector<std::unique_ptr<TraceReader>> readers;
   readers.reserve(inputs_.size());
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap;
@@ -60,12 +103,19 @@ std::optional<MergeStats> TraceMerger::merge_to(const std::string& out_path) {
     }
     core::TraceSample s;
     if (reader.next(s)) {
+      if (!remap_region(s, i)) return std::nullopt;
       heap.push(HeapEntry{s, i});
     } else if (!reader.ok()) {
       error_ = inputs_[i] + ": " + reader.error();
       return std::nullopt;
     }
   }
+
+  // A sidecar left behind by an earlier merge to the same path would
+  // mislabel this output if the new merge carries no (or different)
+  // region tables; the fresh sidecar is written only after a successful
+  // close.
+  std::remove(region_path_for(out_path).c_str());
 
   TraceWriter writer(out_path);
   if (!writer.ok()) {
@@ -100,6 +150,10 @@ std::optional<MergeStats> TraceMerger::merge_to(const std::string& out_path) {
     TraceReader& reader = *readers[top.input];
     core::TraceSample s;
     if (reader.next(s)) {
+      if (!remap_region(s, top.input)) {
+        const std::string message = error_;
+        return fail(message);
+      }
       heap.push(HeapEntry{s, top.input});
     } else if (!reader.ok()) {
       return fail(inputs_[top.input] + ": " + reader.error());
@@ -111,10 +165,23 @@ std::optional<MergeStats> TraceMerger::merge_to(const std::string& out_path) {
     std::remove(out_path.c_str());
     return std::nullopt;
   }
+  if (any_regions) {
+    // The merged trace's region indices now live in the union index
+    // space; without its sidecar they would be unlabeled (or worse,
+    // labeled by some stale table), so a sidecar write failure fails the
+    // merge.
+    std::string region_error;
+    if (!write_region_file(region_path_for(out_path), region_union.regions(), &region_error)) {
+      error_ = region_error;
+      std::remove(out_path.c_str());
+      return std::nullopt;
+    }
+  }
   MergeStats stats;
   stats.samples = writer.samples_written();
   stats.inputs = inputs_.size();
   stats.fingerprint = writer.fingerprint();
+  stats.regions = region_union.regions().size();
   return stats;
 }
 

@@ -12,6 +12,16 @@
 // Inputs that are not canonically sorted are detected on the fly (the
 // output would regress) and reported as an error instead of silently
 // producing a non-canonical trace.
+//
+// Region tables merge too: when an input trace has a region sidecar
+// (store/region_file.hpp, "trace.nmor" next to "trace.nmot"), its table
+// joins a RegionUnion and every sample's region index is remapped to the
+// union index as it streams through, so region attribution survives the
+// merge.  The union table is written as the output's own sidecar.
+// Within one session a sample's region is a pure function of its address,
+// so remapping can never reorder a canonically sorted input.  Inputs
+// without a sidecar keep their indices untouched (and contribute nothing
+// to the union), preserving the pre-sidecar merge behavior bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +39,7 @@ struct MergeStats {
   std::uint64_t samples = 0;   ///< Samples written to the output.
   std::size_t inputs = 0;      ///< Input files consumed.
   std::string fingerprint;     ///< MD5 of the merged trace.
+  std::size_t regions = 0;     ///< Entries in the merged region table (0 = no sidecars).
 };
 
 class TraceMerger {

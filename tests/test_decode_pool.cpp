@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -84,8 +85,12 @@ TEST(DecodePool, DecodesAcrossShardCounts) {
 }
 
 TEST(DecodePool, PerCoreOrderIsPreservedWithinAShard) {
+  // Both shard workers sink into the shared map; the lock serializes the
+  // tree mutation (per-core order within a shard is untouched by it).
+  std::mutex seen_mutex;
   std::map<CoreId, std::vector<Addr>> seen;
   DecodePool pool(2, [&](std::span<const Record> records, CoreId core, std::uint32_t) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
     for (const Record& r : records) seen[core].push_back(r.vaddr);
   });
   for (CoreId core = 0; core < 4; ++core) {

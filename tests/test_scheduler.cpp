@@ -1,0 +1,542 @@
+// The bounded session scheduler: admission-control policies, lifecycle
+// accounting, worker-pool hygiene, and byte-identical parity with the
+// thread-per-session baseline.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "store/region_file.hpp"
+#include "store/scheduler.hpp"
+#include "store/session_store.hpp"
+#include "store/trace_merger.hpp"
+#include "workloads/stream.hpp"
+
+namespace nmo::store {
+namespace {
+
+namespace fs = std::filesystem;
+using core::SessionState;
+
+/// A manually released gate: lets a test hold a worker busy so submissions
+/// pile up in the admission queue deterministically.
+class Gate {
+ public:
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Polls until `predicate` holds (bounded); avoids raw sleeps for state
+/// that is guaranteed to converge.
+template <typename Predicate>
+bool eventually(Predicate predicate, std::chrono::milliseconds limit = std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nmo_scheduler_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------- configuration --
+
+TEST_F(SchedulerTest, ZeroWorkerConfigIsAnError) {
+  SchedulerConfig config;
+  config.max_workers = 0;
+  EXPECT_THROW(Scheduler{config}, std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, DefaultWorkerCountIsHardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(default_max_workers(), 1u);
+  SchedulerConfig config;
+  EXPECT_EQ(config.max_workers, default_max_workers());
+}
+
+TEST_F(SchedulerTest, AdmissionPolicyNamesRoundTrip) {
+  for (const auto policy : {AdmissionPolicy::kBlock, AdmissionPolicy::kReject,
+                            AdmissionPolicy::kShedOldest}) {
+    EXPECT_EQ(parse_admission_policy(to_string(policy)), policy);
+  }
+  EXPECT_FALSE(parse_admission_policy("drop-newest").has_value());
+}
+
+// ------------------------------------------------------- basic scheduling --
+
+TEST_F(SchedulerTest, RunsEveryTaskAndAccountsStats) {
+  constexpr int kTasks = 50;
+  std::atomic<int> ran{0};
+  SchedulerConfig config;
+  config.max_workers = 4;
+  {
+    Scheduler scheduler(config);
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_TRUE(scheduler.submit([&ran](const TaskStatus&) { ++ran; }).has_value());
+    }
+    scheduler.wait_idle();
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.workers, 4u);
+    EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(stats.admitted, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_LE(stats.peak_occupancy, 4u);
+    EXPECT_GE(stats.peak_occupancy, 1u);
+    EXPECT_GE(stats.queue_wait_ns_total, stats.queue_wait_ns_max);
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST_F(SchedulerTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    SchedulerConfig config;
+    config.max_workers = 1;
+    Scheduler scheduler(config);
+    for (int i = 0; i < 20; ++i) {
+      scheduler.submit([&ran](const TaskStatus&) { ++ran; });
+    }
+    // No wait_idle: the destructor itself must drain.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST_F(SchedulerTest, TaskStatusReportsLifecycleAndWorker) {
+  SchedulerConfig config;
+  config.max_workers = 2;
+  Scheduler scheduler(config);
+  const auto id = scheduler.submit([](const TaskStatus& status) {
+    EXPECT_EQ(status.state, SessionState::kRunning);
+    EXPECT_LT(status.worker, 2u);
+  });
+  ASSERT_TRUE(id.has_value());
+  scheduler.wait_idle();
+  const auto status = scheduler.status(*id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, SessionState::kDone);
+  EXPECT_FALSE(scheduler.status(99999).has_value());
+}
+
+// ------------------------------------------------------- admission control --
+
+TEST_F(SchedulerTest, QueueFullRejectsWhenPolicyReject) {
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 1;
+  config.queue_depth = 1;
+  config.policy = AdmissionPolicy::kReject;
+  Scheduler scheduler(config);
+
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+
+  std::atomic<int> ran{0};
+  const auto queued = scheduler.submit([&ran](const TaskStatus&) { ++ran; });
+  EXPECT_TRUE(queued.has_value());  // fills the single queue slot
+  const auto rejected = scheduler.submit([&ran](const TaskStatus&) { ++ran; });
+  EXPECT_FALSE(rejected.has_value());  // queue full -> turned away
+
+  gate.open();
+  scheduler.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST_F(SchedulerTest, QueueFullBlocksWhenPolicyBlock) {
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 1;
+  config.queue_depth = 1;
+  config.policy = AdmissionPolicy::kBlock;
+  Scheduler scheduler(config);
+
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+  ASSERT_TRUE(scheduler.submit([](const TaskStatus&) {}).has_value());  // queue now full
+
+  std::atomic<bool> third_submitted{false};
+  std::atomic<bool> third_ran{false};
+  std::thread submitter([&] {
+    const auto id = scheduler.submit([&third_ran](const TaskStatus&) { third_ran = true; });
+    EXPECT_TRUE(id.has_value());
+    third_submitted = true;
+  });
+
+  // The submitter must be backpressured while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_submitted.load());
+
+  gate.open();
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  scheduler.wait_idle();
+  EXPECT_TRUE(third_ran.load());
+  EXPECT_EQ(scheduler.stats().rejected, 0u);
+}
+
+TEST_F(SchedulerTest, ShedOldestDropsOldestLowestPriorityTask) {
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 1;
+  config.queue_depth = 2;
+  config.policy = AdmissionPolicy::kShedOldest;
+  Scheduler scheduler(config);
+
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+
+  std::atomic<bool> victim_ran{false};
+  std::atomic<int> survivors_ran{0};
+  const auto victim =
+      scheduler.submit([&victim_ran](const TaskStatus&) { victim_ran = true; }, 0);
+  const auto high =
+      scheduler.submit([&survivors_ran](const TaskStatus&) { ++survivors_ran; }, 1);
+  ASSERT_TRUE(victim.has_value());
+  ASSERT_TRUE(high.has_value());
+  // Queue is at depth 2: the next submission sheds the oldest entry of the
+  // lowest priority class - the victim, not the high-priority task.
+  const auto third =
+      scheduler.submit([&survivors_ran](const TaskStatus&) { ++survivors_ran; }, 0);
+  ASSERT_TRUE(third.has_value());
+
+  gate.open();
+  scheduler.wait_idle();
+  EXPECT_FALSE(victim_ran.load());
+  EXPECT_EQ(survivors_ran.load(), 2);
+  const auto victim_status = scheduler.status(*victim);
+  ASSERT_TRUE(victim_status.has_value());
+  EXPECT_EQ(victim_status->state, SessionState::kShed);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.admitted, 3u);
+}
+
+TEST_F(SchedulerTest, ShedOldestRejectsSubmissionRankedBelowEverythingQueued) {
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 1;
+  config.queue_depth = 1;
+  config.policy = AdmissionPolicy::kShedOldest;
+  Scheduler scheduler(config);
+
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+
+  std::atomic<bool> high_ran{false};
+  ASSERT_TRUE(scheduler.submit([&high_ran](const TaskStatus&) { high_ran = true; }, 2));
+  // Queue full with a priority-2 task: a priority-0 submission must NOT
+  // displace it - the newcomer is the one turned away.
+  std::atomic<bool> low_ran{false};
+  const auto low = scheduler.submit([&low_ran](const TaskStatus&) { low_ran = true; }, 0);
+  EXPECT_FALSE(low.has_value());
+
+  gate.open();
+  scheduler.wait_idle();
+  EXPECT_TRUE(high_ran.load());
+  EXPECT_FALSE(low_ran.load());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// ------------------------------------------------------------- ordering --
+
+TEST_F(SchedulerTest, FifoOrderWithinOnePriorityClass) {
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 1;
+  Scheduler scheduler(config);
+
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    scheduler.submit([&, i](const TaskStatus&) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(i);
+    });
+  }
+  gate.open();
+  scheduler.wait_idle();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(SchedulerTest, HigherPriorityClassRunsFirst) {
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 1;
+  Scheduler scheduler(config);
+
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto record = [&](const char* label) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.emplace_back(label);
+  };
+  scheduler.submit([&](const TaskStatus&) { record("low-0"); }, 0);
+  scheduler.submit([&](const TaskStatus&) { record("high-0"); }, 2);
+  scheduler.submit([&](const TaskStatus&) { record("mid-0"); }, 1);
+  scheduler.submit([&](const TaskStatus&) { record("high-1"); }, 2);
+
+  gate.open();
+  scheduler.wait_idle();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "high-0");
+  EXPECT_EQ(order[1], "high-1");  // FIFO within the high class
+  EXPECT_EQ(order[2], "mid-0");
+  EXPECT_EQ(order[3], "low-0");
+}
+
+// ------------------------------------------------------------- resilience --
+
+TEST_F(SchedulerTest, FailedTaskDoesNotWedgeThePool) {
+  SchedulerConfig config;
+  config.max_workers = 2;
+  Scheduler scheduler(config);
+
+  std::atomic<int> ran{0};
+  std::optional<TaskId> failing;
+  for (int i = 0; i < 10; ++i) {
+    if (i == 3) {
+      failing = scheduler.submit(
+          [](const TaskStatus&) { throw std::runtime_error("session exploded"); });
+    } else {
+      scheduler.submit([&ran](const TaskStatus&) { ++ran; });
+    }
+  }
+  scheduler.wait_idle();
+
+  // The pool survived the throw and kept serving - including new work.
+  scheduler.submit([&ran](const TaskStatus&) { ++ran; });
+  scheduler.wait_idle();
+  EXPECT_EQ(ran.load(), 10);
+  ASSERT_TRUE(failing.has_value());
+  const auto status = scheduler.status(*failing);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, SessionState::kFailed);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 10u);
+}
+
+TEST_F(SchedulerTest, WorkerReuseNeverLeaksProfilerBindingBetweenTasks) {
+  SchedulerConfig config;
+  config.max_workers = 1;  // both tasks run on the same reused worker
+  Scheduler scheduler(config);
+
+  core::Profiler profiler{core::NmoConfig{}};
+  scheduler.submit([&profiler](const TaskStatus&) {
+    // A misbehaving task that installs a binding and never restores it.
+    core::set_active_profiler(&profiler);
+  });
+  scheduler.wait_idle();
+
+  std::atomic<bool> clean{false};
+  scheduler.submit(
+      [&clean](const TaskStatus&) { clean = core::active_profiler() == nullptr; });
+  scheduler.wait_idle();
+  EXPECT_TRUE(clean.load());
+}
+
+// --------------------------------------------- run_sessions integration --
+
+std::vector<SessionJob> tiny_jobs(std::size_t n) {
+  std::vector<SessionJob> jobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs[i].name = "job-" + std::to_string(i);
+    jobs[i].nmo.enable = true;
+    jobs[i].nmo.mode = core::Mode::kSample;
+    jobs[i].nmo.period = 512;
+    jobs[i].engine.threads = 2;
+    jobs[i].engine.machine.hierarchy.cores = 2;
+    jobs[i].engine.seed = 100 + i;
+    jobs[i].make_workload = [] {
+      wl::StreamConfig cfg;
+      cfg.array_elems = 1 << 12;
+      cfg.iterations = 1;
+      return std::make_unique<wl::Stream>(cfg);
+    };
+  }
+  return jobs;
+}
+
+TEST_F(SchedulerTest, ThirtyTwoSessionsOnFourWorkersMatchThreadPerSessionBaseline) {
+  // The PR's acceptance oracle: a 32-job run capped at 4 workers must
+  // produce a merged trace byte-identical (count + MD5) to the
+  // thread-per-session baseline.
+  const auto jobs = tiny_jobs(32);
+
+  SessionStore baseline_store(path("baseline"));
+  const auto baseline = run_sessions_threaded(baseline_store, jobs);
+  ASSERT_EQ(baseline.size(), 32u);
+
+  SchedulerConfig config;
+  config.max_workers = 4;
+  config.queue_depth = 8;
+  config.policy = AdmissionPolicy::kBlock;
+  SessionStore pool_store(path("pool"));
+  const auto run = run_sessions(pool_store, jobs, config);
+  ASSERT_EQ(run.results.size(), 32u);
+
+  TraceMerger baseline_merger;
+  TraceMerger pool_merger;
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(baseline[i].error.empty()) << baseline[i].error;
+    ASSERT_TRUE(run.results[i].error.empty()) << run.results[i].error;
+    // Per-session traces are already byte-identical...
+    EXPECT_EQ(run.results[i].fingerprint, baseline[i].fingerprint) << "job " << i;
+    baseline_merger.add_input(baseline[i].session.trace_path);
+    pool_merger.add_input(run.results[i].session.trace_path);
+  }
+  // ...and so is the merged trace.
+  const auto baseline_stats = baseline_merger.merge_to(path("baseline.nmot"));
+  const auto pool_stats = pool_merger.merge_to(path("pool.nmot"));
+  ASSERT_TRUE(baseline_stats.has_value()) << baseline_merger.error();
+  ASSERT_TRUE(pool_stats.has_value()) << pool_merger.error();
+  EXPECT_GT(pool_stats->samples, 0u);
+  EXPECT_EQ(pool_stats->samples, baseline_stats->samples);
+  EXPECT_EQ(pool_stats->fingerprint, baseline_stats->fingerprint);
+
+  const auto& stats = run.stats;
+  EXPECT_EQ(stats.workers, 4u);
+  EXPECT_EQ(stats.admitted, 32u);
+  EXPECT_EQ(stats.completed, 32u);
+  EXPECT_LE(stats.peak_occupancy, 4u);
+  EXPECT_LE(stats.peak_queue_depth, 8u);
+}
+
+TEST_F(SchedulerTest, RunSessionsWritesSessionAndSchedulerMetadata) {
+  const auto jobs = tiny_jobs(3);
+  SessionStore store(path("store"));
+  SchedulerConfig config;
+  config.max_workers = 2;
+  const auto run = run_sessions(store, jobs, config);
+
+  const auto sched_meta =
+      read_metadata_file(store.root() + "/" + std::string(kSchedulerMetaFile));
+  ASSERT_TRUE(sched_meta.has_value());
+  EXPECT_EQ(sched_meta->at("workers"), "2");
+  EXPECT_EQ(sched_meta->at("admitted"), "3");
+  EXPECT_EQ(sched_meta->at("completed"), "3");
+  EXPECT_EQ(sched_meta->at("policy"), "block");
+
+  for (const auto& r : run.results) {
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.state, SessionState::kDone);
+    EXPECT_EQ(r.report.sched_state, SessionState::kDone);
+    EXPECT_LT(r.worker, 2u);
+    // Placement must survive into the report (profile() replaces the
+    // report wholesale, so these are filled afterwards).
+    EXPECT_EQ(r.report.sched_worker, r.worker);
+    EXPECT_EQ(r.report.sched_queue_wait_ns, r.queue_wait_ns);
+    const auto meta =
+        read_metadata_file(r.session.dir + "/" + std::string(kSessionMetaFile));
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->at("state"), "done");
+    EXPECT_EQ(meta->at("fingerprint"), r.fingerprint);
+    EXPECT_EQ(meta->at("samples"), std::to_string(r.samples));
+    // The region sidecar rides along with every session trace.
+    const auto regions = read_region_file(region_path_for(r.session.trace_path));
+    ASSERT_TRUE(regions.has_value());
+    EXPECT_EQ(regions->size(), 3u);  // STREAM tags a, b, c
+    EXPECT_EQ((*regions)[0].name, "a");
+  }
+}
+
+TEST_F(SchedulerTest, FailedJobIsReportedAndDoesNotBlockOthers) {
+  auto jobs = tiny_jobs(4);
+  jobs[1].make_workload = nullptr;  // no workload factory -> job fails
+  SessionStore store(path("store"));
+  SchedulerConfig config;
+  config.max_workers = 2;
+  const auto run = run_sessions(store, jobs, config);
+
+  ASSERT_EQ(run.results.size(), 4u);
+  EXPECT_EQ(run.results[1].state, SessionState::kFailed);
+  EXPECT_FALSE(run.results[1].error.empty());
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_EQ(run.results[i].state, SessionState::kDone) << run.results[i].error;
+    EXPECT_GT(run.results[i].samples, 0u);
+  }
+  EXPECT_EQ(run.stats.failed, 1u);
+  EXPECT_EQ(run.stats.completed, 3u);
+}
+
+}  // namespace
+}  // namespace nmo::store

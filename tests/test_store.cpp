@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "store/region_file.hpp"
 #include "store/session_store.hpp"
 #include "store/trace_file.hpp"
 #include "store/trace_merger.hpp"
@@ -483,6 +484,157 @@ TEST_F(StoreTest, ConcurrentSessionsWriteDistinctValidTraces) {
   ASSERT_TRUE(stats.has_value()) << merger.error();
   EXPECT_EQ(stats->samples, reference.size());
   EXPECT_EQ(stats->fingerprint, reference.fingerprint());
+}
+
+// ---------------------------------------------------------- region files --
+
+TEST_F(StoreTest, RegionFileRoundTripsNamesAndEscapes) {
+  std::vector<core::AddrRegion> regions;
+  regions.push_back({"plain", 0x1000, 0x2000});
+  regions.push_back({"with\ttab and\nnewline \\slash", 0, ~Addr{0}});
+  regions.push_back({"", 0x42, 0x43});  // empty name survives too
+
+  ASSERT_TRUE(write_region_file(path("t.nmor"), regions));
+  const auto back = read_region_file(path("t.nmor"));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), regions.size());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_EQ((*back)[i].name, regions[i].name);
+    EXPECT_EQ((*back)[i].start, regions[i].start);
+    EXPECT_EQ((*back)[i].end, regions[i].end);
+  }
+}
+
+TEST_F(StoreTest, RegionPathSwapsTraceExtension) {
+  EXPECT_EQ(region_path_for("dir/trace.nmot"), "dir/trace.nmor");
+  EXPECT_EQ(region_path_for("odd.bin"), "odd.bin.nmor");
+}
+
+TEST_F(StoreTest, RegionFileRejectsGarbage) {
+  std::ofstream out(path("bad.nmor"));
+  out << "not a region file\n";
+  out.close();
+  std::string error;
+  EXPECT_FALSE(read_region_file(path("bad.nmor"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(read_region_file(path("missing.nmor")).has_value());
+}
+
+TEST_F(StoreTest, RegionUnionDeduplicatesRemapsAndIsOrderIndependent) {
+  const std::vector<core::AddrRegion> a = {{"x", 0, 100}, {"y", 100, 200}};
+  const std::vector<core::AddrRegion> b = {{"y", 100, 200}, {"z", 200, 300}};
+  RegionUnion u;
+  const auto ha = u.add(a);
+  const auto hb = u.add(b);
+  EXPECT_EQ(u.mapping(ha), (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(u.mapping(hb), (std::vector<std::int32_t>{1, 2}));
+  ASSERT_EQ(u.regions().size(), 3u);
+  EXPECT_EQ(u.regions()[2].name, "z");
+  // Same name, different range: a distinct region, not a duplicate; it
+  // sorts between x(0,100) and y, shifting later union indices - which is
+  // why mappings are only final once every table is added.
+  const auto hc = u.add({{"x", 500, 600}});
+  EXPECT_EQ(u.mapping(hc), (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(u.mapping(ha), (std::vector<std::int32_t>{0, 2}));
+
+  // Order independence: the property that lets CI merge a shell glob in
+  // session-id order while the example unions in job order.
+  RegionUnion reversed;
+  const auto rb = reversed.add(b);
+  const auto ra = reversed.add(a);
+  EXPECT_EQ(reversed.mapping(ra), (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(reversed.mapping(rb), (std::vector<std::int32_t>{1, 2}));
+  EXPECT_EQ(reversed.regions().size(), 3u);
+}
+
+TEST_F(StoreTest, MergeUnionsSidecarsAndRemapsSampleIndices) {
+  // Input A tags [x, y]; input B tags [y, z].  After the merge every
+  // sample must point into the union table [x, y, z].
+  const auto write_input = [&](const std::string& name,
+                               const std::vector<core::AddrRegion>& regions,
+                               std::uint64_t t0) {
+    core::SampleTrace trace;
+    for (std::int32_t r = 0; r < static_cast<std::int32_t>(regions.size()); ++r) {
+      core::TraceSample s;
+      s.time_ns = t0 + static_cast<std::uint64_t>(r) * 10;
+      s.vaddr = regions[static_cast<std::size_t>(r)].start;
+      s.region = r;
+      trace.add(s);
+    }
+    TraceWriter writer(path(name));
+    writer.write_all(trace);
+    ASSERT_TRUE(writer.close());
+    ASSERT_TRUE(write_region_file(region_path_for(path(name)), regions));
+  };
+  write_input("a.nmot", {{"x", 0, 100}, {"y", 100, 200}}, 10);
+  write_input("b.nmot", {{"y", 100, 200}, {"z", 200, 300}}, 15);
+
+  TraceMerger merger;
+  merger.add_input(path("a.nmot"));
+  merger.add_input(path("b.nmot"));
+  const auto stats = merger.merge_to(path("m.nmot"));
+  ASSERT_TRUE(stats.has_value()) << merger.error();
+  EXPECT_EQ(stats->samples, 4u);
+  EXPECT_EQ(stats->regions, 3u);
+
+  const auto merged_table = read_region_file(region_path_for(path("m.nmot")));
+  ASSERT_TRUE(merged_table.has_value());
+  ASSERT_EQ(merged_table->size(), 3u);
+  EXPECT_EQ((*merged_table)[0].name, "x");
+  EXPECT_EQ((*merged_table)[1].name, "y");
+  EXPECT_EQ((*merged_table)[2].name, "z");
+
+  TraceReader reader(path("m.nmot"));
+  const auto merged = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  ASSERT_EQ(merged.size(), 4u);
+  // t=10: A/x -> 0; t=15: B/y -> 1; t=20: A/y -> 1; t=25: B/z -> 2.
+  EXPECT_EQ(merged.samples()[0].region, 0);
+  EXPECT_EQ(merged.samples()[1].region, 1);
+  EXPECT_EQ(merged.samples()[2].region, 1);
+  EXPECT_EQ(merged.samples()[3].region, 2);
+
+  // Input order must not change a single output byte: the union is
+  // sorted, so a shell glob and a job-ordered merge agree exactly.
+  TraceMerger reversed;
+  reversed.add_input(path("b.nmot"));
+  reversed.add_input(path("a.nmot"));
+  const auto reversed_stats = reversed.merge_to(path("m2.nmot"));
+  ASSERT_TRUE(reversed_stats.has_value()) << reversed.error();
+  EXPECT_EQ(reversed_stats->fingerprint, stats->fingerprint);
+}
+
+TEST_F(StoreTest, MergeWithoutSidecarsKeepsIndicesAndWritesNoUnion) {
+  const auto trace = random_trace(300, 12);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceMerger merger;
+  merger.add_input(path("t.nmot"));
+  const auto stats = merger.merge_to(path("m.nmot"));
+  ASSERT_TRUE(stats.has_value()) << merger.error();
+  EXPECT_EQ(stats->regions, 0u);
+  EXPECT_EQ(stats->fingerprint, trace.fingerprint());
+  EXPECT_FALSE(fs::exists(region_path_for(path("m.nmot"))));
+}
+
+TEST_F(StoreTest, MergeRejectsSampleIndexOutsideItsSidecarTable) {
+  core::SampleTrace trace;
+  core::TraceSample s;
+  s.time_ns = 10;
+  s.region = 5;  // sidecar below only declares one region
+  trace.add(s);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+  ASSERT_TRUE(write_region_file(region_path_for(path("t.nmot")), {{"only", 0, 1}}));
+
+  TraceMerger merger;
+  merger.add_input(path("t.nmot"));
+  EXPECT_FALSE(merger.merge_to(path("m.nmot")).has_value());
+  EXPECT_NE(merger.error().find("out of range"), std::string::npos);
+  EXPECT_FALSE(fs::exists(path("m.nmot")));
 }
 
 TEST_F(StoreTest, IdenticalJobsProduceIdenticalFingerprints) {

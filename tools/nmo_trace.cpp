@@ -7,8 +7,13 @@
 //
 //   nmo-trace info FILE...                 header/footer + per-level stats
 //   nmo-trace merge -o OUT FILE...         streaming k-way canonical merge
+//                                          (unions region sidecars, remaps indices)
 //   nmo-trace export-csv FILE [-o OUT]     CSV byte-identical to write_csv
 //   nmo-trace top FILE [--by region|level|core|latency] [-n N]
+//                                          (region rows labeled by name when the
+//                                          trace's .nmor sidecar is present)
+//   nmo-trace sessions ROOT                per-session lifecycle + scheduler stats
+//                                          from the store's metadata files
 //
 // Exit codes: 0 success, 1 operation failed, 2 usage error.
 #include <algorithm>
@@ -24,6 +29,8 @@
 #include <vector>
 
 #include "core/trace.hpp"
+#include "store/region_file.hpp"
+#include "store/session_store.hpp"
 #include "store/trace_file.hpp"
 #include "store/trace_merger.hpp"
 
@@ -40,7 +47,8 @@ int usage() {
                "  info FILE...                  validate and summarize trace files\n"
                "  merge -o OUT FILE...          k-way merge into canonical order\n"
                "  export-csv FILE [-o OUT]      write the trace as CSV (stdout default)\n"
-               "  top FILE [--by KEY] [-n N]    hottest groups; KEY: region|level|core|latency\n");
+               "  top FILE [--by KEY] [-n N]    hottest groups; KEY: region|level|core|latency\n"
+               "  sessions ROOT                 session lifecycle + scheduler stats of a store\n");
   return 2;
 }
 
@@ -113,6 +121,10 @@ int cmd_merge(const std::vector<std::string>& args) {
               out_path.c_str());
   std::printf("samples    : %" PRIu64 "\n", stats->samples);
   std::printf("fingerprint: %s\n", stats->fingerprint.c_str());
+  if (stats->regions > 0) {
+    std::printf("regions    : %zu (union table -> %s)\n", stats->regions,
+                nmo::store::region_path_for(out_path).c_str());
+  }
   return 0;
 }
 
@@ -206,6 +218,15 @@ int cmd_top(const std::vector<std::string>& args) {
   if (in_path.empty() || top_n == 0) return usage();
   if (by != "region" && by != "level" && by != "core" && by != "latency") return usage();
 
+  // The region sidecar (written by the session runner and by merge) turns
+  // bare region indices into names; without it rows keep the index.
+  std::vector<nmo::core::AddrRegion> region_names;
+  if (by == "region") {
+    if (const auto table = nmo::store::read_region_file(nmo::store::region_path_for(in_path))) {
+      region_names = *table;
+    }
+  }
+
   TraceReader reader(in_path);
   TraceSample s;
 
@@ -269,19 +290,23 @@ int cmd_top(const std::vector<std::string>& args) {
             [](const auto& a, const auto& b) { return a.second.count > b.second.count; });
   if (rows.size() > top_n) rows.resize(top_n);
 
-  std::printf("%-10s %-12s %-8s %-12s %s\n", by.c_str(), "samples", "share", "avg_lat",
+  std::printf("%-14s %-12s %-8s %-12s %s\n", by.c_str(), "samples", "share", "avg_lat",
               "max_lat");
   for (const auto& [key, g] : rows) {
-    char label[32];
+    char label[64];
     if (by == "level") {
       std::snprintf(label, sizeof(label), "%s",
                     std::string(to_string(static_cast<nmo::MemLevel>(key))).c_str());
     } else if (by == "region" && key < 0) {
       std::snprintf(label, sizeof(label), "untagged");
+    } else if (by == "region" && key >= 0 &&
+               static_cast<std::size_t>(key) < region_names.size()) {
+      std::snprintf(label, sizeof(label), "%s",
+                    region_names[static_cast<std::size_t>(key)].name.c_str());
     } else {
       std::snprintf(label, sizeof(label), "%" PRId64, key);
     }
-    std::printf("%-10s %-12" PRIu64 " %-8.2f %-12.1f %u\n", label, g.count,
+    std::printf("%-14s %-12" PRIu64 " %-8.2f %-12.1f %u\n", label, g.count,
                 total > 0 ? 100.0 * static_cast<double>(g.count) / static_cast<double>(total)
                           : 0.0,
                 g.count > 0 ? static_cast<double>(g.latency_sum) / static_cast<double>(g.count)
@@ -289,6 +314,86 @@ int cmd_top(const std::vector<std::string>& args) {
                 g.latency_max);
   }
   return 0;
+}
+
+int cmd_sessions(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const std::string& root = args[0];
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec)) {
+    std::fprintf(stderr, "%s: not a session store directory\n", root.c_str());
+    return 1;
+  }
+
+  std::printf("store: %s\n", root.c_str());
+
+  // The pool's aggregate ledger, written by run_sessions.
+  const auto sched = nmo::store::read_metadata_file(
+      root + "/" + std::string(nmo::store::kSchedulerMetaFile));
+  if (sched) {
+    const auto field = [&](const char* key) -> std::string {
+      const auto it = sched->find(key);
+      return it != sched->end() ? it->second : "?";
+    };
+    std::printf("scheduler: workers=%s queue_depth=%s policy=%s\n",
+                field("workers").c_str(), field("queue_depth").c_str(),
+                field("policy").c_str());
+    std::printf("  submitted=%s admitted=%s rejected=%s shed=%s completed=%s failed=%s\n",
+                field("submitted").c_str(), field("admitted").c_str(),
+                field("rejected").c_str(), field("shed").c_str(), field("completed").c_str(),
+                field("failed").c_str());
+    std::printf("  peak_queue_depth=%s peak_occupancy=%s queue_wait_ns_total=%s "
+                "queue_wait_ns_max=%s\n",
+                field("peak_queue_depth").c_str(), field("peak_occupancy").c_str(),
+                field("queue_wait_ns_total").c_str(), field("queue_wait_ns_max").c_str());
+  } else {
+    std::printf("scheduler: no %s (store predates the scheduler or used the "
+                "thread-per-session runner)\n",
+                std::string(nmo::store::kSchedulerMetaFile).c_str());
+  }
+
+  std::vector<std::filesystem::path> dirs;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("session-", 0) == 0) {
+      dirs.push_back(entry.path());
+    }
+  }
+  std::sort(dirs.begin(), dirs.end());
+
+  std::printf("\n%-6s %-16s %-9s %-7s %-12s %-10s %s\n", "id", "name", "state", "worker",
+              "wait_ms", "samples", "fingerprint");
+  bool all_ok = true;
+  for (const auto& dir : dirs) {
+    const auto meta = nmo::store::read_metadata_file(
+        (dir / std::string(nmo::store::kSessionMetaFile)).string());
+    if (!meta) {
+      // A store written before session.meta existed is still a valid
+      // store (same stance as the missing-scheduler.meta note above);
+      // only sessions that *recorded* an error flip the exit code.
+      std::printf("%-6s %-16s %s\n", "?", dir.filename().string().c_str(),
+                  "(no session.meta - pre-scheduler store or job never ran)");
+      continue;
+    }
+    const auto field = [&](const char* key) -> std::string {
+      const auto it = meta->find(key);
+      return it != meta->end() ? it->second : "?";
+    };
+    double wait_ms = 0.0;
+    try {
+      wait_ms = std::stod(field("queue_wait_ns")) / 1e6;
+    } catch (...) {
+    }
+    std::printf("%-6s %-16s %-9s %-7s %-12.3f %-10s %s\n", field("id").c_str(),
+                field("name").c_str(), field("state").c_str(), field("worker").c_str(),
+                wait_ms, field("samples").c_str(), field("fingerprint").c_str());
+    const std::string error = field("error");
+    if (!error.empty() && error != "?") {
+      std::printf("       error: %s\n", error.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -301,5 +406,6 @@ int main(int argc, char** argv) {
   if (command == "merge") return cmd_merge(args);
   if (command == "export-csv") return cmd_export_csv(args);
   if (command == "top") return cmd_top(args);
+  if (command == "sessions") return cmd_sessions(args);
   return usage();
 }
