@@ -35,6 +35,14 @@ class Profiler {
   /// metadata page, section IV-A).
   void set_time_conv(const kern::TimeConv& conv) { time_conv_ = conv; }
 
+  /// Installed by the async drain pipeline (sim/drain_service.hpp): called
+  /// before any region-table mutation so in-flight decode - which reads
+  /// the table for attribution, possibly on another thread - retires
+  /// first.  This keeps async region attribution byte-identical to the
+  /// synchronous path, where decode always completes inside the drain
+  /// round that preceded the mutation.
+  void set_quiesce(std::function<void()> quiesce) { quiesce_ = std::move(quiesce); }
+
   /// Sink logic for spe::AuxConsumer: converts timestamps, attributes
   /// regions, appends to the trace.
   void on_sample(const spe::Record& rec, CoreId core);
@@ -63,10 +71,17 @@ class Profiler {
 
   // -- annotation API (routed from core/nmo.h) --------------------------------
   void tag_addr(std::string_view name, Addr start, Addr end) {
+    quiesce();
     regions_.tag_addr(name, start, end);
   }
-  void phase_start(std::string_view name) { regions_.phase_start(name, now()); }
-  void phase_stop() { regions_.phase_stop(now()); }
+  void phase_start(std::string_view name) {
+    quiesce();
+    regions_.phase_start(name, now());
+  }
+  void phase_stop() {
+    quiesce();
+    regions_.phase_stop(now());
+  }
   void note_alloc(std::uint64_t bytes) {
     if (has_mode(config_.mode, Mode::kCapacity)) capacity_.on_alloc(bytes, now());
   }
@@ -86,8 +101,13 @@ class Profiler {
  private:
   [[nodiscard]] TraceSample convert(const spe::Record& rec, CoreId core) const;
 
+  void quiesce() {
+    if (quiesce_) quiesce_();
+  }
+
   NmoConfig config_;
   std::function<std::uint64_t()> now_ns_;
+  std::function<void()> quiesce_;
   kern::TimeConv time_conv_ = kern::TimeConv::from_frequency(1e9);
   RegionTable regions_;
   SampleTrace trace_;

@@ -68,6 +68,10 @@ SessionReport ProfileSession::profile(wl::Workload& workload, bool with_baseline
   report.dropped_full = stats.dropped_full;
   report.wakeups = stats.wakeups;
   report.decode_stalls = stats.decode_stalls;
+  report.overlapped_cycles = stats.overlapped_cycles;
+  report.retired_epochs = stats.retired_epochs;
+  report.peak_epoch_lag = stats.peak_epoch_lag;
+  report.epoch_wait_cycles = stats.epoch_wait_cycles;
   report.processed_samples = profiler_->trace().size();
   if (const auto* consumer = engine_->consumer()) {
     report.skipped_records = consumer->counts().records_skipped;

@@ -54,6 +54,12 @@ struct SessionReport {
   std::uint64_t dropped_full = 0;
   std::uint64_t wakeups = 0;
   std::uint64_t decode_stalls = 0;  ///< Decode-pool backpressure (queue-full spins).
+  // Async drain pipeline overlap telemetry (zero unless
+  // sim::EngineConfig::async_drain was on).
+  std::uint64_t overlapped_cycles = 0;  ///< Decode retired in the timeline's shadow.
+  std::uint64_t retired_epochs = 0;     ///< Drain epochs whose decode retired.
+  std::uint64_t peak_epoch_lag = 0;     ///< Max unretired epochs at a drain point.
+  std::uint64_t epoch_wait_cycles = 0;  ///< Modeled consumer-thread backlog lag.
 
   // Scheduler placement (filled by store::run_sessions when the session ran
   // under the bounded worker pool; a direct ProfileSession::profile call

@@ -123,6 +123,15 @@ class PerfEvent {
     if (acked_wakeups_ < stats_.wakeups) ++acked_wakeups_;
   }
 
+  /// Batched acknowledgement used by the drain-round handoff: a round
+  /// services the whole fd, so every wakeup raised up to the drain point is
+  /// consumed at once.  Returns the number of wakeups acknowledged.
+  std::uint64_t ack_all_wakeups() {
+    const std::uint64_t pending = pending_wakeups();
+    acked_wakeups_ = stats_.wakeups;
+    return pending;
+  }
+
   /// Callback invoked on every wakeup (the simulator's monitor hooks this
   /// to schedule a drain; real code would block in epoll_wait instead).
   void set_wakeup_callback(std::function<void(PerfEvent&, std::uint64_t)> cb) {

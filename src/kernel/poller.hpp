@@ -30,6 +30,32 @@ class Poller {
     return ready;
   }
 
+  /// Drain-round handoff: appends every event with unacknowledged wakeups
+  /// to `out` and consumes ALL of their pending wakeups (a drain round
+  /// services the whole fd, so coalesced wakeups are acknowledged
+  /// together).  Returns the total number of wakeups acknowledged; `out`
+  /// lists which fds were actually ready (an epoll-style consumer drains
+  /// just those).
+  std::uint64_t take_ready(std::vector<PerfEvent*>& out) {
+    std::uint64_t acked = 0;
+    for (auto* e : events_) {
+      if (e->pending_wakeups() > 0) {
+        acked += e->ack_all_wakeups();
+        out.push_back(e);
+      }
+    }
+    return acked;
+  }
+
+  /// take_ready without the readiness list, for consumers like the monitor
+  /// that service the whole fd set per round and only need the batched
+  /// acknowledgement.  Returns the number of wakeups acknowledged.
+  std::uint64_t ack_ready() {
+    std::uint64_t acked = 0;
+    for (auto* e : events_) acked += e->ack_all_wakeups();
+    return acked;
+  }
+
   /// True if any registered event has a pending wakeup.
   [[nodiscard]] bool any_ready() const {
     for (const auto* e : events_) {

@@ -54,6 +54,21 @@ struct CostModel {
   /// thread dome.
   Cycles monitor_round_interval_cycles = 300'000'000;  // ~100 ms at 3 GHz
 
+  // -- async drain pipeline (sim/drain_service.hpp) --------------------------
+  // Overlap parameters of the staged producer/consumer monitor: with
+  // EngineConfig/SweepConfig::async_drain the per-round decode work retires
+  // on a dedicated consumer thread instead of serializing the round.  The
+  // drain *schedule* (and therefore every device-visible drain time) is
+  // deliberately mode-invariant - that is what keeps the sync and async
+  // paths byte-identical - so these parameters feed the overlap telemetry
+  // (overlapped cycles, epoch lag, retirement) rather than the timeline.
+  /// Consumer-thread wake latency: queue handoff + futex wake before the
+  /// drain service starts decoding an epoch.
+  Cycles drain_wake_cycles = 15'000;  // ~5 us
+  /// Per-epoch retirement cost: completion-cursor publication and counts
+  /// folding once an epoch's last batch decodes.
+  Cycles epoch_retire_cycles = 3'000;
+
   // -- memory system loading --------------------------------------------------
   /// Utilization cap in the loaded-latency model: effective DRAM latency is
   /// base / (1 - min(utilization, max_utilization)).  Under bandwidth

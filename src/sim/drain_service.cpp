@@ -1,0 +1,114 @@
+#include "sim/drain_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace nmo::sim {
+
+DrainService::DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool)
+    : consumer_(consumer), pool_(pool) {
+  worker_ = std::thread([this] { service_loop(); });
+}
+
+DrainService::~DrainService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_one();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::uint64_t DrainService::submit_epoch(std::vector<spe::RawChunk> chunks) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Retire pool epochs that already decoded while the service was idle,
+    // so the lag high-water mark counts only genuinely in-flight epochs.
+    sweep_retired();
+    id = next_epoch_++;
+    queue_.push_back(Epoch{id, std::move(chunks)});
+    ++stats_.epochs_submitted;
+    const std::uint64_t lag = queue_.size() + inflight_.size() + (busy_ ? 1 : 0);
+    stats_.peak_epoch_lag = std::max(stats_.peak_epoch_lag, lag);
+  }
+  wake_cv_.notify_one();
+  return id;
+}
+
+void DrainService::barrier() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  }
+  // The service thread is idle and nothing else submits, so the pool's
+  // submission cursors are final: one full barrier retires every epoch.
+  if (pool_ != nullptr) pool_->sync();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.epochs_retired += inflight_.size();
+  inflight_.clear();
+  if (pending_ok_ != 0 || pending_skipped_ != 0) {
+    consumer_->add_decoded(pending_ok_, pending_skipped_);
+    pending_ok_ = 0;
+    pending_skipped_ = 0;
+  }
+}
+
+DrainService::Stats DrainService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DrainService::sweep_retired() {
+  while (!inflight_.empty() && pool_->epoch_done(inflight_.front())) {
+    inflight_.pop_front();
+    ++stats_.epochs_retired;
+  }
+}
+
+void DrainService::service_loop() {
+  for (;;) {
+    Epoch epoch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      epoch = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+
+    std::uint64_t ok = 0;
+    std::uint64_t skipped = 0;
+    for (const spe::RawChunk& chunk : epoch.chunks) {
+      if (pool_ != nullptr) {
+        pool_->submit(chunk.bytes, chunk.core);
+      } else {
+        const spe::DecodedChunk decoded = consumer_->decode_raw(chunk);
+        ok += decoded.ok;
+        skipped += decoded.skipped;
+      }
+    }
+    spe::DecodePool::EpochTicket ticket;
+    if (pool_ != nullptr) ticket = pool_->mark_epoch();
+
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.chunks += epoch.chunks.size();
+      if (pool_ != nullptr) {
+        inflight_.push_back(std::move(ticket));
+        sweep_retired();
+      } else {
+        ++stats_.epochs_retired;
+        pending_ok_ += ok;
+        pending_skipped_ += skipped;
+      }
+      busy_ = false;
+      idle = queue_.empty();
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace nmo::sim

@@ -1,0 +1,103 @@
+// The dedicated consumer thread of the async drain pipeline.
+//
+// The synchronous monitor (sim/monitor.hpp) ends every drain round with
+// AuxConsumer::sync() - a fork/join barrier that parks the timeline thread
+// until the decode pool has chewed through the whole round.  DrainService
+// removes that barrier by modelling what the real NMO runtime would do with
+// a second thread: the monitor's round handler only performs stage 1 of the
+// drain (ring/aux consumption, which must stay on the timeline so drains
+// remain deterministic), closes the drained chunks into an *epoch*, and
+// hands the epoch to this service's wakeup queue.  The service thread pulls
+// epochs in FIFO order and runs stage 2 continuously:
+//
+//   timeline thread            service thread              decode shards
+//   ---------------            --------------              -------------
+//   drain_raw (stage 1)  --->  pop epoch from queue
+//   submit_epoch               serial: decode_raw + sink
+//   ...keeps simulating...     pool:   DecodePool::submit   decode + sink
+//                              retire via epoch tickets <---processed++
+//
+// Epoch-based completion replaces the fork/join: decode of round N overlaps
+// the drain of round N+1, and the timeline only waits when it explicitly
+// observes an epoch that has not retired - barrier() at finalize, or the
+// profiler's quiesce hook before a region-table mutation (which keeps
+// region attribution identical to the synchronous path).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "spe/aux_consumer.hpp"
+#include "spe/decode_pool.hpp"
+
+namespace nmo::sim {
+
+class DrainService {
+ public:
+  /// Host-side pipeline statistics; coherent after barrier().
+  struct Stats {
+    std::uint64_t epochs_submitted = 0;
+    std::uint64_t epochs_retired = 0;
+    /// Max epochs simultaneously in flight (queued + decoding), the
+    /// host-side analogue of the monitor's modeled epoch lag.
+    std::uint64_t peak_epoch_lag = 0;
+    std::uint64_t chunks = 0;  ///< RawChunks pulled off the wakeup queue.
+  };
+
+  /// `consumer` supplies stage-2 decode for the serial path and receives
+  /// the folded tallies; `pool` (may be null) selects the fan-out path.
+  /// Neither is owned.  The service thread starts immediately.
+  DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool);
+  ~DrainService();
+
+  DrainService(const DrainService&) = delete;
+  DrainService& operator=(const DrainService&) = delete;
+
+  /// Timeline side: hands one closed drain round to the consumer thread.
+  /// Returns the epoch id (0-based, FIFO order).
+  std::uint64_t submit_epoch(std::vector<spe::RawChunk> chunks);
+
+  /// Waits until every submitted epoch has retired - the wakeup queue is
+  /// empty, the service thread is idle, and (pool path) every submitted
+  /// batch has decoded - then folds the serial decode tallies into the
+  /// consumer's counts().  Timeline-thread only; idempotent.
+  void barrier();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Epoch {
+    std::uint64_t id = 0;
+    std::vector<spe::RawChunk> chunks;
+  };
+
+  void service_loop();
+  /// Sweeps pool epoch tickets whose batches have all decoded.  Caller
+  /// must hold mutex_.
+  void sweep_retired();
+
+  spe::AuxConsumer* consumer_;
+  spe::DecodePool* pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_cv_;  ///< Signals the service thread.
+  std::condition_variable idle_cv_;  ///< Signals barrier() waiters.
+  std::deque<Epoch> queue_;
+  bool busy_ = false;  ///< Service thread is inside stage 2 of an epoch.
+  bool stop_ = false;
+  std::uint64_t next_epoch_ = 0;
+  /// Pool epochs submitted but not yet observed retired (service thread).
+  std::deque<spe::DecodePool::EpochTicket> inflight_;
+  /// Serial-path decode tallies pending a fold into the consumer.
+  std::uint64_t pending_ok_ = 0;
+  std::uint64_t pending_skipped_ = 0;
+  Stats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace nmo::sim

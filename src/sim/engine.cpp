@@ -73,7 +73,16 @@ TraceEngine::TraceEngine(const EngineConfig& config, core::Profiler* profiler)
     } else {
       consumer_ = std::make_unique<spe::AuxConsumer>(profiler_->make_batch_sink());
     }
-    monitor_ = std::make_unique<Monitor>(machine_->cost(), consumer_.get(), events_);
+    if (config_.async_drain) {
+      // Staged pipeline: the dedicated consumer thread runs stage-2 decode
+      // so rounds no longer end in a fork/join barrier.  Region-table
+      // mutations quiesce the service first, so decode-time region
+      // attribution is identical to the synchronous path.
+      drain_service_ = std::make_unique<DrainService>(consumer_.get(), decode_pool_.get());
+      profiler_->set_quiesce([service = drain_service_.get()] { service->barrier(); });
+    }
+    monitor_ = std::make_unique<Monitor>(machine_->cost(), consumer_.get(), events_,
+                                         drain_service_.get());
     profiler_->set_time_conv(machine_->time_conv());
   }
   if (profiler_ != nullptr) {
@@ -295,6 +304,11 @@ void TraceEngine::finalize() {
     process_monitor_until(~Cycles{0} >> 1);
     monitor_->drain_all();
   }
+  if (profiler_ != nullptr && drain_service_ != nullptr) {
+    // The service is quiescent after drain_all; drop the quiesce hook so
+    // the profiler can outlive this engine safely.
+    profiler_->set_quiesce({});
+  }
   if (profiler_ != nullptr && consumer_ != nullptr) {
     // Merge shard traces (parallel path) and canonicalize the order so the
     // serial and parallel pipelines emit byte-identical CSV/fingerprints.
@@ -323,6 +337,13 @@ EngineStats TraceEngine::stats() const {
   }
   for (const auto* ev : events_) s.wakeups += ev->stats().wakeups;
   if (decode_pool_ != nullptr) s.decode_stalls = decode_pool_->counts().producer_stalls;
+  if (monitor_) {
+    const MonitorOverlap& overlap = monitor_->overlap();
+    s.overlapped_cycles = overlap.overlapped_cycles;
+    s.retired_epochs = overlap.retired_epochs;
+    s.peak_epoch_lag = overlap.peak_epoch_lag;
+    s.epoch_wait_cycles = overlap.epoch_wait_cycles;
+  }
   return s;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "core/profiler.hpp"
+#include "sim/drain_service.hpp"
 #include "sim/machine.hpp"
 #include "sim/monitor.hpp"
 #include "spe/aux_consumer.hpp"
@@ -49,6 +50,13 @@ struct EngineConfig {
   /// while removing most of the per-record call boundary; 1 restores the
   /// exact per-record path.
   std::uint32_t write_batch = 8;
+  /// Staged async drain pipeline (sim/drain_service.hpp): the monitor's
+  /// per-round decode runs on a dedicated consumer thread with epoch-based
+  /// completion instead of the round-end AuxConsumer::sync() fork/join, so
+  /// decode of round N overlaps the drain of round N+1.  The drain
+  /// schedule is mode-invariant, so the emitted trace is byte-identical to
+  /// the synchronous default; overlap telemetry lands in EngineStats.
+  bool async_drain = false;
 };
 
 /// Aggregated sampling statistics of one engine run.
@@ -66,6 +74,17 @@ struct EngineStats {
   /// Producer queue-full spins in the decode pool (0 on the serial path):
   /// the backpressure signal that decode shards bound the drain loop.
   std::uint64_t decode_stalls = 0;
+  // Async drain pipeline overlap telemetry (sim/monitor.hpp MonitorOverlap;
+  // all zero when async_drain is off).
+  /// Decode cycles retired on the consumer thread in the timeline's shadow.
+  std::uint64_t overlapped_cycles = 0;
+  /// Drain epochs whose decode retired.
+  std::uint64_t retired_epochs = 0;
+  /// Max drained-but-unretired epochs observed at any drain point.
+  std::uint64_t peak_epoch_lag = 0;
+  /// Cycles the modeled consumer thread lagged new epochs (its backlog had
+  /// not retired when the next round's chunks landed).
+  std::uint64_t epoch_wait_cycles = 0;
 };
 
 class TraceEngine final : public wl::Executor {
@@ -120,6 +139,7 @@ class TraceEngine final : public wl::Executor {
   std::vector<kern::PerfEvent*> events_;
   std::unique_ptr<spe::DecodePool> decode_pool_;  ///< Non-null when decode_shards > 1.
   std::unique_ptr<spe::AuxConsumer> consumer_;
+  std::unique_ptr<DrainService> drain_service_;  ///< Non-null when async_drain.
   std::unique_ptr<Monitor> monitor_;
   std::optional<Cycles> monitor_due_;
 

@@ -20,93 +20,124 @@
 // on_round_done and schedule the returned completion times on their own
 // event queues, so the same model serves both the statistical and the
 // exact trace driver.
+//
+// Two execution disciplines for the record-processing stage:
+//
+//  * synchronous (default, drain_service == nullptr): each round drains
+//    and decodes inline, ending with AuxConsumer::sync() - the fork/join
+//    barrier that parks the host thread until the decode pool retires the
+//    whole round;
+//  * asynchronous (a sim::DrainService is attached): each round performs
+//    only stage 1 (drain_raw - the deterministic device interaction) and
+//    closes the drained chunks into an epoch on the service's wakeup
+//    queue; the dedicated consumer thread runs stage 2 continuously, so
+//    decode of round N overlaps the drain of round N+1 and the host
+//    timeline only blocks when it observes an unretired epoch (finalize,
+//    or a region-table mutation's quiesce).
+//
+// The drain *schedule* - which simulated cycle each buffer is drained at -
+// is identical in both disciplines.  That invariant is what makes the two
+// paths emit byte-identical canonical traces (the repo's parity oracle);
+// what the async path changes is host-side execution, plus an overlap
+// model (CostModel::drain_wake_cycles / epoch_retire_cycles) quantifying
+// how much decode work retires in the timeline's shadow.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
 #include "kernel/perf_event.hpp"
+#include "kernel/poller.hpp"
 #include "sim/cost_model.hpp"
 #include "spe/aux_consumer.hpp"
 
 namespace nmo::sim {
 
+class DrainService;
+
+/// Overlap telemetry of the async drain pipeline, in simulated cycles
+/// (all zero when running synchronously).
+struct MonitorOverlap {
+  /// Decode work retired on the consumer thread while the timeline kept
+  /// running - in sync mode these cycles serialize inside the round.
+  std::uint64_t overlapped_cycles = 0;
+  /// Epochs whose modeled retirement completed.
+  std::uint64_t retired_epochs = 0;
+  /// Max epochs in flight (drained, not yet retired) at any drain point.
+  std::uint64_t peak_epoch_lag = 0;
+  /// Cycles the consumer-thread model lagged a new epoch's arrival (its
+  /// backlog had not retired when the next round's chunks landed).
+  std::uint64_t epoch_wait_cycles = 0;
+};
+
 class Monitor {
  public:
-  /// `events` is the full set of SPE events the monitor watches (the fds in
-  /// its epoll set).
+  /// `events` is the full set of SPE events the monitor watches (the fds
+  /// in its epoll set).  With a non-null `drain_service` the monitor runs
+  /// the asynchronous staged pipeline described above; the service must
+  /// outlive the monitor.
   Monitor(const CostModel& cost, spe::AuxConsumer* consumer,
-          std::vector<kern::PerfEvent*> events)
-      : cost_(cost), consumer_(consumer), events_(std::move(events)) {}
+          std::vector<kern::PerfEvent*> events, DrainService* drain_service = nullptr);
 
   /// A wakeup fired at `now_cycles`.  If no round is armed, one is armed
   /// and the returned value is its completion time (wake latency + drain
   /// estimate, but no earlier than round_interval after the last round).
-  std::optional<Cycles> on_wakeup(Cycles now_cycles) {
-    if (round_armed_) return std::nullopt;
-    round_armed_ = true;
-    const Cycles earliest = last_round_end_ + cost_.monitor_round_interval_cycles;
-    const Cycles start = std::max(now_cycles + cost_.monitor_wake_cycles, earliest);
-    return start + round_cost();
-  }
+  std::optional<Cycles> on_wakeup(Cycles now_cycles);
 
   /// The armed round completed: drain every ready descriptor.  Returns the
   /// completion time of a follow-up round if data is still pending (a
   /// buffer went full while this round was queued and can no longer raise
   /// wakeups).
-  std::optional<Cycles> on_round_done(Cycles now_cycles) {
-    for (auto* ev : events_) {
-      bytes_drained_ += consumer_->drain(*ev);
-      while (ev->pending_wakeups() > 0) ev->ack_wakeup();
-    }
-    // Fork/join barrier of the parallel decode path: shard workers decode
-    // the whole round concurrently while the round is still "open", so the
-    // simulated timeline never observes a half-decoded buffer.  (No-op for
-    // the serial inline consumer.)
-    consumer_->sync();
-    ++rounds_;
-    last_round_end_ = now_cycles;
-    round_armed_ = false;
-    for (auto* ev : events_) {
-      if (ev->aux().used() >= ev->effective_watermark()) {
-        round_armed_ = true;
-        return last_round_end_ + cost_.monitor_round_interval_cycles + round_cost();
-      }
-    }
-    return std::nullopt;
-  }
+  std::optional<Cycles> on_round_done(Cycles now_cycles);
 
   /// Synchronous end-of-run drain (after the timing window, matching the
   /// paper's note that the final buffer drain happens after program exit).
-  void drain_all() {
-    for (auto* ev : events_) bytes_drained_ += consumer_->drain(*ev);
-    consumer_->sync();
-    round_armed_ = false;
-  }
+  /// Retires every outstanding epoch (async) and acknowledges any wakeups
+  /// still pending, so the poller set is quiescent afterwards.
+  void drain_all();
 
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
   [[nodiscard]] std::uint64_t bytes_drained() const { return bytes_drained_; }
+  /// Wakeups consumed through the poller's take_ready handoff (rounds and
+  /// the end-of-run drain both ack in batches).
+  [[nodiscard]] std::uint64_t wakeups_acked() const { return wakeups_acked_; }
   [[nodiscard]] bool round_armed() const { return round_armed_; }
-  [[nodiscard]] const std::vector<kern::PerfEvent*>& events() const { return events_; }
+  [[nodiscard]] const std::vector<kern::PerfEvent*>& events() const { return poller_.events(); }
+  [[nodiscard]] bool async() const { return drain_service_ != nullptr; }
+  [[nodiscard]] const MonitorOverlap& overlap() const { return overlap_; }
 
  private:
   /// Estimated cost of one drain round: fixed setup plus per-byte
-  /// processing of everything currently buffered.
-  [[nodiscard]] Cycles round_cost() const {
-    std::uint64_t bytes = 0;
-    for (const auto* ev : events_) bytes += ev->aux().used();
-    return cost_.monitor_service_base_cycles +
-           static_cast<Cycles>(static_cast<double>(bytes) * cost_.monitor_cycles_per_byte);
-  }
+  /// processing of everything currently buffered.  Mode-invariant (see the
+  /// header comment: the drain schedule is what both paths share).
+  [[nodiscard]] Cycles round_cost() const;
+
+  /// Stage 1 for every fd + the wakeup-ack handoff; returns the bytes
+  /// drained this round with the chunks appended to `chunks_scratch_`.
+  std::uint64_t drain_round();
+
+  /// Advances the overlap model for one epoch of `bytes` closed at `now`.
+  void note_epoch(Cycles now, std::uint64_t bytes);
+  /// Retires modeled epochs whose retirement time has passed.
+  void retire_until(Cycles now);
 
   CostModel cost_;
   spe::AuxConsumer* consumer_;
-  std::vector<kern::PerfEvent*> events_;
+  kern::Poller poller_;
+  DrainService* drain_service_;
   bool round_armed_ = false;
   Cycles last_round_end_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t bytes_drained_ = 0;
+  std::uint64_t wakeups_acked_ = 0;
+
+  // Async-path state.
+  std::vector<spe::RawChunk> chunks_scratch_;
+  std::deque<Cycles> inflight_retires_;  ///< Modeled epoch retirement times.
+  Cycles model_last_retire_ = 0;
+  MonitorOverlap overlap_;
 };
 
 }  // namespace nmo::sim

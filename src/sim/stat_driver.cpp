@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/drain_service.hpp"
 #include "sim/monitor.hpp"
 #include "spe/aux_consumer.hpp"
 #include "spe/decode_pool.hpp"
@@ -132,11 +133,15 @@ StatResult run_statistical(const WorkloadProfile& profile, const MachineConfig& 
   }
   spe::AuxConsumer consumer =
       decode_pool ? spe::AuxConsumer(decode_pool.get()) : spe::AuxConsumer();
+  std::unique_ptr<DrainService> drain_service;
+  if (cfg.async_drain && cfg.spe_enabled) {
+    drain_service = std::make_unique<DrainService>(&consumer, decode_pool.get());
+  }
   CostModel monitor_cost = cost;
   if (cfg.monitor_round_interval_cycles != 0) {
     monitor_cost.monitor_round_interval_cycles = cfg.monitor_round_interval_cycles;
   }
-  Monitor monitor(monitor_cost, &consumer, events);
+  Monitor monitor(monitor_cost, &consumer, events, drain_service.get());
 
   std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap;
   std::uint64_t seq = 0;
@@ -318,6 +323,11 @@ StatResult run_statistical(const WorkloadProfile& profile, const MachineConfig& 
     if (decode_pool != nullptr) {
       result.decode_stalls = decode_pool->counts().producer_stalls;
     }
+    const MonitorOverlap& overlap = monitor.overlap();
+    result.overlapped_cycles = overlap.overlapped_cycles;
+    result.retired_epochs = overlap.retired_epochs;
+    result.peak_epoch_lag = overlap.peak_epoch_lag;
+    result.epoch_wait_cycles = overlap.epoch_wait_cycles;
   }
 
   result.mem_counted = mem_counter.read_count();

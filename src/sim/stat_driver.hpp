@@ -57,6 +57,12 @@ struct SweepConfig {
   /// Write-combining batch for Sampler aux writes (Sampler::set_write_batch);
   /// 1 restores the exact per-record write path.
   std::uint32_t write_batch = 8;
+  /// Staged async drain pipeline (sim/drain_service.hpp): per-round decode
+  /// retires on a dedicated consumer thread with epoch tracking instead of
+  /// the round-end fork/join.  All StatResult tallies are identical either
+  /// way (the drain schedule is mode-invariant); the overlap telemetry
+  /// fields report what the consumer thread absorbed.
+  bool async_drain = false;
 };
 
 /// Aggregated outcome of a run; analysis/accuracy.hpp turns this into the
@@ -86,6 +92,11 @@ struct StatResult {
   std::uint64_t truncated_flags = 0;
   std::uint64_t monitor_services = 0;
   std::uint64_t decode_stalls = 0;      ///< Producer queue-full spins (parallel decode).
+  // Async drain overlap telemetry (zero when async_drain is off).
+  std::uint64_t overlapped_cycles = 0;  ///< Decode retired in the timeline's shadow.
+  std::uint64_t retired_epochs = 0;     ///< Drain epochs whose decode retired.
+  std::uint64_t peak_epoch_lag = 0;     ///< Max unretired epochs at a drain point.
+  std::uint64_t epoch_wait_cycles = 0;  ///< Modeled consumer-thread backlog lag.
 };
 
 /// Executes one statistical run.  With cfg.spe_enabled == false only the

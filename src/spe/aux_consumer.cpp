@@ -8,8 +8,14 @@
 namespace nmo::spe {
 
 std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
+  std::vector<RawChunk> chunks;
+  const std::uint64_t bytes = drain_raw(ev, chunks);
+  decode_chunks(chunks);
+  return bytes;
+}
+
+std::uint64_t AuxConsumer::drain_raw(kern::PerfEvent& ev, std::vector<RawChunk>& out) {
   std::uint64_t bytes = 0;
-  std::array<Record, RecordBatch::kMaxRecords> decoded;
   while (auto rec = ev.read_record()) {
     switch (rec->header.type) {
       case kern::RecordType::kAux: {
@@ -20,28 +26,14 @@ std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
         if (aux.flags & kern::kAuxFlagCollision) ++counts_.collision_flags;
         if (aux.flags & kern::kAuxFlagTruncated) ++counts_.truncated_flags;
 
-        std::vector<std::byte> data(aux.aux_size);
-        ev.read_aux(aux.aux_offset, data);
-        const std::size_t whole = data.size() / kRecordSize * kRecordSize;
-        if (pool_ != nullptr) {
-          // Parallel path: hand the raw records to the shard queues; the
-          // aux space can be recycled as soon as the bytes are copied out.
-          pool_->submit(std::span<const std::byte>(data.data(), whole), ev.core());
-        } else {
-          // Serial path: decode inline with the same chunk loop the pool
-          // workers use, flushing valid records to the sink in batches.
-          constexpr std::size_t kChunkBytes = RecordBatch::kMaxRecords * kRecordSize;
-          for (std::size_t off = 0; off < whole; off += kChunkBytes) {
-            const std::size_t len = std::min(kChunkBytes, whole - off);
-            const DecodedChunk chunk =
-                decode_chunk(std::span<const std::byte>(data).subspan(off, len), decoded);
-            counts_.records_ok += chunk.ok;
-            counts_.records_skipped += chunk.skipped;
-            if (batch_sink_ && chunk.ok > 0) {
-              batch_sink_(std::span<const Record>(decoded.data(), chunk.ok), ev.core());
-            }
-          }
-        }
+        RawChunk chunk;
+        chunk.core = ev.core();
+        chunk.bytes.resize(aux.aux_size);
+        ev.read_aux(aux.aux_offset, chunk.bytes);
+        // Trailing partial records are dropped here, exactly as the inline
+        // decode ignored them; the aux space is recycled either way.
+        chunk.bytes.resize(chunk.bytes.size() / kRecordSize * kRecordSize);
+        if (!chunk.bytes.empty()) out.push_back(std::move(chunk));
         ev.consume_aux(aux.aux_offset + aux.aux_size);
         bytes += aux.aux_size;
         break;
@@ -66,6 +58,40 @@ std::uint64_t AuxConsumer::drain(kern::PerfEvent& ev) {
     }
   }
   return bytes;
+}
+
+DecodedChunk AuxConsumer::decode_raw(const RawChunk& chunk) const {
+  DecodedChunk total;
+  std::array<Record, RecordBatch::kMaxRecords> decoded;
+  // The same chunk loop the pool workers use, so the two paths cannot
+  // drift apart: decode in RecordBatch-sized spans, flush valid records to
+  // the sink per span.
+  constexpr std::size_t kChunkBytes = RecordBatch::kMaxRecords * kRecordSize;
+  const std::span<const std::byte> raw(chunk.bytes);
+  for (std::size_t off = 0; off < raw.size(); off += kChunkBytes) {
+    const std::size_t len = std::min(kChunkBytes, raw.size() - off);
+    const DecodedChunk piece = decode_chunk(raw.subspan(off, len), decoded);
+    total.ok += piece.ok;
+    total.skipped += piece.skipped;
+    if (batch_sink_ && piece.ok > 0) {
+      batch_sink_(std::span<const Record>(decoded.data(), piece.ok), chunk.core);
+    }
+  }
+  return total;
+}
+
+void AuxConsumer::decode_chunks(std::span<const RawChunk> chunks) {
+  for (const RawChunk& chunk : chunks) {
+    if (pool_ != nullptr) {
+      // Parallel path: hand the raw records to the shard queues; the aux
+      // space was already recycled when the bytes were copied out.
+      pool_->submit(chunk.bytes, chunk.core);
+    } else {
+      const DecodedChunk decoded = decode_raw(chunk);
+      counts_.records_ok += decoded.ok;
+      counts_.records_skipped += decoded.skipped;
+    }
+  }
 }
 
 void AuxConsumer::sync() {

@@ -15,17 +15,38 @@
 // Either way the consumer advances aux_tail so the device can reuse the
 // space, and tallies the flags NMO's evaluation counts: COLLISION-flagged
 // records (the paper's "sample collision" metric) and TRUNCATED ones.
+//
+// The drain is internally staged so the async drain pipeline
+// (sim/drain_service.hpp) can split it across threads:
+//
+//   stage 1  drain_raw()     ring/aux consumption + flag tallies - the only
+//                            part that touches device state, so it stays on
+//                            the simulated timeline where drains are
+//                            deterministic;
+//   stage 2  decode_chunks() decode + sink (inline or pool fan-out), which
+//                            may run on a dedicated consumer thread.
+//
+// drain() = drain_raw() + decode_chunks(), the classic one-call round.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "kernel/perf_event.hpp"
 #include "spe/decode_pool.hpp"
 #include "spe/packet.hpp"
 
 namespace nmo::spe {
+
+/// One AUX record's worth of drained-but-undecoded SPE bytes (stage-1
+/// output; whole 64-byte records only, trailing partials are dropped at
+/// drain time exactly as the inline path drops them).
+struct RawChunk {
+  CoreId core = 0;
+  std::vector<std::byte> bytes;
+};
 
 class AuxConsumer {
  public:
@@ -60,6 +81,31 @@ class AuxConsumer {
   /// Drains all pending records of `ev`; returns the number of aux bytes
   /// consumed (what the monitor's timing model charges for).
   std::uint64_t drain(kern::PerfEvent& ev);
+
+  /// Stage 1 only: consumes `ev`'s ring records and aux bytes, tallies the
+  /// AUX flags, and appends the raw record bytes to `out` without decoding
+  /// them.  Returns the aux bytes consumed.  Device-visible state (ring
+  /// tail, aux tail, wakeup bookkeeping) advances exactly as drain() would.
+  std::uint64_t drain_raw(kern::PerfEvent& ev, std::vector<RawChunk>& out);
+
+  /// Stage 2 for one chunk on the *serial* path: decodes with the shared
+  /// chunk loop and feeds the batch sink.  Returns the decode tallies
+  /// WITHOUT touching counts(), so a consumer thread can accumulate its own
+  /// tallies and fold them in later (add_decoded) with no data race against
+  /// the timeline thread.
+  DecodedChunk decode_raw(const RawChunk& chunk) const;
+
+  /// Stage 2 dispatch: pool fan-out in parallel mode, decode_raw + counts()
+  /// accumulation in serial mode.  drain() == drain_raw() + decode_chunks().
+  void decode_chunks(std::span<const RawChunk> chunks);
+
+  /// Folds decode tallies produced off-thread (sim::DrainService's serial
+  /// consumer thread) into counts().  Caller must guarantee the producing
+  /// thread is quiescent (the service's barrier does).
+  void add_decoded(std::uint64_t ok, std::uint64_t skipped) {
+    counts_.records_ok += ok;
+    counts_.records_skipped += skipped;
+  }
 
   /// Barrier for the parallel path: waits for every in-flight batch, then
   /// folds the pool's decode tallies into counts().  No-op in serial mode.

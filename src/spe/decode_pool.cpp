@@ -107,6 +107,28 @@ void DecodePool::sync() {
   }
 }
 
+DecodePool::EpochTicket DecodePool::mark_epoch() const {
+  EpochTicket ticket;
+  ticket.targets.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ticket.targets.push_back(shard->submitted.load(std::memory_order_acquire));
+  }
+  return ticket;
+}
+
+bool DecodePool::epoch_done(const EpochTicket& ticket) const {
+  for (std::size_t i = 0; i < ticket.targets.size() && i < shards_.size(); ++i) {
+    if (shards_[i]->processed.load(std::memory_order_acquire) < ticket.targets[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DecodePool::wait_epoch(const EpochTicket& ticket) {
+  while (!epoch_done(ticket)) std::this_thread::yield();
+}
+
 DecodePool::DecodeCounts DecodePool::counts() const {
   DecodeCounts total;
   for (const auto& shard : shards_) {

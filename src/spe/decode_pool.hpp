@@ -12,11 +12,18 @@
 // sharded by producing core, so each shard observes one or more cores'
 // streams in order and a per-shard sink never needs a lock.
 //
-// The pool is fork/join with respect to the simulator's virtual time:
-// sync() is a barrier that waits until every submitted batch has been
-// decoded, so callers that sync at the end of a drain round observe exactly
-// the counts the serial path would have produced, and per-shard traces can
-// be merged deterministically at finalize (core/trace.hpp sort_canonical).
+// Two completion disciplines are offered:
+//  * sync() is the classic fork/join barrier: it waits until every
+//    submitted batch has been decoded, so callers that sync at the end of
+//    a drain round observe exactly the counts the serial path would have
+//    produced, and per-shard traces can be merged deterministically at
+//    finalize (core/trace.hpp sort_canonical);
+//  * epoch tickets (mark_epoch / epoch_done / wait_epoch) let a staged
+//    producer close one drain round as an *epoch* and later observe (or
+//    wait for) just that epoch's retirement, without fencing batches
+//    submitted afterwards.  This is what the async drain pipeline
+//    (sim/drain_service.hpp) uses to overlap decode of round N with the
+//    drain of round N+1.
 #pragma once
 
 #include <array>
@@ -124,6 +131,24 @@ class DecodePool {
   /// sink call has returned.  Afterwards counts() and all per-shard sink
   /// state are coherent with the producer thread.
   void sync();
+
+  /// Epoch completion ticket: a per-shard snapshot of the submission
+  /// cursors.  The epoch it closes has retired once every shard's
+  /// processed cursor has reached its snapshot.  Only the producer thread
+  /// may take tickets (the snapshot must be stable with respect to its own
+  /// submits); any thread may check or wait on one.
+  struct EpochTicket {
+    std::vector<std::uint64_t> targets;  ///< Per-shard submitted marks.
+  };
+
+  /// Closes the current epoch: everything submitted so far belongs to it.
+  [[nodiscard]] EpochTicket mark_epoch() const;
+  /// True once every batch of the ticket's epoch has been decoded and its
+  /// sink call has returned.
+  [[nodiscard]] bool epoch_done(const EpochTicket& ticket) const;
+  /// Blocks until epoch_done(ticket); unlike sync() it does not fence
+  /// batches submitted after the ticket was taken.
+  void wait_epoch(const EpochTicket& ticket);
 
   [[nodiscard]] std::uint32_t shards() const { return static_cast<std::uint32_t>(shards_.size()); }
   [[nodiscard]] std::uint32_t shard_of(CoreId core) const {

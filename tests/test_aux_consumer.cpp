@@ -124,5 +124,59 @@ TEST(AuxConsumer, ResetCounts) {
   EXPECT_EQ(consumer.counts().records_ok, 0u);
 }
 
+TEST(AuxConsumer, DrainRawDefersDecode) {
+  // Stage 1 consumes device state and tallies AUX flags but decodes
+  // nothing; stage 2 (decode_chunks) completes it to exactly what drain()
+  // would have produced.
+  auto ev = make_event();
+  ev->note_collision();
+  ev->aux_write(valid_record(0x1000, 1), 0);
+  auto bad = valid_record(0x2000, 2);
+  bad[30] = std::byte{0x00};
+  ev->aux_write(bad, 0);
+  std::vector<Addr> seen;
+  AuxConsumer consumer([&](const Record& r, CoreId) { seen.push_back(r.vaddr); });
+
+  std::vector<RawChunk> chunks;
+  const auto bytes = consumer.drain_raw(*ev, chunks);
+  EXPECT_EQ(bytes, 128u);
+  EXPECT_EQ(ev->aux().used(), 0u);  // device space recycled at stage 1
+  EXPECT_EQ(consumer.counts().aux_records, 1u);
+  EXPECT_EQ(consumer.counts().collision_flags, 1u);
+  EXPECT_EQ(consumer.counts().records_ok, 0u);  // nothing decoded yet
+  EXPECT_TRUE(seen.empty());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].core, 3u);
+  EXPECT_EQ(chunks[0].bytes.size(), 128u);
+
+  consumer.decode_chunks(chunks);
+  EXPECT_EQ(consumer.counts().records_ok, 1u);
+  EXPECT_EQ(consumer.counts().records_skipped, 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 0x1000u);
+}
+
+TEST(AuxConsumer, DecodeRawLeavesCountsUntouched) {
+  // decode_raw is the off-thread half: it feeds the sink and reports
+  // tallies without mutating counts(), which add_decoded folds in later.
+  auto ev = make_event();
+  ev->aux_write(valid_record(0xa, 1), 0);
+  ev->aux_write(valid_record(0xb, 2), 0);
+  std::vector<Addr> seen;
+  AuxConsumer consumer([&](const Record& r, CoreId) { seen.push_back(r.vaddr); });
+  std::vector<RawChunk> chunks;
+  consumer.drain_raw(*ev, chunks);
+  ASSERT_EQ(chunks.size(), 1u);
+
+  const DecodedChunk decoded = consumer.decode_raw(chunks[0]);
+  EXPECT_EQ(decoded.ok, 2u);
+  EXPECT_EQ(decoded.skipped, 0u);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(consumer.counts().records_ok, 0u);
+
+  consumer.add_decoded(decoded.ok, decoded.skipped);
+  EXPECT_EQ(consumer.counts().records_ok, 2u);
+}
+
 }  // namespace
 }  // namespace nmo::spe

@@ -126,6 +126,33 @@ TEST(DecodePool, EmptySyncAndEmptyDrains) {
   EXPECT_EQ(consumer.counts().records_ok, 0u);
 }
 
+TEST(DecodePool, EpochTicketsTrackPerEpochCompletion) {
+  // Epoch tickets are the async drain pipeline's completion primitive: a
+  // ticket taken after submitting epoch N retires once N's batches decode,
+  // independent of batches submitted afterwards.
+  DecodePool pool(2);
+  const auto empty_ticket = pool.mark_epoch();
+  EXPECT_TRUE(pool.epoch_done(empty_ticket));  // nothing submitted yet
+  pool.wait_epoch(empty_ticket);               // must not hang
+
+  const auto epoch1 = raw_stream(96, 4, 0x1000);
+  pool.submit(epoch1, /*core=*/0);
+  const auto ticket1 = pool.mark_epoch();
+  pool.wait_epoch(ticket1);
+  EXPECT_TRUE(pool.epoch_done(ticket1));
+  const auto after_epoch1 = pool.counts();
+  EXPECT_EQ(after_epoch1.records_ok, 96u);
+  EXPECT_EQ(after_epoch1.records_skipped, 4u);
+
+  // A ticket from epoch 1 stays done while epoch 2 is in flight.
+  const auto epoch2 = raw_stream(64, 0, 0x9000);
+  pool.submit(epoch2, /*core=*/1);
+  EXPECT_TRUE(pool.epoch_done(ticket1));
+  const auto ticket2 = pool.mark_epoch();
+  pool.wait_epoch(ticket2);
+  EXPECT_EQ(pool.counts().records_ok, 160u);
+}
+
 /// Feeds the same event stream (valid + invalid records, a collision flag
 /// and a truncation episode) to a serial consumer and a pool-mode consumer;
 /// every Counts field must agree.

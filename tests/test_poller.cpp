@@ -62,5 +62,51 @@ TEST(Poller, MultipleWakeupsNeedMultiplePolls) {
   EXPECT_TRUE(p.poll().empty());
 }
 
+TEST(Poller, TakeReadyAcksAllCoalescedWakeups) {
+  // The drain-round handoff: one call lists every ready fd and consumes
+  // every pending wakeup in a batch (vs poll()'s one-ack-per-call).
+  Poller p;
+  auto a = make_event();
+  auto b = make_event();
+  auto idle = make_event();
+  p.add(a.get());
+  p.add(b.get());
+  p.add(idle.get());
+  a->aux_write(std::vector<std::byte>(64), 0);
+  a->aux_write(std::vector<std::byte>(64), 0);
+  a->aux_write(std::vector<std::byte>(64), 0);
+  b->aux_write(std::vector<std::byte>(64), 0);
+  std::vector<PerfEvent*> ready;
+  EXPECT_EQ(p.take_ready(ready), 4u);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], a.get());
+  EXPECT_EQ(ready[1], b.get());
+  EXPECT_EQ(a->pending_wakeups(), 0u);
+  EXPECT_EQ(b->pending_wakeups(), 0u);
+  EXPECT_FALSE(p.any_ready());
+  // Appends without clearing, so a reused scratch vector accumulates only
+  // newly ready fds.
+  b->aux_write(std::vector<std::byte>(64), 0);
+  EXPECT_EQ(p.take_ready(ready), 1u);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[2], b.get());
+}
+
+TEST(Poller, AckReadyConsumesWithoutListing) {
+  // The monitor's variant: batched ack only (it drains the whole fd set
+  // per round regardless of readiness).
+  Poller p;
+  auto a = make_event();
+  auto b = make_event();
+  p.add(a.get());
+  p.add(b.get());
+  a->aux_write(std::vector<std::byte>(64), 0);
+  a->aux_write(std::vector<std::byte>(64), 0);
+  b->aux_write(std::vector<std::byte>(64), 0);
+  EXPECT_EQ(p.ack_ready(), 3u);
+  EXPECT_EQ(p.ack_ready(), 0u);
+  EXPECT_FALSE(p.any_ready());
+}
+
 }  // namespace
 }  // namespace nmo::kern
