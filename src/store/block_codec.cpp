@@ -1,0 +1,110 @@
+#include "store/block_codec.hpp"
+
+#include <cstring>
+
+namespace nmo::store {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kMaxOffset = 0xffff;
+constexpr std::uint32_t kNoCandidate = 0xffffffffu;
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(std::vector<std::byte>& out, std::size_t extra) {
+  while (extra >= 0xff) {
+    out.push_back(std::byte{0xff});
+    extra -= 0xff;
+  }
+  out.push_back(static_cast<std::byte>(extra));
+}
+
+/// Emits one sequence: `lit_len` literals starting at `lit`, then (unless
+/// match_len == 0, the terminal literal-only sequence) a back-reference.
+void emit_sequence(std::vector<std::byte>& out, const std::byte* lit, std::size_t lit_len,
+                   std::size_t match_len, std::size_t offset) {
+  const std::size_t lit_code = lit_len < 15 ? lit_len : 15;
+  const std::size_t match_code =
+      match_len == 0 ? 0 : (match_len - kMinMatch < 15 ? match_len - kMinMatch : 15);
+  out.push_back(static_cast<std::byte>((lit_code << 4) | match_code));
+  if (lit_code == 15) put_length(out, lit_len - 15);
+  out.insert(out.end(), lit, lit + lit_len);
+  if (match_len == 0) return;  // stream ends after the literals
+  out.push_back(static_cast<std::byte>(offset & 0xff));
+  out.push_back(static_cast<std::byte>(offset >> 8));
+  if (match_code == 15) put_length(out, match_len - kMinMatch - 15);
+}
+
+}  // namespace
+
+std::vector<std::byte> lz_compress(const std::byte* src, std::size_t n) {
+  std::vector<std::byte> out;
+  out.reserve(n / 2 + 16);
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, kNoCandidate);
+
+  std::size_t pos = 0;
+  std::size_t anchor = 0;  // first literal not yet emitted
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    const std::uint32_t h = hash4(src + pos);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand == kNoCandidate || pos - cand > kMaxOffset ||
+        std::memcmp(src + cand, src + pos, kMinMatch) != 0) {
+      ++pos;
+      continue;
+    }
+    std::size_t len = kMinMatch;
+    while (pos + len < n && src[cand + len] == src[pos + len]) ++len;
+    emit_sequence(out, src + anchor, pos - anchor, len, pos - cand);
+    pos += len;
+    anchor = pos;
+  }
+  emit_sequence(out, src + anchor, n - anchor, 0, 0);
+  return out;
+}
+
+bool lz_decompress(const std::byte* src, std::size_t src_n, std::byte* dst, std::size_t dst_n) {
+  std::size_t in = 0;
+  std::size_t out = 0;
+
+  const auto read_length = [&](std::size_t& length) {
+    for (;;) {
+      if (in >= src_n) return false;
+      const auto b = static_cast<std::size_t>(src[in++]);
+      length += b;
+      if (b < 0xff) return true;
+    }
+  };
+
+  while (in < src_n) {
+    const auto token = static_cast<std::size_t>(src[in++]);
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15 && !read_length(lit_len)) return false;
+    if (lit_len > src_n - in || lit_len > dst_n - out) return false;
+    std::memcpy(dst + out, src + in, lit_len);
+    in += lit_len;
+    out += lit_len;
+    if (in == src_n) break;  // terminal literal-only sequence
+
+    if (src_n - in < 2) return false;
+    const std::size_t offset = static_cast<std::size_t>(src[in]) |
+                               (static_cast<std::size_t>(src[in + 1]) << 8);
+    in += 2;
+    if (offset == 0 || offset > out) return false;
+    std::size_t match_len = (token & 0xf) + kMinMatch;
+    if ((token & 0xf) == 15 && !read_length(match_len)) return false;
+    if (match_len > dst_n - out) return false;
+    // Byte-wise copy: matches may overlap their own output (run encoding).
+    const std::byte* from = dst + (out - offset);
+    for (std::size_t i = 0; i < match_len; ++i) dst[out + i] = from[i];
+    out += match_len;
+  }
+  return out == dst_n;
+}
+
+}  // namespace nmo::store

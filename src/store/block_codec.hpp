@@ -1,0 +1,58 @@
+// Per-block payload codec for trace format v2 (store/trace_file.hpp).
+//
+// The v1 varint/delta encoding plateaus at ~14 B/sample because runs of
+// near-identical sample encodings (constant strides, steady cadence) are
+// still spelled out byte for byte.  v2 blocks are self-contained, so each
+// block's payload can pass through a block-local compression stage before
+// hitting disk.  The codec here is a deliberately small LZ77 with an
+// LZ4-style token stream - no external dependency, no allocation on the
+// decode path, and a decompressor that is strictly bounds-checked so a
+// corrupt block fails cleanly instead of reading or writing out of bounds
+// (the trace reader treats any decode failure as file corruption).
+//
+// Stream layout (one sequence per iteration):
+//
+//   token      u8: high nibble = literal count, low nibble = match length - 4
+//              (15 in either nibble = extended length bytes follow: a run of
+//              0xff bytes plus a final byte < 0xff, each adding to the count)
+//   [lit ext]  extended literal length bytes
+//   literals   raw bytes copied to the output
+//   offset     u16 little-endian back-reference distance (1..65535); absent
+//              when the compressed stream ends after the literals
+//   [match ext] extended match length bytes
+//
+// Matches may overlap their own output (offset < length), which encodes runs.
+// A block whose compressed form is not strictly smaller than the raw payload
+// is stored raw (BlockCodec::kRaw) by the writer, so compression can never
+// grow a file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nmo::store {
+
+/// How one v2 block's payload is stored on disk.
+enum class BlockCodec : std::uint8_t {
+  kRaw = 0,  ///< Payload bytes verbatim.
+  kLz = 1,   ///< LZ77 token stream (this header).
+};
+
+[[nodiscard]] constexpr bool is_known_codec(std::uint8_t value) noexcept {
+  return value <= static_cast<std::uint8_t>(BlockCodec::kLz);
+}
+
+/// Compresses `n` bytes at `src`.  Always succeeds (worst case the output is
+/// slightly larger than the input - the caller compares sizes and falls back
+/// to kRaw).
+[[nodiscard]] std::vector<std::byte> lz_compress(const std::byte* src, std::size_t n);
+
+/// Decompresses `src_n` compressed bytes into exactly `dst_n` output bytes.
+/// Returns false on any malformed input: truncated sequences, offsets
+/// reaching before the output start, or a stream that produces more or fewer
+/// than `dst_n` bytes.  Never reads or writes out of bounds.
+[[nodiscard]] bool lz_decompress(const std::byte* src, std::size_t src_n, std::byte* dst,
+                                 std::size_t dst_n);
+
+}  // namespace nmo::store

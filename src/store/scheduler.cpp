@@ -56,6 +56,20 @@ Scheduler::~Scheduler() {
   for (auto& w : workers_) w.join();
 }
 
+void Scheduler::mark_terminal_locked(TaskId id) {
+  // Retention 0 means the caller owns the ledger via forget(); tracking
+  // terminal ids anyway would just recreate the per-submission leak in
+  // this deque.
+  if (config_.status_retention == 0) return;
+  terminal_ids_.push_back(id);
+  while (terminal_ids_.size() > config_.status_retention) {
+    // Oldest-terminal first; an id the caller already forgot() erases to a
+    // no-op, so the deque itself stays bounded by the retention count.
+    statuses_.erase(terminal_ids_.front());
+    terminal_ids_.pop_front();
+  }
+}
+
 void Scheduler::shed_oldest_locked() {
   // rbegin() is the lowest priority class (map is ordered descending);
   // front() is its oldest entry.
@@ -66,6 +80,7 @@ void Scheduler::shed_oldest_locked() {
   --queued_;
   statuses_[victim.id].state = core::SessionState::kShed;
   ++stats_.shed;
+  mark_terminal_locked(victim.id);
 }
 
 std::optional<TaskId> Scheduler::submit(Task task, std::uint8_t priority) {
@@ -180,6 +195,7 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
     } else {
       ++stats_.completed;
     }
+    mark_terminal_locked(entry.id);
     if (queued_ == 0 && running_ == 0) idle_.notify_all();
   }
 }
@@ -213,6 +229,11 @@ bool Scheduler::forget(TaskId id) {
       return false;
   }
   return false;
+}
+
+std::size_t Scheduler::status_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return statuses_.size();
 }
 
 SchedulerStats Scheduler::stats() const {

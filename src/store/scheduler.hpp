@@ -72,6 +72,12 @@ struct SchedulerConfig {
   /// Admission queue depth limit (queued, not yet admitted).  0 = unbounded.
   std::size_t queue_depth = 0;
   AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// How many *terminal* (done/failed/shed) task statuses the ledger keeps
+  /// before the oldest are reaped automatically.  Bounds the status map of
+  /// a long-lived pool whose callers never forget() - without it the pool
+  /// leaks one TaskStatus per submission forever.  0 = keep everything
+  /// (the caller promises to forget()).  Live tasks are never reaped.
+  std::size_t status_retention = 1024;
 };
 
 using TaskId = std::uint64_t;
@@ -125,15 +131,18 @@ class Scheduler {
   void wait_idle();
 
   /// Status snapshot of a previously submitted task (including shed ones).
-  /// Statuses are retained until forget(): a long-lived pool that never
-  /// forgets (or never queries) completed tasks accumulates one entry per
-  /// submission.
+  /// Terminal statuses are retained until forget() or until
+  /// SchedulerConfig::status_retention reaps them (oldest-terminal first),
+  /// so a long-lived pool stays bounded even when callers never query.
   [[nodiscard]] std::optional<TaskStatus> status(TaskId id) const;
 
   /// Drops a *terminal* (done/failed/shed) task's status entry, bounding
   /// the ledger for long-lived pools.  A task still queued or running is
   /// kept (returns false).
   bool forget(TaskId id);
+  /// Entries currently in the status ledger (terminal + live); the number
+  /// status_retention bounds.  For monitoring and tests.
+  [[nodiscard]] std::size_t status_count() const;
   [[nodiscard]] SchedulerStats stats() const;
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
@@ -148,6 +157,9 @@ class Scheduler {
   void worker_loop(std::uint32_t worker_index);
   /// Drops the oldest entry of the lowest-priority class (queue lock held).
   void shed_oldest_locked();
+  /// Records `id` as terminal and reaps the oldest terminal statuses past
+  /// the retention bound (queue lock held).
+  void mark_terminal_locked(TaskId id);
 
   SchedulerConfig config_;
   mutable std::mutex mutex_;
@@ -157,6 +169,10 @@ class Scheduler {
   /// Priority classes, highest first; FIFO deque within a class.
   std::map<std::uint8_t, std::deque<Entry>, std::greater<>> queue_;
   std::unordered_map<TaskId, TaskStatus> statuses_;
+  /// Terminal task ids in the order they became terminal - the reap queue
+  /// that keeps statuses_ bounded by status_retention.  May hold ids the
+  /// caller already forgot(); reaping those is a harmless no-op.
+  std::deque<TaskId> terminal_ids_;
   std::vector<std::thread> workers_;
   TaskId next_id_ = 1;
   std::size_t queued_ = 0;

@@ -1,5 +1,6 @@
 #include "store/session_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -49,7 +50,7 @@ void run_one_session(SessionStore& store, const SessionJob& job, SessionResult& 
     core::ProfileSession session(job.nmo, job.engine);
     result.report = session.profile(*workload, job.with_baseline);
 
-    TraceWriter writer(result.session.trace_path);
+    TraceWriter writer(result.session.trace_path, job.trace_options);
     writer.write_all(session.profiler().trace());
     if (!writer.close()) {
       result.error = writer.error();
@@ -178,7 +179,15 @@ MultiSessionRun run_sessions(SessionStore& store, const std::vector<SessionJob>&
   run.results.resize(jobs.size());
   std::vector<std::optional<TaskId>> tickets(jobs.size());
   {
-    Scheduler scheduler(config);
+    // The shed-state sweep below reads every ticket after wait_idle(); a
+    // retention bound below the job count would reap early tickets before
+    // they are read, so floor it at the in-flight count (0 stays 0: the
+    // run drains its own ids via forget() either way).
+    SchedulerConfig run_config = config;
+    if (run_config.status_retention != 0) {
+      run_config.status_retention = std::max(run_config.status_retention, jobs.size());
+    }
+    Scheduler scheduler(run_config);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       tickets[i] = scheduler.submit(
           [&store, &job = jobs[i], &result = run.results[i]](const TaskStatus& task) {

@@ -38,6 +38,7 @@
 #include "core/session.hpp"
 #include "sim/engine.hpp"
 #include "store/scheduler.hpp"
+#include "store/trace_file.hpp"
 #include "workloads/workload.hpp"
 
 namespace nmo::store {
@@ -89,6 +90,10 @@ struct SessionJob {
   bool with_baseline = false;
   /// Admission priority: higher runs first, FIFO within a class.
   std::uint8_t priority = 0;
+  /// Trace file format for this session's output (default: v2 with the
+  /// block codec; Options{.version = kTraceVersion1} pins the legacy
+  /// format for stores older tooling must read).
+  TraceWriter::Options trace_options;
 };
 
 /// Outcome of one job: where the trace landed and what it contained.

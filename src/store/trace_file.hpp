@@ -9,23 +9,58 @@
 // cheap to stream:
 //
 //   header   u32 magic "NMOT" | u16 version | u16 reserved
-//   blocks   marker 0xB7 | varint core | varint count | count samples
+//   blocks   per-core runs of varint/delta-encoded samples (see below)
 //   footer   marker 0xF5 | u64 sample count | 16-byte MD5 | u32 end magic
 //
-// Samples are written in add() order, chopped into per-core blocks: a block
-// covers a maximal run of consecutive samples from one core (bounded by
-// kMaxBlockSamples).  Within a core the writer keeps predictor state across
-// blocks, so timestamps, data addresses and PCs are zigzag-varint deltas
-// against that core's previous sample - the fields that change slowly per
-// core and would dominate a fixed-width encoding.  Latency is a plain
-// varint, op/level pack into one byte, region is a zigzag varint.
+// Samples are written in add() order.  Timestamps, data addresses and PCs
+// are zigzag-varint deltas against the same core's previous sample - the
+// fields that change slowly per core and would dominate a fixed-width
+// encoding.  Latency is a plain varint, op/level pack into one byte,
+// region is a zigzag varint.
+//
+// Version 1 blocks are `marker 0xB7 | varint core | varint count | samples`
+// covering a maximal run of consecutive samples from one core, and the
+// delta predictors persist across blocks of the same core - which means no
+// block can be decoded without decoding every earlier block of its core,
+// so v1 supports neither seeking nor per-block compression.  Worse, in the
+// canonical (time-sorted) order cores interleave sample by sample, so v1
+// "blocks" degenerate to a handful of samples each and the per-block
+// framing becomes pure overhead.
+//
+// Version 2 makes every block self-contained and adds a block index:
+//
+//   block    marker 0xB7 | varint count | u8 codec | varint cores
+//            | per core: varint id, varint base_time, varint base_vaddr,
+//                        varint base_pc
+//            | varint raw_bytes | varint stored_bytes | payload
+//   sample   varint core slot | the six v1 sample fields
+//   index    marker 0xA9 | varint blocks
+//            | per block: varint offset delta | varint first core
+//            | varint count
+//   footer   marker 0xF5 | u64 sample count | 16-byte MD5
+//            | u64 index offset | u32 end magic
+//
+// A v2 block covers up to kMaxBlockSamples consecutive samples of *any*
+// mix of cores (file order preserved); its header lists every core that
+// appears, in first-appearance order, together with that core's delta base
+// (the predictor state at the core's first sample in the block).  Each
+// sample names its core as a slot into that table, so predictors reset at
+// every block boundary and a block decodes from its own bytes alone.  The
+// payload may pass through the block codec (store/block_codec.hpp); a
+// block that does not shrink is stored raw.  The index footer records
+// every block's file offset, first core and sample count, which buys O(1)
+// seek_block() and block-parallel decode (read_all_parallel).  Readers
+// accept both versions byte-for-byte; writers emit v2 unless
+// TraceWriter::Options says otherwise.
 //
 // The footer carries the sample count and the MD5 fingerprint over the
 // samples in file order, computed with the very routine SampleTrace uses
 // (core::fingerprint_update), so `TraceReader::read_all().fingerprint()`
 // equals the footer digest and a writer fed a trace reproduces that
-// trace's own fingerprint().  Readers reject bad magic, unknown versions,
-// truncated files, and count/digest mismatches.
+// trace's own fingerprint() - in either version, since the digest is over
+// decoded samples, not encoded bytes.  Readers reject bad magic, unknown
+// versions, truncated files, overlong varints, out-of-range field values,
+// index mismatches and count/digest mismatches.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +71,20 @@
 
 #include "common/md5.hpp"
 #include "core/trace.hpp"
+#include "store/block_codec.hpp"
 
 namespace nmo::store {
 
 inline constexpr std::uint32_t kTraceMagic = 0x544F4D4E;     // "NMOT" little-endian
 inline constexpr std::uint32_t kTraceEndMagic = 0x454F4D4E;  // "NMOE" little-endian
-inline constexpr std::uint16_t kTraceVersion = 1;
+/// The legacy format: shared-predictor blocks, no codec, no index.
+inline constexpr std::uint16_t kTraceVersion1 = 1;
+/// Self-contained (optionally compressed) blocks + block-index footer.
+inline constexpr std::uint16_t kTraceVersion2 = 2;
+/// What TraceWriter emits by default.
+inline constexpr std::uint16_t kTraceVersion = kTraceVersion2;
 inline constexpr std::uint8_t kBlockMarker = 0xB7;
+inline constexpr std::uint8_t kIndexMarker = 0xA9;
 inline constexpr std::uint8_t kFooterMarker = 0xF5;
 /// Largest core id the format accepts.  Bounds the per-core predictor
 /// tables on both sides, so a corrupt block header cannot drive a reader
@@ -53,12 +95,20 @@ inline constexpr std::uint32_t kMaxCores = 1u << 16;
 inline constexpr std::string_view kTraceExtension = ".nmot";
 
 namespace detail {
-/// Per-core delta predictor (persists across blocks of the same core);
-/// writer and reader must evolve it identically.
+/// Per-core delta predictor.  In v1 it persists across blocks of the same
+/// core (writer and reader must evolve it identically); in v2 it resets to
+/// the block header's per-core base at every block boundary.
 struct CorePredictor {
   std::uint64_t time_ns = 0;
   Addr vaddr = 0;
   Addr pc = 0;
+};
+
+/// One entry of a v2 block's core table: a core appearing in the block and
+/// its delta base, in first-appearance (= sample slot) order.
+struct BlockCoreBase {
+  CoreId core = 0;
+  CorePredictor base;
 };
 }  // namespace detail
 
@@ -69,14 +119,38 @@ struct TraceFileInfo {
   std::string fingerprint;  ///< Lowercase MD5 hex from the footer.
 };
 
+/// One entry of the v2 block index: where a block lives and what it holds.
+struct BlockIndexEntry {
+  std::uint64_t offset = 0;  ///< File offset of the block marker byte.
+  /// Core of the block's first sample (v2 blocks may interleave several
+  /// cores; v1 blocks hold exactly one).
+  CoreId core = 0;
+  std::uint32_t samples = 0;
+};
+
 class TraceWriter {
  public:
   /// Longest run of same-core samples one block may cover; bounds the
   /// decode working set of a streaming reader.
   static constexpr std::size_t kMaxBlockSamples = 512;
 
-  /// Opens `path` for writing and emits the header.  Check ok().
+  /// Output format knobs.  The default writes the current version with the
+  /// block codec enabled; Options{.version = kTraceVersion1} reproduces the
+  /// legacy format bit for bit (compress is ignored for v1, which has no
+  /// codec stage).
+  struct Options {
+    std::uint16_t version = kTraceVersion;
+    /// v2 only: run each block payload through the LZ codec, storing raw
+    /// when compression does not shrink the block.
+    bool compress = true;
+  };
+
+  /// Opens `path` for writing and emits the header.  Check ok(); an
+  /// unsupported options.version is an error, not an exception.  The
+  /// single-argument overload writes the default Options (in-class default
+  /// arguments cannot name a nested class's member initializers).
   explicit TraceWriter(const std::string& path);
+  TraceWriter(const std::string& path, Options options);
   ~TraceWriter();
 
   TraceWriter(const TraceWriter&) = delete;
@@ -87,9 +161,9 @@ class TraceWriter {
   /// Appends every sample of `trace` in order.
   void write_all(const core::SampleTrace& trace);
 
-  /// Flushes the open block, writes the footer and closes the file.
-  /// Idempotent; also run by the destructor.  Returns ok().  If an add()
-  /// error is pending the footer is withheld (see abandon()) so the
+  /// Flushes the open block, writes the index (v2) + footer and closes the
+  /// file.  Idempotent; also run by the destructor.  Returns ok().  If an
+  /// add() error is pending the footer is withheld (see abandon()) so the
   /// partial file can never validate as complete.
   bool close();
 
@@ -100,6 +174,7 @@ class TraceWriter {
 
   [[nodiscard]] bool ok() const { return error_.empty(); }
   [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] std::uint64_t samples_written() const { return count_; }
   /// The footer digest; valid (non-empty) only after close().
   [[nodiscard]] const std::string& fingerprint() const { return fingerprint_; }
@@ -108,11 +183,15 @@ class TraceWriter {
   void flush_block();
 
   std::ofstream out_;
+  Options options_;
   std::string error_;
   std::vector<std::byte> block_;  ///< Encoded payload of the open block.
-  CoreId block_core_ = 0;
+  CoreId block_core_ = 0;         ///< v1: the open block's single core.
   std::uint32_t block_count_ = 0;
-  std::vector<detail::CorePredictor> predictors_;  ///< Indexed by core (grown on demand).
+  std::vector<detail::BlockCoreBase> block_cores_;  ///< v2: the open block's core table.
+  std::vector<detail::CorePredictor> predictors_;   ///< Indexed by core (grown on demand).
+  std::vector<BlockIndexEntry> index_;             ///< v2: one entry per flushed block.
+  std::uint64_t write_offset_ = 0;                 ///< Bytes written so far (next block offset).
   Md5 md5_;
   std::uint64_t count_ = 0;
   std::string fingerprint_;
@@ -135,29 +214,70 @@ class TraceReader {
   /// order).  On error the partial trace is discarded; check ok().
   [[nodiscard]] core::SampleTrace read_all();
 
+  /// Loads the v2 block index from the footer (without touching the sample
+  /// stream) and fills info().  Returns false for v1 traces, which carry no
+  /// index - without setting an error, so the reader stays usable for a
+  /// streaming read.  A corrupt v2 footer/index is a sticky error.
+  bool load_index();
+  /// The block index; empty until load_index() (or a full v2 stream read).
+  [[nodiscard]] const std::vector<BlockIndexEntry>& block_index() const { return index_; }
+
+  /// Repositions the stream at block `block` of the index (loading it on
+  /// demand): the next next() decodes that block's first sample, O(1) in
+  /// the file size.  v2 only - v1 blocks are not independently decodable.
+  /// After a seek the reader is in random-access mode: reaching the footer
+  /// still validates structure, but the whole-file sample count and digest
+  /// no longer apply to what was decoded and are not checked.
+  bool seek_block(std::size_t block);
+
   [[nodiscard]] bool ok() const { return error_.empty(); }
   [[nodiscard]] const std::string& error() const { return error_; }
   /// Footer metadata; fully populated once the stream hit the footer
-  /// (i.e. after next() returned false with ok(), or via probe()).
+  /// (i.e. after next() returned false with ok()), or via load_index() /
+  /// probe().
   [[nodiscard]] const TraceFileInfo& info() const { return info_; }
 
-  /// Reads header + footer only (seeks past the blocks); validates magic,
-  /// version and end marker but not the sample stream.  nullopt on error.
+  /// Reads the header and validates the file's structure without decoding
+  /// samples: v2 footers are checked against their block index (offsets
+  /// monotone, counts summing to the footer count, index ending exactly at
+  /// the footer); v1 files - whose blocks carry no length - are walked
+  /// structurally (varint skip, no delta/digest work), so probe() and a
+  /// full read agree on where the sample stream ends and what may follow
+  /// it.  nullopt on any structural error.
   static std::optional<TraceFileInfo> probe(const std::string& path);
 
  private:
   void fail(std::string message);
-  bool read_footer();
+  bool read_footer(std::uint64_t index_offset_seen);
+  bool read_index_and_footer();
+  bool open_block(std::uint64_t marker_offset);
+  bool decode_sample(core::TraceSample& out);
 
   std::ifstream in_;
   std::string error_;
   TraceFileInfo info_;
-  std::vector<detail::CorePredictor> predictors_;
-  CoreId block_core_ = 0;
+  std::vector<detail::CorePredictor> predictors_;  ///< v1 cross-block state.
+  std::vector<detail::BlockCoreBase> block_cores_;  ///< v2 block-local state (slot order).
+  CoreId block_core_ = 0;                           ///< v1: the open block's core.
   std::uint32_t block_remaining_ = 0;
+  std::vector<std::byte> block_buf_;  ///< v2: decoded (raw) payload of the open block.
+  std::size_t block_pos_ = 0;         ///< v2: cursor into block_buf_.
+  std::vector<BlockIndexEntry> index_;
+  std::vector<BlockIndexEntry> seen_blocks_;  ///< v2: blocks observed while streaming.
+  bool index_loaded_ = false;
+  bool seeked_ = false;  ///< Random-access mode: footer count/digest not applicable.
   Md5 md5_;
   std::uint64_t count_ = 0;
   bool done_ = false;
 };
+
+/// Decodes `path` with up to `threads` workers splitting the v2 block index
+/// (each worker seeks its own reader to its block range), reassembles the
+/// samples in file order and validates the footer count and digest over the
+/// result - the parallel counterpart of TraceReader::read_all().  Falls
+/// back to a streaming read for v1 traces or thread counts <= 1.  nullopt
+/// on error (message in *error when non-null).
+std::optional<core::SampleTrace> read_all_parallel(const std::string& path, unsigned threads,
+                                                   std::string* error = nullptr);
 
 }  // namespace nmo::store

@@ -117,7 +117,7 @@ std::optional<MergeStats> TraceMerger::merge_to(const std::string& out_path) {
   // close.
   std::remove(region_path_for(out_path).c_str());
 
-  TraceWriter writer(out_path);
+  TraceWriter writer(out_path, writer_options_);
   if (!writer.ok()) {
     error_ = writer.error();
     return std::nullopt;

@@ -47,6 +47,12 @@ class TraceMerger {
   /// Registers one input trace file (read lazily during merge).
   void add_input(const std::string& path);
 
+  /// Output format knob: defaults to the writer's default (v2 with the
+  /// block codec).  Inputs of either version merge into either output -
+  /// the sample stream (and so the merged fingerprint) is identical
+  /// regardless, since the digest covers decoded samples, not file bytes.
+  void set_writer_options(TraceWriter::Options options) { writer_options_ = options; }
+
   /// Streams all inputs into `out_path` in canonical order.  Returns the
   /// stats on success; on failure returns std::nullopt and error() names
   /// the offending input.
@@ -56,6 +62,7 @@ class TraceMerger {
 
  private:
   std::vector<std::string> inputs_;
+  TraceWriter::Options writer_options_;
   std::string error_;
 };
 

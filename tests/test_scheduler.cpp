@@ -101,6 +101,75 @@ TEST_F(SchedulerTest, AdmissionPolicyNamesRoundTrip) {
   EXPECT_FALSE(parse_admission_policy("drop-newest").has_value());
 }
 
+// --------------------------------------------------------- status ledger --
+
+TEST_F(SchedulerTest, StatusLedgerStaysBoundedByRetention) {
+  // The leak this issue fixes: a long-lived pool used to keep one
+  // TaskStatus per submission forever unless every caller forgot() its
+  // ids.  With a retention bound the ledger reaps terminal statuses
+  // oldest-first and stays bounded over arbitrarily many submissions.
+  constexpr std::size_t kRetention = 16;
+  constexpr int kTasks = 400;
+  SchedulerConfig config;
+  config.max_workers = 2;
+  config.status_retention = kRetention;
+  Scheduler scheduler(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < kTasks; ++i) {
+    const auto id = scheduler.submit([](const TaskStatus&) {});
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  scheduler.wait_idle();
+  EXPECT_LE(scheduler.status_count(), kRetention);
+  EXPECT_EQ(scheduler.stats().completed, static_cast<std::uint64_t>(kTasks));
+  // The oldest ids were reaped; the most recent terminal one survives.
+  EXPECT_FALSE(scheduler.status(ids.front()).has_value());
+  EXPECT_TRUE(scheduler.status(ids.back()).has_value());
+}
+
+TEST_F(SchedulerTest, ZeroRetentionKeepsEveryStatusUntilForgotten) {
+  SchedulerConfig config;
+  config.max_workers = 2;
+  config.status_retention = 0;  // opt out: the caller promises to forget()
+  Scheduler scheduler(config);
+  constexpr int kTasks = 64;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < kTasks; ++i) {
+    const auto id = scheduler.submit([](const TaskStatus&) {});
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(scheduler.status_count(), static_cast<std::size_t>(kTasks));
+  for (const auto id : ids) EXPECT_TRUE(scheduler.forget(id));
+  EXPECT_EQ(scheduler.status_count(), 0u);
+}
+
+TEST_F(SchedulerTest, RetentionNeverReapsLiveTasks) {
+  // Retention 1 with workers parked on a gate: the queued/running tasks
+  // must all stay queryable - only *terminal* statuses are reaped.
+  Gate gate;
+  SchedulerConfig config;
+  config.max_workers = 2;
+  config.status_retention = 1;
+  Scheduler scheduler(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const auto id = scheduler.submit([&](const TaskStatus&) { gate.wait(); });
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  for (const auto id : ids) {
+    const auto status = scheduler.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_NE(status->state, SessionState::kDone);
+  }
+  gate.open();
+  scheduler.wait_idle();
+  EXPECT_LE(scheduler.status_count(), 1u);
+}
+
 // ------------------------------------------------------- basic scheduling --
 
 TEST_F(SchedulerTest, RunsEveryTaskAndAccountsStats) {

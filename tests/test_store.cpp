@@ -246,6 +246,196 @@ TEST_F(StoreTest, WriterRejectsOutOfRangeCoreId) {
   EXPECT_FALSE(reader.ok());
 }
 
+// ------------------------------------------------------------- format v2 --
+
+TEST_F(StoreTest, WriterDefaultsToV2AndV1KnobStillWritesV1) {
+  const auto trace = random_trace(3000, 21);
+  TraceWriter v2(path("v2.nmot"));
+  v2.write_all(trace);
+  ASSERT_TRUE(v2.close());
+  TraceWriter v1(path("v1.nmot"), TraceWriter::Options{kTraceVersion1, false});
+  v1.write_all(trace);
+  ASSERT_TRUE(v1.close());
+
+  TraceReader r2(path("v2.nmot"));
+  const auto back2 = r2.read_all();
+  ASSERT_TRUE(r2.ok()) << r2.error();
+  EXPECT_EQ(r2.info().version, kTraceVersion2);
+  TraceReader r1(path("v1.nmot"));
+  const auto back1 = r1.read_all();
+  ASSERT_TRUE(r1.ok()) << r1.error();
+  EXPECT_EQ(r1.info().version, kTraceVersion1);
+
+  // Same samples, same CSV, same fingerprint - the format version is
+  // invisible above the decode layer.
+  EXPECT_EQ(csv_of(back1), csv_of(back2));
+  EXPECT_EQ(back1.fingerprint(), trace.fingerprint());
+  EXPECT_EQ(back2.fingerprint(), trace.fingerprint());
+}
+
+TEST_F(StoreTest, V2CompressionIsLosslessAndSmaller) {
+  // A stride-regular trace (the codec's target shape): v2+lz must shrink
+  // the file and still round-trip byte-exactly.
+  core::SampleTrace trace;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    core::TraceSample s;
+    s.time_ns = 1000 + 120 * i;
+    s.core = static_cast<CoreId>(i % 8);
+    s.vaddr = 0x40000000 + 64 * i;
+    s.pc = 0x400000 + 4 * (i % 4);
+    s.latency = 10;
+    s.region = static_cast<std::int32_t>(i % 3);
+    trace.add(s);
+  }
+  TraceWriter raw(path("raw.nmot"), TraceWriter::Options{kTraceVersion2, false});
+  raw.write_all(trace);
+  ASSERT_TRUE(raw.close());
+  TraceWriter lz(path("lz.nmot"), TraceWriter::Options{kTraceVersion2, true});
+  lz.write_all(trace);
+  ASSERT_TRUE(lz.close());
+
+  EXPECT_LT(fs::file_size(path("lz.nmot")), fs::file_size(path("raw.nmot")));
+  TraceReader reader(path("lz.nmot"));
+  const auto back = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(csv_of(back), csv_of(trace));
+  EXPECT_EQ(back.fingerprint(), trace.fingerprint());
+}
+
+TEST_F(StoreTest, V1ToV2RewriteIsLossless) {
+  // The `nmo-trace compress` path at the library level: stream a v1 file
+  // into a v2 writer; CSV and fingerprint must be byte-identical, in both
+  // codec modes.
+  const auto trace = random_trace(5000, 22);
+  TraceWriter v1(path("v1.nmot"), TraceWriter::Options{kTraceVersion1, false});
+  v1.write_all(trace);
+  ASSERT_TRUE(v1.close());
+
+  for (const bool compress : {false, true}) {
+    const std::string out = path(compress ? "v2lz.nmot" : "v2raw.nmot");
+    TraceReader reader(path("v1.nmot"));
+    TraceWriter writer(out, TraceWriter::Options{kTraceVersion2, compress});
+    core::TraceSample s;
+    while (reader.next(s)) writer.add(s);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    ASSERT_TRUE(writer.close()) << writer.error();
+    EXPECT_EQ(writer.fingerprint(), reader.info().fingerprint);
+
+    TraceReader back(out);
+    const auto rewritten = back.read_all();
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(csv_of(rewritten), csv_of(trace));
+    EXPECT_EQ(rewritten.fingerprint(), trace.fingerprint());
+  }
+}
+
+TEST_F(StoreTest, LoadIndexAndSeekBlockDecodeEveryBlockIndependently) {
+  const auto trace = random_trace(2000, 23);  // 16 cores -> several v2 blocks
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceReader indexed(path("t.nmot"));
+  ASSERT_TRUE(indexed.load_index()) << indexed.error();
+  const auto index = indexed.block_index();
+  ASSERT_GT(index.size(), 1u);
+  EXPECT_EQ(indexed.info().samples, trace.size());
+  EXPECT_EQ(indexed.info().fingerprint, trace.fingerprint());
+  std::uint64_t total = 0;
+  for (const auto& entry : index) total += entry.samples;
+  EXPECT_EQ(total, trace.size());
+
+  // Decode each block via its own seek (out of file order on purpose) and
+  // reassemble: must equal the streaming read sample for sample.
+  std::vector<core::TraceSample> reassembled(trace.size());
+  std::vector<std::uint64_t> starts(index.size(), 0);
+  for (std::size_t b = 1; b < index.size(); ++b) {
+    starts[b] = starts[b - 1] + index[b - 1].samples;
+  }
+  for (std::size_t step = 0; step < index.size(); ++step) {
+    const std::size_t b = index.size() - 1 - step;  // reverse order
+    TraceReader reader(path("t.nmot"));
+    ASSERT_TRUE(reader.seek_block(b)) << reader.error();
+    core::TraceSample s;
+    for (std::uint32_t i = 0; i < index[b].samples; ++i) {
+      ASSERT_TRUE(reader.next(s)) << reader.error();
+      reassembled[starts[b] + i] = s;
+    }
+  }
+  core::SampleTrace rebuilt;
+  for (const auto& s : reassembled) rebuilt.add(s);
+  EXPECT_EQ(csv_of(rebuilt), csv_of(trace));
+  EXPECT_EQ(rebuilt.fingerprint(), trace.fingerprint());
+
+  // A reader that seeks and then runs off the end of the file still
+  // validates the footer structurally (no count/digest: it saw a suffix).
+  TraceReader tail(path("t.nmot"));
+  ASSERT_TRUE(tail.seek_block(index.size() - 1));
+  core::TraceSample s;
+  std::uint32_t seen = 0;
+  while (tail.next(s)) ++seen;
+  EXPECT_TRUE(tail.ok()) << tail.error();
+  EXPECT_EQ(seen, index.back().samples);
+}
+
+TEST_F(StoreTest, SeekBlockIsRefusedOnV1Traces) {
+  const auto trace = random_trace(500, 24);
+  TraceWriter writer(path("v1.nmot"), TraceWriter::Options{kTraceVersion1, false});
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceReader reader(path("v1.nmot"));
+  EXPECT_FALSE(reader.load_index());
+  EXPECT_FALSE(reader.seek_block(0));
+  // Refusal is not an error: the reader still streams the file fine.
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  const auto back = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(back.fingerprint(), trace.fingerprint());
+}
+
+TEST_F(StoreTest, ReadAllParallelMatchesStreamingRead) {
+  const auto trace = random_trace(6000, 25);
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  for (const unsigned threads : {1u, 3u, 4u, 16u}) {
+    std::string error;
+    const auto back = read_all_parallel(path("t.nmot"), threads, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(csv_of(*back), csv_of(trace));
+    EXPECT_EQ(back->fingerprint(), trace.fingerprint());
+  }
+  // v1 falls back to the streaming path instead of failing.
+  TraceWriter v1(path("v1.nmot"), TraceWriter::Options{kTraceVersion1, false});
+  v1.write_all(trace);
+  ASSERT_TRUE(v1.close());
+  std::string error;
+  const auto back = read_all_parallel(path("v1.nmot"), 4, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->fingerprint(), trace.fingerprint());
+}
+
+TEST_F(StoreTest, CheckedInV1FixtureStaysReadable) {
+  // The compat oracle: this fixture was written by the v1 writer and is
+  // checked into the repo, so any change that breaks byte-for-byte v1
+  // reading fails here - no matter what the current writer emits.
+  const std::string fixture = std::string(NMO_TEST_DATA_DIR) + "/fixture_v1.nmot";
+  TraceReader reader(fixture);
+  const auto trace = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.info().version, kTraceVersion1);
+  EXPECT_EQ(trace.size(), 512u);
+  // Pinned at fixture-generation time: decoding to any other fingerprint
+  // means the v1 decode path changed meaning, not just shape.
+  EXPECT_EQ(trace.fingerprint(), "23055a459f9b4cc87cb98dea5d84bb11");
+  EXPECT_EQ(trace.fingerprint(), reader.info().fingerprint);
+  const auto probed = TraceReader::probe(fixture);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(probed->fingerprint, reader.info().fingerprint);
+}
+
 // ------------------------------------------------------------------ merge --
 
 TEST_F(StoreTest, MergeOfRandomShardsEqualsSortCanonicalOfConcatenation) {
@@ -283,6 +473,48 @@ TEST_F(StoreTest, MergeOfRandomShardsEqualsSortCanonicalOfConcatenation) {
   ASSERT_TRUE(reader.ok()) << reader.error();
   EXPECT_EQ(csv_of(merged), csv_of(reference));
   EXPECT_EQ(merged.fingerprint(), reference.fingerprint());
+}
+
+TEST_F(StoreTest, MergeOutputVersionDoesNotChangeTheFingerprint) {
+  // Acceptance oracle of ISSUE 5: merged v2 outputs match the v1 merge
+  // fingerprint, over mixed-version inputs.
+  auto all = random_trace(4000, 20);
+  constexpr std::size_t kShards = 4;
+  std::mt19937 rng(17);
+  std::vector<std::unique_ptr<TraceWriter>> writers;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const std::string p = path("shard" + std::to_string(i) + ".nmot");
+    // Half the inputs v1, half v2+codec: the merger reads either.
+    TraceWriter::Options options;
+    if (i % 2 == 0) options.version = kTraceVersion1;
+    writers.push_back(std::make_unique<TraceWriter>(p, options));
+  }
+  for (const auto& s : all.samples()) writers[rng() % kShards]->add(s);
+  for (auto& w : writers) ASSERT_TRUE(w->close());
+
+  const auto merge_with = [&](const char* out_name,
+                              TraceWriter::Options options) -> std::string {
+    TraceMerger merger;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      merger.add_input(path("shard" + std::to_string(i) + ".nmot"));
+    }
+    merger.set_writer_options(options);
+    const auto stats = merger.merge_to(path(out_name));
+    EXPECT_TRUE(stats.has_value()) << merger.error();
+    return stats ? stats->fingerprint : std::string();
+  };
+  const std::string v1_md5 = merge_with("m1.nmot", TraceWriter::Options{kTraceVersion1, false});
+  const std::string v2_md5 = merge_with("m2.nmot", TraceWriter::Options{kTraceVersion2, true});
+  EXPECT_FALSE(v1_md5.empty());
+  EXPECT_EQ(v1_md5, v2_md5);
+  EXPECT_EQ(v1_md5, all.fingerprint());
+
+  // And the merged v2 file's own bytes decode back to that fingerprint.
+  TraceReader reader(path("m2.nmot"));
+  const auto merged = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.info().version, kTraceVersion2);
+  EXPECT_EQ(merged.fingerprint(), v1_md5);
 }
 
 TEST_F(StoreTest, MergeOfSingleFileIsIdentity) {

@@ -1,12 +1,25 @@
-// SampleTrace edge cases: append/sort_canonical under empty traces,
-// duplicate samples, already-sorted input, and self-append.
+// SampleTrace edge cases (append/sort_canonical under empty traces,
+// duplicate samples, already-sorted input, self-append) plus the
+// corrupt-trace decode-robustness suite: every flavor of on-disk damage -
+// truncation mid-block and mid-sample, overlong varints, out-of-range
+// region ids, bad block markers, tampered MD5 footers, appended garbage -
+// must fail the read with a message and never silently drop or invent a
+// sample, for both format v1 and v2 fixtures, with probe() agreeing with
+// the full read on every fixture.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <sstream>
+#include <vector>
 
 #include "core/trace.hpp"
+#include "store/trace_file.hpp"
 
 namespace nmo::core {
 namespace {
@@ -133,3 +146,258 @@ TEST(SampleTraceEdge, CanonicalLessIsStrictTotalOrder) {
 
 }  // namespace
 }  // namespace nmo::core
+
+namespace nmo::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------- corrupt-trace fixtures --
+//
+// Parameterized over the on-disk format version: every corruption must be
+// rejected by the v1 and the v2 decode paths alike, and probe() must agree
+// with the full read on every fixture (satellite of ISSUE 5: probe used to
+// skip the end-of-stream checks read_footer makes).
+
+class CorruptTraceTest : public ::testing::TestWithParam<std::uint16_t> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nmo_corrupt_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(GetParam()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::uint16_t version() const { return GetParam(); }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Writes a deterministic multi-block trace (several cores interleaved,
+  /// enough samples for more than one v2 block) in the parameterized
+  /// version.  Compression is off so payload bytes sit at predictable
+  /// offsets for surgical corruption.
+  std::string write_fixture(const std::string& name, std::size_t samples = 1200) {
+    core::SampleTrace trace;
+    for (std::size_t i = 0; i < samples; ++i) {
+      core::TraceSample s;
+      s.time_ns = 1000 + 17 * i;
+      s.core = static_cast<CoreId>(i % 4);
+      s.vaddr = 0x10000000 + 64 * i;
+      s.pc = 0x400000 + 4 * (i % 16);
+      s.latency = static_cast<std::uint16_t>(10 + i % 50);
+      s.region = static_cast<std::int32_t>(i % 3) - 1;
+      trace.add(s);
+    }
+    const std::string p = path(name);
+    TraceWriter writer(p, TraceWriter::Options{version(), false});
+    writer.write_all(trace);
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return p;
+  }
+
+  static std::vector<char> slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  }
+
+  static void dump(const std::string& p, const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// The shared oracle: a corrupt file must fail the full read with a
+  /// message, surrender no samples, and fail probe() the same way.
+  static void expect_rejected(const std::string& p) {
+    TraceReader reader(p);
+    const auto all = reader.read_all();
+    EXPECT_FALSE(reader.ok()) << p << ": corrupt file read cleanly";
+    EXPECT_FALSE(reader.error().empty()) << p << ": rejection carries no message";
+    EXPECT_TRUE(all.empty()) << p << ": samples from a corrupt file were not discarded";
+    EXPECT_FALSE(TraceReader::probe(p).has_value())
+        << p << ": probe accepts what the full read rejects";
+  }
+
+  fs::path dir_;
+};
+
+TEST_P(CorruptTraceTest, IntactFixtureReadsCleanly) {
+  // Baseline: the fixture itself must be valid, or every case below would
+  // pass vacuously.
+  const std::string p = write_fixture("ok.nmot");
+  TraceReader reader(p);
+  const auto all = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(all.size(), 1200u);
+  EXPECT_EQ(reader.info().version, version());
+  const auto probed = TraceReader::probe(p);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(probed->samples, 1200u);
+  EXPECT_EQ(probed->fingerprint, reader.info().fingerprint);
+}
+
+TEST_P(CorruptTraceTest, TruncatedMidBlockIsRejected) {
+  const std::string p = write_fixture("t.nmot");
+  // Cut deep inside the block region (well before the footer): the open
+  // block can never complete.
+  fs::resize_file(p, fs::file_size(p) / 2);
+  expect_rejected(p);
+}
+
+TEST_P(CorruptTraceTest, TruncatedMidSampleIsRejected) {
+  const std::string p = write_fixture("t.nmot");
+  // A handful of bytes past the first block header lands inside the first
+  // sample's varints (v1) / inside the block payload (v2).
+  fs::resize_file(p, 8 + 6);
+  expect_rejected(p);
+}
+
+TEST_P(CorruptTraceTest, BadBlockMarkerIsRejected) {
+  const std::string p = write_fixture("t.nmot");
+  auto bytes = slurp(p);
+  bytes[8] = '\x00';  // first block marker follows the 8-byte header
+  dump(p, bytes);
+  expect_rejected(p);
+}
+
+TEST_P(CorruptTraceTest, TamperedMd5FooterIsRejected) {
+  const std::string p = write_fixture("t.nmot");
+  auto bytes = slurp(p);
+  // Footer layout from the end: [marker][count u64][md5 16][v2: index u64]
+  // [end magic u32]; flip a digest byte without touching the framing.
+  const std::size_t footer = version() == kTraceVersion1 ? 29 : 37;
+  const std::size_t md5_at = bytes.size() - footer + 1 + 8;
+  bytes[md5_at + 3] = static_cast<char>(bytes[md5_at + 3] ^ 0x5a);
+  dump(p, bytes);
+
+  TraceReader reader(p);
+  const auto all = reader.read_all();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("fingerprint"), std::string::npos) << reader.error();
+  EXPECT_TRUE(all.empty());
+  // probe() is a *structural* check and does not decode samples, so a
+  // digest-only tamper passes it - that asymmetry is by design and is why
+  // `nmo-trace verify` exists.
+  EXPECT_TRUE(TraceReader::probe(p).has_value());
+}
+
+TEST_P(CorruptTraceTest, AppendedGarbageFailsProbeAndReadAlike) {
+  // The regression this suite pins down: a stale footer (or any garbage
+  // whose tail looks like one) appended after a valid trace used to pass
+  // probe() - which trusted the last bytes of the file - while the full
+  // read rejected it.  Both must reject it now.
+  const std::string p = write_fixture("t.nmot");
+  auto bytes = slurp(p);
+  const std::size_t footer = version() == kTraceVersion1 ? 29 : 37;
+  // Append a byte-exact copy of the file's own footer: the strongest decoy.
+  bytes.insert(bytes.end(), bytes.end() - static_cast<std::ptrdiff_t>(footer), bytes.end());
+  dump(p, bytes);
+  expect_rejected(p);
+}
+
+TEST_P(CorruptTraceTest, OverlongVarintIsRejected) {
+  // Handcrafted minimal file whose first sample's time delta is a 10-byte
+  // varint with payload bits above bit 63: the decoded value cannot fit,
+  // so accepting it would silently alias the high bits away (the read_varint
+  // bug this issue fixes).
+  std::vector<unsigned char> bytes = {0x4e, 0x4d, 0x4f, 0x54,  // "NMOT"
+                                      0x00, 0x00, 0x00, 0x00};
+  bytes[4] = static_cast<unsigned char>(version());
+  const std::vector<unsigned char> overlong = {0x80, 0x80, 0x80, 0x80, 0x80,
+                                               0x80, 0x80, 0x80, 0x80, 0x7f};
+  bytes.push_back(0xb7);  // block marker
+  if (version() == kTraceVersion1) {
+    bytes.push_back(0x00);  // core 0
+    bytes.push_back(0x01);  // count 1
+    bytes.insert(bytes.end(), overlong.begin(), overlong.end());  // time delta
+  } else {
+    bytes.push_back(0x01);                                   // count 1
+    bytes.push_back(0x00);                                   // codec raw
+    bytes.push_back(0x01);                                   // one core
+    bytes.insert(bytes.end(), {0x00, 0x00, 0x00, 0x00});     // core 0, zero bases
+    const unsigned char payload_len = 10 + 5;                // overlong time + 5 more fields
+    bytes.push_back(payload_len);                            // raw_bytes
+    bytes.push_back(payload_len);                            // stored_bytes
+    bytes.push_back(0x00);                                   // sample: core slot 0
+    bytes.insert(bytes.end(), overlong.begin(), overlong.end());  // time delta
+    bytes.insert(bytes.end(), {0x00, 0x00, 0x00, 0x00});     // vaddr, pc, packed, latency
+    // (region omitted: the overlong varint fails the read first)
+  }
+  const std::string p = path("overlong.nmot");
+  std::ofstream out(p, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  TraceReader reader(p);
+  core::TraceSample s;
+  EXPECT_FALSE(reader.next(s));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("overlong"), std::string::npos) << reader.error();
+  EXPECT_FALSE(TraceReader::probe(p).has_value());
+}
+
+TEST_P(CorruptTraceTest, OutOfRangeRegionIsRejected) {
+  // A region whose zigzag decodes beyond int32 (here 2^33) used to be cast
+  // straight to int32_t, aliasing into a valid-looking id; the reader must
+  // fail the sample instead.
+  std::vector<unsigned char> bytes = {0x4e, 0x4d, 0x4f, 0x54,
+                                      0x00, 0x00, 0x00, 0x00};
+  bytes[4] = static_cast<unsigned char>(version());
+  // varint of zigzag(2^33) = 2^34: five 0x80s then 0x01.
+  const std::vector<unsigned char> big_region = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  // One sample, all-zero deltas: time/vaddr/pc 0, packed 0 (load/L1),
+  // latency 0, then the oversized region.
+  std::vector<unsigned char> sample = {0x00, 0x00, 0x00, 0x00, 0x00};
+  sample.insert(sample.end(), big_region.begin(), big_region.end());
+  bytes.push_back(0xb7);
+  if (version() == kTraceVersion1) {
+    bytes.push_back(0x00);  // core 0
+    bytes.push_back(0x01);  // count 1
+    bytes.insert(bytes.end(), sample.begin(), sample.end());
+  } else {
+    bytes.push_back(0x01);                                // count 1
+    bytes.push_back(0x00);                                // codec raw
+    bytes.push_back(0x01);                                // one core
+    bytes.insert(bytes.end(), {0x00, 0x00, 0x00, 0x00});  // core 0, zero bases
+    const auto payload_len = static_cast<unsigned char>(1 + sample.size());
+    bytes.push_back(payload_len);  // raw_bytes
+    bytes.push_back(payload_len);  // stored_bytes
+    bytes.push_back(0x00);         // core slot 0
+    bytes.insert(bytes.end(), sample.begin(), sample.end());
+  }
+  const std::string p = path("region.nmot");
+  std::ofstream out(p, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  TraceReader reader(p);
+  core::TraceSample s;
+  EXPECT_FALSE(reader.next(s));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("region"), std::string::npos) << reader.error();
+}
+
+TEST_P(CorruptTraceTest, FooterCountMismatchIsRejected) {
+  const std::string p = write_fixture("t.nmot");
+  auto bytes = slurp(p);
+  const std::size_t footer = version() == kTraceVersion1 ? 29 : 37;
+  // Bump the footer's declared sample count by one.
+  bytes[bytes.size() - footer + 1] =
+      static_cast<char>(static_cast<unsigned char>(bytes[bytes.size() - footer + 1]) + 1);
+  dump(p, bytes);
+  expect_rejected(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, CorruptTraceTest,
+                         ::testing::Values(kTraceVersion1, kTraceVersion2),
+                         [](const ::testing::TestParamInfo<std::uint16_t>& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace nmo::store

@@ -9,6 +9,11 @@
 //   nmo-trace merge -o OUT FILE...         streaming k-way canonical merge
 //                                          (unions region sidecars, remaps indices)
 //   nmo-trace export-csv FILE [-o OUT]     CSV byte-identical to write_csv
+//   nmo-trace compress FILE -o OUT         rewrite into format v2 (self-contained
+//                                          blocks + codec + index); --raw disables
+//                                          the codec, --v1 pins the legacy format
+//   nmo-trace verify FILE...               full decode + footer MD5 + (v2) block
+//                                          index cross-check + probe agreement
 //   nmo-trace top FILE [--by region|level|core|latency] [-n N]
 //                                          (region rows labeled by name when the
 //                                          trace's .nmor sidecar is present)
@@ -47,6 +52,10 @@ int usage() {
                "  info FILE...                  validate and summarize trace files\n"
                "  merge -o OUT FILE...          k-way merge into canonical order\n"
                "  export-csv FILE [-o OUT]      write the trace as CSV (stdout default)\n"
+               "  compress FILE -o OUT [--raw|--v1]\n"
+               "                                rewrite into format v2 (--raw: no codec;\n"
+               "                                --v1: legacy format); copies the region sidecar\n"
+               "  verify FILE...                full decode + MD5 + block-index check\n"
                "  top FILE [--by KEY] [-n N]    hottest groups; KEY: region|level|core|latency\n"
                "  sessions ROOT                 session lifecycle + scheduler stats of a store\n");
   return 2;
@@ -189,6 +198,133 @@ int cmd_export_csv(const std::vector<std::string>& args) {
   if (!out) return fail(out_path.empty() ? "write to stdout failed"
                                          : out_path + ": write failed");
   return 0;
+}
+
+int cmd_compress(const std::vector<std::string>& args) {
+  std::string in_path, out_path;
+  nmo::store::TraceWriter::Options options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
+    } else if (args[i] == "--raw") {
+      options.compress = false;
+    } else if (args[i] == "--v1") {
+      options.version = nmo::store::kTraceVersion1;
+    } else if (in_path.empty()) {
+      in_path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path.empty() || out_path.empty()) return usage();
+
+  // Writing the output truncates it; aliasing the input would destroy the
+  // trace being rewritten (same guard class as the merger's).
+  std::error_code ec;
+  if (out_path == in_path ||
+      (std::filesystem::equivalent(in_path, out_path, ec) && !ec)) {
+    std::fprintf(stderr, "%s: output path is also the input trace\n", out_path.c_str());
+    return 2;
+  }
+
+  TraceReader reader(in_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in_path.c_str(), reader.error().c_str());
+    return 1;
+  }
+  nmo::store::TraceWriter writer(out_path, options);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.error().c_str());
+    return 1;
+  }
+  TraceSample s;
+  while (reader.next(s)) writer.add(s);
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s\n", message.c_str());
+    writer.abandon();
+    std::remove(out_path.c_str());
+    return 1;
+  };
+  if (!reader.ok()) return fail(in_path + ": " + reader.error());
+  if (!writer.close()) return fail(out_path + ": " + writer.error());
+  // The rewrite is lossless by construction; the fingerprint (a digest over
+  // decoded samples, not file bytes) proves it end to end.
+  if (writer.fingerprint() != reader.info().fingerprint) {
+    std::remove(out_path.c_str());
+    return fail("rewrite fingerprint mismatch: " + writer.fingerprint() + " vs " +
+                reader.info().fingerprint);
+  }
+
+  // The region sidecar labels the same sample indices either way; a rewrite
+  // that silently dropped it would strip names from `top --by region`.
+  const std::string in_sidecar = nmo::store::region_path_for(in_path);
+  if (std::filesystem::exists(in_sidecar, ec) && !ec) {
+    std::error_code copy_ec;
+    std::filesystem::copy_file(in_sidecar, nmo::store::region_path_for(out_path),
+                               std::filesystem::copy_options::overwrite_existing, copy_ec);
+    if (copy_ec) {
+      std::remove(out_path.c_str());
+      return fail(in_sidecar + ": cannot copy region sidecar: " + copy_ec.message());
+    }
+  }
+
+  const auto in_size = std::filesystem::file_size(in_path, ec);
+  const auto out_size = std::filesystem::file_size(out_path, ec);
+  const auto samples = writer.samples_written();
+  std::printf("%s (v%u, %ju B) -> %s (v%u, %ju B)\n", in_path.c_str(), reader.info().version,
+              static_cast<uintmax_t>(in_size), out_path.c_str(), options.version,
+              static_cast<uintmax_t>(out_size));
+  std::printf("samples    : %" PRIu64 "\n", samples);
+  std::printf("fingerprint: %s (unchanged)\n", writer.fingerprint().c_str());
+  if (samples > 0) {
+    std::printf("bytes/sample: %.2f -> %.2f (%.0f%% of input)\n",
+                static_cast<double>(in_size) / static_cast<double>(samples),
+                static_cast<double>(out_size) / static_cast<double>(samples),
+                100.0 * static_cast<double>(out_size) / static_cast<double>(in_size));
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  bool all_ok = true;
+  for (const auto& path : args) {
+    const auto fail = [&](const std::string& message) {
+      std::fprintf(stderr, "%s: FAIL: %s\n", path.c_str(), message.c_str());
+      all_ok = false;
+    };
+    // Full decode: validates every block, every sample field, the footer
+    // count + MD5 and (v2) that the block index describes exactly the
+    // blocks on disk.
+    TraceReader reader(path);
+    TraceSample s;
+    std::uint64_t samples = 0;
+    while (reader.next(s)) ++samples;
+    if (!reader.ok()) {
+      fail(reader.error());
+      continue;
+    }
+    // The O(1)-ish structural probe must agree with the full decode - the
+    // two share the corrupt-file test suite, so a divergence here is a bug.
+    const auto probed = TraceReader::probe(path);
+    if (!probed) {
+      fail("full decode passed but probe rejected the file");
+      continue;
+    }
+    if (probed->fingerprint != reader.info().fingerprint || probed->samples != samples) {
+      fail("probe and full decode disagree on count/fingerprint");
+      continue;
+    }
+    std::printf("%s: ok\n", path.c_str());
+    std::printf("  version    : %u\n", reader.info().version);
+    if (reader.info().version >= nmo::store::kTraceVersion2) {
+      std::printf("  blocks     : %zu (index verified)\n", reader.block_index().size());
+    }
+    std::printf("  samples    : %" PRIu64 "\n", samples);
+    std::printf("  fingerprint: %s\n", reader.info().fingerprint.c_str());
+  }
+  return all_ok ? 0 : 1;
 }
 
 int cmd_top(const std::vector<std::string>& args) {
@@ -405,6 +541,8 @@ int main(int argc, char** argv) {
   if (command == "info") return cmd_info(args);
   if (command == "merge") return cmd_merge(args);
   if (command == "export-csv") return cmd_export_csv(args);
+  if (command == "compress") return cmd_compress(args);
+  if (command == "verify") return cmd_verify(args);
   if (command == "top") return cmd_top(args);
   if (command == "sessions") return cmd_sessions(args);
   return usage();
