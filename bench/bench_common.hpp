@@ -10,87 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
 
 namespace nmo::bench {
 
-/// Minimal JSON emitter for bench --json outputs: nested objects/arrays of
-/// numbers, strings and booleans - just enough for machine-readable bench
-/// results without a dependency.  Keys and string values must not need
-/// escaping (bench-controlled identifiers).
-class JsonWriter {
- public:
-  JsonWriter& begin_object() { return open('{', '}'); }
-  JsonWriter& end_object() { return close(); }
-  JsonWriter& begin_array() { return open('[', ']'); }
-  JsonWriter& end_array() { return close(); }
-
-  JsonWriter& key(const std::string& k) {
-    comma();
-    out_ += '"';
-    out_ += k;
-    out_ += "\": ";
-    pending_value_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(double v) {
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return raw(buf);
-  }
-  JsonWriter& value(std::uint64_t v) { return raw(std::to_string(v)); }
-  JsonWriter& value(std::uint32_t v) { return raw(std::to_string(v)); }
-  JsonWriter& value(int v) { return raw(std::to_string(v)); }
-  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
-  JsonWriter& value(const std::string& v) { return raw('"' + v + '"'); }
-  JsonWriter& value(const char* v) { return value(std::string(v)); }
-
-  [[nodiscard]] const std::string& str() const { return out_; }
-
-  /// Writes the document (plus a trailing newline) to `path`; returns
-  /// false on I/O failure.
-  [[nodiscard]] bool write_file(const std::string& path) const {
-    std::ofstream out(path, std::ios::trunc);
-    out << out_ << "\n";
-    return static_cast<bool>(out);
-  }
-
- private:
-  JsonWriter& open(char open_ch, char close_ch) {
-    comma();
-    out_ += open_ch;
-    stack_.push_back(close_ch);
-    first_.push_back(true);
-    return *this;
-  }
-  JsonWriter& close() {
-    out_ += stack_.back();
-    stack_.pop_back();
-    first_.pop_back();
-    return *this;
-  }
-  JsonWriter& raw(const std::string& text) {
-    comma();
-    out_ += text;
-    return *this;
-  }
-  void comma() {
-    if (pending_value_) {
-      pending_value_ = false;  // the value completing a "key": pair
-      return;
-    }
-    if (!first_.empty()) {
-      if (!first_.back()) out_ += ", ";
-      first_.back() = false;
-    }
-  }
-
-  std::string out_;
-  std::vector<char> stack_;
-  std::vector<bool> first_;
-  bool pending_value_ = false;
-};
+/// The JSON emitter moved to common/json.hpp so tools can emit --json
+/// output too; the alias keeps existing bench code source-compatible.
+using JsonWriter = nmo::JsonWriter;
 
 /// Prints a header banner naming the figure/table being reproduced.
 inline void banner(const char* id, const char* title) {

@@ -1,0 +1,247 @@
+// Figure 15 (repo-local): predicate pushdown over the v2 block-index
+// metadata - how many blocks selective queries skip without decompressing,
+// and what that does to query latency versus a full decode.
+//
+// The synthetic trace is built to look like a phased HPC run (the shape
+// the paper's region/phase analyses target): each 512-sample block phase
+// owns a distinct time window and address band, regions rotate across
+// phases, and DRAM traffic clusters in the final quarter of the run.  Every
+// query below prunes on a different metadata dimension.
+//
+// Deterministic gates (exit 1 on violation, so CI can run this as a check):
+//  * every selective query skips at least one block with pushdown active;
+//  * every query's result is byte-for-byte identical (CSV) to filtering a
+//    full in-memory decode with the same predicate.
+//
+//   ./bench_fig15_query_pushdown [phases > 4] [trials > 0] [--json [FILE]]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "store/trace_file.hpp"
+#include "store/trace_query.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+constexpr std::size_t kBlock = nmo::store::TraceWriter::kMaxBlockSamples;
+constexpr std::uint64_t kPhaseNs = 1'000'000;
+
+/// One block per phase; phase p owns time [p, p+1) ms and address band
+/// 0x1000'0000 + p * 16 MiB, region p % 8 - 1, DRAM only in the last
+/// quarter of phases.
+nmo::core::SampleTrace phased_trace(std::size_t phases) {
+  nmo::core::SampleTrace trace;
+  for (std::size_t p = 0; p < phases; ++p) {
+    const bool dram_phase = p >= phases - phases / 4;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      nmo::core::TraceSample s;
+      s.time_ns = p * kPhaseNs + i * (kPhaseNs / kBlock);
+      s.core = static_cast<nmo::CoreId>(i % 8);
+      s.vaddr = 0x1000'0000ull + p * 0x100'0000ull + i * 64;
+      s.pc = 0x400000 + (i % 64) * 4;
+      s.op = i % 4 == 0 ? nmo::MemOp::kStore : nmo::MemOp::kLoad;
+      s.level = dram_phase && i % 2 == 0 ? nmo::MemLevel::kDRAM
+                                         : static_cast<nmo::MemLevel>(i % 3);
+      s.latency = static_cast<std::uint16_t>(s.level == nmo::MemLevel::kDRAM ? 250 + i % 64
+                                                                             : 4 + i % 16);
+      s.region = static_cast<std::int32_t>(p % 8) - 1;
+      trace.add(s);
+    }
+  }
+  return trace;
+}
+
+std::string csv_of(const nmo::core::SampleTrace& t) {
+  std::ostringstream out;
+  t.write_csv(out);
+  return out.str();
+}
+
+struct QueryCase {
+  std::string name;
+  nmo::store::TraceQuery query;
+  nmo::store::QueryStats stats;
+  double seconds = 0.0;
+  double speedup = 0.0;
+  bool parity_ok = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t phases = 64;
+  int trials = 3;
+  std::string json_path;
+  bool want_json = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) phases = std::strtoull(positional[0].c_str(), nullptr, 10);
+  if (positional.size() > 1) trials = std::atoi(positional[1].c_str());
+  if (phases <= 4 || trials <= 0 || positional.size() > 2) {
+    std::fprintf(stderr, "usage: %s [phases > 4] [trials > 0] [--json [FILE]]\n", argv[0]);
+    return 2;
+  }
+  if (want_json && json_path.empty()) json_path = "BENCH_query.json";
+
+  nmo::bench::banner("fig15", "indexed queries: blocks skipped + latency vs full decode");
+
+  const fs::path dir = fs::temp_directory_path() / "nmo_fig15_query";
+  fs::create_directories(dir);
+  const std::string path = (dir / "trace.nmot").string();
+  const auto trace = phased_trace(phases);
+  {
+    nmo::store::TraceWriter writer(path);
+    writer.write_all(trace);
+    if (!writer.close()) {
+      std::fprintf(stderr, "fixture write failed: %s\n", writer.error().c_str());
+      return 1;
+    }
+  }
+  const std::uint64_t file_bytes = fs::file_size(path);
+  std::printf("%zu phases, %zu samples, %.1f MiB on disk, %d trials\n", phases, trace.size(),
+              mib(file_bytes), trials);
+
+  // The baseline every query is timed against: a full sequential decode.
+  nmo::RunningStats full_s;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    nmo::store::TraceReader reader(path);
+    const auto all = reader.read_all();
+    full_s.add(seconds_since(t0));
+    if (!reader.ok() || all.size() != trace.size()) {
+      std::fprintf(stderr, "full decode failed: %s\n", reader.error().c_str());
+      return 1;
+    }
+  }
+  const double full_seconds = full_s.mean();
+
+  const std::uint64_t t_lo = (phases / 2) * kPhaseNs;
+  const std::uint64_t t_hi = (phases / 2 + phases / 10) * kPhaseNs - 1;  // ~10% window
+  const nmo::Addr a_lo = 0x1000'0000ull + (phases / 4) * 0x100'0000ull;
+  const nmo::Addr a_hi = a_lo + 2 * 0x100'0000ull - 1;  // two phases' bands
+
+  std::vector<QueryCase> cases;
+  cases.push_back(
+      {"time_10pct", nmo::store::query(path).time_between(t_lo, t_hi), {}, 0, 0, false});
+  cases.push_back({"region_3", nmo::store::query(path).region(3), {}, 0, 0, false});
+  cases.push_back({"addr_band", nmo::store::query(path).address_in(a_lo, a_hi), {}, 0, 0, false});
+  cases.push_back(
+      {"dram_only", nmo::store::query(path).level(nmo::MemLevel::kDRAM), {}, 0, 0, false});
+  cases.push_back({"region_1+time",
+                   nmo::store::query(path).region(1).time_between(t_lo, t_hi * 2),
+                   {},
+                   0,
+                   0,
+                   false});
+
+  bool gates_ok = true;
+  nmo::bench::print_row({"query", "scanned", "skipped", "matched", "ms", "speedup", "parity"}, 12);
+  for (auto& c : cases) {
+    nmo::RunningStats q_s;
+    nmo::store::TraceQuery::Result result;
+    for (int t = 0; t < trials; ++t) {
+      const auto t0 = std::chrono::steady_clock::now();
+      result = c.query.run();
+      q_s.add(seconds_since(t0));
+      if (!result.ok) {
+        std::fprintf(stderr, "%s: query failed: %s\n", c.name.c_str(), result.error.c_str());
+        return 1;
+      }
+    }
+    c.stats = result.stats;
+    c.seconds = q_s.mean();
+    c.speedup = c.seconds > 0 ? full_seconds / c.seconds : 0.0;
+
+    // Gate 1: the pushdown must actually skip blocks on these selective
+    // queries (every predicate above rules out whole phases).
+    const bool skipped = result.stats.pushdown && result.stats.blocks_skipped > 0;
+    // Gate 2: byte-for-byte parity with filtering a full decode.
+    nmo::core::SampleTrace expected;
+    for (const auto& s : trace.samples()) {
+      if (c.query.matches(s)) expected.add(s);
+    }
+    c.parity_ok = csv_of(result.samples) == csv_of(expected);
+    if (!skipped) {
+      std::fprintf(stderr, "GATE: %s skipped no blocks (pushdown=%d)\n", c.name.c_str(),
+                   result.stats.pushdown ? 1 : 0);
+      gates_ok = false;
+    }
+    if (!c.parity_ok) {
+      std::fprintf(stderr, "GATE: %s result differs from full-scan filter\n", c.name.c_str());
+      gates_ok = false;
+    }
+
+    char scanned[24], skipped_c[24], matched[24], ms[24], speedup[24];
+    std::snprintf(scanned, sizeof(scanned), "%llu",
+                  static_cast<unsigned long long>(result.stats.blocks_scanned));
+    std::snprintf(skipped_c, sizeof(skipped_c), "%llu",
+                  static_cast<unsigned long long>(result.stats.blocks_skipped));
+    std::snprintf(matched, sizeof(matched), "%llu",
+                  static_cast<unsigned long long>(result.stats.samples_matched));
+    std::snprintf(ms, sizeof(ms), "%.2f", c.seconds * 1e3);
+    std::snprintf(speedup, sizeof(speedup), "%.1fx", c.speedup);
+    nmo::bench::print_row(
+        {c.name, scanned, skipped_c, matched, ms, speedup, c.parity_ok ? "ok" : "MISMATCH"}, 12);
+  }
+  std::printf("full decode: %.2f ms (%.1f MB/s); queries prune whole blocks via index metadata\n",
+              full_seconds * 1e3, mib(file_bytes) / full_seconds);
+
+  if (want_json) {
+    nmo::bench::JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("fig15_query_pushdown");
+    json.key("phases").value(static_cast<std::uint64_t>(phases));
+    json.key("samples").value(static_cast<std::uint64_t>(trace.size()));
+    json.key("file_bytes").value(file_bytes);
+    json.key("trials").value(trials);
+    json.key("full_decode_seconds").value(full_seconds);
+    json.key("full_decode_mbps").value(mib(file_bytes) / full_seconds);
+    json.key("queries").begin_array();
+    for (const auto& c : cases) {
+      json.begin_object();
+      json.key("name").value(c.name);
+      json.key("blocks_total").value(static_cast<std::uint64_t>(c.stats.blocks_total));
+      json.key("blocks_scanned").value(static_cast<std::uint64_t>(c.stats.blocks_scanned));
+      json.key("blocks_skipped").value(static_cast<std::uint64_t>(c.stats.blocks_skipped));
+      json.key("samples_scanned").value(c.stats.samples_scanned);
+      json.key("samples_matched").value(c.stats.samples_matched);
+      json.key("seconds").value(c.seconds);
+      json.key("speedup_vs_full_decode").value(c.speedup);
+      json.key("pushdown").value(c.stats.pushdown);
+      json.key("parity_ok").value(c.parity_ok);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("gates_ok").value(gates_ok);
+    json.end_object();
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  fs::remove_all(dir);
+  return gates_ok ? 0 : 1;
+}

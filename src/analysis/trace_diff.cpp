@@ -1,0 +1,209 @@
+#include "analysis/trace_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "analysis/pattern.hpp"
+#include "store/region_file.hpp"
+#include "store/trace_query.hpp"
+
+namespace nmo::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string region_name(std::int32_t region, const std::vector<core::AddrRegion>& regions) {
+  if (region < 0) return "(untagged)";
+  const auto idx = static_cast<std::size_t>(region);
+  if (idx < regions.size() && !regions[idx].name.empty()) return regions[idx].name;
+  return "region " + std::to_string(region);
+}
+
+/// Folds one trace's samples into an existing profile accumulator
+/// (session roots fold several traces into one).
+struct ProfileAccumulator {
+  std::vector<core::TraceSample> samples;
+
+  void add(const std::vector<core::TraceSample>& trace_samples,
+           const std::vector<core::AddrRegion>& regions, TraceProfile& profile) {
+    for (const auto& s : trace_samples) {
+      auto& region = profile.regions[region_name(s.region, regions)];
+      ++region.samples;
+      ++region.latency_hist[s.latency];
+      ++region.level_samples[static_cast<std::size_t>(s.level)];
+      if (profile.samples == 0) {
+        profile.time_min = profile.time_max = s.time_ns;
+      } else {
+        profile.time_min = std::min(profile.time_min, s.time_ns);
+        profile.time_max = std::max(profile.time_max, s.time_ns);
+      }
+      ++profile.samples;
+      samples.push_back(s);
+    }
+  }
+};
+
+void build_phases(const std::vector<core::TraceSample>& samples, TraceProfile& profile,
+                  const DiffOptions& options) {
+  const std::size_t bins = std::max<std::size_t>(1, options.phase_bins);
+  profile.phases.assign(bins, PhaseSegment{});
+  if (samples.empty()) return;
+  const double span =
+      static_cast<double>(profile.time_max - profile.time_min) + 1.0;  // never 0
+  std::vector<std::vector<core::TraceSample>> by_bin(bins);
+  for (const auto& s : samples) {
+    auto bin = static_cast<std::size_t>(static_cast<double>(s.time_ns - profile.time_min) /
+                                        span * static_cast<double>(bins));
+    bin = std::min(bin, bins - 1);
+    by_bin[bin].push_back(s);
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    profile.phases[b].samples = by_bin[b].size();
+    profile.phases[b].share =
+        static_cast<double>(by_bin[b].size()) / static_cast<double>(samples.size());
+    profile.phases[b].stride_regularity = stride_regularity(by_bin[b]);
+  }
+}
+
+double level_tv_distance(const RegionProfile& a, const RegionProfile& b) {
+  double distance = 0.0;
+  for (std::size_t l = 0; l < kNumMemLevels; ++l) {
+    const double fa =
+        a.samples ? static_cast<double>(a.level_samples[l]) / static_cast<double>(a.samples) : 0.0;
+    const double fb =
+        b.samples ? static_cast<double>(b.level_samples[l]) / static_cast<double>(b.samples) : 0.0;
+    distance += std::abs(fa - fb);
+  }
+  return distance / 2.0;
+}
+
+}  // namespace
+
+double ks_distance(const std::map<std::uint16_t, std::uint64_t>& a,
+                   const std::map<std::uint16_t, std::uint64_t>& b) {
+  std::uint64_t total_a = 0, total_b = 0;
+  for (const auto& [value, count] : a) total_a += count;
+  for (const auto& [value, count] : b) total_b += count;
+  if (total_a == 0 && total_b == 0) return 0.0;
+  if (total_a == 0 || total_b == 0) return 1.0;
+  // Merge-walk the two sorted histograms, tracking both empirical CDFs; the
+  // KS statistic is the largest gap between them at any latency value.
+  double ks = 0.0;
+  std::uint64_t seen_a = 0, seen_b = 0;
+  auto it_a = a.begin();
+  auto it_b = b.begin();
+  while (it_a != a.end() || it_b != b.end()) {
+    std::uint16_t value = 0;
+    if (it_a == a.end()) {
+      value = it_b->first;
+    } else if (it_b == b.end()) {
+      value = it_a->first;
+    } else {
+      value = std::min(it_a->first, it_b->first);
+    }
+    if (it_a != a.end() && it_a->first == value) seen_a += (it_a++)->second;
+    if (it_b != b.end() && it_b->first == value) seen_b += (it_b++)->second;
+    const double gap = std::abs(static_cast<double>(seen_a) / static_cast<double>(total_a) -
+                                static_cast<double>(seen_b) / static_cast<double>(total_b));
+    ks = std::max(ks, gap);
+  }
+  return ks;
+}
+
+TraceProfile build_profile(const std::vector<core::TraceSample>& samples,
+                           const std::vector<core::AddrRegion>& regions,
+                           const DiffOptions& options) {
+  TraceProfile profile;
+  ProfileAccumulator acc;
+  acc.add(samples, regions, profile);
+  build_phases(acc.samples, profile, options);
+  return profile;
+}
+
+std::optional<TraceProfile> profile_path(const std::string& path, const DiffOptions& options,
+                                         std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+
+  std::vector<std::string> trace_paths;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // A session-store root: every session's trace folds into one profile.
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (!entry.is_directory()) continue;
+      if (entry.path().filename().string().rfind("session-", 0) != 0) continue;
+      const auto trace = entry.path() / "trace.nmot";
+      if (fs::exists(trace)) trace_paths.push_back(trace.string());
+    }
+    if (trace_paths.empty()) {
+      return fail(path + ": no session-*/trace.nmot under this directory");
+    }
+    std::sort(trace_paths.begin(), trace_paths.end());
+  } else {
+    trace_paths.push_back(path);
+  }
+
+  TraceProfile profile;
+  ProfileAccumulator acc;
+  for (const auto& trace_path : trace_paths) {
+    auto result = store::query(trace_path).run();
+    if (!result.ok) return fail(trace_path + ": " + result.error);
+    std::vector<core::AddrRegion> regions;
+    if (auto sidecar = store::read_region_file(store::region_path_for(trace_path))) {
+      regions = std::move(*sidecar);
+    }
+    acc.add(result.samples.samples(), regions, profile);
+  }
+  build_phases(acc.samples, profile, options);
+  return profile;
+}
+
+DiffReport diff_profiles(const TraceProfile& a, const TraceProfile& b,
+                         const DiffOptions& options) {
+  DiffReport report;
+  report.samples_a = a.samples;
+  report.samples_b = b.samples;
+
+  static const RegionProfile kEmpty;
+  // Walk the union of region names (both maps are name-sorted already).
+  std::vector<std::string> names;
+  for (const auto& [name, profile] : a.regions) names.push_back(name);
+  for (const auto& [name, profile] : b.regions) {
+    if (a.regions.find(name) == a.regions.end()) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    const auto it_a = a.regions.find(name);
+    const auto it_b = b.regions.find(name);
+    const RegionProfile& ra = it_a != a.regions.end() ? it_a->second : kEmpty;
+    const RegionProfile& rb = it_b != b.regions.end() ? it_b->second : kEmpty;
+    RegionDiff rd;
+    rd.name = name;
+    rd.samples_a = ra.samples;
+    rd.samples_b = rb.samples;
+    rd.ks_latency = ks_distance(ra.latency_hist, rb.latency_hist);
+    rd.level_distance = level_tv_distance(ra, rb);
+    rd.judged = std::max(ra.samples, rb.samples) >= options.min_samples;
+    rd.drift = rd.judged && (rd.ks_latency > options.ks_threshold ||
+                             rd.level_distance > options.level_threshold);
+    if (rd.drift) report.drift = true;
+    report.regions.push_back(std::move(rd));
+  }
+
+  const std::size_t bins = std::max(a.phases.size(), b.phases.size());
+  double distance = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double sa = i < a.phases.size() ? a.phases[i].share : 0.0;
+    const double sb = i < b.phases.size() ? b.phases[i].share : 0.0;
+    distance += std::abs(sa - sb);
+  }
+  report.phase_distance = distance / 2.0;
+  report.phase_drift = report.phase_distance > options.phase_threshold;
+  if (report.phase_drift) report.drift = true;
+  return report;
+}
+
+}  // namespace nmo::analysis

@@ -1,0 +1,114 @@
+// Statistical trace diffing: did memory behavior drift between two runs?
+//
+// The regression-detection use case (hyperscale fleets re-profile a
+// workload after every roll-out and want a machine verdict, not a human
+// staring at scatter plots): summarize each trace into per-region latency
+// and level distributions plus a coarse phase timeline, then compare the
+// summaries with distribution distances -
+//
+//   - per region, a Kolmogorov-Smirnov distance between the two empirical
+//     latency CDFs (exact, computed from full histograms - not binned),
+//   - per region, a total-variation distance between the level mixes
+//     (what fraction of accesses hit L1/L2/SLC/DRAM),
+//   - across the run, a total-variation distance between time-binned
+//     sample shares (did the phase structure move?), with per-bin stride
+//     regularity (analysis/pattern.hpp) reported for context.
+//
+// A region drifts when either distance crosses its threshold and the
+// region is populous enough to judge (min_samples); the trace drifts when
+// any region does, or the phase timeline does.  A trace diffed against
+// itself is exactly zero everywhere by construction.
+//
+// Inputs are .nmot files or session-store roots (every session-*/trace.nmot
+// under the root folds into one profile).  Region indices are translated
+// to names via the .nmor sidecar when present, so two traces whose
+// sidecars order regions differently still compare region-to-region.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/regions.hpp"
+#include "core/trace.hpp"
+
+namespace nmo::analysis {
+
+/// Thresholds and sizing for profile building + comparison.
+struct DiffOptions {
+  double ks_threshold = 0.15;     ///< Per-region latency KS distance above = drift.
+  double level_threshold = 0.10;  ///< Per-region level-mix TV distance above = drift.
+  double phase_threshold = 0.25;  ///< Whole-run phase TV distance above = drift.
+  std::uint64_t min_samples = 64;  ///< Regions smaller than this (both sides) are not judged.
+  std::size_t phase_bins = 16;     ///< Equal time bins for the phase timeline.
+};
+
+/// One region's distributions within a trace.
+struct RegionProfile {
+  std::uint64_t samples = 0;
+  std::map<std::uint16_t, std::uint64_t> latency_hist;  ///< Exact latency counts.
+  std::uint64_t level_samples[kNumMemLevels] = {};
+};
+
+/// One time bin of the phase timeline.
+struct PhaseSegment {
+  std::uint64_t samples = 0;
+  double share = 0.0;              ///< Fraction of the trace's samples.
+  double stride_regularity = 0.0;  ///< analysis::stride_regularity of the bin.
+};
+
+/// Everything diff() needs to know about one trace (or one merged set of
+/// session traces).
+struct TraceProfile {
+  std::uint64_t samples = 0;
+  std::uint64_t time_min = 0;
+  std::uint64_t time_max = 0;
+  std::map<std::string, RegionProfile> regions;  ///< Keyed by region name.
+  std::vector<PhaseSegment> phases;              ///< DiffOptions::phase_bins entries.
+};
+
+/// Builds a profile from samples + the region table naming their indices
+/// (indices without a table entry become "region N"; -1 is "(untagged)").
+TraceProfile build_profile(const std::vector<core::TraceSample>& samples,
+                           const std::vector<core::AddrRegion>& regions,
+                           const DiffOptions& options);
+
+/// Profiles a .nmot file (region sidecar honored when present) or a
+/// session-store root (every session-*/trace.nmot under it folds into one
+/// profile).  nullopt + *error on unreadable input.
+std::optional<TraceProfile> profile_path(const std::string& path, const DiffOptions& options,
+                                         std::string* error = nullptr);
+
+/// One region's comparison across the two traces.
+struct RegionDiff {
+  std::string name;
+  std::uint64_t samples_a = 0;
+  std::uint64_t samples_b = 0;
+  double ks_latency = 0.0;      ///< KS distance; 1 when the region exists on one side only.
+  double level_distance = 0.0;  ///< Total-variation distance of level mixes.
+  bool judged = false;          ///< Populous enough (min_samples) to count toward drift.
+  bool drift = false;
+};
+
+/// The verdict.
+struct DiffReport {
+  bool drift = false;  ///< Any judged region drifted, or the phase timeline did.
+  std::vector<RegionDiff> regions;  ///< Sorted by name (union of both sides).
+  double phase_distance = 0.0;      ///< TV distance between per-bin sample shares.
+  bool phase_drift = false;
+  std::uint64_t samples_a = 0;
+  std::uint64_t samples_b = 0;
+};
+
+/// Compares two profiles built with the same DiffOptions.
+DiffReport diff_profiles(const TraceProfile& a, const TraceProfile& b,
+                         const DiffOptions& options);
+
+/// Kolmogorov-Smirnov distance between two empirical distributions given
+/// as exact count histograms.  Both empty = 0; exactly one empty = 1.
+double ks_distance(const std::map<std::uint16_t, std::uint64_t>& a,
+                   const std::map<std::uint16_t, std::uint64_t>& b);
+
+}  // namespace nmo::analysis

@@ -4,7 +4,6 @@
 #include <array>
 #include <cstddef>
 #include <limits>
-#include <thread>
 
 namespace nmo::store {
 namespace {
@@ -170,11 +169,80 @@ bool parse_index_entries(std::ifstream& in, std::vector<BlockIndexEntry>& out,
   return true;
 }
 
+/// Parses the metadata entries following a consumed kMetaMarker byte,
+/// holding each one to the structural invariants the writer guarantees:
+/// one entry per index block, per-level counts partitioning exactly the
+/// block's sample count, bounds that do not overflow, a non-empty region
+/// bitmap.  Whether the summaries describe the *decoded* samples is the
+/// full read's cross-check, not this parser's.
+bool parse_meta_entries(std::ifstream& in, const std::vector<BlockIndexEntry>& index,
+                        std::vector<BlockMeta>& out, std::string& message) {
+  out.clear();
+  std::uint64_t blocks = 0;
+  if (read_varint(in, blocks) != VarintResult::kOk) {
+    message = "truncated index metadata";
+    return false;
+  }
+  if (blocks != index.size()) {
+    message = "corrupt index metadata: block count disagrees with the index";
+    return false;
+  }
+  out.reserve(index.size());
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    BlockMeta m;
+    std::uint64_t time_span = 0, addr_span = 0;
+    if (read_varint(in, m.min_time) != VarintResult::kOk ||
+        read_varint(in, time_span) != VarintResult::kOk ||
+        read_varint(in, m.min_addr) != VarintResult::kOk ||
+        read_varint(in, addr_span) != VarintResult::kOk) {
+      message = "truncated index metadata";
+      return false;
+    }
+    if (time_span > std::numeric_limits<std::uint64_t>::max() - m.min_time ||
+        addr_span > std::numeric_limits<Addr>::max() - m.min_addr) {
+      message = "corrupt index metadata: bounds overflow";
+      return false;
+    }
+    m.max_time = m.min_time + time_span;
+    m.max_addr = m.min_addr + addr_span;
+    std::uint64_t total = 0;
+    for (std::size_t l = 0; l < kNumMemLevels; ++l) {
+      if (read_varint(in, m.level_samples[l]) != VarintResult::kOk) {
+        message = "truncated index metadata";
+        return false;
+      }
+      if (m.level_samples[l] > index[i].samples) {
+        message = "corrupt index metadata: level count exceeds the block's samples";
+        return false;
+      }
+      total += m.level_samples[l];
+    }
+    if (total != index[i].samples) {
+      message = "corrupt index metadata: level counts do not sum to the block's samples";
+      return false;
+    }
+    if (read_varint(in, m.region_bits) != VarintResult::kOk) {
+      message = "truncated index metadata";
+      return false;
+    }
+    // Every block holds at least one sample and every sample sets a bit.
+    if (m.region_bits == 0) {
+      message = "corrupt index metadata: empty region bitmap";
+      return false;
+    }
+    out.push_back(m);
+  }
+  return true;
+}
+
 /// Loads a v2 trace's index + footer from the end of the file (header must
 /// already be validated).  Validates the footer magic/marker, the index
-/// location and every structural invariant tying the two together.
+/// location and every structural invariant tying the two together.  `meta`
+/// is filled when the optional metadata section is present (and left empty
+/// for files that predate it).
 bool load_index_from_end(std::ifstream& in, TraceFileInfo& info,
-                         std::vector<BlockIndexEntry>& index, std::string& message) {
+                         std::vector<BlockIndexEntry>& index, std::vector<BlockMeta>& meta,
+                         std::string& message) {
   in.clear();
   in.seekg(0, std::ios::end);
   const auto size = static_cast<std::uint64_t>(in.tellg());
@@ -211,9 +279,18 @@ bool load_index_from_end(std::ifstream& in, TraceFileInfo& info,
     return false;
   }
   if (!parse_index_entries(in, index, message)) return false;
+  meta.clear();
   if (static_cast<std::uint64_t>(in.tellg()) != footer_at) {
-    message = "corrupt block index: index does not end at the footer";
-    return false;
+    // Only the optional metadata section may sit between index and footer.
+    if (in.get() != kMetaMarker) {
+      message = "corrupt block index: index does not end at the footer";
+      return false;
+    }
+    if (!parse_meta_entries(in, index, meta, message)) return false;
+    if (static_cast<std::uint64_t>(in.tellg()) != footer_at) {
+      message = "corrupt index metadata: section does not end at the footer";
+      return false;
+    }
   }
   std::uint64_t total = 0;
   for (const auto& entry : index) {
@@ -373,6 +450,7 @@ void TraceWriter::add(const core::TraceSample& s) {
   pred.pc = s.pc;
 
   core::fingerprint_update(md5_, s);
+  if (options_.version == kTraceVersion2) block_meta_.absorb(s);
   ++count_;
   ++block_count_;
 }
@@ -422,6 +500,8 @@ void TraceWriter::flush_block() {
   put_varint(head, block_.size());
   put_varint(head, payload_size);
   index_.push_back(BlockIndexEntry{write_offset_, block_cores_.front().core, block_count_});
+  meta_.push_back(block_meta_);
+  block_meta_ = BlockMeta{};
   write_raw(out_, head.data(), head.size());
   write_raw(out_, payload, payload_size);
   write_offset_ += head.size() + payload_size;
@@ -458,6 +538,25 @@ bool TraceWriter::close() {
     }
     write_raw(out_, section.data(), section.size());
     write_offset_ += section.size();
+
+    if (options_.index_meta) {
+      // The metadata section rides between the index and the footer; the
+      // footer's index offset still names the index marker, so readers that
+      // predate the section never see it and the footer layout is untouched.
+      std::vector<std::byte> meta;
+      meta.push_back(static_cast<std::byte>(kMetaMarker));
+      put_varint(meta, meta_.size());
+      for (const auto& m : meta_) {
+        put_varint(meta, m.min_time);
+        put_varint(meta, m.max_time - m.min_time);
+        put_varint(meta, m.min_addr);
+        put_varint(meta, m.max_addr - m.min_addr);
+        for (std::size_t l = 0; l < kNumMemLevels; ++l) put_varint(meta, m.level_samples[l]);
+        put_varint(meta, m.region_bits);
+      }
+      write_raw(out_, meta.data(), meta.size());
+      write_offset_ += meta.size();
+    }
   }
 
   const auto digest = md5_.digest();
@@ -580,7 +679,24 @@ bool TraceReader::read_index_and_footer() {
   }
   index_ = std::move(parsed);
   index_loaded_ = true;
-  const int marker = in_.get();
+  int marker = in_.get();
+  if (marker == kMetaMarker) {
+    std::vector<BlockMeta> parsed_meta;
+    if (!parse_meta_entries(in_, index_, parsed_meta, message)) {
+      fail(std::move(message));
+      return false;
+    }
+    // The summaries must describe the very samples the stream decoded - the
+    // writer and this reader fold samples through the same absorb(), so any
+    // disagreement means the metadata (or a block) was tampered with.  A
+    // seeked reader decoded only a suffix and cannot make the comparison.
+    if (!seeked_ && parsed_meta != seen_meta_) {
+      fail("block index metadata disagrees with decoded block contents");
+      return false;
+    }
+    meta_ = std::move(parsed_meta);
+    marker = in_.get();
+  }
   if (marker == std::ifstream::traits_type::eof()) {
     fail("truncated footer");
     return false;
@@ -693,6 +809,7 @@ bool TraceReader::open_block(std::uint64_t marker_offset) {
   block_remaining_ = static_cast<std::uint32_t>(count);
   seen_blocks_.push_back(BlockIndexEntry{marker_offset, block_cores_.front().core,
                                          static_cast<std::uint32_t>(count)});
+  if (!seeked_) seen_meta_.push_back(BlockMeta{});
   return true;
 }
 
@@ -775,8 +892,12 @@ bool TraceReader::decode_sample(core::TraceSample& out) {
 
   // In random-access mode the footer digest is never checked (the stream
   // saw only a suffix), so hashing would just tax every parallel-decode
-  // worker for bytes the reassembly step re-hashes anyway.
-  if (!seeked_) core::fingerprint_update(md5_, out);
+  // worker for bytes the reassembly step re-hashes anyway.  The same goes
+  // for the rebuilt per-block summaries the metadata cross-check consumes.
+  if (!seeked_) {
+    core::fingerprint_update(md5_, out);
+    if (info_.version == kTraceVersion2) seen_meta_.back().absorb(out);
+  }
   ++count_;
   --block_remaining_;
   if (info_.version == kTraceVersion2 && block_remaining_ == 0 &&
@@ -832,7 +953,7 @@ bool TraceReader::load_index() {
   if (index_loaded_) return true;
   const auto resume_at = in_.tellg();
   std::string message;
-  if (!load_index_from_end(in_, info_, index_, message)) {
+  if (!load_index_from_end(in_, info_, index_, meta_, message)) {
     fail(std::move(message));
     return false;
   }
@@ -856,6 +977,7 @@ bool TraceReader::seek_block(std::size_t block) {
   block_pos_ = 0;
   block_cores_.clear();
   seen_blocks_.clear();
+  seen_meta_.clear();
   return true;
 }
 
@@ -872,92 +994,13 @@ std::optional<TraceFileInfo> TraceReader::probe(const std::string& path) {
   TraceFileInfo info;
   info.version = static_cast<std::uint16_t>(version);
   std::vector<BlockIndexEntry> index;
+  std::vector<BlockMeta> meta;
   std::string message;
-  if (!load_index_from_end(in, info, index, message)) return std::nullopt;
+  if (!load_index_from_end(in, info, index, meta, message)) return std::nullopt;
   return info;
 }
 
-// --- parallel decode --------------------------------------------------------
-
-std::optional<core::SampleTrace> read_all_parallel(const std::string& path, unsigned threads,
-                                                   std::string* error) {
-  const auto fail = [&](const std::string& message) {
-    if (error) *error = message;
-    return std::nullopt;
-  };
-  TraceReader head(path);
-  if (!head.ok()) return fail(head.error());
-  if (head.info().version != kTraceVersion2 || threads <= 1) {
-    auto trace = head.read_all();
-    if (!head.ok()) return fail(head.error());
-    return trace;
-  }
-  if (!head.load_index()) return fail(head.error());
-  const auto& index = head.block_index();
-  if (index.size() < 2) {
-    auto trace = head.read_all();
-    if (!head.ok()) return fail(head.error());
-    return trace;
-  }
-
-  // Contiguous block ranges balanced by sample count: each worker seeks its
-  // first block and streams forward, so a range costs one seek total.
-  const std::size_t workers = std::min<std::size_t>(threads, index.size());
-  const std::uint64_t target = head.info().samples / workers + 1;
-  struct Range {
-    std::size_t first_block = 0;
-    std::uint64_t samples = 0;
-  };
-  std::vector<Range> ranges;
-  for (std::size_t b = 0; b < index.size(); ++b) {
-    if (ranges.empty() || (ranges.back().samples >= target && ranges.size() < workers)) {
-      ranges.push_back(Range{b, 0});
-    }
-    ranges.back().samples += index[b].samples;
-  }
-
-  std::vector<core::SampleTrace> parts(ranges.size());
-  std::vector<std::string> errors(ranges.size());
-  std::vector<std::thread> pool;
-  pool.reserve(ranges.size());
-  for (std::size_t r = 0; r < ranges.size(); ++r) {
-    pool.emplace_back([&, r] {
-      TraceReader reader(path);
-      if (!reader.ok() || !reader.seek_block(ranges[r].first_block)) {
-        errors[r] = reader.ok() ? "seek_block failed" : reader.error();
-        return;
-      }
-      core::TraceSample s;
-      for (std::uint64_t i = 0; i < ranges[r].samples; ++i) {
-        if (!reader.next(s)) {
-          errors[r] = reader.ok() ? "unexpected end of block range" : reader.error();
-          return;
-        }
-        parts[r].add(s);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  for (const auto& e : errors) {
-    if (!e.empty()) return fail(e);
-  }
-
-  // Reassemble in file order and hold the result to the footer's count and
-  // digest - the same guarantee the streaming reader gives.
-  core::SampleTrace trace;
-  Md5 md5;
-  for (const auto& part : parts) {
-    for (const auto& s : part.samples()) core::fingerprint_update(md5, s);
-    trace.append(part);
-  }
-  if (trace.size() != head.info().samples) {
-    return fail("parallel decode produced " + std::to_string(trace.size()) +
-                " samples, footer declares " + std::to_string(head.info().samples));
-  }
-  if (Md5::to_hex(md5.digest()) != head.info().fingerprint) {
-    return fail("fingerprint mismatch: trace is corrupt");
-  }
-  return trace;
-}
+// read_all_parallel() lives in trace_query.cpp: it is a thin legacy wrapper
+// over TraceQuery, which owns the block partitioning and worker logic now.
 
 }  // namespace nmo::store

@@ -37,6 +37,11 @@
 //   index    marker 0xA9 | varint blocks
 //            | per block: varint offset delta | varint first core
 //            | varint count
+//   meta     (optional) marker 0xAD | varint blocks (== index blocks)
+//            | per block: varint min_time | varint max_time - min_time
+//                         | varint min_addr | varint max_addr - min_addr
+//                         | varint samples per MemLevel (kNumMemLevels of them)
+//                         | varint region bitmap (see BlockMeta::region_bit)
 //   footer   marker 0xF5 | u64 sample count | 16-byte MD5
 //            | u64 index offset | u32 end magic
 //
@@ -49,9 +54,16 @@
 // payload may pass through the block codec (store/block_codec.hpp); a
 // block that does not shrink is stored raw.  The index footer records
 // every block's file offset, first core and sample count, which buys O(1)
-// seek_block() and block-parallel decode (read_all_parallel).  Readers
-// accept both versions byte-for-byte; writers emit v2 unless
-// TraceWriter::Options says otherwise.
+// seek_block() and block-parallel decode (read_all_parallel).  The optional
+// metadata section after the index summarizes each block's contents -
+// time/address bounds, per-level sample counts, a region-presence bitmap -
+// so a query (store/trace_query.hpp) can prove a block holds no matching
+// sample and skip it without decompressing it.  The section is strictly
+// additive: v2 files without it (anything written before the section
+// existed, or with Options::index_meta = false) read exactly as before,
+// and the footer layout is unchanged.  Readers accept both versions
+// byte-for-byte; writers emit v2 unless TraceWriter::Options says
+// otherwise.
 //
 // The footer carries the sample count and the MD5 fingerprint over the
 // samples in file order, computed with the very routine SampleTrace uses
@@ -85,6 +97,7 @@ inline constexpr std::uint16_t kTraceVersion2 = 2;
 inline constexpr std::uint16_t kTraceVersion = kTraceVersion2;
 inline constexpr std::uint8_t kBlockMarker = 0xB7;
 inline constexpr std::uint8_t kIndexMarker = 0xA9;
+inline constexpr std::uint8_t kMetaMarker = 0xAD;
 inline constexpr std::uint8_t kFooterMarker = 0xF5;
 /// Largest core id the format accepts.  Bounds the per-core predictor
 /// tables on both sides, so a corrupt block header cannot drive a reader
@@ -128,6 +141,71 @@ struct BlockIndexEntry {
   std::uint32_t samples = 0;
 };
 
+/// Per-block content summary from the v2 metadata section: enough to prove
+/// a block cannot hold a sample matching a time-window, address-range,
+/// level or region predicate, so queries skip it without decompressing it.
+/// All bounds are inclusive and conservative-exact: the writer computes
+/// them from the very samples it encodes, and full reads cross-check them
+/// against the decoded block (a disagreement is a corrupt-index error).
+struct BlockMeta {
+  std::uint64_t min_time = 0;
+  std::uint64_t max_time = 0;
+  Addr min_addr = 0;
+  Addr max_addr = 0;
+  std::uint64_t level_samples[kNumMemLevels] = {};  ///< Samples per MemLevel.
+  std::uint64_t region_bits = 0;  ///< Region-presence bitmap, see region_bit().
+
+  /// The bitmap bit a region id sets: bit 0 = untagged (-1), bit 1+r for
+  /// regions 0..61, bit 63 = any region >= 62 (the shared overflow bit,
+  /// which makes the filter conservative, never wrong, for high ids).
+  [[nodiscard]] static std::uint64_t region_bit(std::int32_t region) noexcept {
+    if (region < 0) return std::uint64_t{1};
+    if (region < 62) return std::uint64_t{1} << (region + 1);
+    return std::uint64_t{1} << 63;
+  }
+
+  /// Conservative test: false only when no sample with this region id can
+  /// be in the block.
+  [[nodiscard]] bool may_contain_region(std::int32_t region) const noexcept {
+    return (region_bits & region_bit(region)) != 0;
+  }
+
+  /// Total samples summarized (the per-level counts partition the block).
+  [[nodiscard]] std::uint64_t samples() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto n : level_samples) total += n;
+    return total;
+  }
+
+  /// Folds one sample into the summary (writer side and full-read
+  /// cross-check side share this, so they can never diverge).
+  void absorb(const core::TraceSample& s) noexcept {
+    if (samples() == 0) {
+      min_time = max_time = s.time_ns;
+      min_addr = max_addr = s.vaddr;
+    } else {
+      min_time = s.time_ns < min_time ? s.time_ns : min_time;
+      max_time = s.time_ns > max_time ? s.time_ns : max_time;
+      min_addr = s.vaddr < min_addr ? s.vaddr : min_addr;
+      max_addr = s.vaddr > max_addr ? s.vaddr : max_addr;
+    }
+    ++level_samples[static_cast<std::size_t>(s.level)];
+    region_bits |= region_bit(s.region);
+  }
+
+  [[nodiscard]] bool operator==(const BlockMeta& other) const noexcept {
+    if (min_time != other.min_time || max_time != other.max_time ||
+        min_addr != other.min_addr || max_addr != other.max_addr ||
+        region_bits != other.region_bits) {
+      return false;
+    }
+    for (std::size_t l = 0; l < kNumMemLevels; ++l) {
+      if (level_samples[l] != other.level_samples[l]) return false;
+    }
+    return true;
+  }
+};
+
 class TraceWriter {
  public:
   /// Longest run of same-core samples one block may cover; bounds the
@@ -143,6 +221,10 @@ class TraceWriter {
     /// v2 only: run each block payload through the LZ codec, storing raw
     /// when compression does not shrink the block.
     bool compress = true;
+    /// v2 only: emit the per-block metadata section after the index, which
+    /// TraceQuery uses for predicate pushdown.  Off reproduces the
+    /// pre-metadata v2 layout bit for bit.
+    bool index_meta = true;
   };
 
   /// Opens `path` for writing and emits the header.  Check ok(); an
@@ -191,6 +273,8 @@ class TraceWriter {
   std::vector<detail::BlockCoreBase> block_cores_;  ///< v2: the open block's core table.
   std::vector<detail::CorePredictor> predictors_;   ///< Indexed by core (grown on demand).
   std::vector<BlockIndexEntry> index_;             ///< v2: one entry per flushed block.
+  BlockMeta block_meta_;                           ///< v2: summary of the open block.
+  std::vector<BlockMeta> meta_;                    ///< v2: one summary per flushed block.
   std::uint64_t write_offset_ = 0;                 ///< Bytes written so far (next block offset).
   Md5 md5_;
   std::uint64_t count_ = 0;
@@ -212,6 +296,9 @@ class TraceReader {
 
   /// Reads and validates the entire file into a SampleTrace (in file
   /// order).  On error the partial trace is discarded; check ok().
+  /// Legacy entry point: prefer TraceQuery (store/trace_query.hpp), which
+  /// subsumes full reads, parallel reads and filtered reads behind one
+  /// builder - `query(path).run()` is this call.
   [[nodiscard]] core::SampleTrace read_all();
 
   /// Loads the v2 block index from the footer (without touching the sample
@@ -221,6 +308,12 @@ class TraceReader {
   bool load_index();
   /// The block index; empty until load_index() (or a full v2 stream read).
   [[nodiscard]] const std::vector<BlockIndexEntry>& block_index() const { return index_; }
+  /// The per-block metadata parsed alongside the index; empty when the file
+  /// predates the section (or was written with Options::index_meta off).
+  /// When present it holds exactly one entry per index block.
+  [[nodiscard]] const std::vector<BlockMeta>& block_meta() const { return meta_; }
+  /// Whether the loaded index came with the metadata section.
+  [[nodiscard]] bool has_block_meta() const { return !meta_.empty(); }
 
   /// Repositions the stream at block `block` of the index (loading it on
   /// demand): the next next() decodes that block's first sample, O(1) in
@@ -228,6 +321,8 @@ class TraceReader {
   /// After a seek the reader is in random-access mode: reaching the footer
   /// still validates structure, but the whole-file sample count and digest
   /// no longer apply to what was decoded and are not checked.
+  /// Legacy entry point: prefer TraceQuery, which seeks on the caller's
+  /// behalf when predicates prune the block list.
   bool seek_block(std::size_t block);
 
   [[nodiscard]] bool ok() const { return error_.empty(); }
@@ -263,7 +358,9 @@ class TraceReader {
   std::vector<std::byte> block_buf_;  ///< v2: decoded (raw) payload of the open block.
   std::size_t block_pos_ = 0;         ///< v2: cursor into block_buf_.
   std::vector<BlockIndexEntry> index_;
+  std::vector<BlockMeta> meta_;               ///< v2: parsed metadata section (may be empty).
   std::vector<BlockIndexEntry> seen_blocks_;  ///< v2: blocks observed while streaming.
+  std::vector<BlockMeta> seen_meta_;          ///< v2: summaries rebuilt while streaming.
   bool index_loaded_ = false;
   bool seeked_ = false;  ///< Random-access mode: footer count/digest not applicable.
   Md5 md5_;
@@ -277,6 +374,8 @@ class TraceReader {
 /// result - the parallel counterpart of TraceReader::read_all().  Falls
 /// back to a streaming read for v1 traces or thread counts <= 1.  nullopt
 /// on error (message in *error when non-null).
+/// Legacy entry point: a thin wrapper over TraceQuery
+/// (`query(path).run(threads)`), kept so existing callers need not change.
 std::optional<core::SampleTrace> read_all_parallel(const std::string& path, unsigned threads,
                                                    std::string* error = nullptr);
 

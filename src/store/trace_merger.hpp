@@ -22,6 +22,13 @@
 // so remapping can never reorder a canonically sorted input.  Inputs
 // without a sidecar keep their indices untouched (and contribute nothing
 // to the union), preserving the pre-sidecar merge behavior bit for bit.
+//
+// Per-block index metadata (BlockMeta) is recomputed, never copied: the
+// merge re-blocks the interleaved sample stream through TraceWriter::add,
+// whose writer summarizes each *output* block from the samples it encodes
+// - input summaries describe input blocks, which do not survive a merge
+// (and carry pre-union region indices).  tests/test_store.cpp holds the
+// merged metadata to a from-scratch rewrite of the merged samples.
 #pragma once
 
 #include <cstdint>

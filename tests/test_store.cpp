@@ -869,6 +869,87 @@ TEST_F(StoreTest, MergeRejectsSampleIndexOutsideItsSidecarTable) {
   EXPECT_FALSE(fs::exists(path("m.nmot")));
 }
 
+// ------------------------------------------------------- block metadata ----
+
+TEST_F(StoreTest, WriterEmitsBlockMetadataMatchingAManualFold) {
+  const auto trace = random_trace(1500, 77);  // 3 blocks: 512 + 512 + 476
+  TraceWriter writer(path("t.nmot"));
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceReader reader(path("t.nmot"));
+  ASSERT_TRUE(reader.load_index()) << reader.error();
+  ASSERT_TRUE(reader.has_block_meta());
+  const auto& index = reader.block_index();
+  const auto& meta = reader.block_meta();
+  ASSERT_EQ(meta.size(), index.size());
+  ASSERT_EQ(index.size(), 3u);
+
+  // Fold each block's samples by hand; the writer's summaries must match.
+  std::size_t at = 0;
+  for (std::size_t b = 0; b < index.size(); ++b) {
+    BlockMeta expected;
+    for (std::uint32_t i = 0; i < index[b].samples; ++i) {
+      expected.absorb(trace.samples()[at++]);
+    }
+    EXPECT_EQ(meta[b], expected) << "block " << b;
+    EXPECT_EQ(expected.samples(), index[b].samples) << "block " << b;
+  }
+  EXPECT_EQ(at, trace.size());
+}
+
+TEST_F(StoreTest, IndexMetaOptOutProducesAMetaFreeV2File) {
+  const auto trace = random_trace(700, 78);
+  TraceWriter::Options options;
+  options.index_meta = false;
+  TraceWriter writer(path("t.nmot"), options);
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+
+  TraceReader reader(path("t.nmot"));
+  ASSERT_TRUE(reader.load_index()) << reader.error();
+  EXPECT_FALSE(reader.has_block_meta());
+  EXPECT_EQ(reader.block_index().size(), 2u);
+
+  TraceReader full(path("t.nmot"));
+  const auto back = full.read_all();
+  ASSERT_TRUE(full.ok()) << full.error();
+  EXPECT_EQ(back.fingerprint(), trace.fingerprint());
+}
+
+TEST_F(StoreTest, MergedOutputMetadataEqualsAFromScratchRewrite) {
+  // The merger must recompute block metadata for its re-blocked output
+  // stream, never splice input summaries: the merged file's metadata has
+  // to equal what a fresh writer produces from the merged samples.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto trace = random_trace(600 + i * 100, 90 + i);
+    TraceWriter writer(path("in" + std::to_string(i) + ".nmot"));
+    writer.write_all(trace);
+    ASSERT_TRUE(writer.close());
+  }
+  TraceMerger merger;
+  for (std::size_t i = 0; i < 3; ++i) merger.add_input(path("in" + std::to_string(i) + ".nmot"));
+  ASSERT_TRUE(merger.merge_to(path("m.nmot")).has_value()) << merger.error();
+
+  // Full read also cross-checks the metadata against the decoded samples.
+  TraceReader merged_reader(path("m.nmot"));
+  const auto merged = merged_reader.read_all();
+  ASSERT_TRUE(merged_reader.ok()) << merged_reader.error();
+
+  TraceWriter rewriter(path("rewrite.nmot"));
+  rewriter.write_all(merged);
+  ASSERT_TRUE(rewriter.close());
+
+  TraceReader a(path("m.nmot")), b(path("rewrite.nmot"));
+  ASSERT_TRUE(a.load_index()) << a.error();
+  ASSERT_TRUE(b.load_index()) << b.error();
+  ASSERT_TRUE(a.has_block_meta());
+  ASSERT_EQ(a.block_meta().size(), b.block_meta().size());
+  for (std::size_t i = 0; i < a.block_meta().size(); ++i) {
+    EXPECT_EQ(a.block_meta()[i], b.block_meta()[i]) << "block " << i;
+  }
+}
+
 TEST_F(StoreTest, IdenticalJobsProduceIdenticalFingerprints) {
   // Concurrency must not leak between sessions: two identical jobs (same
   // seed, same workload) yield byte-identical traces.

@@ -399,5 +399,184 @@ INSTANTIATE_TEST_SUITE_P(Formats, CorruptTraceTest,
                            return "v" + std::to_string(info.param);
                          });
 
+// --------------------------------------------- index-metadata tampering ----
+//
+// The meta section sits between the index and the footer, so tampering is
+// done by writing a metadata-free v2 file and splicing hand-built section
+// bytes in front of the footer.  Structural damage (bad counts, level sums,
+// empty bitmaps, truncation) must fail probe() and the full read alike;
+// metadata that is structurally fine but *lies* about the samples can only
+// be caught by decoding them, so it fails the full read while passing
+// probe() - the same asymmetry as a tampered MD5 footer.
+
+class MetaTamperTest : public CorruptTraceTest {
+ protected:
+  /// v2, uncompressed, `index_meta` off: a valid file with no meta section,
+  /// ready for splicing.
+  std::string write_meta_free_fixture(const std::string& name) {
+    core::SampleTrace trace;
+    for (std::size_t i = 0; i < 1200; ++i) {
+      core::TraceSample s;
+      s.time_ns = 1000 + 17 * i;
+      s.core = static_cast<CoreId>(i % 4);
+      s.vaddr = 0x10000000 + 64 * i;
+      s.pc = 0x400000 + 4 * (i % 16);
+      s.latency = static_cast<std::uint16_t>(10 + i % 50);
+      s.region = static_cast<std::int32_t>(i % 3) - 1;
+      trace.add(s);
+    }
+    const std::string p = path(name);
+    TraceWriter writer(p, TraceWriter::Options{kTraceVersion2, false, false});
+    writer.write_all(trace);
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return p;
+  }
+
+  /// What the writer would have recorded: fold the decoded samples block by
+  /// block with the same absorb() the writer uses.
+  static std::vector<BlockMeta> true_meta(const std::string& p) {
+    std::vector<BlockMeta> meta;
+    TraceReader index_reader(p);
+    EXPECT_TRUE(index_reader.load_index()) << index_reader.error();
+    TraceReader reader(p);
+    const auto all = reader.read_all();
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    std::size_t at = 0;
+    for (const auto& entry : index_reader.block_index()) {
+      BlockMeta m;
+      for (std::uint32_t i = 0; i < entry.samples; ++i) m.absorb(all.samples()[at++]);
+      meta.push_back(m);
+    }
+    return meta;
+  }
+
+  static void put_varint(std::vector<char>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+      out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+  }
+
+  /// Encodes a meta section; `declared_count` defaults to entries.size()
+  /// (pass something else to lie about it).
+  static std::vector<char> encode_meta(const std::vector<BlockMeta>& entries,
+                                       std::size_t declared_count = std::size_t(-1)) {
+    std::vector<char> out;
+    out.push_back(static_cast<char>(0xad));  // kMetaMarker
+    put_varint(out, declared_count == std::size_t(-1) ? entries.size() : declared_count);
+    for (const auto& m : entries) {
+      put_varint(out, m.min_time);
+      put_varint(out, m.max_time - m.min_time);
+      put_varint(out, m.min_addr);
+      put_varint(out, m.max_addr - m.min_addr);
+      for (std::size_t l = 0; l < kNumMemLevels; ++l) put_varint(out, m.level_samples[l]);
+      put_varint(out, m.region_bits);
+    }
+    return out;
+  }
+
+  /// Splices `meta` bytes between the index and the 37-byte v2 footer.
+  static void splice(const std::string& p, const std::vector<char>& meta) {
+    auto bytes = slurp(p);
+    bytes.insert(bytes.end() - 37, meta.begin(), meta.end());
+    dump(p, bytes);
+  }
+};
+
+TEST_P(MetaTamperTest, SplicedTruthfulMetadataReadsCleanly) {
+  // Baseline for every case below: the splicing technique itself must
+  // produce a file the reader accepts and reports metadata for.
+  const std::string p = write_meta_free_fixture("ok.nmot");
+  splice(p, encode_meta(true_meta(p)));
+  TraceReader reader(p);
+  const auto all = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(all.size(), 1200u);
+  TraceReader index_reader(p);
+  ASSERT_TRUE(index_reader.load_index()) << index_reader.error();
+  EXPECT_TRUE(index_reader.has_block_meta());
+}
+
+TEST_P(MetaTamperTest, LyingRegionBitmapFailsReadButPassesProbe) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta = true_meta(p);
+  meta[1].region_bits ^= std::uint64_t{1} << 8;  // claim region 7 lives there
+  splice(p, encode_meta(meta));
+
+  TraceReader reader(p);
+  const auto all = reader.read_all();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("disagrees with decoded block contents"), std::string::npos)
+      << reader.error();
+  EXPECT_TRUE(all.empty());
+  // Structurally the section is fine; only decoding exposes the lie.
+  EXPECT_TRUE(TraceReader::probe(p).has_value());
+}
+
+TEST_P(MetaTamperTest, LyingLevelMixFailsReadButPassesProbe) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta = true_meta(p);
+  // Move one sample's worth of count between levels: the per-block sum
+  // still matches the index, so every structural check passes.
+  ASSERT_GT(meta[0].level_samples[0], 0u);
+  meta[0].level_samples[0] -= 1;
+  meta[0].level_samples[1] += 1;
+  splice(p, encode_meta(meta));
+
+  TraceReader reader(p);
+  const auto all = reader.read_all();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("disagrees with decoded block contents"), std::string::npos)
+      << reader.error();
+  EXPECT_TRUE(all.empty());
+  EXPECT_TRUE(TraceReader::probe(p).has_value());
+}
+
+TEST_P(MetaTamperTest, BlockCountMismatchIsRejectedByBoth) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta = true_meta(p);
+  meta.pop_back();  // one entry short, count encoded to match the lie
+  splice(p, encode_meta(meta));
+  expect_rejected(p);
+}
+
+TEST_P(MetaTamperTest, LevelSumMismatchIsRejectedByBoth) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta = true_meta(p);
+  meta[0].level_samples[2] += 1;  // sum no longer equals the block's samples
+  splice(p, encode_meta(meta));
+  expect_rejected(p);
+}
+
+TEST_P(MetaTamperTest, EmptyRegionBitmapIsRejectedByBoth) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta = true_meta(p);
+  meta[0].region_bits = 0;  // a non-empty block always touches some region
+  splice(p, encode_meta(meta));
+  expect_rejected(p);
+}
+
+TEST_P(MetaTamperTest, TruncatedMetadataIsRejectedByBoth) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta_bytes = encode_meta(true_meta(p));
+  meta_bytes.resize(meta_bytes.size() - 2);  // chop mid-entry
+  splice(p, meta_bytes);
+  expect_rejected(p);
+}
+
+TEST_P(MetaTamperTest, TrailingBytesAfterMetadataAreRejectedByBoth) {
+  const std::string p = write_meta_free_fixture("t.nmot");
+  auto meta_bytes = encode_meta(true_meta(p));
+  meta_bytes.push_back('\x00');  // slack between section end and footer
+  splice(p, meta_bytes);
+  expect_rejected(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(V2, MetaTamperTest, ::testing::Values(kTraceVersion2),
+                         [](const ::testing::TestParamInfo<std::uint16_t>& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace nmo::store

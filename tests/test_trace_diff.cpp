@@ -1,0 +1,358 @@
+// Trace diffing: self-diff is exactly zero, behavioral changes (latency
+// shift, level-mix shift, phase move, regions appearing/disappearing)
+// drift, small regions are not judged, and sidecar names align regions
+// across traces whose tables order them differently.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_diff.hpp"
+#include "store/region_file.hpp"
+#include "store/trace_file.hpp"
+
+namespace nmo::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nmo_diff_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// A streaming-flavored workload: sequential addresses, cache-friendly
+/// latencies, two regions, steady phase structure.
+core::SampleTrace stream_trace(std::size_t n = 2048, std::uint64_t latency_base = 4) {
+  core::SampleTrace trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TraceSample s;
+    s.time_ns = i * 1000;
+    s.core = static_cast<CoreId>(i % 4);
+    s.vaddr = 0x1000'0000 + i * 64;
+    s.pc = 0x400000;
+    s.op = MemOp::kLoad;
+    s.level = i % 8 == 0 ? MemLevel::kL2 : MemLevel::kL1;
+    s.latency = static_cast<std::uint16_t>(latency_base + i % 6);
+    s.region = static_cast<std::int32_t>(i % 2);
+    trace.add(s);
+  }
+  return trace;
+}
+
+/// A pointer-chase-flavored workload over the same regions: scattered
+/// addresses, DRAM-heavy level mix, fat latency tail, back-loaded phases.
+core::SampleTrace cfd_trace(std::size_t n = 2048) {
+  core::SampleTrace trace;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    core::TraceSample s;
+    // Back-loaded: most samples land in the second half of the run.
+    s.time_ns = (i < n / 4 ? i : n / 2 + i) * 1000;
+    s.core = static_cast<CoreId>(i % 4);
+    s.vaddr = 0x1000'0000 + (x & 0xff'ffff);
+    s.pc = 0x400000;
+    s.op = MemOp::kLoad;
+    s.level = i % 3 == 0 ? MemLevel::kDRAM : MemLevel::kSLC;
+    s.latency = static_cast<std::uint16_t>(s.level == MemLevel::kDRAM ? 250 + (x & 63) : 40);
+    s.region = static_cast<std::int32_t>(i % 2);
+    trace.add(s);
+  }
+  return trace;
+}
+
+void write_trace(const std::string& path, const core::SampleTrace& trace) {
+  store::TraceWriter writer(path);
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close()) << writer.error();
+}
+
+// ------------------------------------------------------------- verdicts ----
+
+TEST_F(TraceDiffTest, SelfDiffIsExactlyZero) {
+  write_trace(path("a.nmot"), stream_trace());
+  const DiffOptions options;
+  std::string error;
+  const auto profile = profile_path(path("a.nmot"), options, &error);
+  ASSERT_TRUE(profile.has_value()) << error;
+  const auto report = diff_profiles(*profile, *profile, options);
+  EXPECT_FALSE(report.drift);
+  EXPECT_FALSE(report.phase_drift);
+  EXPECT_EQ(report.phase_distance, 0.0);
+  ASSERT_FALSE(report.regions.empty());
+  for (const auto& r : report.regions) {
+    EXPECT_EQ(r.ks_latency, 0.0) << r.name;
+    EXPECT_EQ(r.level_distance, 0.0) << r.name;
+    EXPECT_FALSE(r.drift) << r.name;
+    EXPECT_EQ(r.samples_a, r.samples_b) << r.name;
+  }
+}
+
+TEST_F(TraceDiffTest, StreamVersusChaseDrifts) {
+  write_trace(path("stream.nmot"), stream_trace());
+  write_trace(path("cfd.nmot"), cfd_trace());
+  const DiffOptions options;
+  std::string error;
+  const auto a = profile_path(path("stream.nmot"), options, &error);
+  ASSERT_TRUE(a.has_value()) << error;
+  const auto b = profile_path(path("cfd.nmot"), options, &error);
+  ASSERT_TRUE(b.has_value()) << error;
+  const auto report = diff_profiles(*a, *b, options);
+  EXPECT_TRUE(report.drift);
+  // Both the latency CDFs and the level mixes moved far past threshold.
+  for (const auto& r : report.regions) {
+    EXPECT_TRUE(r.judged) << r.name;
+    EXPECT_GT(r.ks_latency, options.ks_threshold) << r.name;
+    EXPECT_GT(r.level_distance, options.level_threshold) << r.name;
+    EXPECT_TRUE(r.drift) << r.name;
+  }
+}
+
+TEST_F(TraceDiffTest, LatencyShiftAloneDrifts) {
+  // Same workload shape, latencies uniformly +40: level mix identical, so
+  // only the KS term can fire.
+  write_trace(path("a.nmot"), stream_trace(2048, 4));
+  write_trace(path("b.nmot"), stream_trace(2048, 44));
+  const DiffOptions options;
+  const auto a = profile_path(path("a.nmot"), options);
+  const auto b = profile_path(path("b.nmot"), options);
+  ASSERT_TRUE(a && b);
+  const auto report = diff_profiles(*a, *b, options);
+  EXPECT_TRUE(report.drift);
+  EXPECT_FALSE(report.phase_drift);  // timing structure unchanged
+  for (const auto& r : report.regions) {
+    EXPECT_EQ(r.ks_latency, 1.0) << r.name;  // disjoint latency supports
+    EXPECT_EQ(r.level_distance, 0.0) << r.name;
+    EXPECT_TRUE(r.drift) << r.name;
+  }
+}
+
+TEST_F(TraceDiffTest, RegionPresentOnOneSideOnlyDrifts) {
+  auto a = stream_trace(512);
+  auto b = stream_trace(512);
+  for (std::size_t i = 0; i < 256; ++i) {
+    core::TraceSample s;
+    s.time_ns = 600'000 + i;
+    s.core = 0;
+    s.vaddr = 0x9000'0000 + i * 8;
+    s.pc = 0x400000;
+    s.op = MemOp::kStore;
+    s.level = MemLevel::kDRAM;
+    s.latency = 280;
+    s.region = 7;  // only trace b has this region
+    b.add(s);
+  }
+  write_trace(path("a.nmot"), a);
+  write_trace(path("b.nmot"), b);
+  const DiffOptions options;
+  const auto pa = profile_path(path("a.nmot"), options);
+  const auto pb = profile_path(path("b.nmot"), options);
+  ASSERT_TRUE(pa && pb);
+  const auto report = diff_profiles(*pa, *pb, options);
+  EXPECT_TRUE(report.drift);
+  bool found = false;
+  for (const auto& r : report.regions) {
+    if (r.name != "region 7") continue;
+    found = true;
+    EXPECT_EQ(r.samples_a, 0u);
+    EXPECT_EQ(r.samples_b, 256u);
+    EXPECT_EQ(r.ks_latency, 1.0);  // one-sided region: maximal distance
+    EXPECT_TRUE(r.drift);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceDiffTest, SmallRegionsAreNotJudged) {
+  auto a = stream_trace(512);
+  auto b = stream_trace(512);
+  // A 3-sample region with wildly different latencies on each side: below
+  // min_samples, so it must not flip the verdict.
+  for (std::size_t i = 0; i < 3; ++i) {
+    core::TraceSample s;
+    s.time_ns = 100'000 + i;
+    s.core = 0;
+    s.vaddr = 0x8000'0000;
+    s.pc = 0x400000;
+    s.op = MemOp::kLoad;
+    s.level = MemLevel::kL1;
+    s.latency = 4;
+    s.region = 9;
+    a.add(s);
+    s.level = MemLevel::kDRAM;
+    s.latency = 300;
+    b.add(s);
+  }
+  write_trace(path("a.nmot"), a);
+  write_trace(path("b.nmot"), b);
+  const DiffOptions options;
+  const auto pa = profile_path(path("a.nmot"), options);
+  const auto pb = profile_path(path("b.nmot"), options);
+  ASSERT_TRUE(pa && pb);
+  const auto report = diff_profiles(*pa, *pb, options);
+  EXPECT_FALSE(report.drift);
+  for (const auto& r : report.regions) {
+    if (r.name == "region 9") {
+      EXPECT_FALSE(r.judged);
+      EXPECT_FALSE(r.drift);
+      EXPECT_EQ(r.ks_latency, 1.0);  // the distance is still reported
+    }
+  }
+}
+
+TEST_F(TraceDiffTest, PhaseShiftAloneDrifts) {
+  // Identical samples, but trace b compresses all activity into the first
+  // tenth of the (same) wall-clock span: per-region distributions match,
+  // only the phase timeline moves.
+  core::SampleTrace a, b;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    core::TraceSample s;
+    s.core = 0;
+    s.vaddr = 0x1000 + i * 64;
+    s.pc = 0x400000;
+    s.op = MemOp::kLoad;
+    s.level = MemLevel::kL1;
+    s.latency = 5;
+    s.region = 0;
+    s.time_ns = i * 1000;  // spread over the full span
+    a.add(s);
+    s.time_ns = i < 999 ? i : 999'000;  // bunched at the start, same span
+    b.add(s);
+  }
+  write_trace(path("a.nmot"), a);
+  write_trace(path("b.nmot"), b);
+  const DiffOptions options;
+  const auto pa = profile_path(path("a.nmot"), options);
+  const auto pb = profile_path(path("b.nmot"), options);
+  ASSERT_TRUE(pa && pb);
+  const auto report = diff_profiles(*pa, *pb, options);
+  EXPECT_TRUE(report.phase_drift);
+  EXPECT_TRUE(report.drift);
+  for (const auto& r : report.regions) EXPECT_FALSE(r.drift) << r.name;
+}
+
+// ---------------------------------------------------------- name matching --
+
+TEST_F(TraceDiffTest, SidecarNamesAlignRegionsAcrossDifferentIndexOrders) {
+  // Trace a tags heap=0 / stack=1; trace b tags stack=0 / heap=1.  Same
+  // per-name behavior, so with sidecars the diff is clean - and without
+  // them, index-based names would cross-compare and drift.
+  core::SampleTrace a, b;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    core::TraceSample s;
+    s.time_ns = i * 1000;
+    s.core = 0;
+    s.pc = 0x400000;
+    s.op = MemOp::kLoad;
+    const bool heap = i % 2 == 0;
+    s.vaddr = heap ? 0x2000'0000 + i * 8 : 0x7fff'0000 + i * 8;
+    s.level = heap ? MemLevel::kDRAM : MemLevel::kL1;
+    s.latency = static_cast<std::uint16_t>(heap ? 250 : 4);
+    s.region = heap ? 0 : 1;
+    a.add(s);
+    s.region = heap ? 1 : 0;  // b's table lists them in the other order
+    b.add(s);
+  }
+  write_trace(path("a.nmot"), a);
+  write_trace(path("b.nmot"), b);
+  const std::vector<core::AddrRegion> table_a = {{"heap", 0x2000'0000, 0x3000'0000},
+                                                 {"stack", 0x7fff'0000, 0x8000'0000}};
+  const std::vector<core::AddrRegion> table_b = {{"stack", 0x7fff'0000, 0x8000'0000},
+                                                 {"heap", 0x2000'0000, 0x3000'0000}};
+  ASSERT_TRUE(store::write_region_file(store::region_path_for(path("a.nmot")), table_a));
+  ASSERT_TRUE(store::write_region_file(store::region_path_for(path("b.nmot")), table_b));
+
+  const DiffOptions options;
+  const auto pa = profile_path(path("a.nmot"), options);
+  const auto pb = profile_path(path("b.nmot"), options);
+  ASSERT_TRUE(pa && pb);
+  const auto report = diff_profiles(*pa, *pb, options);
+  EXPECT_FALSE(report.drift);
+  ASSERT_EQ(report.regions.size(), 2u);
+  EXPECT_EQ(report.regions[0].name, "heap");
+  EXPECT_EQ(report.regions[1].name, "stack");
+  for (const auto& r : report.regions) {
+    EXPECT_EQ(r.ks_latency, 0.0) << r.name;
+    EXPECT_EQ(r.level_distance, 0.0) << r.name;
+  }
+}
+
+// ------------------------------------------------------------ inputs -------
+
+TEST_F(TraceDiffTest, SessionRootFoldsEverySessionTrace) {
+  // Two sessions under a root; their union must equal one flat trace
+  // holding both sample sets.
+  const auto root = dir_ / "store";
+  fs::create_directories(root / "session-0-alpha");
+  fs::create_directories(root / "session-1-beta");
+  const auto t0 = stream_trace(512, 4);
+  const auto t1 = stream_trace(512, 10);
+  write_trace((root / "session-0-alpha" / "trace.nmot").string(), t0);
+  write_trace((root / "session-1-beta" / "trace.nmot").string(), t1);
+
+  const DiffOptions options;
+  std::string error;
+  const auto folded = profile_path(root.string(), options, &error);
+  ASSERT_TRUE(folded.has_value()) << error;
+  EXPECT_EQ(folded->samples, 1024u);
+
+  core::SampleTrace flat;
+  for (const auto& s : t0.samples()) flat.add(s);
+  for (const auto& s : t1.samples()) flat.add(s);
+  const auto expected = build_profile(flat.samples(), {}, options);
+  const auto report = diff_profiles(*folded, expected, options);
+  EXPECT_FALSE(report.drift);
+  EXPECT_EQ(report.phase_distance, 0.0);
+}
+
+TEST_F(TraceDiffTest, EmptySessionRootFails) {
+  const auto root = dir_ / "empty_store";
+  fs::create_directories(root);
+  std::string error;
+  const auto profile = profile_path(root.string(), DiffOptions{}, &error);
+  EXPECT_FALSE(profile.has_value());
+  EXPECT_NE(error.find("no session-"), std::string::npos) << error;
+}
+
+TEST_F(TraceDiffTest, MissingFileFails) {
+  std::string error;
+  const auto profile = profile_path(path("absent.nmot"), DiffOptions{}, &error);
+  EXPECT_FALSE(profile.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------ ks unit ------
+
+TEST_F(TraceDiffTest, KsDistanceUnitCases) {
+  using Hist = std::map<std::uint16_t, std::uint64_t>;
+  EXPECT_EQ(ks_distance(Hist{}, Hist{}), 0.0);
+  EXPECT_EQ(ks_distance(Hist{{5, 10}}, Hist{}), 1.0);
+  EXPECT_EQ(ks_distance(Hist{}, Hist{{5, 10}}), 1.0);
+  EXPECT_EQ(ks_distance(Hist{{5, 10}}, Hist{{5, 7}}), 0.0);  // identical CDFs
+  EXPECT_EQ(ks_distance(Hist{{1, 1}}, Hist{{2, 1}}), 1.0);   // disjoint supports
+  // Half the mass moved from 1 to 2: CDF gap at value 1 is 0.5.
+  EXPECT_DOUBLE_EQ(ks_distance(Hist{{1, 2}}, Hist{{1, 1}, {2, 1}}), 0.5);
+  // Scale invariance: counts x100 give the same distance.
+  EXPECT_DOUBLE_EQ(ks_distance(Hist{{1, 200}}, Hist{{1, 100}, {2, 100}}), 0.5);
+}
+
+}  // namespace
+}  // namespace nmo::analysis

@@ -1,0 +1,241 @@
+// One option parser for every nmo tool subcommand: a declarative command
+// table (name, positional usage, typed flags, handler) replaces the
+// per-subcommand ad-hoc argv walking nmo-trace accumulated - so each new
+// subcommand gets strict typed flag parsing, repeatable flags, arity
+// checks and auto-generated --help for free instead of a new dialect.
+//
+// Parsing rules: flags and positionals may interleave; a valued flag
+// consumes the next token verbatim (so "--region -1" works); values are
+// validated against the flag's declared type at parse time (strict
+// digits-only integers - "-n -1" is a usage error, not a 2^64 wrap);
+// repeated non-repeatable flags keep the last value (shell-override
+// idiom); "--help"/-h anywhere prints the subcommand's usage and exits 0.
+// Usage errors print to stderr and return exit code 2.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nmo::cli {
+
+/// A typed option: "--name" (and optionally "-s") with 0 or 1 value.
+struct Flag {
+  enum class Type { kBool, kUint, kInt, kDouble, kString };
+
+  std::string name;        ///< Long name without dashes ("json" -> --json).
+  std::string short_name;  ///< Optional one-letter alias ("o" -> -o); may be empty.
+  Type type = Type::kBool;
+  std::string value_name;  ///< Placeholder in help ("PATH"); empty for kBool.
+  std::string help;
+  bool repeatable = false;  ///< Accumulate every occurrence (region/level filters).
+};
+
+/// Parsed arguments of one subcommand invocation.
+class Args {
+ public:
+  [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (const auto& [name, value] : values_) {
+      if (name == flag) return true;
+    }
+    return false;
+  }
+  /// Last occurrence's value (flags are last-wins), or `fallback`.
+  [[nodiscard]] std::string str(const std::string& flag, std::string fallback = "") const {
+    for (auto it = values_.rbegin(); it != values_.rend(); ++it) {
+      if (it->first == flag) return it->second;
+    }
+    return fallback;
+  }
+  [[nodiscard]] std::uint64_t uint(const std::string& flag, std::uint64_t fallback = 0) const {
+    const auto text = str(flag);
+    return text.empty() ? fallback : std::strtoull(text.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] std::int64_t integer(const std::string& flag, std::int64_t fallback = 0) const {
+    const auto text = str(flag);
+    return text.empty() ? fallback : std::strtoll(text.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] double number(const std::string& flag, double fallback = 0.0) const {
+    const auto text = str(flag);
+    return text.empty() ? fallback : std::strtod(text.c_str(), nullptr);
+  }
+  /// Every occurrence's value, in order (for repeatable flags).
+  [[nodiscard]] std::vector<std::string> all(const std::string& flag) const {
+    std::vector<std::string> out;
+    for (const auto& [name, value] : values_) {
+      if (name == flag) out.push_back(value);
+    }
+    return out;
+  }
+
+  /// Parser-side appenders (run_command fills an Args as it walks argv).
+  void add_positional(std::string value) { positionals_.push_back(std::move(value)); }
+  void add_value(std::string flag, std::string value) {
+    values_.emplace_back(std::move(flag), std::move(value));
+  }
+
+ private:
+  std::vector<std::string> positionals_;
+  std::vector<std::pair<std::string, std::string>> values_;  ///< (flag, value) in order.
+};
+
+/// One subcommand: its shape and its handler.
+struct Command {
+  std::string name;
+  std::string args_usage;  ///< Positional part of the usage line ("FILE...").
+  std::string summary;
+  std::size_t min_args = 0;
+  std::size_t max_args = std::size_t(-1);
+  std::vector<Flag> flags;
+  std::function<int(const Command&, const Args&)> handler;
+
+  void print_usage(const char* tool) const {
+    std::fprintf(stderr, "usage: %s %s %s%s\n", tool, name.c_str(), args_usage.c_str(),
+                 flags.empty() ? "" : " [flags]");
+    std::fprintf(stderr, "  %s\n", summary.c_str());
+    if (!flags.empty()) std::fprintf(stderr, "  flags:\n");
+    for (const auto& f : flags) {
+      std::string spec = "--" + f.name;
+      if (!f.short_name.empty()) spec += ", -" + f.short_name;
+      if (f.type != Flag::Type::kBool) spec += " " + f.value_name;
+      std::fprintf(stderr, "    %-24s %s%s\n", spec.c_str(), f.help.c_str(),
+                   f.repeatable ? " (repeatable)" : "");
+    }
+  }
+
+  /// Prints usage and returns the usage exit code - for handlers that find
+  /// a semantic problem the parser cannot (missing required flag, bad enum
+  /// value).
+  int usage_error(const char* tool, const std::string& message) const {
+    std::fprintf(stderr, "%s %s: %s\n", tool, name.c_str(), message.c_str());
+    print_usage(tool);
+    return 2;
+  }
+};
+
+namespace detail {
+
+inline bool valid_uint(const std::string& text) {
+  return !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
+}
+
+inline bool valid_int(const std::string& text) {
+  const std::size_t start = (!text.empty() && text[0] == '-') ? 1 : 0;
+  return text.size() > start &&
+         text.find_first_not_of("0123456789", start) == std::string::npos;
+}
+
+inline bool valid_double(const std::string& text) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+inline bool valid_value(Flag::Type type, const std::string& text) {
+  switch (type) {
+    case Flag::Type::kUint:
+      return valid_uint(text);
+    case Flag::Type::kInt:
+      return valid_int(text);
+    case Flag::Type::kDouble:
+      return valid_double(text);
+    case Flag::Type::kString:
+      return true;
+    case Flag::Type::kBool:
+      return false;  // bool flags carry no value
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Parses argv for `command`; on success runs the handler.  Returns the
+/// handler's exit code, 2 on usage errors, 0 for --help.
+inline int run_command(const char* tool, const Command& command,
+                       const std::vector<std::string>& argv) {
+  Args args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (token == "--help" || token == "-h") {
+      command.print_usage(tool);
+      return 0;
+    }
+    const Flag* flag = nullptr;
+    if (token.size() > 2 && token.rfind("--", 0) == 0) {
+      for (const auto& f : command.flags) {
+        if (token.compare(2, std::string::npos, f.name) == 0) flag = &f;
+      }
+    } else if (token.size() == 2 && token[0] == '-' && token != "-") {
+      for (const auto& f : command.flags) {
+        if (!f.short_name.empty() && token.compare(1, std::string::npos, f.short_name) == 0) {
+          flag = &f;
+        }
+      }
+    }
+    if (flag == nullptr) {
+      if (!token.empty() && token[0] == '-' && token != "-") {
+        return command.usage_error(tool, "unknown flag " + token);
+      }
+      args.add_positional(token);
+      continue;
+    }
+    if (flag->type == Flag::Type::kBool) {
+      args.add_value(flag->name, "");
+      continue;
+    }
+    if (i + 1 >= argv.size()) {
+      return command.usage_error(tool, "--" + flag->name + " needs a value");
+    }
+    const std::string& value = argv[++i];
+    if (!detail::valid_value(flag->type, value)) {
+      return command.usage_error(tool, "bad value for --" + flag->name + ": " + value);
+    }
+    args.add_value(flag->name, value);
+  }
+  if (args.positionals().size() < command.min_args) {
+    return command.usage_error(tool, "missing arguments");
+  }
+  if (args.positionals().size() > command.max_args) {
+    return command.usage_error(tool, "too many arguments");
+  }
+  return command.handler(command, args);
+}
+
+/// Top-level dispatch: picks the subcommand from argv[1] and runs it.
+/// "help", "--help" or no arguments print the command table.
+inline int dispatch(const char* tool, const std::vector<Command>& commands, int argc,
+                    char** argv) {
+  const auto print_all = [&](std::FILE* out) {
+    std::fprintf(out, "usage: %s <command> [args]\n\n", tool);
+    for (const auto& c : commands) {
+      std::string lead = c.name + " " + c.args_usage;
+      std::fprintf(out, "  %-30s %s\n", lead.c_str(), c.summary.c_str());
+    }
+    std::fprintf(out, "\nrun '%s <command> --help' for that command's flags\n", tool);
+  };
+  if (argc < 2) {
+    print_all(stderr);
+    return 2;
+  }
+  const std::string name = argv[1];
+  if (name == "help" || name == "--help" || name == "-h") {
+    print_all(stdout);
+    return 0;
+  }
+  for (const auto& c : commands) {
+    if (c.name == name) {
+      return run_command(tool, c, std::vector<std::string>(argv + 2, argv + argc));
+    }
+  }
+  std::fprintf(stderr, "%s: unknown command '%s'\n", tool, name.c_str());
+  print_all(stderr);
+  return 2;
+}
+
+}  // namespace nmo::cli

@@ -2,8 +2,8 @@
 //
 // The user-facing entry point of the trace store (src/store/): where the
 // paper's post-processing scripts consume one CSV per run, a multi-session
-// deployment leaves behind one .nmot file per session and this tool folds
-// and inspects them:
+// deployment leaves behind one .nmot file per session and this tool folds,
+// inspects, queries and diffs them:
 //
 //   nmo-trace info FILE...                 header/footer + per-level stats
 //   nmo-trace merge -o OUT FILE...         streaming k-way canonical merge
@@ -13,17 +13,27 @@
 //                                          blocks + codec + index); --raw disables
 //                                          the codec, --v1 pins the legacy format
 //   nmo-trace verify FILE...               full decode + footer MD5 + (v2) block
-//                                          index cross-check + probe agreement
+//                                          index/metadata cross-check + probe agreement
 //   nmo-trace top FILE [--by region|level|core|latency] [-n N]
 //                                          (region rows labeled by name when the
 //                                          trace's .nmor sidecar is present)
 //   nmo-trace sessions ROOT                per-session lifecycle + scheduler stats
 //                                          from the store's metadata files
+//   nmo-trace query FILE [predicates]      predicate-pushdown sample query
+//                                          (store/trace_query.hpp); --csv/--json output
+//   nmo-trace diff A B                     statistical drift verdict between two
+//                                          traces or session roots (exit 3 = drift)
 //
-// Exit codes: 0 success, 1 operation failed, 2 usage error.
+// Every subcommand sits on the shared declarative parser (tools/cli.hpp):
+// typed flags, arity checks and per-subcommand --help come from the
+// command table, not hand-rolled argv walks.
+//
+// Exit codes: 0 success, 1 operation failed, 2 usage error, 3 drift
+// detected (diff only).
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cctype>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -33,38 +43,30 @@
 #include <system_error>
 #include <vector>
 
+#include "analysis/trace_diff.hpp"
+#include "cli.hpp"
+#include "common/json.hpp"
 #include "core/trace.hpp"
 #include "store/region_file.hpp"
 #include "store/session_store.hpp"
 #include "store/trace_file.hpp"
 #include "store/trace_merger.hpp"
+#include "store/trace_query.hpp"
 
 namespace {
 
+using nmo::cli::Args;
+using nmo::cli::Command;
+using nmo::cli::Flag;
 using nmo::core::TraceSample;
-using nmo::store::TraceReader;
 using nmo::store::TraceMerger;
+using nmo::store::TraceReader;
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: nmo-trace <command> [args]\n"
-               "\n"
-               "  info FILE...                  validate and summarize trace files\n"
-               "  merge -o OUT FILE...          k-way merge into canonical order\n"
-               "  export-csv FILE [-o OUT]      write the trace as CSV (stdout default)\n"
-               "  compress FILE -o OUT [--raw|--v1]\n"
-               "                                rewrite into format v2 (--raw: no codec;\n"
-               "                                --v1: legacy format); copies the region sidecar\n"
-               "  verify FILE...                full decode + MD5 + block-index check\n"
-               "  top FILE [--by KEY] [-n N]    hottest groups; KEY: region|level|core|latency\n"
-               "  sessions ROOT                 session lifecycle + scheduler stats of a store\n");
-  return 2;
-}
+constexpr const char* kTool = "nmo-trace";
 
-int cmd_info(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
+int cmd_info(const Command&, const Args& args) {
   bool all_ok = true;
-  for (const auto& path : args) {
+  for (const auto& path : args.positionals()) {
     TraceReader reader(path);
     std::uint64_t samples = 0;
     std::uint64_t per_level[nmo::kNumMemLevels] = {};
@@ -106,21 +108,12 @@ int cmd_info(const std::vector<std::string>& args) {
   return all_ok ? 0 : 1;
 }
 
-int cmd_merge(const std::vector<std::string>& args) {
-  std::string out_path;
-  std::vector<std::string> inputs;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "-o") {
-      if (i + 1 >= args.size()) return usage();
-      out_path = args[++i];
-    } else {
-      inputs.push_back(args[i]);
-    }
-  }
-  if (out_path.empty() || inputs.empty()) return usage();
+int cmd_merge(const Command& command, const Args& args) {
+  const std::string out_path = args.str("output");
+  if (out_path.empty()) return command.usage_error(kTool, "-o OUT is required");
 
   TraceMerger merger;
-  for (const auto& in : inputs) merger.add_input(in);
+  for (const auto& in : args.positionals()) merger.add_input(in);
   const auto stats = merger.merge_to(out_path);
   if (!stats) {
     std::fprintf(stderr, "merge failed: %s\n", merger.error().c_str());
@@ -137,19 +130,9 @@ int cmd_merge(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_export_csv(const std::vector<std::string>& args) {
-  std::string in_path, out_path;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "-o") {
-      if (i + 1 >= args.size()) return usage();
-      out_path = args[++i];
-    } else if (in_path.empty()) {
-      in_path = args[i];
-    } else {
-      return usage();
-    }
-  }
-  if (in_path.empty()) return usage();
+int cmd_export_csv(const Command&, const Args& args) {
+  const std::string& in_path = args.positionals()[0];
+  const std::string out_path = args.str("output");
 
   // Opening the output truncates it; refuse when it aliases the input
   // (same guard class as TraceMerger's output-is-input check).
@@ -200,24 +183,13 @@ int cmd_export_csv(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_compress(const std::vector<std::string>& args) {
-  std::string in_path, out_path;
+int cmd_compress(const Command& command, const Args& args) {
+  const std::string& in_path = args.positionals()[0];
+  const std::string out_path = args.str("output");
+  if (out_path.empty()) return command.usage_error(kTool, "-o OUT is required");
   nmo::store::TraceWriter::Options options;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "-o") {
-      if (i + 1 >= args.size()) return usage();
-      out_path = args[++i];
-    } else if (args[i] == "--raw") {
-      options.compress = false;
-    } else if (args[i] == "--v1") {
-      options.version = nmo::store::kTraceVersion1;
-    } else if (in_path.empty()) {
-      in_path = args[i];
-    } else {
-      return usage();
-    }
-  }
-  if (in_path.empty() || out_path.empty()) return usage();
+  if (args.has("raw")) options.compress = false;
+  if (args.has("v1")) options.version = nmo::store::kTraceVersion1;
 
   // Writing the output truncates it; aliasing the input would destroy the
   // trace being rewritten (same guard class as the merger's).
@@ -286,17 +258,17 @@ int cmd_compress(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_verify(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
+int cmd_verify(const Command&, const Args& args) {
   bool all_ok = true;
-  for (const auto& path : args) {
+  for (const auto& path : args.positionals()) {
     const auto fail = [&](const std::string& message) {
       std::fprintf(stderr, "%s: FAIL: %s\n", path.c_str(), message.c_str());
       all_ok = false;
     };
     // Full decode: validates every block, every sample field, the footer
-    // count + MD5 and (v2) that the block index describes exactly the
-    // blocks on disk.
+    // count + MD5, (v2) that the block index describes exactly the blocks
+    // on disk, and (when present) that the per-block metadata summaries
+    // agree with the decoded samples.
     TraceReader reader(path);
     TraceSample s;
     std::uint64_t samples = 0;
@@ -320,6 +292,9 @@ int cmd_verify(const std::vector<std::string>& args) {
     std::printf("  version    : %u\n", reader.info().version);
     if (reader.info().version >= nmo::store::kTraceVersion2) {
       std::printf("  blocks     : %zu (index verified)\n", reader.block_index().size());
+      std::printf("  metadata   : %s\n", reader.has_block_meta()
+                                             ? "present (cross-checked against samples)"
+                                             : "absent (pre-metadata v2 file)");
     }
     std::printf("  samples    : %" PRIu64 "\n", samples);
     std::printf("  fingerprint: %s\n", reader.info().fingerprint.c_str());
@@ -327,32 +302,14 @@ int cmd_verify(const std::vector<std::string>& args) {
   return all_ok ? 0 : 1;
 }
 
-int cmd_top(const std::vector<std::string>& args) {
-  std::string in_path, by = "region";
-  std::size_t top_n = 10;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--by") {
-      if (i + 1 >= args.size()) return usage();
-      by = args[++i];
-    } else if (args[i] == "-n") {
-      if (i + 1 >= args.size()) return usage();
-      const std::string& value = args[++i];
-      char* end = nullptr;
-      top_n = static_cast<std::size_t>(std::strtoull(value.c_str(), &end, 10));
-      // Strict digits-only parse: "-1" would wrap to 2^64-1 and defeat the
-      // bounded heap.
-      if (value.empty() || end != value.c_str() + value.size() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
-        return usage();
-      }
-    } else if (in_path.empty()) {
-      in_path = args[i];
-    } else {
-      return usage();
-    }
+int cmd_top(const Command& command, const Args& args) {
+  const std::string& in_path = args.positionals()[0];
+  const std::string by = args.str("by", "region");
+  const auto top_n = static_cast<std::size_t>(args.uint("n", 10));
+  if (top_n == 0) return command.usage_error(kTool, "-n must be positive");
+  if (by != "region" && by != "level" && by != "core" && by != "latency") {
+    return command.usage_error(kTool, "--by must be region, level, core or latency");
   }
-  if (in_path.empty() || top_n == 0) return usage();
-  if (by != "region" && by != "level" && by != "core" && by != "latency") return usage();
 
   // The region sidecar (written by the session runner and by merge) turns
   // bare region indices into names; without it rows keep the index.
@@ -452,9 +409,8 @@ int cmd_top(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_sessions(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
-  const std::string& root = args[0];
+int cmd_sessions(const Command&, const Args& args) {
+  const std::string& root = args.positionals()[0];
   std::error_code ec;
   if (!std::filesystem::is_directory(root, ec)) {
     std::fprintf(stderr, "%s: not a session store directory\n", root.c_str());
@@ -532,18 +488,240 @@ int cmd_sessions(const std::vector<std::string>& args) {
   return all_ok ? 0 : 1;
 }
 
+/// Maps a level name (L1/L2/SLC/DRAM, case-insensitive) to the enum.
+bool parse_level(const std::string& text, nmo::MemLevel& out) {
+  for (std::size_t l = 0; l < nmo::kNumMemLevels; ++l) {
+    const auto level = static_cast<nmo::MemLevel>(l);
+    const std::string name(to_string(level));
+    if (text.size() == name.size() &&
+        std::equal(text.begin(), text.end(), name.begin(), [](char a, char b) {
+          return std::toupper(static_cast<unsigned char>(a)) ==
+                 std::toupper(static_cast<unsigned char>(b));
+        })) {
+      out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_query(const Command& command, const Args& args) {
+  const std::string& path = args.positionals()[0];
+  if (args.has("csv") && args.has("json")) {
+    return command.usage_error(kTool, "--csv and --json are exclusive");
+  }
+
+  auto query = nmo::store::query(path);
+  if (args.has("t0") || args.has("t1")) {
+    query.time_between(args.uint("t0", 0), args.uint("t1", ~std::uint64_t{0}));
+  }
+  if (args.has("addr")) {
+    const std::string range = args.str("addr");
+    const auto colon = range.find(':');
+    char* end_lo = nullptr;
+    char* end_hi = nullptr;
+    if (colon == std::string::npos) {
+      return command.usage_error(kTool, "--addr wants LO:HI (hex with 0x or decimal)");
+    }
+    const std::string lo_text = range.substr(0, colon);
+    const std::string hi_text = range.substr(colon + 1);
+    const auto lo = std::strtoull(lo_text.c_str(), &end_lo, 0);
+    const auto hi = std::strtoull(hi_text.c_str(), &end_hi, 0);
+    if (lo_text.empty() || hi_text.empty() || end_lo != lo_text.c_str() + lo_text.size() ||
+        end_hi != hi_text.c_str() + hi_text.size()) {
+      return command.usage_error(kTool, "--addr wants LO:HI (hex with 0x or decimal)");
+    }
+    query.address_in(lo, hi);
+  }
+  for (const auto& text : args.all("region")) {
+    query.region(static_cast<std::int32_t>(std::strtoll(text.c_str(), nullptr, 10)));
+  }
+  for (const auto& text : args.all("level")) {
+    nmo::MemLevel level{};
+    if (!parse_level(text, level)) {
+      return command.usage_error(kTool, "--level must be L1, L2, SLC or DRAM");
+    }
+    query.level(level);
+  }
+
+  const auto threads = static_cast<unsigned>(args.uint("threads", 1));
+  const auto result = query.run(threads == 0 ? 1 : threads);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), result.error.c_str());
+    return 1;
+  }
+
+  if (args.has("json")) {
+    nmo::JsonWriter json;
+    json.begin_object();
+    json.key("file").value(path);
+    json.key("version").value(static_cast<std::uint64_t>(result.info.version));
+    json.key("pushdown").value(result.stats.pushdown);
+    json.key("blocks_total").value(result.stats.blocks_total);
+    json.key("blocks_scanned").value(result.stats.blocks_scanned);
+    json.key("blocks_skipped").value(result.stats.blocks_skipped);
+    json.key("samples_scanned").value(result.stats.samples_scanned);
+    json.key("samples_matched").value(result.stats.samples_matched);
+    json.end_object();
+    std::printf("%s\n", json.str().c_str());
+    return 0;
+  }
+  if (args.has("csv")) {
+    std::cout << nmo::core::kTraceCsvHeader;
+    for (const auto& s : result.samples.samples()) nmo::core::write_csv_row(std::cout, s);
+    std::cout.flush();
+    return std::cout ? 0 : 1;
+  }
+
+  std::printf("%s (v%u)\n", path.c_str(), result.info.version);
+  std::printf("  pushdown   : %s\n", result.stats.pushdown ? "yes (index metadata)"
+                                                           : "no (full scan)");
+  std::printf("  blocks     : %" PRIu64 " total, %" PRIu64 " scanned, %" PRIu64 " skipped\n",
+              result.stats.blocks_total, result.stats.blocks_scanned,
+              result.stats.blocks_skipped);
+  std::printf("  samples    : %" PRIu64 " scanned, %" PRIu64 " matched\n",
+              result.stats.samples_scanned, result.stats.samples_matched);
+  return 0;
+}
+
+int cmd_diff(const Command&, const Args& args) {
+  nmo::analysis::DiffOptions options;
+  options.ks_threshold = args.number("ks-threshold", options.ks_threshold);
+  options.level_threshold = args.number("level-threshold", options.level_threshold);
+  options.phase_threshold = args.number("phase-threshold", options.phase_threshold);
+  options.min_samples = args.uint("min-samples", options.min_samples);
+  options.phase_bins = static_cast<std::size_t>(args.uint("bins", options.phase_bins));
+  if (options.phase_bins == 0) options.phase_bins = 1;
+
+  const std::string& path_a = args.positionals()[0];
+  const std::string& path_b = args.positionals()[1];
+  std::string error;
+  const auto profile_a = nmo::analysis::profile_path(path_a, options, &error);
+  if (!profile_a) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto profile_b = nmo::analysis::profile_path(path_b, options, &error);
+  if (!profile_b) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto report = nmo::analysis::diff_profiles(*profile_a, *profile_b, options);
+
+  if (args.has("json")) {
+    nmo::JsonWriter json;
+    json.begin_object();
+    json.key("a").value(path_a);
+    json.key("b").value(path_b);
+    json.key("samples_a").value(report.samples_a);
+    json.key("samples_b").value(report.samples_b);
+    json.key("drift").value(report.drift);
+    json.key("phase_distance").value(report.phase_distance);
+    json.key("phase_drift").value(report.phase_drift);
+    json.key("regions").begin_array();
+    for (const auto& r : report.regions) {
+      json.begin_object();
+      json.key("name").value(r.name);
+      json.key("samples_a").value(r.samples_a);
+      json.key("samples_b").value(r.samples_b);
+      json.key("ks_latency").value(r.ks_latency);
+      json.key("level_distance").value(r.level_distance);
+      json.key("judged").value(r.judged);
+      json.key("drift").value(r.drift);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("%s\n", json.str().c_str());
+    return report.drift ? 3 : 0;
+  }
+
+  std::printf("diff %s (%" PRIu64 " samples) vs %s (%" PRIu64 " samples)\n", path_a.c_str(),
+              report.samples_a, path_b.c_str(), report.samples_b);
+  std::printf("%-20s %-12s %-12s %-10s %-10s %s\n", "region", "samples_a", "samples_b",
+              "ks_lat", "level_tv", "verdict");
+  for (const auto& r : report.regions) {
+    std::printf("%-20s %-12" PRIu64 " %-12" PRIu64 " %-10.4f %-10.4f %s\n", r.name.c_str(),
+                r.samples_a, r.samples_b, r.ks_latency, r.level_distance,
+                !r.judged ? "(too few)" : r.drift ? "DRIFT" : "ok");
+  }
+  std::printf("phases: distance=%.4f -> %s\n", report.phase_distance,
+              report.phase_drift ? "DRIFT" : "ok");
+  std::printf("verdict: %s\n", report.drift ? "DRIFT" : "no drift");
+  return report.drift ? 3 : 0;
+}
+
+const std::vector<Command>& command_table() {
+  static const std::vector<Command> kCommands = {
+      {"info", "FILE...", "validate and summarize trace files", 1, std::size_t(-1), {},
+       cmd_info},
+      {"merge",
+       "FILE...",
+       "k-way merge into canonical order (unions region sidecars)",
+       1,
+       std::size_t(-1),
+       {{"output", "o", Flag::Type::kString, "OUT", "merged trace path (required)"}},
+       cmd_merge},
+      {"export-csv",
+       "FILE",
+       "write the trace as CSV (stdout default)",
+       1,
+       1,
+       {{"output", "o", Flag::Type::kString, "OUT", "CSV path (default: stdout)"}},
+       cmd_export_csv},
+      {"compress",
+       "FILE",
+       "rewrite into format v2 (self-contained blocks + codec + index)",
+       1,
+       1,
+       {{"output", "o", Flag::Type::kString, "OUT", "rewritten trace path (required)"},
+        {"raw", "", Flag::Type::kBool, "", "disable the block codec"},
+        {"v1", "", Flag::Type::kBool, "", "pin the legacy v1 format"}},
+       cmd_compress},
+      {"verify", "FILE...", "full decode + MD5 + block index/metadata cross-check", 1,
+       std::size_t(-1), {}, cmd_verify},
+      {"top",
+       "FILE",
+       "hottest groups by region, level, core or latency",
+       1,
+       1,
+       {{"by", "", Flag::Type::kString, "KEY", "group key: region|level|core|latency"},
+        {"n", "n", Flag::Type::kUint, "N", "rows to print (default 10)"}},
+       cmd_top},
+      {"sessions", "ROOT", "session lifecycle + scheduler stats of a store", 1, 1, {},
+       cmd_sessions},
+      {"query",
+       "FILE",
+       "predicate-pushdown sample query over an indexed trace",
+       1,
+       1,
+       {{"t0", "", Flag::Type::kUint, "NS", "keep samples with time >= NS"},
+        {"t1", "", Flag::Type::kUint, "NS", "keep samples with time <= NS"},
+        {"addr", "", Flag::Type::kString, "LO:HI", "keep samples with vaddr in [LO, HI]"},
+        {"region", "", Flag::Type::kInt, "R", "keep this region id (-1 = untagged)", true},
+        {"level", "", Flag::Type::kString, "NAME", "keep this level: L1|L2|SLC|DRAM", true},
+        {"threads", "", Flag::Type::kUint, "N", "decode workers (default 1)"},
+        {"csv", "", Flag::Type::kBool, "", "print matching samples as CSV"},
+        {"json", "", Flag::Type::kBool, "", "print query stats as JSON"}},
+       cmd_query},
+      {"diff",
+       "A B",
+       "statistical drift verdict between two traces or session roots (exit 3 = drift)",
+       2,
+       2,
+       {{"json", "", Flag::Type::kBool, "", "print the full report as JSON"},
+        {"ks-threshold", "", Flag::Type::kDouble, "X", "per-region latency KS limit (0.15)"},
+        {"level-threshold", "", Flag::Type::kDouble, "X", "per-region level-mix TV limit (0.10)"},
+        {"phase-threshold", "", Flag::Type::kDouble, "X", "whole-run phase TV limit (0.25)"},
+        {"min-samples", "", Flag::Type::kUint, "N", "smallest region worth judging (64)"},
+        {"bins", "", Flag::Type::kUint, "N", "phase timeline bins (16)"}},
+       cmd_diff},
+  };
+  return kCommands;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
-  if (command == "info") return cmd_info(args);
-  if (command == "merge") return cmd_merge(args);
-  if (command == "export-csv") return cmd_export_csv(args);
-  if (command == "compress") return cmd_compress(args);
-  if (command == "verify") return cmd_verify(args);
-  if (command == "top") return cmd_top(args);
-  if (command == "sessions") return cmd_sessions(args);
-  return usage();
+  return nmo::cli::dispatch(kTool, command_table(), argc, argv);
 }
