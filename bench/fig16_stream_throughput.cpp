@@ -1,0 +1,297 @@
+// Streaming-capture throughput: blocks/sec and wire MB/s of the
+// sender -> nmo-traced collector path over loopback, across 1/4/8
+// concurrent senders, against the direct-to-disk TraceWriter baseline.
+//
+// Not a paper figure: it characterizes the net/ subsystem this repo adds
+// on top of the paper's single-host capture workflow.  What matters for
+// fleet capture is (a) how much slower shipping blocks over TCP is than
+// writing them locally, (b) how ingest scales when several sessions
+// stream into one collector, and (c) that the default watermark (the
+// bounded ring with the block policy) never drops a block - streamed
+// capture must stay lossless, not best-effort.
+//
+// The throughput numbers are hardware- and kernel-dependent; the
+// deterministic gates are not:
+//   - zero dropped blocks at the default watermark, every sender count;
+//   - every collected trace byte-identical to its sender's local file.
+//
+//   ./bench_fig16_stream_throughput [samples/sender] [trials] [--json [FILE]]
+//
+// Exit codes: 0 ok; 1 = gate failure (drops, parity mismatch, or a
+// stream/collector error).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/trace.hpp"
+#include "net/block_sender.hpp"
+#include "net/collector.hpp"
+#include "store/trace_file.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Clustered irregular accesses (the fig13 "cfd" profile): short runs
+/// broken by jumps - a realistic, not codec-best-case, wire payload.
+nmo::core::SampleTrace make_trace(std::size_t samples, std::uint64_t seed) {
+  nmo::core::SampleTrace trace;
+  nmo::Rng rng(seed, 5);
+  std::uint64_t t = 1000;
+  std::vector<nmo::Addr> cursor(8, 0x1000'0000);
+  for (std::size_t i = 0; i < samples; ++i) {
+    nmo::core::TraceSample s;
+    t += 80 + rng.uniform(160);
+    s.time_ns = t;
+    s.core = static_cast<nmo::CoreId>(rng.uniform(8));
+    if (rng.uniform(8) == 0) {
+      cursor[s.core] = 0x1000'0000 + rng.uniform(1 << 12) * 0x1'0000;
+    } else {
+      cursor[s.core] += 8 + 8 * rng.uniform(4);
+    }
+    s.vaddr = cursor[s.core];
+    s.pc = 0x400000 + rng.uniform(64) * 4;
+    s.op = rng.uniform(4) == 0 ? nmo::MemOp::kStore : nmo::MemOp::kLoad;
+    const unsigned level = static_cast<unsigned>(rng.uniform(4));
+    s.level = static_cast<nmo::MemLevel>(level);
+    s.latency = static_cast<std::uint16_t>(level == 3 ? 280 + rng.uniform(100) : 4 + level * 9);
+    s.region = -1;
+    trace.add(s);
+  }
+  trace.sort_canonical();
+  return trace;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct RunResult {
+  double blocks_per_sec = 0.0;
+  double wire_mbps = 0.0;      ///< framed bytes over the wire / wall time
+  double disk_mbps = 0.0;      ///< direct TraceWriter baseline, same traces
+  std::uint64_t blocks = 0;
+  std::uint64_t dropped = 0;
+  bool parity_ok = true;
+  bool stream_ok = true;
+};
+
+/// One trial at a given sender count: streams every trace through an
+/// in-process collector, then writes the same traces straight to disk as
+/// the baseline.  Parity compares collected files to the senders' local
+/// captures byte for byte.
+RunResult run_trial(const std::vector<nmo::core::SampleTrace>& traces, const fs::path& dir) {
+  RunResult r;
+  const std::size_t senders = traces.size();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  nmo::net::CollectorConfig collector_config;
+  collector_config.root = (dir / "collected").string();
+  collector_config.once = senders;
+  nmo::net::Collector collector(collector_config);
+  std::string error;
+  if (!collector.start(&error)) {
+    std::fprintf(stderr, "collector: %s\n", error.c_str());
+    r.stream_ok = false;
+    return r;
+  }
+
+  std::vector<std::string> local(senders);
+  std::vector<nmo::net::StreamStats> stats(senders);
+  // vector<char>, not vector<bool>: the senders write their slots
+  // concurrently, and bit-packed elements would race on shared words.
+  std::vector<char> sender_ok(senders, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < senders; ++i) {
+      local[i] = (dir / ("local-" + std::to_string(i) + ".nmot")).string();
+      threads.emplace_back([&, i] {
+        nmo::net::StreamConfig stream;  // default watermark: ring 64, block policy
+        stream.port = collector.port();
+        nmo::net::StreamingTraceSink sink(stream, "bench-" + std::to_string(i),
+                                          nmo::store::TraceWriter::Options{}, i);
+        if (!sink.connect()) return;
+        nmo::store::TraceWriter writer(local[i]);
+        sink.attach(writer);
+        writer.write_all(traces[i]);
+        const bool closed = writer.close();
+        const bool finished =
+            sink.finish(writer.samples_written(), writer.fingerprint());
+        stats[i] = sink.stats();
+        sender_ok[i] = closed && finished && !sink.fallback() ? 1 : 0;
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (!collector.wait_done(120'000)) r.stream_ok = false;
+  const double stream_seconds = seconds_since(t0);
+  collector.stop();
+
+  std::uint64_t wire_bytes = 0;
+  for (std::size_t i = 0; i < senders; ++i) {
+    r.stream_ok = r.stream_ok && sender_ok[i] != 0;
+    r.blocks += stats[i].blocks_sent;
+    r.dropped += stats[i].blocks_dropped;
+    wire_bytes += stats[i].bytes_sent;
+  }
+  r.blocks_per_sec = static_cast<double>(r.blocks) / stream_seconds;
+  r.wire_mbps = mib(wire_bytes) / stream_seconds;
+
+  // Parity: every collected session file equals the matching local file.
+  std::size_t matched = 0;
+  for (const auto& entry : fs::directory_iterator(collector_config.root)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    for (std::size_t i = 0; i < senders; ++i) {
+      if (name.find("-bench-" + std::to_string(i)) == std::string::npos) continue;
+      if (read_file((entry.path() / "trace.nmot").string()) != read_file(local[i])) {
+        r.parity_ok = false;
+      }
+      ++matched;
+    }
+  }
+  r.parity_ok = r.parity_ok && matched == senders;
+
+  // Direct-to-disk baseline: the same traces through plain TraceWriters
+  // on the same thread count, no tee.
+  std::uint64_t disk_bytes = 0;
+  const auto t1 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < senders; ++i) {
+      threads.emplace_back([&, i] {
+        nmo::store::TraceWriter writer((dir / ("disk-" + std::to_string(i) + ".nmot")).string());
+        writer.write_all(traces[i]);
+        writer.close();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double disk_seconds = seconds_since(t1);
+  for (std::size_t i = 0; i < senders; ++i) {
+    disk_bytes += fs::file_size(dir / ("disk-" + std::to_string(i) + ".nmot"));
+  }
+  r.disk_mbps = mib(disk_bytes) / disk_seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t samples = 1 << 18;
+  int trials = 3;
+  std::string json_path;
+  bool want_json = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) samples = std::strtoull(positional[0].c_str(), nullptr, 10);
+  if (positional.size() > 1) trials = std::atoi(positional[1].c_str());
+  if (samples == 0 || trials <= 0 || positional.size() > 2) {
+    std::fprintf(stderr, "usage: %s [samples/sender > 0] [trials > 0] [--json [FILE]]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (want_json && json_path.empty()) json_path = "BENCH_stream.json";
+
+  nmo::bench::banner("fig16", "streaming capture: loopback sender->collector vs direct disk");
+  std::printf("%zu samples/sender, %d trials, default watermark (ring 64, block policy)\n",
+              samples, trials);
+
+  const fs::path dir = fs::temp_directory_path() / "nmo_fig16_stream";
+  const std::vector<std::size_t> sender_counts = {1, 4, 8};
+
+  // One trace pool, large enough for the widest fan-out, built once.
+  std::vector<nmo::core::SampleTrace> pool;
+  for (std::size_t i = 0; i < sender_counts.back(); ++i) {
+    pool.push_back(make_trace(samples, 1000 + i));
+  }
+
+  bool gate_ok = true;
+  nmo::bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("fig16_stream_throughput");
+  json.key("samples_per_sender").value(static_cast<std::uint64_t>(samples));
+  json.key("trials").value(trials);
+  json.key("runs").begin_array();
+
+  nmo::bench::print_row(
+      {"senders", "blocks/s", "wire MB/s", "disk MB/s", "drops", "parity"}, 12);
+  for (const std::size_t senders : sender_counts) {
+    const std::vector<nmo::core::SampleTrace> traces(pool.begin(),
+                                                     pool.begin() + static_cast<long>(senders));
+    nmo::RunningStats blocks_s, wire_s, disk_s;
+    std::uint64_t dropped = 0;
+    bool parity_ok = true;
+    bool stream_ok = true;
+    std::uint64_t blocks = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const RunResult r = run_trial(traces, dir / std::to_string(senders));
+      blocks_s.add(r.blocks_per_sec);
+      wire_s.add(r.wire_mbps);
+      disk_s.add(r.disk_mbps);
+      dropped += r.dropped;
+      parity_ok = parity_ok && r.parity_ok;
+      stream_ok = stream_ok && r.stream_ok;
+      blocks = r.blocks;
+    }
+    const bool row_ok = parity_ok && stream_ok && dropped == 0;
+    gate_ok = gate_ok && row_ok;
+
+    char b[32], w[32], d[32], dr[32];
+    std::snprintf(b, sizeof(b), "%.0f", blocks_s.mean());
+    std::snprintf(w, sizeof(w), "%.1f", wire_s.mean());
+    std::snprintf(d, sizeof(d), "%.1f", disk_s.mean());
+    std::snprintf(dr, sizeof(dr), "%llu", static_cast<unsigned long long>(dropped));
+    nmo::bench::print_row({std::to_string(senders), b, w, d, dr, row_ok ? "ok" : "FAIL"}, 12);
+
+    json.begin_object();
+    json.key("senders").value(static_cast<std::uint64_t>(senders));
+    json.key("blocks").value(blocks);
+    json.key("blocks_per_sec").value(blocks_s.mean());
+    json.key("wire_mbps").value(wire_s.mean());
+    json.key("disk_mbps").value(disk_s.mean());
+    json.key("dropped").value(dropped);
+    json.key("parity_ok").value(parity_ok);
+    json.key("stream_ok").value(stream_ok);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("gate_ok").value(gate_ok);
+  json.end_object();
+  if (want_json && !json.write_file(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  fs::remove_all(dir);
+  std::printf("\ngate (zero drops at default watermark, byte parity): %s\n",
+              gate_ok ? "ok" : "FAIL");
+  return gate_ok ? 0 : 1;
+}

@@ -1,0 +1,207 @@
+// Streaming capture: N profiled jobs teeing their trace blocks to a
+// running nmo-traced collector while writing their local store as usual.
+//
+// The fleet-capture step (ROADMAP): start `nmo-traced` somewhere, point
+// every session's SessionJob::stream at it, and the collector rebuilds a
+// byte-identical mirror of each session's trace on its side - local
+// capture stays the source of truth, so an unreachable or dying collector
+// costs nothing but the mirror.
+//
+// The example runs the multi_session job mix (alternating STREAM and BFS)
+// with streaming enabled, prints the per-session stream outcome, and then
+// prints the *expected* merged sample count and fingerprint of the local
+// store, computed independently in memory.  CI's streaming smoke step
+// compares these expectations against `nmo-trace merge` + `nmo-trace
+// info` over the COLLECTED store - if every mirrored trace is
+// byte-identical, the two merges cannot disagree.
+//
+//   ./example_streaming_capture HOST:PORT [store_root] [sessions] [max_workers]
+//   defaults: HOST:PORT required, ./nmo_stream_sessions 4 2
+//
+// Exit codes: 0 ok; 1 = a session failed, fell back to local-only
+// capture, or closed its stream unclean; 2 = usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/block_sender.hpp"
+#include "store/region_file.hpp"
+#include "store/session_store.hpp"
+#include "store/trace_file.hpp"
+#include "store/trace_merger.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/stream.hpp"
+
+namespace {
+
+// Digits-only count parse: "-1" must hit the usage message, not wrap
+// through strtoull to 2^64-1 and blow up a vector allocation.
+std::optional<std::uint64_t> parse_count(const char* text) {
+  if (!text || *text < '0' || *text > '9') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (*end != '\0') return std::nullopt;
+  return value;
+}
+
+/// Splits "host:port"; returns nullopt on a missing/invalid port.
+std::optional<nmo::net::StreamConfig> parse_endpoint(const char* text) {
+  const std::string s = text ? text : "";
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  const auto port = parse_count(s.c_str() + colon + 1);
+  if (!port || *port == 0 || *port > 0xffff) return std::nullopt;
+  nmo::net::StreamConfig config;
+  config.host = s.substr(0, colon);
+  config.port = static_cast<std::uint16_t>(*port);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto stream = argc > 1 ? parse_endpoint(argv[1]) : std::nullopt;
+  const std::string root = argc > 2 ? argv[2] : "nmo_stream_sessions";
+  const auto sessions = argc > 3 ? parse_count(argv[3]) : std::uint64_t{4};
+  const auto workers = argc > 4 ? parse_count(argv[4]) : std::uint64_t{2};
+  if (!stream || !sessions || *sessions == 0 || !workers || *workers == 0 ||
+      *workers > 0xffffffffULL || argc > 5) {
+    std::fprintf(stderr,
+                 "usage: %s HOST:PORT [store_root] [sessions > 0] [max_workers > 0]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::size_t n_sessions = static_cast<std::size_t>(*sessions);
+
+  nmo::core::NmoConfig nmo_cfg;
+  nmo_cfg.enable = true;
+  nmo_cfg.mode = nmo::core::Mode::kAll;
+  nmo_cfg.period = 1024;
+
+  nmo::sim::EngineConfig engine;
+  engine.threads = 4;
+  engine.machine.hierarchy.cores = 4;
+
+  // The multi_session job mix, every job teeing to the collector.
+  std::vector<nmo::store::SessionJob> jobs(n_sessions);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    jobs[i].nmo = nmo_cfg;
+    jobs[i].engine = engine;
+    jobs[i].engine.seed = i + 1;
+    jobs[i].stream = *stream;
+    if (i % 2 == 0) {
+      jobs[i].name = "stream-" + std::to_string(i);
+      jobs[i].make_workload = [] {
+        nmo::wl::StreamConfig cfg;
+        cfg.array_elems = 1 << 15;
+        cfg.iterations = 2;
+        return std::make_unique<nmo::wl::Stream>(cfg);
+      };
+    } else {
+      jobs[i].name = "bfs-" + std::to_string(i);
+      jobs[i].make_workload = [] {
+        nmo::wl::BfsConfig cfg;
+        cfg.nodes = 1 << 13;
+        cfg.edges_per_node = 8;
+        return std::make_unique<nmo::wl::Bfs>(cfg);
+      };
+    }
+  }
+
+  nmo::store::SchedulerConfig sched;
+  sched.max_workers = static_cast<std::uint32_t>(*workers);
+
+  nmo::store::SessionStore store(root);
+  const auto run = nmo::store::run_sessions(store, jobs, sched);
+
+  std::printf("=== streaming capture (%zu jobs -> %s:%u, %u workers) ===\n",
+              run.results.size(), stream->host.c_str(), stream->port, sched.max_workers);
+  nmo::core::SampleTrace expected;
+  nmo::store::RegionUnion expected_regions;
+  std::vector<std::string> merge_inputs;
+  struct PendingTrace {
+    nmo::core::SampleTrace samples;
+    std::optional<std::size_t> table;
+  };
+  std::vector<PendingTrace> pending;
+  bool ok = true;
+  for (const auto& r : run.results) {
+    if (!r.error.empty()) {
+      std::printf("session %u (%s): FAILED: %s\n", r.session.id, r.session.name.c_str(),
+                  r.error.c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("session %u (%s): %llu samples, stream %s (%llu blocks, %llu dropped)\n",
+                r.session.id, r.session.name.c_str(),
+                static_cast<unsigned long long>(r.samples),
+                r.streamed ? r.stream_state.c_str() : "OFF",
+                static_cast<unsigned long long>(r.stream_blocks_sent),
+                static_cast<unsigned long long>(r.stream_blocks_dropped));
+    // The smoke contract: every session must have streamed cleanly.  A
+    // fallback means the local capture is fine but the mirror is not -
+    // exactly what this example exists to prove works.
+    if (!r.streamed || r.stream_fallback || r.stream_state != "clean") {
+      std::printf("  stream NOT CLEAN: state=%s error=%s\n", r.stream_state.c_str(),
+                  r.stream_error.c_str());
+      ok = false;
+    }
+
+    nmo::store::TraceReader reader(r.session.trace_path);
+    PendingTrace trace;
+    trace.samples = reader.read_all();
+    if (!reader.ok() || trace.samples.fingerprint() != r.fingerprint) {
+      std::printf("  round-trip MISMATCH: %s\n", reader.error().c_str());
+      ok = false;
+    }
+    if (auto table =
+            nmo::store::read_region_file(nmo::store::region_path_for(r.session.trace_path))) {
+      trace.table = expected_regions.add(std::move(*table));
+    }
+    pending.push_back(std::move(trace));
+    merge_inputs.push_back(r.session.trace_path);
+  }
+  if (!ok) return 1;
+
+  // The independent merge oracle (same remap the on-disk merger applies).
+  for (const auto& trace : pending) {
+    if (!trace.table) {
+      expected.append(trace.samples);
+      continue;
+    }
+    const auto remap = expected_regions.mapping(*trace.table);
+    nmo::core::SampleTrace remapped;
+    for (auto s : trace.samples.samples()) {
+      if (s.region >= 0 && static_cast<std::size_t>(s.region) < remap.size()) {
+        s.region = remap[static_cast<std::size_t>(s.region)];
+      }
+      remapped.add(s);
+    }
+    expected.append(remapped);
+  }
+  expected.sort_canonical();
+  std::printf("\nmerged samples (expected)    : %zu\n", expected.size());
+  std::printf("merged fingerprint (expected): %s\n", expected.fingerprint().c_str());
+
+  // The local store's own merge must agree; CI then holds the COLLECTED
+  // store's merge to the same two expectation lines.
+  nmo::store::TraceMerger merger;
+  for (const auto& in : merge_inputs) merger.add_input(in);
+  const std::string merged_path = root + "/merged.nmot";
+  const auto merge_stats = merger.merge_to(merged_path);
+  if (!merge_stats) {
+    std::printf("merge failed: %s\n", merger.error().c_str());
+    return 1;
+  }
+  const bool match = merge_stats->samples == expected.size() &&
+                     merge_stats->fingerprint == expected.fingerprint();
+  std::printf("local store merge            : %llu samples, %s -> %s\n",
+              static_cast<unsigned long long>(merge_stats->samples),
+              merge_stats->fingerprint.c_str(),
+              match ? "matches in-memory canonical order" : "MISMATCH");
+  return match ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 // identifiers); value(std::string) escapes nothing by design.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -30,6 +31,9 @@ class JsonWriter {
   }
 
   JsonWriter& value(double v) {
+    // JSON has no NaN/Infinity literals; "%g" would emit "nan"/"inf" and
+    // break every strict parser downstream.  null is the standard stand-in.
+    if (!std::isfinite(v)) return raw("null");
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return raw(buf);

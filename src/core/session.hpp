@@ -68,6 +68,14 @@ struct SessionReport {
   std::uint64_t sched_queue_wait_ns = 0;  ///< Time spent in the admission queue.
   std::uint32_t sched_worker = 0;         ///< Worker-pool slot that ran the session.
 
+  // Streaming-capture telemetry (filled by store::run_sessions when the
+  // job teed its trace into a net::StreamingTraceSink; zero otherwise).
+  std::uint64_t stream_blocks_sent = 0;
+  std::uint64_t stream_blocks_dropped = 0;  ///< Drop-oldest ring evictions.
+  /// Capture degraded to local-only (collector unreachable, or the stream
+  /// failed mid-run).  The local on-disk trace is complete either way.
+  bool stream_fallback = false;
+
   /// Eq. 1 of the paper.
   [[nodiscard]] double accuracy() const;
   /// Relative execution-time overhead (0 when no baseline was run).

@@ -1,0 +1,187 @@
+// Sender side of the streaming-capture subsystem: nonblocking socket
+// writes behind a bounded ring of closed v2 trace blocks.
+//
+// A BlockSender owns one TCP connection to an nmo-traced collector and a
+// dedicated writer thread.  Producers (the TraceWriter block observer, on
+// the session's worker thread) enqueue frames; the writer thread drains
+// the queue with nonblocking send() + poll(), and emits a heartbeat frame
+// carrying the live decode progress whenever the stream has been idle for
+// a configured interval.  Block frames ride a bounded ring with an
+// explicit backpressure policy:
+//
+//   kBlock       the producer waits for ring space - lossless, the
+//                session's trace write stalls with the network (default);
+//   kDropOldest  the oldest queued block is dropped and counted - the
+//                stream stays live at the cost of holes the collector
+//                finalizes around (the trace it writes stays verify-clean,
+//                it just holds fewer samples than the sender's local copy).
+//
+// Control frames (hello, region deltas, scheduler.meta, session end) are
+// never dropped: they are tiny and the collector needs them to finalize.
+//
+// StreamingTraceSink is the tee the session runner uses: it binds a
+// BlockSender to a TraceWriter's block observer, forwards the region
+// table as deltas, and closes the stream with the writer's footer count +
+// digest.  Its contract is fail-soft by construction: the TraceWriter
+// keeps writing the normal on-disk SessionStore artifact no matter what
+// the network does, so a dead collector degrades capture to exactly the
+// local path (fallback() reports it; nothing is lost).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/regions.hpp"
+#include "net/wire.hpp"
+#include "store/trace_file.hpp"
+
+namespace nmo::net {
+
+/// Where and how a session streams its closed blocks.
+struct StreamConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t connect_timeout_ms = 1000;
+  /// Closed blocks the ring may hold before the backpressure policy kicks
+  /// in (the "watermark" of the stream bench).
+  std::uint32_t ring_capacity = 64;
+  enum class Backpressure : std::uint8_t { kBlock, kDropOldest };
+  Backpressure policy = Backpressure::kBlock;
+  /// Idle interval after which the writer thread sends a heartbeat frame
+  /// (0 disables heartbeats).
+  std::uint32_t heartbeat_interval_ms = 500;
+  /// Longest a finish() waits for the queue to drain before declaring the
+  /// stream failed (the local artifact is complete either way).
+  std::uint32_t drain_timeout_ms = 10'000;
+  /// SO_SNDBUF override for the connection; 0 keeps the kernel default.
+  /// (Mostly a test/bench knob: a tiny send buffer makes backpressure
+  /// reproducible on loopback.)
+  std::uint32_t send_buffer_bytes = 0;
+};
+
+[[nodiscard]] std::string_view to_string(StreamConfig::Backpressure policy) noexcept;
+
+/// One stream's outcome counters (monotone while the stream runs; final
+/// after finish()/abort()).
+struct StreamStats {
+  std::uint64_t blocks_enqueued = 0;
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t blocks_dropped = 0;  ///< kDropOldest evictions.
+  std::uint64_t frames_sent = 0;     ///< Every frame type, heartbeats included.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t heartbeats = 0;
+  bool connected = false;  ///< Handshake reached the wire.
+  bool failed = false;     ///< Connection or drain error after connect.
+  std::string error;
+};
+
+class BlockSender {
+ public:
+  explicit BlockSender(StreamConfig config);
+  ~BlockSender();
+
+  BlockSender(const BlockSender&) = delete;
+  BlockSender& operator=(const BlockSender&) = delete;
+
+  /// Connects (bounded by connect_timeout_ms), queues the handshake frame
+  /// and starts the writer thread.  False - with *error - when the
+  /// collector is unreachable; the sender is then inert (every later call
+  /// is a no-op), which is the local-capture fallback.
+  bool connect(const Hello& hello, std::string* error = nullptr);
+
+  /// Enqueues one closed block (frame-encoded inside).  Applies the ring's
+  /// backpressure policy; returns false when the block was dropped (policy
+  /// kDropOldest counts the evicted block, not this one) or the stream is
+  /// not active.
+  bool send_block(std::span<const std::byte> block_bytes);
+
+  /// Enqueues a control frame (never dropped, not ring-bounded).
+  void send_control(FrameType type, std::vector<std::byte> payload);
+
+  /// Publishes the live decode progress the next heartbeat carries.
+  void set_progress(std::uint64_t samples_decoded);
+
+  /// Queues the end frame, waits for the queue to drain (bounded by
+  /// drain_timeout_ms) and closes.  Returns true when everything reached
+  /// the socket.
+  bool finish(const SessionEnd& end);
+
+  /// Drops everything queued and closes immediately - the forced
+  /// mid-stream disconnect path.
+  void abort();
+
+  /// Connected, not failed, not closed.
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] StreamStats stats() const;
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+
+ private:
+  struct Impl;
+  StreamConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The tee a profiled session streams through: TraceWriter block observer
+/// in, wire frames out, with the local on-disk trace untouched as the
+/// source of truth.
+class StreamingTraceSink {
+ public:
+  StreamingTraceSink(StreamConfig config, std::string session_name,
+                     store::TraceWriter::Options trace_options, std::uint64_t nonce = 0);
+
+  /// Connects + handshakes.  False = collector unreachable: the sink is in
+  /// fallback mode and every later call is a cheap no-op while the local
+  /// capture proceeds normally.
+  bool connect();
+
+  /// Installs this sink as `writer`'s block observer.  The writer must
+  /// outlive the sink's finish()/abort().
+  void attach(store::TraceWriter& writer);
+
+  /// Live decode progress (spe::AuxConsumer hook) for heartbeat frames.
+  void note_progress(std::uint64_t samples_decoded);
+
+  /// Streams the not-yet-sent suffix of `regions` as a delta frame.
+  void send_regions(const std::vector<core::AddrRegion>& regions);
+
+  /// Streams a scheduler.meta snapshot (key=value text) for the
+  /// collector's fleet merge.
+  void send_scheduler_meta(const std::string& text);
+
+  /// Ends the stream with the writer's footer declaration and drains.
+  /// Returns true when the collector got everything.
+  bool finish(std::uint64_t samples, const std::string& fingerprint_hex, bool clean = true);
+
+  /// Forced disconnect without an end frame (tests the collector's
+  /// truncated-finalize path; also the destructor's stance for a sink that
+  /// was never finished).
+  void abort();
+
+  /// Connected and healthy: blocks are reaching the wire.
+  [[nodiscard]] bool streaming() const { return sender_.active(); }
+  /// True when capture degraded to local-only (never connected, or failed
+  /// mid-stream).
+  [[nodiscard]] bool fallback() const;
+  [[nodiscard]] StreamStats stats() const { return sender_.stats(); }
+
+ private:
+  std::string name_;
+  store::TraceWriter::Options options_;
+  std::uint64_t nonce_ = 0;
+  BlockSender sender_;
+  bool connect_attempted_ = false;
+  std::size_t regions_sent_ = 0;
+};
+
+/// One-shot control stream: connects with a control-kind hello, ships one
+/// scheduler.meta snapshot (key=value text) for the collector's fleet
+/// merge, and drains.  False when the collector was unreachable or the
+/// send failed - callers treat that exactly like the session fallback
+/// (the local scheduler.meta is the source of truth).
+bool stream_scheduler_meta(const StreamConfig& config, const std::string& text,
+                           const std::string& name = "scheduler");
+
+}  // namespace nmo::net

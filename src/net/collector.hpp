@@ -1,0 +1,99 @@
+// Collector side of the streaming-capture subsystem: the engine behind
+// the nmo-traced daemon (tools/nmo_traced.cpp).
+//
+// One poll-loop thread serves many concurrent senders.  Each connection
+// runs a small state machine - hello, then blocks/control frames, then an
+// end frame - behind a FrameParser, and ingests its stream into a
+// per-session directory of a SessionStore: block frames are decoded
+// (store::decode_v2_block, full corrupt-input discipline) and re-added
+// through a TraceWriter configured from the hello's trace options.
+// Because a v2 writer flushes purely on block fullness, re-adding the
+// exact sample sequence reproduces the sender's block boundaries - the
+// collected trace is byte-identical to the sender's local capture, with
+// the index, block metadata and MD5 recomputed (not trusted) at ingest.
+//
+// A connection that drops before its end frame is finalized as a *valid
+// truncated trace*: the writer closes normally over the blocks that
+// arrived, session.meta records stream_state=truncated, and nmo-trace
+// verify passes on the artifact.  Capture robustness cuts both ways: the
+// sender never loses data to a dead collector (local tee), and the
+// collector never writes an unverifiable file because a sender died.
+//
+// Control streams (hello kind 1) carry scheduler.meta snapshots that the
+// collector merges across every sender into a fleet-level admission view
+// at `<root>/scheduler.meta` (sums for counters, maxima for peaks,
+// last-wins for labels), beside a `collector.meta` with ingest totals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace nmo::net {
+
+/// How the daemon listens and where collected sessions land.
+struct CollectorConfig {
+  std::string bind = "127.0.0.1";
+  /// 0 binds an ephemeral port; port() reports the real one.
+  std::uint16_t port = 0;
+  /// SessionStore root the collected sessions are written into.
+  std::string root = "collected-store";
+  /// Stop serving once this many session streams have been finalized
+  /// (clean or truncated) and no session connection remains open; 0 runs
+  /// until stop().  The deterministic-lifecycle knob CI relies on.
+  std::uint32_t once = 0;
+  /// Log per-connection lifecycle lines to stderr.
+  bool verbose = false;
+};
+
+/// Ingest totals (monotone; a snapshot is safe to read while serving).
+struct CollectorStats {
+  std::uint64_t connections = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_clean = 0;      ///< End frame matched the ingest.
+  std::uint64_t sessions_truncated = 0;  ///< Disconnect before the end frame.
+  std::uint64_t sessions_failed = 0;     ///< Protocol error / count / digest mismatch.
+  std::uint64_t blocks = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t meta_snapshots = 0;  ///< scheduler.meta frames merged.
+  std::uint64_t protocol_errors = 0;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig config);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Binds, listens and starts the poll-loop thread.  False - with
+  /// *error - when the address cannot be bound.
+  bool start(std::string* error = nullptr);
+
+  /// The bound port (resolves an ephemeral bind); 0 before start().
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Blocks until the `once` quota is met (finalized sessions >= once and
+  /// no session connection open).  Bounded by `timeout_ms` when non-zero.
+  /// Returns immediately-false when once == 0 and the collector is still
+  /// serving (there is nothing to wait for).
+  bool wait_done(std::uint32_t timeout_ms = 0);
+
+  /// Stops serving: wakes the poll loop, finalizes every open session
+  /// stream as truncated, writes the merged scheduler.meta and
+  /// collector.meta, joins.  Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] CollectorStats stats() const;
+  [[nodiscard]] const CollectorConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nmo::net

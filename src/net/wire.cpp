@@ -1,0 +1,343 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "common/md5.hpp"
+
+namespace nmo::net {
+namespace {
+
+// --- little-endian fixed-width + LEB128 varint helpers ----------------------
+// (Same codec family as store/trace_file.cpp; duplicated span-side because
+// the store keeps its helpers file-local.  test_net pins the two against
+// each other through block round-trips.)
+
+void put_fixed(std::vector<std::byte>& out, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::byte>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+bool take_fixed(std::span<const std::byte> buf, std::size_t& pos, std::uint64_t& v,
+                std::size_t n) {
+  if (n > buf.size() - pos) return false;
+  v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= std::to_integer<std::uint64_t>(buf[pos + i]) << (8 * i);
+  }
+  pos += n;
+  return true;
+}
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// Strict varint: rejects truncation AND overlong encodings that overflow
+/// 64 bits (the store reader's discipline).
+bool take_varint(std::span<const std::byte> buf, std::size_t& pos, std::uint64_t& v) {
+  v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= buf.size()) return false;
+    const auto c = std::to_integer<unsigned>(buf[pos++]);
+    const auto bits = static_cast<std::uint64_t>(c & 0x7f);
+    if (shift == 63 && bits > 1) return false;
+    v |= bits << shift;
+    if ((c & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+constexpr Crc32Table kCrcTable;
+
+bool valid_frame_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint8_t>(FrameType::kHeartbeat);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kCrcTable.entries[(c ^ bytes[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void append_frame(std::vector<std::byte>& out, FrameType type,
+                  std::span<const std::byte> payload) {
+  out.push_back(static_cast<std::byte>(type));
+  put_fixed(out, payload.size(), 4);
+  put_fixed(out, crc32(payload.data(), payload.size()), 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameParser::feed(const std::byte* data, std::size_t n) {
+  // Compact the consumed prefix before it dominates the buffer, so a
+  // long-lived connection does not grow memory with its history.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+  bytes_ += n;
+}
+
+FrameParser::Result FrameParser::next(Frame& out) {
+  if (!ok()) return Result::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Result::kNeedMore;
+  std::size_t pos = pos_;
+  const auto type = std::to_integer<std::uint8_t>(buf_[pos++]);
+  std::uint64_t length = 0, declared_crc = 0;
+  take_fixed(buf_, pos, length, 4);
+  take_fixed(buf_, pos, declared_crc, 4);
+  // Validate the header before waiting for the payload: a corrupt length
+  // must fail now, not stall the connection "needing" 4 GiB more.
+  if (!valid_frame_type(type)) {
+    error_ = "unknown frame type " + std::to_string(type);
+    return Result::kError;
+  }
+  if (length > kMaxFramePayload) {
+    error_ = "frame payload length " + std::to_string(length) + " exceeds the protocol bound";
+    return Result::kError;
+  }
+  if (buf_.size() - pos < length) return Result::kNeedMore;
+  const std::uint32_t actual =
+      crc32(buf_.data() + pos, static_cast<std::size_t>(length));
+  if (actual != declared_crc) {
+    error_ = "frame CRC mismatch";
+    return Result::kError;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(pos + length));
+  pos_ = pos + static_cast<std::size_t>(length);
+  ++frames_;
+  return Result::kFrame;
+}
+
+// --- hello -------------------------------------------------------------------
+
+std::vector<std::byte> encode_hello(const Hello& hello) {
+  std::vector<std::byte> out;
+  put_fixed(out, kWireMagic, 4);
+  put_fixed(out, hello.protocol, 2);
+  put_fixed(out, hello.trace_version, 2);
+  const std::uint8_t flags = static_cast<std::uint8_t>((hello.compress ? 1u : 0u) |
+                                                       (hello.index_meta ? 2u : 0u));
+  out.push_back(static_cast<std::byte>(flags));
+  out.push_back(static_cast<std::byte>(hello.kind));
+  put_fixed(out, hello.nonce, 8);
+  const std::size_t name_len = std::min(hello.name.size(), kMaxSessionName);
+  put_fixed(out, name_len, 2);
+  for (std::size_t i = 0; i < name_len; ++i) {
+    out.push_back(static_cast<std::byte>(hello.name[i]));
+  }
+  return out;
+}
+
+bool parse_hello(std::span<const std::byte> payload, Hello& out, std::string& error) {
+  std::size_t pos = 0;
+  std::uint64_t magic = 0, protocol = 0, trace_version = 0, nonce = 0, name_len = 0;
+  if (!take_fixed(payload, pos, magic, 4)) {
+    error = "truncated hello";
+    return false;
+  }
+  if (magic != kWireMagic) {
+    error = "bad hello magic: not an nmo stream";
+    return false;
+  }
+  if (!take_fixed(payload, pos, protocol, 2) || !take_fixed(payload, pos, trace_version, 2)) {
+    error = "truncated hello";
+    return false;
+  }
+  if (protocol != kProtocolVersion) {
+    error = "unsupported protocol version " + std::to_string(protocol);
+    return false;
+  }
+  if (pos + 2 > payload.size()) {
+    error = "truncated hello";
+    return false;
+  }
+  const auto flags = std::to_integer<std::uint8_t>(payload[pos++]);
+  const auto kind = std::to_integer<std::uint8_t>(payload[pos++]);
+  if ((flags & ~0x3u) != 0) {
+    error = "unknown hello flags";
+    return false;
+  }
+  if (kind != kHelloKindSession && kind != kHelloKindControl) {
+    error = "unknown hello kind " + std::to_string(kind);
+    return false;
+  }
+  if (!take_fixed(payload, pos, nonce, 8) || !take_fixed(payload, pos, name_len, 2)) {
+    error = "truncated hello";
+    return false;
+  }
+  if (name_len > kMaxSessionName) {
+    error = "hello session name too long";
+    return false;
+  }
+  if (name_len != payload.size() - pos) {
+    error = "hello name length disagrees with the payload";
+    return false;
+  }
+  out.protocol = static_cast<std::uint16_t>(protocol);
+  out.trace_version = static_cast<std::uint16_t>(trace_version);
+  out.compress = (flags & 1u) != 0;
+  out.index_meta = (flags & 2u) != 0;
+  out.kind = kind;
+  out.nonce = nonce;
+  out.name.assign(reinterpret_cast<const char*>(payload.data() + pos),
+                  static_cast<std::size_t>(name_len));
+  return true;
+}
+
+// --- region delta ------------------------------------------------------------
+
+std::vector<std::byte> encode_region_delta(const RegionDelta& delta) {
+  std::vector<std::byte> out;
+  put_varint(out, delta.first);
+  put_varint(out, delta.regions.size());
+  for (const auto& r : delta.regions) {
+    put_varint(out, r.start);
+    put_varint(out, r.end - r.start);
+    put_varint(out, r.name.size());
+    for (const char c : r.name) out.push_back(static_cast<std::byte>(c));
+  }
+  return out;
+}
+
+bool parse_region_delta(std::span<const std::byte> payload, RegionDelta& out,
+                        std::string& error) {
+  std::size_t pos = 0;
+  std::uint64_t first = 0, count = 0;
+  if (!take_varint(payload, pos, first) || !take_varint(payload, pos, count)) {
+    error = "truncated region delta";
+    return false;
+  }
+  // A region table is tiny (tags are hand-placed); a huge declared count is
+  // a corrupt frame, not a big table.
+  if (first > 0xffffffffu || count > 0xffff) {
+    error = "corrupt region delta: implausible entry count";
+    return false;
+  }
+  out.first = static_cast<std::uint32_t>(first);
+  out.regions.clear();
+  out.regions.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t start = 0, span = 0, name_len = 0;
+    if (!take_varint(payload, pos, start) || !take_varint(payload, pos, span) ||
+        !take_varint(payload, pos, name_len)) {
+      error = "truncated region delta";
+      return false;
+    }
+    if (span > ~std::uint64_t{0} - start) {
+      error = "corrupt region delta: range overflow";
+      return false;
+    }
+    if (name_len > payload.size() - pos) {
+      error = "truncated region delta";
+      return false;
+    }
+    core::AddrRegion region;
+    region.start = start;
+    region.end = start + span;
+    region.name.assign(reinterpret_cast<const char*>(payload.data() + pos),
+                       static_cast<std::size_t>(name_len));
+    pos += static_cast<std::size_t>(name_len);
+    out.regions.push_back(std::move(region));
+  }
+  if (pos != payload.size()) {
+    error = "corrupt region delta: trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+// --- session end -------------------------------------------------------------
+
+std::vector<std::byte> encode_session_end(const SessionEnd& end) {
+  std::vector<std::byte> out;
+  put_fixed(out, end.samples, 8);
+  for (const std::uint8_t b : end.digest) out.push_back(static_cast<std::byte>(b));
+  out.push_back(static_cast<std::byte>(end.clean ? 1 : 0));
+  return out;
+}
+
+bool parse_session_end(std::span<const std::byte> payload, SessionEnd& out,
+                       std::string& error) {
+  if (payload.size() != 8 + 16 + 1) {
+    error = "corrupt session end: wrong size";
+    return false;
+  }
+  std::size_t pos = 0;
+  take_fixed(payload, pos, out.samples, 8);
+  for (auto& b : out.digest) b = std::to_integer<std::uint8_t>(payload[pos++]);
+  const auto clean = std::to_integer<std::uint8_t>(payload[pos]);
+  if (clean > 1) {
+    error = "corrupt session end: bad clean flag";
+    return false;
+  }
+  out.clean = clean == 1;
+  return true;
+}
+
+// --- heartbeat ---------------------------------------------------------------
+
+std::vector<std::byte> encode_heartbeat(std::uint64_t progress) {
+  std::vector<std::byte> out;
+  put_fixed(out, progress, 8);
+  return out;
+}
+
+bool parse_heartbeat(std::span<const std::byte> payload, std::uint64_t& progress,
+                     std::string& error) {
+  if (payload.size() != 8) {
+    error = "corrupt heartbeat: wrong size";
+    return false;
+  }
+  std::size_t pos = 0;
+  take_fixed(payload, pos, progress, 8);
+  return true;
+}
+
+std::string fingerprint_hex(const std::array<std::uint8_t, 16>& digest) {
+  return Md5::to_hex(digest);
+}
+
+bool fingerprint_digest(std::string_view hex, std::array<std::uint8_t, 16>& out) {
+  if (hex.size() != 32) return false;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < 16; ++i) {
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+}  // namespace nmo::net

@@ -73,6 +73,7 @@ TraceEngine::TraceEngine(const EngineConfig& config, core::Profiler* profiler)
     } else {
       consumer_ = std::make_unique<spe::AuxConsumer>(profiler_->make_batch_sink());
     }
+    if (config_.decode_progress) consumer_->set_progress_hook(config_.decode_progress);
     if (config_.async_drain) {
       // Staged pipeline: the dedicated consumer thread runs stage-2 decode
       // so rounds no longer end in a fork/join barrier.  Region-table

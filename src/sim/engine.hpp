@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +51,11 @@ struct EngineConfig {
   /// while removing most of the per-record call boundary; 1 restores the
   /// exact per-record path.
   std::uint32_t write_batch = 8;
+  /// Decode-progress observer installed on the run's AuxConsumer: called
+  /// on the timeline thread with the cumulative decoded-sample tally as it
+  /// advances.  The streaming-capture layer (net/block_sender.hpp) feeds
+  /// its live heartbeats from this; empty costs nothing.
+  std::function<void(std::uint64_t records_ok)> decode_progress;
   /// Staged async drain pipeline (sim/drain_service.hpp): the monitor's
   /// per-round decode runs on a dedicated consumer thread with epoch-based
   /// completion instead of the round-end AuxConsumer::sync() fork/join, so
@@ -85,6 +91,13 @@ struct EngineStats {
   /// Cycles the modeled consumer thread lagged new epochs (its backlog had
   /// not retired when the next round's chunks landed).
   std::uint64_t epoch_wait_cycles = 0;
+  // Streaming-capture telemetry (filled by store::run_sessions when the
+  // job teed into a net::StreamingTraceSink; all zero/false otherwise).
+  std::uint64_t stream_blocks_sent = 0;
+  std::uint64_t stream_blocks_dropped = 0;  ///< Drop-oldest ring evictions.
+  /// Capture degraded to local-only: the collector was unreachable or the
+  /// stream failed mid-run.  The on-disk trace is complete either way.
+  bool stream_fallback = false;
 };
 
 class TraceEngine final : public wl::Executor {

@@ -90,6 +90,7 @@ void AuxConsumer::decode_chunks(std::span<const RawChunk> chunks) {
       const DecodedChunk decoded = decode_raw(chunk);
       counts_.records_ok += decoded.ok;
       counts_.records_skipped += decoded.skipped;
+      if (progress_ && decoded.ok > 0) progress_(counts_.records_ok);
     }
   }
 }
@@ -98,8 +99,10 @@ void AuxConsumer::sync() {
   if (pool_ == nullptr) return;
   pool_->sync();
   const auto decoded = pool_->counts();
+  const bool advanced = decoded.records_ok > counts_.records_ok;
   counts_.records_ok = decoded.records_ok;
   counts_.records_skipped = decoded.records_skipped;
+  if (progress_ && advanced) progress_(counts_.records_ok);
 }
 
 void AuxConsumer::reset_counts() {

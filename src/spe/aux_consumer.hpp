@@ -62,6 +62,11 @@ class AuxConsumer {
 
   /// Batched sink: receives every valid sample of one AUX record as a span.
   using BatchSink = std::function<void(std::span<const Record>, CoreId core)>;
+  /// Decode-progress observer: called with the cumulative records_ok tally
+  /// whenever it advances (block-close granularity for the streaming
+  /// layer's live heartbeats).  Always invoked on the thread that owns
+  /// counts() - the timeline thread - never from pool workers.
+  using ProgressHook = std::function<void(std::uint64_t records_ok)>;
   /// Legacy per-record sink, adapted onto the batched path.
   using Sink = std::function<void(const Record&, CoreId core)>;
 
@@ -105,7 +110,11 @@ class AuxConsumer {
   void add_decoded(std::uint64_t ok, std::uint64_t skipped) {
     counts_.records_ok += ok;
     counts_.records_skipped += skipped;
+    if (progress_ && ok > 0) progress_(counts_.records_ok);
   }
+
+  /// Installs (or clears) the decode-progress observer.
+  void set_progress_hook(ProgressHook hook) { progress_ = std::move(hook); }
 
   /// Barrier for the parallel path: waits for every in-flight batch, then
   /// folds the pool's decode tallies into counts().  No-op in serial mode.
@@ -121,6 +130,7 @@ class AuxConsumer {
   BatchSink batch_sink_;
   DecodePool* pool_ = nullptr;
   Counts counts_;
+  ProgressHook progress_;
 };
 
 }  // namespace nmo::spe

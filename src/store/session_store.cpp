@@ -47,17 +47,54 @@ void run_one_session(SessionStore& store, const SessionJob& job, SessionResult& 
       return;
     }
     auto workload = job.make_workload();
-    core::ProfileSession session(job.nmo, job.engine);
+
+    // Streaming tee (optional): connect before the profile so heartbeats
+    // cover the run.  Capture never depends on the connect outcome - the
+    // local trace below is always written; a dead collector only flips
+    // the fallback telemetry.
+    std::unique_ptr<net::StreamingTraceSink> sink;
+    sim::EngineConfig engine_config = job.engine;
+    if (job.stream) {
+      sink = std::make_unique<net::StreamingTraceSink>(*job.stream, result.session.name,
+                                                       job.trace_options, result.session.id);
+      if (sink->connect()) {
+        engine_config.decode_progress = [tee = sink.get()](std::uint64_t records_ok) {
+          tee->note_progress(records_ok);
+        };
+      }
+    }
+
+    core::ProfileSession session(job.nmo, engine_config);
     result.report = session.profile(*workload, job.with_baseline);
 
     TraceWriter writer(result.session.trace_path, job.trace_options);
+    if (sink) {
+      sink->attach(writer);
+      sink->send_regions(session.profiler().regions().regions());
+    }
     writer.write_all(session.profiler().trace());
     if (!writer.close()) {
+      if (sink) sink->abort();
       result.error = writer.error();
       return;
     }
     result.samples = writer.samples_written();
     result.fingerprint = writer.fingerprint();
+    if (sink) {
+      sink->finish(result.samples, result.fingerprint);
+      const auto stream_stats = sink->stats();
+      result.streamed = true;
+      result.stream_blocks_sent = stream_stats.blocks_sent;
+      result.stream_blocks_dropped = stream_stats.blocks_dropped;
+      result.stream_fallback = sink->fallback();
+      result.stream_error = stream_stats.error;
+      result.stream_state = result.stream_fallback           ? "fallback"
+                            : stream_stats.blocks_dropped > 0 ? "partial"
+                                                              : "clean";
+      result.report.stream_blocks_sent = stream_stats.blocks_sent;
+      result.report.stream_blocks_dropped = stream_stats.blocks_dropped;
+      result.report.stream_fallback = result.stream_fallback;
+    }
 
     // The region table gives the trace's region indices their names;
     // without it nmo-trace can only print bare indices.
@@ -90,6 +127,13 @@ void write_session_meta(const SessionResult& result) {
   out << "fingerprint=" << result.fingerprint << '\n';
   out << "accuracy=" << result.report.accuracy() << '\n';
   out << "error=" << meta_escape(result.error) << '\n';
+  if (result.streamed) {
+    out << "streamed=1\n";
+    out << "stream_state=" << result.stream_state << '\n';
+    out << "stream_blocks_sent=" << result.stream_blocks_sent << '\n';
+    out << "stream_blocks_dropped=" << result.stream_blocks_dropped << '\n';
+    out << "stream_error=" << meta_escape(result.stream_error) << '\n';
+  }
 }
 
 /// Persists the pool's aggregate stats at the store root.
@@ -230,6 +274,19 @@ MultiSessionRun run_sessions(SessionStore& store, const std::vector<SessionJob>&
     }
   }
   write_scheduler_meta(store.root(), config, run.stats);
+  // Fleet view: ship the freshly written scheduler.meta to the collector
+  // over a one-shot control stream; it merges snapshots across senders at
+  // its own root.  Best-effort like every streaming path - the local file
+  // just written is the source of truth.
+  for (const auto& job : jobs) {
+    if (!job.stream) continue;
+    std::ifstream in(store.root() + "/" + std::string(kSchedulerMetaFile));
+    if (in) {
+      std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+      net::stream_scheduler_meta(*job.stream, text);
+    }
+    break;
+  }
   return run;
 }
 

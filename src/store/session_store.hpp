@@ -36,6 +36,7 @@
 
 #include "core/config.hpp"
 #include "core/session.hpp"
+#include "net/block_sender.hpp"
 #include "sim/engine.hpp"
 #include "store/scheduler.hpp"
 #include "store/trace_file.hpp"
@@ -94,6 +95,12 @@ struct SessionJob {
   /// block codec; Options{.version = kTraceVersion1} pins the legacy
   /// format for stores older tooling must read).
   TraceWriter::Options trace_options;
+  /// When set, the session tees every closed trace block to an nmo-traced
+  /// collector (net/block_sender.hpp) while the local trace is written as
+  /// usual.  Streaming is strictly additive: an unreachable collector or a
+  /// mid-run stream failure degrades to exactly the local capture, with
+  /// the fallback surfaced in SessionResult / session.meta / the report.
+  std::optional<net::StreamConfig> stream;
 };
 
 /// Outcome of one job: where the trace landed and what it contained.
@@ -107,6 +114,15 @@ struct SessionResult {
   core::SessionState state = core::SessionState::kDone;
   std::uint64_t queue_wait_ns = 0;  ///< Admission-queue wait (scheduler path).
   std::uint32_t worker = 0;         ///< Worker-pool slot that ran the job.
+
+  // Streaming tee outcome (SessionJob::stream was set; all defaults
+  // otherwise).  The local artifacts above are complete regardless.
+  bool streamed = false;
+  std::string stream_state;  ///< "clean", "partial" (drops) or "fallback".
+  std::uint64_t stream_blocks_sent = 0;
+  std::uint64_t stream_blocks_dropped = 0;
+  bool stream_fallback = false;
+  std::string stream_error;
 };
 
 /// run_sessions outcome: per-job results (in job order) plus the pool's

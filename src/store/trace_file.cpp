@@ -80,7 +80,7 @@ VarintResult read_varint(std::ifstream& in, std::uint64_t& v) {
   return VarintResult::kOverflow;  // continuation bit past the 10th byte
 }
 
-VarintResult read_varint(const std::vector<std::byte>& buf, std::size_t& pos, std::uint64_t& v) {
+VarintResult read_varint(std::span<const std::byte> buf, std::size_t& pos, std::uint64_t& v) {
   v = 0;
   for (unsigned shift = 0; shift < 64; shift += 7) {
     if (pos >= buf.size()) return VarintResult::kEof;
@@ -502,8 +502,20 @@ void TraceWriter::flush_block() {
   index_.push_back(BlockIndexEntry{write_offset_, block_cores_.front().core, block_count_});
   meta_.push_back(block_meta_);
   block_meta_ = BlockMeta{};
-  write_raw(out_, head.data(), head.size());
-  write_raw(out_, payload, payload_size);
+  if (observer_) {
+    // The tee must see the very bytes the file gets: one contiguous span of
+    // marker + header + payload, written to disk from the same buffer so
+    // the two can never diverge.
+    observed_.clear();
+    observed_.insert(observed_.end(), head.begin(), head.end());
+    observed_.insert(observed_.end(), payload, payload + payload_size);
+    write_raw(out_, observed_.data(), observed_.size());
+    observer_(std::span<const std::byte>(observed_.data(), observed_.size()), block_count_,
+              block_cores_.front().core);
+  } else {
+    write_raw(out_, head.data(), head.size());
+    write_raw(out_, payload, payload_size);
+  }
   write_offset_ += head.size() + payload_size;
   block_.clear();
   block_cores_.clear();
@@ -1002,5 +1014,140 @@ std::optional<TraceFileInfo> TraceReader::probe(const std::string& path) {
 
 // read_all_parallel() lives in trace_query.cpp: it is a thin legacy wrapper
 // over TraceQuery, which owns the block partitioning and worker logic now.
+
+bool decode_v2_block(std::span<const std::byte> block, std::vector<core::TraceSample>& out,
+                     std::string* error) {
+  const auto fail = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  std::size_t pos = 0;
+  const auto take_varint = [&](std::uint64_t& v, const char* where) {
+    switch (read_varint(block, pos, v)) {
+      case VarintResult::kOk:
+        return true;
+      case VarintResult::kEof:
+        fail(std::string("truncated ") + where);
+        return false;
+      case VarintResult::kOverflow:
+        fail(std::string("overlong varint in ") + where + ": value overflows 64 bits");
+        return false;
+    }
+    return false;
+  };
+
+  if (block.empty() || std::to_integer<std::uint8_t>(block[0]) != kBlockMarker) {
+    return fail("corrupt block marker");
+  }
+  pos = 1;
+  std::uint64_t count = 0;
+  if (!take_varint(count, "block header")) return false;
+  if (count == 0 || count > TraceWriter::kMaxBlockSamples) return fail("corrupt block header");
+  if (pos >= block.size()) return fail("truncated block header");
+  const auto codec_byte = std::to_integer<std::uint8_t>(block[pos++]);
+  if (!is_known_codec(codec_byte)) {
+    return fail("unknown block codec " + std::to_string(codec_byte));
+  }
+  const auto codec = static_cast<BlockCodec>(codec_byte);
+  std::uint64_t cores = 0;
+  if (!take_varint(cores, "block header")) return false;
+  if (cores == 0 || cores > count) return fail("corrupt block header: core table size");
+  std::vector<detail::BlockCoreBase> bases;
+  bases.reserve(static_cast<std::size_t>(cores));
+  for (std::uint64_t i = 0; i < cores; ++i) {
+    std::uint64_t core = 0, base_time = 0, base_vaddr = 0, base_pc = 0;
+    if (!take_varint(core, "block header") || !take_varint(base_time, "block header") ||
+        !take_varint(base_vaddr, "block header") || !take_varint(base_pc, "block header")) {
+      return false;
+    }
+    if (core >= kMaxCores) return fail("corrupt block header: core id out of range");
+    detail::BlockCoreBase entry;
+    entry.core = static_cast<CoreId>(core);
+    entry.base.time_ns = base_time;
+    entry.base.vaddr = base_vaddr;
+    entry.base.pc = base_pc;
+    bases.push_back(entry);
+  }
+  std::uint64_t raw_bytes = 0, stored_bytes = 0;
+  if (!take_varint(raw_bytes, "block header") || !take_varint(stored_bytes, "block header")) {
+    return false;
+  }
+  if (raw_bytes == 0 || raw_bytes > kMaxBlockRawBytes) {
+    return fail("corrupt block header: implausible payload size");
+  }
+  if (codec == BlockCodec::kRaw ? stored_bytes != raw_bytes : stored_bytes >= raw_bytes) {
+    return fail("corrupt block header: stored size inconsistent with codec");
+  }
+  if (stored_bytes > block.size() - pos) return fail("truncated block payload");
+  const std::span<const std::byte> stored = block.subspan(pos, stored_bytes);
+  pos += stored_bytes;
+  if (pos != block.size()) return fail("corrupt block: trailing bytes after the payload");
+
+  std::vector<std::byte> unpacked;
+  std::span<const std::byte> payload = stored;
+  if (codec == BlockCodec::kLz) {
+    unpacked.resize(static_cast<std::size_t>(raw_bytes));
+    if (!lz_decompress(stored.data(), stored.size(), unpacked.data(), unpacked.size())) {
+      return fail("corrupt block payload: decompression failed");
+    }
+    payload = unpacked;
+  }
+
+  std::vector<core::TraceSample> decoded;
+  decoded.reserve(static_cast<std::size_t>(count));
+  std::size_t sample_pos = 0;
+  const auto sample_varint = [&](std::uint64_t& v) {
+    switch (read_varint(payload, sample_pos, v)) {
+      case VarintResult::kOk:
+        return true;
+      case VarintResult::kEof:
+        fail("truncated sample");
+        return false;
+      case VarintResult::kOverflow:
+        fail("overlong varint in sample: value overflows 64 bits");
+        return false;
+    }
+    return false;
+  };
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t slot = 0;
+    if (!sample_varint(slot)) return false;
+    if (slot >= bases.size()) return fail("corrupt sample encoding: core slot out of range");
+    std::uint64_t dt = 0, dvaddr = 0, dpc = 0, latency = 0, region = 0;
+    if (!sample_varint(dt) || !sample_varint(dvaddr) || !sample_varint(dpc)) return false;
+    if (sample_pos >= payload.size()) return fail("truncated sample");
+    const auto packed = std::to_integer<std::uint64_t>(payload[sample_pos++]);
+    if (!sample_varint(latency) || !sample_varint(region)) return false;
+    const unsigned op = static_cast<unsigned>(packed) >> 4;
+    const unsigned level = static_cast<unsigned>(packed) & 0xf;
+    if (op > 1 || level >= kNumMemLevels || latency > 0xffff) {
+      return fail("corrupt sample encoding");
+    }
+    const std::int64_t region_value = unzigzag(region);
+    if (region_value < -1 || region_value > std::numeric_limits<std::int32_t>::max()) {
+      return fail("corrupt sample encoding: region " + std::to_string(region_value) +
+                  " out of range");
+    }
+    detail::CorePredictor& pred = bases[slot].base;
+    core::TraceSample s;
+    s.time_ns = apply_delta(pred.time_ns, dt);
+    s.vaddr = apply_delta(pred.vaddr, dvaddr);
+    s.pc = apply_delta(pred.pc, dpc);
+    s.op = static_cast<MemOp>(op);
+    s.level = static_cast<MemLevel>(level);
+    s.latency = static_cast<std::uint16_t>(latency);
+    s.core = bases[slot].core;
+    s.region = static_cast<std::int32_t>(region_value);
+    pred.time_ns = s.time_ns;
+    pred.vaddr = s.vaddr;
+    pred.pc = s.pc;
+    decoded.push_back(s);
+  }
+  if (sample_pos != payload.size()) {
+    return fail("corrupt block: payload bytes left after the last sample");
+  }
+  out.insert(out.end(), decoded.begin(), decoded.end());
+  return true;
+}
 
 }  // namespace nmo::store

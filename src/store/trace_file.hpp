@@ -77,7 +77,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -227,6 +229,15 @@ class TraceWriter {
     bool index_meta = true;
   };
 
+  /// Observes every closed v2 block as the exact bytes written to the file
+  /// (marker, header, payload - the self-contained wire unit the streaming
+  /// layer ships verbatim, see net/wire.hpp).  Called synchronously on the
+  /// writer's thread at block flush, before close() returns; `samples` and
+  /// `first_core` mirror the block's index entry.  v1 blocks are not
+  /// self-contained and are never observed.
+  using BlockObserver = std::function<void(std::span<const std::byte> block_bytes,
+                                           std::uint32_t samples, CoreId first_core)>;
+
   /// Opens `path` for writing and emits the header.  Check ok(); an
   /// unsupported options.version is an error, not an exception.  The
   /// single-argument overload writes the default Options (in-class default
@@ -237,6 +248,11 @@ class TraceWriter {
 
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Installs (or clears) the closed-block observer.  Effective for every
+  /// block flushed after the call; install before the first add() to see
+  /// them all.
+  void set_block_observer(BlockObserver observer) { observer_ = std::move(observer); }
 
   /// Appends one sample (buffered; flushed on core change / block full).
   void add(const core::TraceSample& s);
@@ -275,6 +291,8 @@ class TraceWriter {
   std::vector<BlockIndexEntry> index_;             ///< v2: one entry per flushed block.
   BlockMeta block_meta_;                           ///< v2: summary of the open block.
   std::vector<BlockMeta> meta_;                    ///< v2: one summary per flushed block.
+  BlockObserver observer_;                         ///< v2: closed-block tee (may be empty).
+  std::vector<std::byte> observed_;                ///< Scratch: contiguous block for observer_.
   std::uint64_t write_offset_ = 0;                 ///< Bytes written so far (next block offset).
   Md5 md5_;
   std::uint64_t count_ = 0;
@@ -367,6 +385,17 @@ class TraceReader {
   std::uint64_t count_ = 0;
   bool done_ = false;
 };
+
+/// Decodes one self-contained v2 block from memory: `block` must be the
+/// exact bytes TraceWriter flushed (marker byte through the last payload
+/// byte - what a BlockObserver saw, or what net/wire.hpp carried in a block
+/// frame).  Appends the decoded samples to `out` in block order.  Applies
+/// the full corrupt-input discipline of TraceReader (bounded sizes, varint
+/// overflow, field ranges, payload exactly consumed) plus a whole-span
+/// check: trailing bytes after the block are an error.  Returns false (and
+/// sets *error) on any malformation, leaving `out` untouched.
+bool decode_v2_block(std::span<const std::byte> block, std::vector<core::TraceSample>& out,
+                     std::string* error = nullptr);
 
 /// Decodes `path` with up to `threads` workers splitting the v2 block index
 /// (each worker seeks its own reader to its block range), reassembles the

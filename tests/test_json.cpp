@@ -1,0 +1,71 @@
+// JsonWriter emission rules - in particular the non-finite double policy:
+// JSON has no NaN/Infinity literals, so they must serialize as null (a
+// "%g"-rendered "nan" breaks every strict parser reading BENCH_*.json or
+// nmo-trace --json output).
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace nmo {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndScalars) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("run");
+  w.key("count").value(std::uint64_t{42});
+  w.key("ratio").value(0.5);
+  w.key("ok").value(true);
+  w.key("rows").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\": \"run\", \"count\": 42, \"ratio\": 0.5, "
+            "\"ok\": true, \"rows\": [1, 2]}");
+}
+
+TEST(JsonWriter, NanSerializesAsNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("accuracy").value(std::nan(""));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"accuracy\": null}");
+}
+
+TEST(JsonWriter, InfinitySerializesAsNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null, null, 1.5]");
+}
+
+TEST(JsonWriter, FiniteDoublesUnaffected) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.0);
+  w.value(-2.25);
+  w.value(std::numeric_limits<double>::max());
+  w.end_array();
+  // The exact %.6g renderings, unchanged by the finiteness gate.
+  EXPECT_EQ(w.str(), "[0, -2.25, 1.79769e+308]");
+}
+
+TEST(JsonWriter, NullValueInsideNestedStructure) {
+  // The null path must respect comma/key state exactly like any value.
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::nan(""));
+  w.key("b").begin_object();
+  w.key("inner").value(std::numeric_limits<double>::infinity());
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\": null, \"b\": {\"inner\": null}}");
+}
+
+}  // namespace
+}  // namespace nmo

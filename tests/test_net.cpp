@@ -1,0 +1,889 @@
+// The streaming-capture subsystem: wire framing/codec discipline, the
+// block observer tee, sender backpressure, and sender -> collector
+// end-to-end parity over loopback TCP - including the failure paths the
+// design guarantees (local-capture fallback when the collector is
+// unreachable, valid truncated traces on mid-stream disconnect).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/block_sender.hpp"
+#include "net/collector.hpp"
+#include "net/wire.hpp"
+#include "store/region_file.hpp"
+#include "store/session_store.hpp"
+#include "store/trace_file.hpp"
+#include "workloads/stream.hpp"
+
+namespace nmo::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nmo_net_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+core::SampleTrace make_trace(std::size_t n, std::uint64_t seed) {
+  core::SampleTrace trace;
+  Rng rng(seed, 7);
+  std::uint64_t t = 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TraceSample s;
+    t += rng.uniform(200);
+    s.time_ns = t;
+    s.core = static_cast<CoreId>(rng.uniform(8));
+    s.vaddr = 0x2000'0000 + rng.uniform(1 << 22);
+    s.pc = 0x400000 + rng.uniform(1 << 14);
+    s.op = rng.uniform(2) == 0 ? MemOp::kLoad : MemOp::kStore;
+    s.level = static_cast<MemLevel>(rng.uniform(4));
+    s.latency = static_cast<std::uint16_t>(rng.uniform(2000));
+    s.region = static_cast<std::int32_t>(rng.uniform(4)) - 1;
+    trace.add(s);
+  }
+  trace.sort_canonical();
+  return trace;
+}
+
+/// canonical_less is a total order over the full sample content, so
+/// "neither is less" is exact equality.
+bool same_sample(const core::TraceSample& a, const core::TraceSample& b) {
+  return !core::canonical_less(a, b) && !core::canonical_less(b, a);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::byte> bytes_of(std::string_view text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+/// Collected session directories under a collector root, sorted.
+std::vector<fs::path> session_dirs(const std::string& root) {
+  std::vector<fs::path> dirs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory() && entry.path().filename().string().rfind("session-", 0) == 0) {
+      dirs.push_back(entry.path());
+    }
+  }
+  std::sort(dirs.begin(), dirs.end());
+  return dirs;
+}
+
+// --- wire framing ------------------------------------------------------------
+
+TEST(Crc32, KnownVector) {
+  // The IEEE CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(FrameParser, RoundTripAcrossArbitraryChunking) {
+  std::vector<std::byte> stream;
+  append_frame(stream, FrameType::kHeartbeat, encode_heartbeat(7));
+  append_frame(stream, FrameType::kSchedMeta, bytes_of("workers=4\n"));
+  Hello hello;
+  hello.name = "chunked";
+  hello.nonce = 99;
+  append_frame(stream, FrameType::kHello, encode_hello(hello));
+
+  // Feed in pathological chunk sizes (1 and 3 bytes) to exercise every
+  // resume point of the incremental parser.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}}) {
+    FrameParser parser;
+    std::vector<Frame> frames;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      parser.feed(stream.data() + off, std::min(chunk, stream.size() - off));
+      Frame frame;
+      while (parser.next(frame) == FrameParser::Result::kFrame) {
+        frames.push_back(frame);
+      }
+    }
+    ASSERT_TRUE(parser.ok()) << parser.error();
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::kHeartbeat);
+    EXPECT_EQ(frames[1].type, FrameType::kSchedMeta);
+    EXPECT_EQ(frames[2].type, FrameType::kHello);
+    std::uint64_t progress = 0;
+    std::string error;
+    ASSERT_TRUE(parse_heartbeat(frames[0].payload, progress, error));
+    EXPECT_EQ(progress, 7u);
+    Hello parsed;
+    ASSERT_TRUE(parse_hello(frames[2].payload, parsed, error));
+    EXPECT_EQ(parsed.name, "chunked");
+    EXPECT_EQ(parsed.nonce, 99u);
+    EXPECT_EQ(parser.frames(), 3u);
+    EXPECT_EQ(parser.bytes(), stream.size());
+  }
+}
+
+TEST(FrameParser, CrcMismatchIsTerminal) {
+  std::vector<std::byte> stream;
+  append_frame(stream, FrameType::kHeartbeat, encode_heartbeat(1));
+  stream.back() ^= std::byte{0x01};  // corrupt the payload after the CRC was computed
+  FrameParser parser;
+  parser.feed(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kError);
+  EXPECT_FALSE(parser.ok());
+  EXPECT_NE(parser.error().find("CRC"), std::string::npos);
+  // Terminal: more input does not resurrect the connection.
+  parser.feed(stream.data(), stream.size());
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kError);
+}
+
+TEST(FrameParser, OversizedLengthFailsBeforePayloadArrives) {
+  // A corrupt 4 GiB length must fail from the header alone - never report
+  // kNeedMore and stall the connection waiting for a payload that big.
+  std::vector<std::byte> header;
+  header.push_back(static_cast<std::byte>(FrameType::kBlock));
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i) header.push_back(static_cast<std::byte>((huge >> (8 * i)) & 0xff));
+  for (int i = 0; i < 4; ++i) header.push_back(std::byte{0});
+  FrameParser parser;
+  parser.feed(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kError);
+  EXPECT_NE(parser.error().find("exceeds"), std::string::npos);
+}
+
+TEST(FrameParser, UnknownTypeRejected) {
+  std::vector<std::byte> header(kFrameHeaderBytes, std::byte{0});
+  header[0] = std::byte{0x7F};
+  FrameParser parser;
+  parser.feed(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kError);
+}
+
+TEST(FrameParser, TruncatedFrameNeedsMore) {
+  std::vector<std::byte> stream;
+  append_frame(stream, FrameType::kSchedMeta, bytes_of("k=v\n"));
+  FrameParser parser;
+  parser.feed(stream.data(), stream.size() - 2);
+  Frame frame;
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kNeedMore);
+  parser.feed(stream.data() + stream.size() - 2, 2);
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kFrame);
+  EXPECT_TRUE(parser.ok());
+}
+
+// --- control-frame codecs ----------------------------------------------------
+
+TEST(Hello, RoundTripAndRejections) {
+  Hello hello;
+  hello.trace_version = 2;
+  hello.compress = false;
+  hello.index_meta = true;
+  hello.kind = kHelloKindControl;
+  hello.nonce = 0xDEADBEEFCAFEBABEull;
+  hello.name = "fleet-42";
+  const auto payload = encode_hello(hello);
+
+  Hello parsed;
+  std::string error;
+  ASSERT_TRUE(parse_hello(payload, parsed, error)) << error;
+  EXPECT_EQ(parsed.trace_version, 2u);
+  EXPECT_FALSE(parsed.compress);
+  EXPECT_TRUE(parsed.index_meta);
+  EXPECT_EQ(parsed.kind, kHelloKindControl);
+  EXPECT_EQ(parsed.nonce, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(parsed.name, "fleet-42");
+
+  // Bad magic.
+  auto bad = payload;
+  bad[0] ^= std::byte{0xFF};
+  EXPECT_FALSE(parse_hello(bad, parsed, error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  // Unsupported protocol version.
+  bad = payload;
+  bad[4] = std::byte{0x7F};
+  EXPECT_FALSE(parse_hello(bad, parsed, error));
+  // Unknown flag bits.
+  bad = payload;
+  bad[8] = std::byte{0x80};
+  EXPECT_FALSE(parse_hello(bad, parsed, error));
+  // Unknown kind.
+  bad = payload;
+  bad[9] = std::byte{9};
+  EXPECT_FALSE(parse_hello(bad, parsed, error));
+  // Name length disagreeing with the payload.
+  bad = payload;
+  bad.pop_back();
+  EXPECT_FALSE(parse_hello(bad, parsed, error));
+  // Truncation at every prefix must fail cleanly.
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(parse_hello(std::span(payload.data(), n), parsed, error));
+  }
+}
+
+TEST(RegionDelta, RoundTripAndRejections) {
+  RegionDelta delta;
+  delta.first = 3;
+  delta.regions.push_back({"heap", 0x1000, 0x2000});
+  delta.regions.push_back({"graph edges", 0x8000, 0x9999});
+  delta.regions.push_back({"", 0, 0});
+  const auto payload = encode_region_delta(delta);
+
+  RegionDelta parsed;
+  std::string error;
+  ASSERT_TRUE(parse_region_delta(payload, parsed, error)) << error;
+  EXPECT_EQ(parsed.first, 3u);
+  ASSERT_EQ(parsed.regions.size(), 3u);
+  EXPECT_EQ(parsed.regions[0].name, "heap");
+  EXPECT_EQ(parsed.regions[0].start, 0x1000u);
+  EXPECT_EQ(parsed.regions[0].end, 0x2000u);
+  EXPECT_EQ(parsed.regions[1].name, "graph edges");
+  EXPECT_EQ(parsed.regions[2].name, "");
+
+  // Trailing bytes are a protocol error.
+  auto bad = payload;
+  bad.push_back(std::byte{0});
+  EXPECT_FALSE(parse_region_delta(bad, parsed, error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  // Truncation at every prefix must fail cleanly.
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(parse_region_delta(std::span(payload.data(), n), parsed, error));
+  }
+  // An absurd declared count is corruption, not a big allocation.
+  std::vector<std::byte> absurd;
+  absurd.push_back(std::byte{0});  // first = 0
+  for (int i = 0; i < 5; ++i) absurd.push_back(std::byte{0xFF});
+  absurd.push_back(std::byte{0x0F});
+  EXPECT_FALSE(parse_region_delta(absurd, parsed, error));
+}
+
+TEST(SessionEndFrame, RoundTripAndRejections) {
+  SessionEnd end;
+  end.samples = 123456789;
+  for (std::size_t i = 0; i < end.digest.size(); ++i) {
+    end.digest[i] = static_cast<std::uint8_t>(i * 17);
+  }
+  end.clean = false;
+  const auto payload = encode_session_end(end);
+  ASSERT_EQ(payload.size(), 25u);
+
+  SessionEnd parsed;
+  std::string error;
+  ASSERT_TRUE(parse_session_end(payload, parsed, error)) << error;
+  EXPECT_EQ(parsed.samples, 123456789u);
+  EXPECT_EQ(parsed.digest, end.digest);
+  EXPECT_FALSE(parsed.clean);
+
+  auto bad = payload;
+  bad.pop_back();
+  EXPECT_FALSE(parse_session_end(bad, parsed, error));
+  bad = payload;
+  bad.back() = std::byte{2};
+  EXPECT_FALSE(parse_session_end(bad, parsed, error));
+}
+
+TEST(Fingerprint, HexDigestRoundTrip) {
+  std::array<std::uint8_t, 16> digest{};
+  for (std::size_t i = 0; i < 16; ++i) digest[i] = static_cast<std::uint8_t>(0xF0 + i);
+  const std::string hex = fingerprint_hex(digest);
+  EXPECT_EQ(hex.size(), 32u);
+  std::array<std::uint8_t, 16> back{};
+  ASSERT_TRUE(fingerprint_digest(hex, back));
+  EXPECT_EQ(back, digest);
+  EXPECT_FALSE(fingerprint_digest("short", back));
+  EXPECT_FALSE(fingerprint_digest(std::string(32, 'z'), back));
+}
+
+// --- block observer + in-memory block decode ---------------------------------
+
+TEST_F(NetTest, ObservedBlocksDecodeBackToTheWrittenSamples) {
+  const auto trace = make_trace(1800, 11);  // > 3 blocks, partial tail
+  std::vector<std::vector<std::byte>> blocks;
+  std::vector<std::uint32_t> counts;
+  {
+    store::TraceWriter writer(path("a.nmot"));
+    writer.set_block_observer(
+        [&](std::span<const std::byte> bytes, std::uint32_t samples, CoreId) {
+          blocks.emplace_back(bytes.begin(), bytes.end());
+          counts.push_back(samples);
+        });
+    writer.write_all(trace);
+    ASSERT_TRUE(writer.close()) << writer.error();
+  }
+  ASSERT_EQ(blocks.size(), (trace.samples().size() + 511) / 512);
+
+  std::vector<core::TraceSample> decoded;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::string error;
+    ASSERT_TRUE(store::decode_v2_block(blocks[b], decoded, &error)) << error;
+    EXPECT_EQ(counts[b], b + 1 < blocks.size()
+                             ? 512u
+                             : static_cast<std::uint32_t>(trace.samples().size() % 512));
+  }
+  ASSERT_EQ(decoded.size(), trace.samples().size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_TRUE(same_sample(decoded[i], trace.samples()[i])) << "sample " << i;
+  }
+
+  // The collector's ingest invariant: re-adding the decoded samples with
+  // the same options reproduces the file byte for byte.
+  {
+    store::TraceWriter writer(path("b.nmot"));
+    for (const auto& s : decoded) writer.add(s);
+    ASSERT_TRUE(writer.close());
+  }
+  EXPECT_EQ(read_file(path("a.nmot")), read_file(path("b.nmot")));
+}
+
+TEST_F(NetTest, DecodeV2BlockRejectsCorruption) {
+  const auto trace = make_trace(512, 13);
+  std::vector<std::byte> block;
+  {
+    store::TraceWriter writer(path("c.nmot"));
+    writer.set_block_observer(
+        [&](std::span<const std::byte> bytes, std::uint32_t, CoreId) {
+          if (block.empty()) block.assign(bytes.begin(), bytes.end());
+        });
+    writer.write_all(trace);
+    ASSERT_TRUE(writer.close());
+  }
+  ASSERT_FALSE(block.empty());
+
+  std::vector<core::TraceSample> out;
+  std::string error;
+  // Wrong marker byte.
+  auto bad = block;
+  bad[0] = std::byte{0x00};
+  EXPECT_FALSE(store::decode_v2_block(bad, out, &error));
+  EXPECT_TRUE(out.empty());
+  // Truncated at several depths (header, core table, payload).
+  for (const std::size_t keep : {std::size_t{1}, std::size_t{4}, block.size() / 2,
+                                 block.size() - 1}) {
+    EXPECT_FALSE(store::decode_v2_block(std::span(block.data(), keep), out, &error))
+        << "kept " << keep;
+    EXPECT_TRUE(out.empty());
+  }
+  // Trailing garbage after a whole block.
+  bad = block;
+  bad.push_back(std::byte{0xAA});
+  EXPECT_FALSE(store::decode_v2_block(bad, out, &error));
+  // Random interior corruption: must fail or decode - never crash; `out`
+  // must stay untouched on failure.
+  Rng rng(17, 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    bad = block;
+    bad[1 + rng.uniform(bad.size() - 1)] ^= static_cast<std::byte>(1 + rng.uniform(255));
+    out.clear();
+    if (!store::decode_v2_block(bad, out, &error)) EXPECT_TRUE(out.empty());
+  }
+}
+
+// --- sender <-> collector over loopback --------------------------------------
+
+TEST_F(NetTest, LoopbackSessionIsByteIdenticalToLocalCapture) {
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  collector_config.once = 1;
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  const auto trace = make_trace(2600, 23);
+  std::vector<core::AddrRegion> regions{{"heap", 0x1000, 0x9000}, {"stack", 0xF000, 0xFFFF}};
+
+  StreamConfig stream;
+  stream.port = collector.port();
+  StreamingTraceSink sink(stream, "loopback", store::TraceWriter::Options{}, 77);
+  ASSERT_TRUE(sink.connect());
+  {
+    store::TraceWriter writer(path("local.nmot"));
+    sink.attach(writer);
+    sink.send_regions(regions);
+    writer.write_all(trace);
+    ASSERT_TRUE(writer.close()) << writer.error();
+    EXPECT_TRUE(sink.finish(writer.samples_written(), writer.fingerprint()));
+  }
+  EXPECT_FALSE(sink.fallback());
+  const auto sent = sink.stats();
+  EXPECT_EQ(sent.blocks_sent, (trace.samples().size() + 511) / 512);
+  EXPECT_EQ(sent.blocks_dropped, 0u);
+
+  ASSERT_TRUE(collector.wait_done(10'000));
+  collector.stop();
+
+  const auto dirs = session_dirs(collector_config.root);
+  ASSERT_EQ(dirs.size(), 1u);
+  const std::string collected_trace = (dirs[0] / "trace.nmot").string();
+  // The collected artifact is byte-identical to the sender's local file.
+  EXPECT_EQ(read_file(collected_trace), read_file(path("local.nmot")));
+  // And the region sidecar round-tripped through the delta frame.
+  const auto collected_regions =
+      store::read_region_file(store::region_path_for(collected_trace));
+  ASSERT_TRUE(collected_regions.has_value());
+  ASSERT_EQ(collected_regions->size(), 2u);
+  EXPECT_EQ((*collected_regions)[0].name, "heap");
+  EXPECT_EQ((*collected_regions)[1].name, "stack");
+  // session.meta records a clean stream with the right identity.
+  const auto meta =
+      store::read_metadata_file((dirs[0] / std::string(store::kSessionMetaFile)).string());
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->at("state"), "done");
+  EXPECT_EQ(meta->at("stream_state"), "clean");
+  EXPECT_EQ(meta->at("streamed"), "1");
+  EXPECT_EQ(meta->at("stream_nonce"), "77");
+  EXPECT_EQ(meta->at("samples"), std::to_string(trace.samples().size()));
+
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.sessions_clean, 1u);
+  EXPECT_EQ(stats.sessions_truncated, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(NetTest, ConcurrentSendersAllCollectByteIdentical) {
+  constexpr int kSenders = 4;
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  collector_config.once = kSenders;
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  std::vector<std::string> local_paths(kSenders);
+  std::vector<std::thread> senders;
+  for (int i = 0; i < kSenders; ++i) {
+    local_paths[i] = path("local-" + std::to_string(i) + ".nmot");
+    senders.emplace_back([&, i] {
+      const auto trace = make_trace(1400 + 300 * static_cast<std::size_t>(i),
+                                    100 + static_cast<std::uint64_t>(i));
+      StreamConfig stream;
+      stream.port = collector.port();
+      StreamingTraceSink sink(stream, "sender-" + std::to_string(i),
+                              store::TraceWriter::Options{},
+                              static_cast<std::uint64_t>(i));
+      ASSERT_TRUE(sink.connect());
+      store::TraceWriter writer(local_paths[static_cast<std::size_t>(i)]);
+      sink.attach(writer);
+      writer.write_all(trace);
+      ASSERT_TRUE(writer.close());
+      EXPECT_TRUE(sink.finish(writer.samples_written(), writer.fingerprint()));
+      EXPECT_FALSE(sink.fallback());
+    });
+  }
+  for (auto& t : senders) t.join();
+  ASSERT_TRUE(collector.wait_done(20'000));
+  collector.stop();
+
+  const auto dirs = session_dirs(collector_config.root);
+  ASSERT_EQ(dirs.size(), static_cast<std::size_t>(kSenders));
+  int matched = 0;
+  for (const auto& dir : dirs) {
+    const std::string name = dir.filename().string();
+    for (int i = 0; i < kSenders; ++i) {
+      if (name.find("-sender-" + std::to_string(i)) == std::string::npos) continue;
+      EXPECT_EQ(read_file((dir / "trace.nmot").string()),
+                read_file(local_paths[static_cast<std::size_t>(i)]))
+          << name;
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, kSenders);
+  EXPECT_EQ(collector.stats().sessions_clean, static_cast<std::uint64_t>(kSenders));
+}
+
+TEST_F(NetTest, MidStreamDisconnectFinalizesValidTruncatedTrace) {
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  collector_config.once = 1;
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  const auto trace = make_trace(2048, 31);  // exactly 4 full blocks
+  {
+    StreamConfig stream;
+    stream.port = collector.port();
+    StreamingTraceSink sink(stream, "dying", store::TraceWriter::Options{}, 5);
+    ASSERT_TRUE(sink.connect());
+    store::TraceWriter writer(path("local.nmot"));
+    sink.attach(writer);
+    writer.write_all(trace);
+    ASSERT_TRUE(writer.close());
+    // Make sure at least one block actually reached the collector (abort
+    // condemns anything still queued, hello included), then drop the
+    // connection with no end frame - the forced mid-stream disconnect.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (collector.stats().blocks < 1 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(collector.stats().blocks, 1u);
+    sink.abort();
+  }
+  ASSERT_TRUE(collector.wait_done(10'000));
+  collector.stop();
+
+  const auto dirs = session_dirs(collector_config.root);
+  ASSERT_EQ(dirs.size(), 1u);
+  const auto meta =
+      store::read_metadata_file((dirs[0] / std::string(store::kSessionMetaFile)).string());
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->at("stream_state"), "truncated");
+  EXPECT_EQ(collector.stats().sessions_truncated, 1u);
+
+  // The truncated artifact is a VALID trace of a prefix of the stream:
+  // full read passes (footer count + digest over what arrived).
+  store::TraceReader reader((dirs[0] / "trace.nmot").string());
+  const auto collected = reader.read_all();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  const std::size_t n = collected.samples().size();
+  EXPECT_EQ(n % 512, 0u);  // whole blocks only
+  EXPECT_LE(n, trace.samples().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(same_sample(collected.samples()[i], trace.samples()[i])) << "sample " << i;
+  }
+}
+
+TEST_F(NetTest, UnreachableCollectorFallsBackToLocalCapture) {
+  // Bind-then-close to get a port that refuses connections.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  StreamConfig stream;
+  stream.port = dead_port;
+  stream.connect_timeout_ms = 300;
+  StreamingTraceSink sink(stream, "orphan", store::TraceWriter::Options{});
+  EXPECT_FALSE(sink.connect());
+  EXPECT_TRUE(sink.fallback());
+  EXPECT_FALSE(sink.streaming());
+
+  // The tee is inert; the local capture path is entirely unaffected.
+  const auto trace = make_trace(700, 41);
+  store::TraceWriter writer(path("local.nmot"));
+  sink.attach(writer);
+  sink.send_regions({{"heap", 0, 0x1000}});
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+  EXPECT_FALSE(sink.finish(writer.samples_written(), writer.fingerprint()));
+
+  store::TraceReader reader(path("local.nmot"));
+  const auto back = reader.read_all();
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(back.samples().size(), trace.samples().size());
+}
+
+TEST_F(NetTest, DropOldestPolicyDropsBlocksUnderBackpressure) {
+  // A listener that never accepts: the TCP backlog completes the connect,
+  // then nothing drains the socket, so tiny send buffers fill and the
+  // bounded ring must evict.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  StreamConfig stream;
+  stream.port = ntohs(addr.sin_port);
+  stream.ring_capacity = 4;
+  stream.policy = StreamConfig::Backpressure::kDropOldest;
+  stream.heartbeat_interval_ms = 0;
+  stream.send_buffer_bytes = 4096;
+  BlockSender sender(stream);
+  Hello hello;
+  hello.name = "pressure";
+  ASSERT_TRUE(sender.connect(hello));
+
+  std::vector<std::byte> block(8 * 1024, std::byte{0x5A});
+  for (int i = 0; i < 200; ++i) sender.send_block(block);
+  const auto stats = sender.stats();
+  EXPECT_GT(stats.blocks_dropped, 0u);
+  EXPECT_EQ(stats.blocks_enqueued, 200u);
+  sender.abort();
+  ::close(listener);
+}
+
+TEST_F(NetTest, SchedulerMetaMergesAcrossSenders) {
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  StreamConfig stream;
+  stream.port = collector.port();
+  EXPECT_TRUE(stream_scheduler_meta(
+      stream, "workers=4\npolicy=fifo\nsubmitted=10\ncompleted=9\npeak_occupancy=3\n"
+              "queue_wait_ns_max=500\n"));
+  EXPECT_TRUE(stream_scheduler_meta(
+      stream, "workers=2\npolicy=priority\nsubmitted=5\ncompleted=5\npeak_occupancy=2\n"
+              "queue_wait_ns_max=900\n"));
+
+  // The merge happens at ingest; give the poll loop a moment to drain both.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (collector.stats().meta_snapshots < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  collector.stop();
+
+  const auto merged = store::read_metadata_file(collector_config.root + "/" +
+                                                std::string(store::kSchedulerMetaFile));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->at("workers"), "6");            // counters sum
+  EXPECT_EQ(merged->at("submitted"), "15");
+  EXPECT_EQ(merged->at("completed"), "14");
+  EXPECT_EQ(merged->at("peak_occupancy"), "3");     // peaks take the max
+  EXPECT_EQ(merged->at("queue_wait_ns_max"), "900");
+  EXPECT_EQ(merged->at("policy"), "priority");      // labels are last-wins
+
+  const auto meta = store::read_metadata_file(collector_config.root + "/collector.meta");
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->at("meta_snapshots"), "2");
+  EXPECT_EQ(meta->at("protocol_errors"), "0");
+}
+
+TEST_F(NetTest, CollectorRejectsGarbageWithoutDyingAndKeepsServing) {
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  collector_config.once = 1;
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  // A non-protocol peer: raw garbage instead of a hello frame.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(collector.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::send(fd, garbage, sizeof(garbage), 0), 0);
+    ::close(fd);
+  }
+
+  // A real session must still collect cleanly afterwards.
+  const auto trace = make_trace(600, 55);
+  StreamConfig stream;
+  stream.port = collector.port();
+  StreamingTraceSink sink(stream, "survivor", store::TraceWriter::Options{});
+  ASSERT_TRUE(sink.connect());
+  store::TraceWriter writer(path("local.nmot"));
+  sink.attach(writer);
+  writer.write_all(trace);
+  ASSERT_TRUE(writer.close());
+  EXPECT_TRUE(sink.finish(writer.samples_written(), writer.fingerprint()));
+
+  ASSERT_TRUE(collector.wait_done(10'000));
+  collector.stop();
+  const auto stats = collector.stats();
+  EXPECT_GE(stats.protocol_errors, 1u);
+  EXPECT_EQ(stats.sessions_clean, 1u);
+  const auto dirs = session_dirs(collector_config.root);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(read_file((dirs[0] / "trace.nmot").string()), read_file(path("local.nmot")));
+}
+
+TEST_F(NetTest, HeartbeatsCarryDecodeProgress) {
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  StreamConfig stream;
+  stream.port = collector.port();
+  stream.heartbeat_interval_ms = 20;
+  StreamingTraceSink sink(stream, "beating", store::TraceWriter::Options{});
+  ASSERT_TRUE(sink.connect());
+  sink.note_progress(4096);
+
+  // Wait on both ends: the collector can briefly be ahead of the
+  // sender's own counter (stats update follows the socket write).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((collector.stats().heartbeats < 2 || sink.stats().heartbeats < 2) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(collector.stats().heartbeats, 2u);
+  EXPECT_GE(sink.stats().heartbeats, 2u);
+  sink.abort();
+  collector.stop();
+}
+
+// --- full runner end-to-end --------------------------------------------------
+
+TEST_F(NetTest, RunSessionsStreamedMatchesLocalArtifacts) {
+  constexpr int kJobs = 2;
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  collector_config.once = kJobs;
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  core::NmoConfig nmo;
+  nmo.enable = true;
+  nmo.mode = core::Mode::kAll;
+  nmo.period = 512;
+  sim::EngineConfig engine;
+  engine.threads = 2;
+  engine.machine.hierarchy.cores = 2;
+
+  StreamConfig stream;
+  stream.port = collector.port();
+
+  std::vector<store::SessionJob> jobs(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    jobs[static_cast<std::size_t>(i)].name = "e2e-" + std::to_string(i);
+    jobs[static_cast<std::size_t>(i)].nmo = nmo;
+    jobs[static_cast<std::size_t>(i)].engine = engine;
+    jobs[static_cast<std::size_t>(i)].with_baseline = false;
+    jobs[static_cast<std::size_t>(i)].stream = stream;
+    jobs[static_cast<std::size_t>(i)].make_workload = [i] {
+      wl::StreamConfig cfg;
+      cfg.array_elems = 1u << (13 + i);
+      cfg.iterations = 1;
+      return std::make_unique<wl::Stream>(cfg);
+    };
+  }
+
+  store::SessionStore local(path("local-store"));
+  const auto results = store::run_sessions(local, jobs);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kJobs));
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.error.empty()) << result.error;
+    EXPECT_TRUE(result.streamed);
+    EXPECT_FALSE(result.stream_fallback);
+    EXPECT_EQ(result.stream_state, "clean");
+    EXPECT_GT(result.stream_blocks_sent, 0u);
+    EXPECT_EQ(result.stream_blocks_dropped, 0u);
+    EXPECT_EQ(result.report.stream_blocks_sent, result.stream_blocks_sent);
+    EXPECT_FALSE(result.report.stream_fallback);
+    // session.meta surfaces the stream outcome.
+    const auto meta = store::read_metadata_file(result.session.dir + "/" +
+                                                std::string(store::kSessionMetaFile));
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->at("streamed"), "1");
+    EXPECT_EQ(meta->at("stream_state"), "clean");
+  }
+
+  ASSERT_TRUE(collector.wait_done(30'000));
+  // Let the post-run control stream (scheduler.meta snapshot) land too.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (collector.stats().meta_snapshots < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  collector.stop();
+
+  // Every collected trace is byte-identical to its local counterpart.
+  const auto dirs = session_dirs(collector_config.root);
+  ASSERT_EQ(dirs.size(), static_cast<std::size_t>(kJobs));
+  int matched = 0;
+  for (const auto& dir : dirs) {
+    const std::string name = dir.filename().string();
+    for (const auto& result : results) {
+      if (name.find("-" + result.session.name) == std::string::npos) continue;
+      EXPECT_EQ(read_file((dir / "trace.nmot").string()), read_file(result.session.trace_path))
+          << name;
+      const auto meta = store::read_metadata_file(
+          (dir / std::string(store::kSessionMetaFile)).string());
+      ASSERT_TRUE(meta.has_value());
+      EXPECT_EQ(meta->at("fingerprint"), result.fingerprint);
+      EXPECT_EQ(meta->at("stream_state"), "clean");
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, kJobs);
+
+  // The fleet admission view arrived over the control stream.
+  const auto merged = store::read_metadata_file(collector_config.root + "/" +
+                                                std::string(store::kSchedulerMetaFile));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->at("submitted"), std::to_string(kJobs));
+}
+
+TEST_F(NetTest, CollectorStopMidRunLeavesVerifiableTruncatedArtifact) {
+  CollectorConfig collector_config;
+  collector_config.root = path("collected");
+  Collector collector(collector_config);
+  std::string error;
+  ASSERT_TRUE(collector.start(&error)) << error;
+
+  const auto trace = make_trace(4096, 61);
+  StreamConfig stream;
+  stream.port = collector.port();
+  StreamingTraceSink sink(stream, "interrupted", store::TraceWriter::Options{});
+  ASSERT_TRUE(sink.connect());
+  store::TraceWriter writer(path("local.nmot"));
+  sink.attach(writer);
+  writer.write_all(trace);
+  // Wait until at least one block has actually been ingested, then kill
+  // the collector while the stream is mid-flight (before finish).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (collector.stats().blocks < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(collector.stats().blocks, 1u);
+  collector.stop();
+  ASSERT_TRUE(writer.close());
+  sink.finish(writer.samples_written(), writer.fingerprint());  // may fail; must not hang
+
+  // Local capture is complete regardless of the collector's fate.
+  store::TraceReader local_reader(path("local.nmot"));
+  const auto local = local_reader.read_all();
+  ASSERT_TRUE(local_reader.ok());
+  EXPECT_EQ(local.samples().size(), trace.samples().size());
+
+  // Whatever the collector ingested before stop() is a valid trace.
+  const auto dirs = session_dirs(collector_config.root);
+  ASSERT_EQ(dirs.size(), 1u);
+  store::TraceReader reader((dirs[0] / "trace.nmot").string());
+  (void)reader.read_all();
+  EXPECT_TRUE(reader.ok()) << reader.error();
+}
+
+}  // namespace
+}  // namespace nmo::net

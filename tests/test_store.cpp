@@ -985,5 +985,120 @@ TEST_F(StoreTest, IdenticalJobsProduceIdenticalFingerprints) {
   EXPECT_NE(results[0].session.trace_path, results[1].session.trace_path);
 }
 
+// --- metadata-file parsing (session.meta / scheduler.meta) -------------------
+
+using MetadataTest = StoreTest;
+
+TEST_F(MetadataTest, RoundTripsWrittenKeys) {
+  {
+    std::ofstream out(path("session.meta"));
+    out << "id=3\n"
+        << "name=stream-a\n"
+        << "state=done\n"
+        << "samples=4096\n"
+        << "fingerprint=0123456789abcdef0123456789abcdef\n"
+        << "error=\n";
+  }
+  const auto meta = read_metadata_file(path("session.meta"));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->size(), 6u);
+  EXPECT_EQ(meta->at("id"), "3");
+  EXPECT_EQ(meta->at("name"), "stream-a");
+  EXPECT_EQ(meta->at("state"), "done");
+  EXPECT_EQ(meta->at("samples"), "4096");
+  EXPECT_EQ(meta->at("fingerprint"), "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(meta->at("error"), "");
+}
+
+TEST_F(MetadataTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_metadata_file(path("nonexistent.meta")).has_value());
+}
+
+TEST_F(MetadataTest, MalformedLinesAreSkipped) {
+  {
+    std::ofstream out(path("odd.meta"));
+    out << "no equals sign here\n"
+        << "\n"
+        << "good=value\n"
+        << "   \n"
+        << "another line without separator\n";
+  }
+  const auto meta = read_metadata_file(path("odd.meta"));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->size(), 1u);
+  EXPECT_EQ(meta->at("good"), "value");
+}
+
+TEST_F(MetadataTest, DuplicateKeysLastWins) {
+  {
+    std::ofstream out(path("dup.meta"));
+    out << "state=running\n"
+        << "samples=10\n"
+        << "state=done\n"
+        << "samples=4096\n";
+  }
+  const auto meta = read_metadata_file(path("dup.meta"));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->size(), 2u);
+  EXPECT_EQ(meta->at("state"), "done");
+  EXPECT_EQ(meta->at("samples"), "4096");
+}
+
+TEST_F(MetadataTest, ValuesMayContainEquals) {
+  // Only the FIRST '=' splits: error strings with '=' survive verbatim.
+  {
+    std::ofstream out(path("eq.meta"));
+    out << "error=declared samples=5, got=3\n";
+  }
+  const auto meta = read_metadata_file(path("eq.meta"));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->at("error"), "declared samples=5, got=3");
+}
+
+TEST_F(MetadataTest, SessionMetaWrittenByRunnerParsesBack) {
+  // End-to-end: the session.meta the runner writes must round-trip
+  // through read_metadata_file with its numeric fields intact.
+  core::NmoConfig nmo;
+  nmo.enable = true;
+  nmo.mode = core::Mode::kAll;
+  nmo.period = 512;
+  sim::EngineConfig engine;
+  engine.threads = 2;
+  engine.machine.hierarchy.cores = 2;
+
+  std::vector<SessionJob> jobs(1);
+  jobs[0].name = "meta-roundtrip";
+  jobs[0].nmo = nmo;
+  jobs[0].engine = engine;
+  jobs[0].with_baseline = false;
+  jobs[0].make_workload = [] {
+    wl::StreamConfig cfg;
+    cfg.array_elems = 1 << 12;
+    cfg.iterations = 1;
+    return std::make_unique<wl::Stream>(cfg);
+  };
+
+  SessionStore store(path("store"));
+  const auto results = run_sessions(store, jobs);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+
+  const auto meta = read_metadata_file(results[0].session.dir + "/" +
+                                       std::string(kSessionMetaFile));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->at("state"), "done");
+  EXPECT_EQ(meta->at("name"), results[0].session.name);
+  EXPECT_EQ(meta->at("samples"), std::to_string(results[0].samples));
+  EXPECT_EQ(meta->at("fingerprint"), results[0].fingerprint);
+  // A local (non-streamed) run records no streaming keys.
+  EXPECT_EQ(meta->count("streamed"), 0u);
+
+  const auto sched = read_metadata_file(store.root() + "/" +
+                                        std::string(kSchedulerMetaFile));
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_EQ(sched->at("submitted"), "1");
+  EXPECT_EQ(sched->at("completed"), "1");
+}
+
 }  // namespace
 }  // namespace nmo::store

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cctype>
 #include <cstring>
 #include <filesystem>
@@ -409,12 +410,72 @@ int cmd_top(const Command& command, const Args& args) {
   return 0;
 }
 
+/// Emits a metadata value with its natural JSON type: digits-only strings
+/// (every counter session.meta/scheduler.meta records) as numbers,
+/// anything else (names, states, fingerprints, errors) as strings.
+void json_meta_value(nmo::JsonWriter& json, const std::string& value) {
+  if (!value.empty() && value.size() <= 19 &&
+      value.find_first_not_of("0123456789") == std::string::npos) {
+    json.value(static_cast<std::uint64_t>(std::strtoull(value.c_str(), nullptr, 10)));
+  } else {
+    json.value(value);
+  }
+}
+
 int cmd_sessions(const Command&, const Args& args) {
   const std::string& root = args.positionals()[0];
   std::error_code ec;
   if (!std::filesystem::is_directory(root, ec)) {
     std::fprintf(stderr, "%s: not a session store directory\n", root.c_str());
     return 1;
+  }
+
+  if (args.has("json")) {
+    // Machine-readable view: every key of every metadata file, verbatim
+    // (numbers as numbers), so scripts never re-parse the human table.
+    nmo::JsonWriter json;
+    json.begin_object();
+    json.key("store").value(root);
+    for (const char* which : {"scheduler", "collector"}) {
+      const std::string file = std::string(which) + ".meta";
+      if (const auto meta = nmo::store::read_metadata_file(root + "/" + file)) {
+        json.key(which).begin_object();
+        for (const auto& [key, value] : *meta) {
+          json.key(key);
+          json_meta_value(json, value);
+        }
+        json.end_object();
+      }
+    }
+    std::vector<std::filesystem::path> dirs;
+    for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+      if (entry.is_directory() &&
+          entry.path().filename().string().rfind("session-", 0) == 0) {
+        dirs.push_back(entry.path());
+      }
+    }
+    std::sort(dirs.begin(), dirs.end());
+    bool all_ok = true;
+    json.key("sessions").begin_array();
+    for (const auto& dir : dirs) {
+      const auto meta = nmo::store::read_metadata_file(
+          (dir / std::string(nmo::store::kSessionMetaFile)).string());
+      json.begin_object();
+      json.key("dir").value(dir.filename().string());
+      if (meta) {
+        for (const auto& [key, value] : *meta) {
+          json.key(key);
+          json_meta_value(json, value);
+        }
+        const auto it = meta->find("error");
+        if (it != meta->end() && !it->second.empty()) all_ok = false;
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("%s\n", json.str().c_str());
+    return all_ok ? 0 : 1;
   }
 
   std::printf("store: %s\n", root.c_str());
@@ -688,7 +749,13 @@ const std::vector<Command>& command_table() {
        {{"by", "", Flag::Type::kString, "KEY", "group key: region|level|core|latency"},
         {"n", "n", Flag::Type::kUint, "N", "rows to print (default 10)"}},
        cmd_top},
-      {"sessions", "ROOT", "session lifecycle + scheduler stats of a store", 1, 1, {},
+      {"sessions",
+       "ROOT",
+       "session lifecycle + scheduler stats of a store",
+       1,
+       1,
+       {{"json", "", Flag::Type::kBool, "",
+         "emit every session/scheduler/collector metadata key as JSON"}},
        cmd_sessions},
       {"query",
        "FILE",

@@ -1,0 +1,122 @@
+// nmo-traced: the streaming-capture collector daemon.
+//
+// Listens for nmo streaming senders (net/block_sender.hpp), ingests each
+// session stream into a per-session directory of a SessionStore root
+// (net/collector.hpp), and merges scheduler.meta snapshots across senders
+// into the fleet admission view at `<root>/scheduler.meta`.  Collected
+// traces are normal verify-clean v2 artifacts - `nmo-trace verify/merge/
+// sessions` work on the collected root exactly as on a local one.
+//
+// Deterministic lifecycle for scripts and CI: `--once N` exits after N
+// session streams finalized (clean or truncated) with no stream still
+// open, and `--port-file PATH` publishes the bound port (the daemon binds
+// an ephemeral port when --port is 0/absent, so parallel CI jobs never
+// collide).  SIGINT/SIGTERM drain gracefully: open streams finalize as
+// valid truncated traces before exit.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.hpp"
+#include "net/collector.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+int cmd_serve(const nmo::cli::Command& command, const nmo::cli::Args& args) {
+  nmo::net::CollectorConfig config;
+  config.root = args.str("root", "collected-store");
+  config.bind = args.str("bind", "127.0.0.1");
+  const std::uint64_t port = args.uint("port", 0);
+  if (port > 0xffff) return command.usage_error("nmo-traced", "--port out of range");
+  config.port = static_cast<std::uint16_t>(port);
+  config.once = static_cast<std::uint32_t>(args.uint("once", 0));
+  config.verbose = args.has("verbose");
+  const std::uint64_t linger_ms = args.uint("linger-ms", 200);
+
+  nmo::net::Collector collector(config);
+  std::string error;
+  if (!collector.start(&error)) {
+    std::fprintf(stderr, "nmo-traced: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "nmo-traced: listening on %s:%u, root %s\n", config.bind.c_str(),
+               collector.port(), config.root.c_str());
+  if (args.has("port-file")) {
+    std::ofstream out(args.str("port-file"), std::ios::trunc);
+    out << collector.port() << '\n';
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signal == 0) {
+    if (config.once > 0 && collector.wait_done(200)) break;
+    if (config.once == 0) std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (g_signal == 0 && linger_ms > 0) {
+    // Quota met: give late control connections (scheduler.meta snapshots
+    // arriving just after the last session finalized) a moment to land.
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  collector.stop();
+
+  const auto stats = collector.stats();
+  std::fprintf(stderr,
+               "nmo-traced: served %llu connections, %llu sessions "
+               "(%llu clean, %llu truncated, %llu failed), %llu blocks / %llu samples, "
+               "%llu bytes, %llu protocol errors\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.sessions_started),
+               static_cast<unsigned long long>(stats.sessions_clean),
+               static_cast<unsigned long long>(stats.sessions_truncated),
+               static_cast<unsigned long long>(stats.sessions_failed),
+               static_cast<unsigned long long>(stats.blocks),
+               static_cast<unsigned long long>(stats.samples),
+               static_cast<unsigned long long>(stats.bytes),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return stats.protocol_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nmo::cli::Command serve{
+      "serve",
+      "",
+      "collect streamed capture sessions into a session store",
+      0,
+      0,
+      {
+          {"root", "r", nmo::cli::Flag::Type::kString, "PATH",
+           "session store root for collected traces (default collected-store)"},
+          {"bind", "b", nmo::cli::Flag::Type::kString, "ADDR",
+           "listen address (default 127.0.0.1)"},
+          {"port", "p", nmo::cli::Flag::Type::kUint, "PORT",
+           "listen port (default 0 = ephemeral; see --port-file)"},
+          {"port-file", "", nmo::cli::Flag::Type::kString, "PATH",
+           "write the bound port to PATH once listening"},
+          {"once", "n", nmo::cli::Flag::Type::kUint, "N",
+           "exit after N session streams finalized (default 0 = serve forever)"},
+          {"linger-ms", "", nmo::cli::Flag::Type::kUint, "MS",
+           "after --once is met, keep serving this long for late control "
+           "connections (default 200)"},
+          {"verbose", "v", nmo::cli::Flag::Type::kBool, "",
+           "log per-connection lifecycle to stderr"},
+      },
+      cmd_serve,
+  };
+  // Single-purpose daemon: every invocation is the serve command, so the
+  // subcommand word is optional ("nmo-traced --once 4" just works).
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) rest.emplace_back(argv[i]);
+  if (!rest.empty() && rest.front() == "serve") rest.erase(rest.begin());
+  return nmo::cli::run_command("nmo-traced", serve, rest);
+}
