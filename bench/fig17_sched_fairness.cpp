@@ -1,0 +1,362 @@
+// Multi-tenant scheduler fairness: weighted admission shares, proportional
+// shed, bounded per-tenant queue waits, and budget-overrun truncation.
+//
+// Not a paper figure: it gates the fairness contract of the multi-tenant
+// scheduler (store/scheduler.hpp) the way a shared always-on profiler
+// needs it to hold at fleet scale.  Four legs, each a pass/fail gate:
+//
+//   shares      three tenants with weights 4/2/1 keep one worker
+//               saturated; the first 700 admissions must split
+//               400/200/100 within +-10% (stride scheduling).
+//   shed        round-robin overload of a depth-70 shed-oldest queue must
+//               leave surviving entries proportional to weight
+//               (40/20/10 within +-10%), with zero tenants starved.
+//   scale       thousands of queued submissions across the tenant mix:
+//               every task completes and no tenant's p99 queue wait
+//               strays past 4x the pool-wide p99 (log2-bucket estimate;
+//               4x = two buckets of slack).
+//   budget      a profiled session with a 1 ns time budget must finalize
+//               a verify-clean truncated trace with fewer samples than
+//               its unbudgeted twin (cooperative preemption).
+//
+//   ./bench_fig17_sched_fairness [--json FILE]
+//
+// --json writes the measured shares and gate outcomes for the CI artifact
+// trail.  Exit 0 iff every gate holds.
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "store/scheduler.hpp"
+#include "store/session_store.hpp"
+#include "store/trace_file.hpp"
+#include "workloads/stream.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using nmo::store::AdmissionPolicy;
+using nmo::store::Scheduler;
+using nmo::store::SchedulerConfig;
+using nmo::store::SubmitOptions;
+using nmo::store::TaskStatus;
+
+constexpr const char* kTenants[3] = {"gold", "silver", "bronze"};
+constexpr std::uint32_t kWeights[3] = {4, 2, 1};
+
+/// A manually released gate: holds the single worker busy so submissions
+/// pile up deterministically before any admission decision is made.
+class Gate {
+ public:
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+SchedulerConfig three_tenant_config() {
+  SchedulerConfig config;
+  config.max_workers = 1;
+  for (int t = 0; t < 3; ++t) config.tenants.push_back({kTenants[t], kWeights[t], 0});
+  return config;
+}
+
+/// +-10% acceptance band around the expected count.
+bool within_10pct(std::uint64_t actual, std::uint64_t expected) {
+  const double lo = 0.9 * static_cast<double>(expected);
+  const double hi = 1.1 * static_cast<double>(expected);
+  return static_cast<double>(actual) >= lo && static_cast<double>(actual) <= hi;
+}
+
+struct ShareLeg {
+  std::uint64_t counts[3] = {0, 0, 0};
+  bool pass = true;
+};
+
+/// Leg 1: stride-scheduling admission shares under sustained overload.
+ShareLeg run_share_leg() {
+  constexpr int kPerTenant = 700;
+  Gate gate;
+  Scheduler scheduler(three_tenant_config());
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  order.reserve(3 * kPerTenant);
+  for (int i = 0; i < kPerTenant; ++i) {
+    for (int t = 0; t < 3; ++t) {
+      SubmitOptions options;
+      options.tenant = kTenants[t];
+      scheduler.submit(
+          [&order, &order_mutex, t](const TaskStatus&) {
+            std::lock_guard<std::mutex> lock(order_mutex);
+            order.push_back(t);
+          },
+          options);
+    }
+  }
+  gate.open();
+  scheduler.wait_idle();
+
+  ShareLeg leg;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kPerTenant); ++i) {
+    ++leg.counts[static_cast<std::size_t>(order[i])];
+  }
+  const std::uint64_t expected[3] = {400, 200, 100};
+  for (int t = 0; t < 3; ++t) leg.pass = leg.pass && within_10pct(leg.counts[t], expected[t]);
+  return leg;
+}
+
+/// Leg 2: proportional shed of a bounded queue under round-robin overload.
+ShareLeg run_shed_leg() {
+  constexpr int kPerTenant = 200;
+  Gate gate;
+  auto config = three_tenant_config();
+  config.queue_depth = 70;
+  config.policy = AdmissionPolicy::kShedOldest;
+  Scheduler scheduler(config);
+  std::atomic<bool> running{false};
+  scheduler.submit([&](const TaskStatus&) {
+    running = true;
+    gate.wait();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  std::atomic<std::uint64_t> survived[3] = {{0}, {0}, {0}};
+  for (int i = 0; i < kPerTenant; ++i) {
+    for (int t = 0; t < 3; ++t) {
+      SubmitOptions options;
+      options.tenant = kTenants[t];
+      auto* const counter = &survived[t];
+      scheduler.submit([counter](const TaskStatus&) { ++*counter; }, options);
+    }
+  }
+  gate.open();
+  scheduler.wait_idle();
+
+  ShareLeg leg;
+  const std::uint64_t expected[3] = {40, 20, 10};
+  for (int t = 0; t < 3; ++t) {
+    leg.counts[t] = survived[t].load();
+    leg.pass = leg.pass && within_10pct(leg.counts[t], expected[t]) && leg.counts[t] > 0;
+  }
+  return leg;
+}
+
+struct ScaleLeg {
+  std::uint64_t tasks = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t overall_p99_ns = 0;
+  std::uint64_t tenant_p99_ns[3] = {0, 0, 0};
+  bool pass = true;
+};
+
+/// Leg 3: thousands of queued submissions; nobody starves, no tenant's
+/// tail wait strays far from the pool-wide tail.
+ScaleLeg run_scale_leg() {
+  constexpr int kPerTenant = 1000;
+  auto config = three_tenant_config();
+  config.max_workers = 4;
+  Scheduler scheduler(config);
+
+  std::atomic<std::uint64_t> ran{0};
+  for (int i = 0; i < kPerTenant; ++i) {
+    for (int t = 0; t < 3; ++t) {
+      SubmitOptions options;
+      options.tenant = kTenants[t];
+      scheduler.submit([&ran](const TaskStatus&) { ++ran; }, options);
+    }
+  }
+  scheduler.wait_idle();
+  const auto stats = scheduler.stats();
+
+  ScaleLeg leg;
+  leg.tasks = 3 * kPerTenant;
+  leg.completed = ran.load();
+  leg.overall_p99_ns = stats.queue_wait_p99_ns;
+  leg.pass = leg.completed == leg.tasks && stats.shed == 0 && stats.rejected == 0;
+  for (int t = 0; t < 3; ++t) {
+    leg.tenant_p99_ns[t] = stats.tenants[static_cast<std::size_t>(t)].queue_wait_p99_ns;
+    // 4x = two log2 buckets of slack over the pool-wide estimate.
+    leg.pass = leg.pass && leg.tenant_p99_ns[t] <= 4 * leg.overall_p99_ns &&
+               stats.tenants[static_cast<std::size_t>(t)].completed ==
+                   static_cast<std::uint64_t>(kPerTenant);
+  }
+  return leg;
+}
+
+struct BudgetLeg {
+  std::uint64_t full_samples = 0;
+  std::uint64_t truncated_samples = 0;
+  bool verify_clean = false;
+  bool pass = false;
+};
+
+/// Leg 4: cooperative preemption end to end through run_sessions - the
+/// truncated trace must verify clean and be strictly shorter than the
+/// unbudgeted run's.
+BudgetLeg run_budget_leg() {
+  const fs::path root = fs::temp_directory_path() / "nmo_bench_sched_fairness";
+  fs::remove_all(root);
+
+  nmo::store::SessionJob job;
+  job.name = "budgeted";
+  job.nmo.enable = true;
+  job.nmo.mode = nmo::core::Mode::kSample;
+  job.nmo.period = 256;
+  job.engine.threads = 2;
+  job.engine.machine.hierarchy.cores = 2;
+  job.engine.seed = 17;
+  job.make_workload = [] {
+    nmo::wl::StreamConfig cfg;
+    cfg.array_elems = 1 << 16;
+    cfg.iterations = 4;
+    return std::make_unique<nmo::wl::Stream>(cfg);
+  };
+
+  BudgetLeg leg;
+  nmo::store::SessionStore full_store((root / "full").string());
+  const auto full = nmo::store::run_sessions(full_store, {job});
+  if (full.results.size() != 1 || !full.results[0].error.empty()) return leg;
+  leg.full_samples = full.results[0].samples;
+
+  auto budgeted = job;
+  budgeted.limits.budget_ns = 1;  // overruns at the first checkpoint poll
+  nmo::store::SessionStore truncated_store((root / "truncated").string());
+  const auto truncated = nmo::store::run_sessions(truncated_store, {budgeted});
+  if (truncated.results.size() != 1) return leg;
+  const auto& r = truncated.results[0];
+  leg.truncated_samples = r.samples;
+
+  nmo::store::TraceReader reader(r.session.trace_path);
+  const auto trace = reader.read_all();
+  leg.verify_clean = reader.ok() && trace.fingerprint() == r.fingerprint;
+  leg.pass = r.error.empty() && r.budget_state == "truncated" && leg.verify_clean &&
+             leg.truncated_samples < leg.full_samples;
+  fs::remove_all(root);
+  return leg;
+}
+
+void print_share_row(const char* leg, const ShareLeg& r, const std::uint64_t (&expected)[3]) {
+  for (int t = 0; t < 3; ++t) {
+    char actual[32], want[32];
+    std::snprintf(actual, sizeof(actual), "%llu",
+                  static_cast<unsigned long long>(r.counts[t]));
+    std::snprintf(want, sizeof(want), "%llu",
+                  static_cast<unsigned long long>(expected[t]));
+    nmo::bench::print_row({leg, kTenants[t], actual, want, r.pass ? "ok" : "FAIL"}, 12);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  nmo::bench::banner("sched-fairness",
+                     "multi-tenant scheduler: weighted shares, shed, waits, budgets");
+
+  const auto shares = run_share_leg();
+  const auto shed = run_shed_leg();
+  const auto scale = run_scale_leg();
+  const auto budget = run_budget_leg();
+
+  nmo::bench::print_row({"leg", "tenant", "actual", "expected", "gate"}, 12);
+  const std::uint64_t share_expected[3] = {400, 200, 100};
+  const std::uint64_t shed_expected[3] = {40, 20, 10};
+  print_share_row("shares", shares, share_expected);
+  print_share_row("shed", shed, shed_expected);
+  std::printf("\nscale: %llu/%llu completed, overall p99 wait %.3f ms (gate: %s)\n",
+              static_cast<unsigned long long>(scale.completed),
+              static_cast<unsigned long long>(scale.tasks),
+              static_cast<double>(scale.overall_p99_ns) / 1e6,
+              scale.pass ? "ok" : "FAIL");
+  for (int t = 0; t < 3; ++t) {
+    std::printf("  %-8s p99 wait %.3f ms\n", kTenants[t],
+                static_cast<double>(scale.tenant_p99_ns[t]) / 1e6);
+  }
+  std::printf("budget: %llu -> %llu samples, truncated trace %s (gate: %s)\n",
+              static_cast<unsigned long long>(budget.full_samples),
+              static_cast<unsigned long long>(budget.truncated_samples),
+              budget.verify_clean ? "verify-clean" : "CORRUPT",
+              budget.pass ? "ok" : "FAIL");
+
+  const bool pass = shares.pass && shed.pass && scale.pass && budget.pass;
+
+  if (!json_path.empty()) {
+    nmo::bench::JsonWriter json;
+    json.begin_object();
+    const auto share_block = [&](const char* name, const ShareLeg& leg,
+                                 const std::uint64_t (&expected)[3]) {
+      json.key(name).begin_object();
+      for (int t = 0; t < 3; ++t) {
+        json.key(kTenants[t]).begin_object();
+        json.key("actual").value(leg.counts[t]);
+        json.key("expected").value(expected[t]);
+        json.end_object();
+      }
+      json.key("pass").value(leg.pass);
+      json.end_object();
+    };
+    share_block("shares", shares, share_expected);
+    share_block("shed", shed, shed_expected);
+    json.key("scale").begin_object();
+    json.key("tasks").value(scale.tasks);
+    json.key("completed").value(scale.completed);
+    json.key("overall_p99_ns").value(scale.overall_p99_ns);
+    for (int t = 0; t < 3; ++t) {
+      json.key(std::string(kTenants[t]) + "_p99_ns").value(scale.tenant_p99_ns[t]);
+    }
+    json.key("pass").value(scale.pass);
+    json.end_object();
+    json.key("budget").begin_object();
+    json.key("full_samples").value(budget.full_samples);
+    json.key("truncated_samples").value(budget.truncated_samples);
+    json.key("verify_clean").value(budget.verify_clean);
+    json.key("pass").value(budget.pass);
+    json.end_object();
+    json.key("pass").value(pass);
+    json.end_object();
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+
+  std::printf("\nfairness gates: %s\n", pass ? "ALL PASS" : "FAILED");
+  return pass ? 0 : 1;
+}

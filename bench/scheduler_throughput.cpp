@@ -153,10 +153,12 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t) {
       fs::remove_all(root);
       nmo::store::SessionStore store(root.string());
+      nmo::store::RunOptions options;
+      options.threaded = true;
       const auto t0 = std::chrono::steady_clock::now();
-      const auto results = nmo::store::run_sessions_threaded(store, jobs);
+      const auto run = nmo::store::run_sessions(store, jobs, options);
       secs.add(seconds_since(t0));
-      check_parity(results, "threaded", 0, t);
+      check_parity(run.results, "threaded", 0, t);
     }
     record("threaded", 0, secs);
   }
@@ -167,12 +169,12 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t) {
       fs::remove_all(root);
       nmo::store::SessionStore store(root.string());
-      nmo::store::SchedulerConfig config;
-      config.max_workers = workers;
-      config.queue_depth = 0;
-      config.policy = nmo::store::AdmissionPolicy::kBlock;
+      nmo::store::RunOptions options;
+      options.scheduler.max_workers = workers;
+      options.scheduler.queue_depth = 0;
+      options.scheduler.policy = nmo::store::AdmissionPolicy::kBlock;
       const auto t0 = std::chrono::steady_clock::now();
-      const auto run = nmo::store::run_sessions(store, jobs, config);
+      const auto run = nmo::store::run_sessions(store, jobs, options);
       secs.add(seconds_since(t0));
       check_parity(run.results, "pool", workers, t);
     }

@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  nmo::store::SchedulerConfig sched;
+  nmo::store::RunOptions options;
+  auto& sched = options.scheduler;
   sched.max_workers = n_workers;
   // Under the block policy a finite queue exercises real backpressure
   // (submission stalls until a worker frees a slot) while still admitting
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
   sched.policy = *policy;
 
   nmo::store::SessionStore store(root);
-  const auto run = nmo::store::run_sessions(store, jobs, sched);
+  const auto run = nmo::store::run_sessions(store, jobs, options);
 
   std::printf("=== multi-session run (%zu jobs on %u workers, policy %s) ===\n",
               run.results.size(), n_workers, policy_text.c_str());

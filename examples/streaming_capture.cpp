@@ -112,14 +112,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  nmo::store::SchedulerConfig sched;
-  sched.max_workers = static_cast<std::uint32_t>(*workers);
+  nmo::store::RunOptions options;
+  options.scheduler.max_workers = static_cast<std::uint32_t>(*workers);
 
   nmo::store::SessionStore store(root);
-  const auto run = nmo::store::run_sessions(store, jobs, sched);
+  const auto run = nmo::store::run_sessions(store, jobs, options);
 
   std::printf("=== streaming capture (%zu jobs -> %s:%u, %u workers) ===\n",
-              run.results.size(), stream->host.c_str(), stream->port, sched.max_workers);
+              run.results.size(), stream->host.c_str(), stream->port,
+              options.scheduler.max_workers);
   nmo::core::SampleTrace expected;
   nmo::store::RegionUnion expected_regions;
   std::vector<std::string> merge_inputs;
@@ -139,15 +140,15 @@ int main(int argc, char** argv) {
     std::printf("session %u (%s): %llu samples, stream %s (%llu blocks, %llu dropped)\n",
                 r.session.id, r.session.name.c_str(),
                 static_cast<unsigned long long>(r.samples),
-                r.streamed ? r.stream_state.c_str() : "OFF",
-                static_cast<unsigned long long>(r.stream_blocks_sent),
-                static_cast<unsigned long long>(r.stream_blocks_dropped));
+                r.stream.streamed ? r.stream.stream_state.c_str() : "OFF",
+                static_cast<unsigned long long>(r.stream.stream_blocks_sent),
+                static_cast<unsigned long long>(r.stream.stream_blocks_dropped));
     // The smoke contract: every session must have streamed cleanly.  A
     // fallback means the local capture is fine but the mirror is not -
     // exactly what this example exists to prove works.
-    if (!r.streamed || r.stream_fallback || r.stream_state != "clean") {
-      std::printf("  stream NOT CLEAN: state=%s error=%s\n", r.stream_state.c_str(),
-                  r.stream_error.c_str());
+    if (!r.stream.streamed || r.stream.stream_fallback || r.stream.stream_state != "clean") {
+      std::printf("  stream NOT CLEAN: state=%s error=%s\n", r.stream.stream_state.c_str(),
+                  r.stream.stream_error.c_str());
       ok = false;
     }
 

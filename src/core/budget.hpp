@@ -1,0 +1,97 @@
+// Cooperative preemption token for per-job time budgets.
+//
+// A BudgetToken is armed with a wall-clock budget (steady_clock based) and
+// polled at cooperative checkpoints - the monitor drain-round loop and the
+// engine replay loop.  Once the budget is exceeded (or the token is
+// cancelled externally) the token trips permanently; the session then stops
+// replaying further work and finalizes a *valid truncated* trace, reusing
+// the normal finalize path, so `nmo-trace verify` stays clean.
+//
+// This is a leaf header on purpose: core/session.hpp includes
+// sim/engine.hpp which includes sim/monitor.hpp, so the token shared by all
+// three layers cannot live in session.hpp without creating an include
+// cycle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace nmo::core {
+
+/// Shared cancellation/budget token.  arm()/cancel() from the controlling
+/// thread; poll() from the worker at checkpoints.  All transitions are
+/// one-way (a tripped token stays tripped), which keeps the memory ordering
+/// requirements trivial.
+class BudgetToken {
+ public:
+  BudgetToken() = default;
+  BudgetToken(const BudgetToken&) = delete;
+  BudgetToken& operator=(const BudgetToken&) = delete;
+
+  /// Starts the clock now with the given wall-clock budget.  budget_ns == 0
+  /// leaves the token unarmed (poll() never trips on time).
+  void arm(std::uint64_t budget_ns) {
+    if (budget_ns == 0) return;
+    start_ = std::chrono::steady_clock::now();
+    budget_ns_ = budget_ns;
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// External cancellation (tenant shed, shutdown).  Trips the token at the
+  /// next checkpoint regardless of elapsed time.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Cooperative checkpoint: records the visit and trips the token when the
+  /// budget is exhausted or the token was cancelled.  Returns tripped().
+  bool poll() {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    if (tripped_.load(std::memory_order_acquire)) return true;
+    if (cancelled_.load(std::memory_order_acquire)) {
+      tripped_.store(true, std::memory_order_release);
+      return true;
+    }
+    if (armed_.load(std::memory_order_acquire) && elapsed_ns() > budget_ns_) {
+      tripped_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Cheap read for hot loops; only poll() advances the tripped state on
+  /// time, so at least one checkpoint must poll.
+  [[nodiscard]] bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+
+  [[nodiscard]] bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Number of checkpoint visits (diagnostic: proves the cooperative hook
+  /// actually ran).
+  [[nodiscard]] std::uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t budget_ns() const { return budget_ns_; }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    if (!armed_.load(std::memory_order_acquire)) return 0;
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+
+  /// Why the token tripped: "" (not tripped), "cancelled", or "budget".
+  [[nodiscard]] const char* reason() const {
+    if (!tripped()) return "";
+    return cancelled_.load(std::memory_order_acquire) ? "cancelled" : "budget";
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> tripped_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::uint64_t budget_ns_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace nmo::core

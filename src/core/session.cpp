@@ -20,6 +20,8 @@ std::string_view to_string(SessionState state) noexcept {
       return "rejected";
     case SessionState::kShed:
       return "shed";
+    case SessionState::kExpired:
+      return "expired";
   }
   return "?";
 }
@@ -72,6 +74,8 @@ SessionReport ProfileSession::profile(wl::Workload& workload, bool with_baseline
   report.retired_epochs = stats.retired_epochs;
   report.peak_epoch_lag = stats.peak_epoch_lag;
   report.epoch_wait_cycles = stats.epoch_wait_cycles;
+  report.budget_checkpoints = stats.budget_checkpoints;
+  report.budget_truncated = stats.budget_truncated;
   report.processed_samples = profiler_->trace().size();
   if (const auto* consumer = engine_->consumer()) {
     report.skipped_records = consumer->counts().records_skipped;

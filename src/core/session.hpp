@@ -13,6 +13,7 @@
 #include <memory>
 #include <string_view>
 
+#include "core/budget.hpp"
 #include "core/config.hpp"
 #include "core/profiler.hpp"
 #include "sim/engine.hpp"
@@ -22,8 +23,9 @@ namespace nmo::core {
 
 /// Lifecycle of a session under the bounded scheduler
 /// (store/scheduler.hpp): queued -> admitted -> running -> done/failed.
-/// kRejected and kShed are terminal admission-control outcomes - the
-/// session never ran.  A ProfileSession driven directly (no scheduler)
+/// kRejected, kShed and kExpired are terminal admission-control outcomes -
+/// the session never ran (kExpired: its deadline passed while it was still
+/// waiting in the queue).  A ProfileSession driven directly (no scheduler)
 /// reports kDone.
 enum class SessionState : std::uint8_t {
   kQueued = 0,
@@ -33,6 +35,7 @@ enum class SessionState : std::uint8_t {
   kFailed,
   kRejected,
   kShed,
+  kExpired,
 };
 
 /// Stable lowercase names ("queued", "done", ...) used in session
@@ -75,6 +78,13 @@ struct SessionReport {
   /// Capture degraded to local-only (collector unreachable, or the stream
   /// failed mid-run).  The local on-disk trace is complete either way.
   bool stream_fallback = false;
+
+  // Time-budget telemetry (zero unless sim::EngineConfig::budget pointed at
+  // an armed core::BudgetToken).
+  std::uint64_t budget_checkpoints = 0;  ///< Cooperative poll() visits.
+  /// The budget tripped mid-replay: remaining work was skipped and the
+  /// trace was finalized early (valid but truncated).
+  bool budget_truncated = false;
 
   /// Eq. 1 of the paper.
   [[nodiscard]] double accuracy() const;

@@ -84,6 +84,7 @@ TraceEngine::TraceEngine(const EngineConfig& config, core::Profiler* profiler)
     }
     monitor_ = std::make_unique<Monitor>(machine_->cost(), consumer_.get(), events_,
                                          drain_service_.get());
+    monitor_->set_budget(config_.budget);
     profiler_->set_time_conv(machine_->time_conv());
   }
   if (profiler_ != nullptr) {
@@ -124,9 +125,19 @@ void TraceEngine::dealloc(Addr base) {
   }
 }
 
+bool TraceEngine::budget_stopped() {
+  if (budget_stopped_) return true;
+  if (config_.budget != nullptr && config_.budget->tripped()) budget_stopped_ = true;
+  return budget_stopped_;
+}
+
 void TraceEngine::parallel_for(std::string_view kernel, std::size_t n,
                                const wl::Executor::KernelBody& body) {
   (void)kernel;
+  // Cooperative preemption: a tripped budget skips the kernel body
+  // entirely (the workload keeps issuing kernels, the engine stops paying
+  // for them), so the run winds down at the next kernel boundary.
+  if (budget_stopped()) return;
   const std::uint32_t nt = config_.threads;
   std::vector<std::vector<RecordedAccess>> streams(nt);
   std::uint64_t kernel_flops = 0;
@@ -145,6 +156,7 @@ void TraceEngine::parallel_for(std::string_view kernel, std::size_t n,
 
 void TraceEngine::serial(std::string_view kernel, const wl::Executor::SerialBody& body) {
   (void)kernel;
+  if (budget_stopped()) return;
   std::vector<std::vector<RecordedAccess>> streams(config_.threads);
   Recorder rec(&streams[0]);
   body(rec);
@@ -208,6 +220,23 @@ void TraceEngine::replay(std::vector<std::vector<RecordedAccess>>& streams, Cycl
     const auto [clk, tid] = heap.top();
     heap.pop();
     process_monitor_until(clk);
+
+    if (config_.budget != nullptr) {
+      // Sampling runs hit the checkpoint through the monitor's round loop;
+      // polling here as well (amortized over a stride of accesses) bounds
+      // the detection latency of runs that never arm a drain round.
+      if (++accesses_since_poll_ >= 4096) {
+        accesses_since_poll_ = 0;
+        config_.budget->poll();
+      }
+      if (config_.budget->tripped()) {
+        // Stop feeding work mid-kernel: everything already drained/decoded
+        // stays, the rest of the recorded streams is abandoned, and
+        // finalize() closes a valid truncated trace.
+        budget_stopped_ = true;
+        break;
+      }
+    }
 
     const RecordedAccess& acc = streams[tid][cursor[tid]++];
     Cycles& clock = clocks_[tid];
@@ -344,6 +373,10 @@ EngineStats TraceEngine::stats() const {
     s.retired_epochs = overlap.retired_epochs;
     s.peak_epoch_lag = overlap.peak_epoch_lag;
     s.epoch_wait_cycles = overlap.epoch_wait_cycles;
+  }
+  if (config_.budget != nullptr) {
+    s.budget_checkpoints = config_.budget->checkpoints();
+    s.budget_truncated = budget_stopped_ || config_.budget->tripped();
   }
   return s;
 }

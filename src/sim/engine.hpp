@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/budget.hpp"
 #include "core/profiler.hpp"
 #include "sim/drain_service.hpp"
 #include "sim/machine.hpp"
@@ -63,6 +64,12 @@ struct EngineConfig {
   /// schedule is mode-invariant, so the emitted trace is byte-identical to
   /// the synchronous default; overlap telemetry lands in EngineStats.
   bool async_drain = false;
+  /// Cooperative preemption token (core/budget.hpp), or nullptr for an
+  /// unlimited run.  The monitor polls it every drain round and the replay
+  /// loop checks it between accesses; once tripped, the engine stops
+  /// replaying, skips the bodies of any subsequent kernels, and finalize()
+  /// emits a *valid truncated* trace.  Must outlive the engine.
+  core::BudgetToken* budget = nullptr;
 };
 
 /// Aggregated sampling statistics of one engine run.
@@ -98,6 +105,9 @@ struct EngineStats {
   /// Capture degraded to local-only: the collector was unreachable or the
   /// stream failed mid-run.  The on-disk trace is complete either way.
   bool stream_fallback = false;
+  // Time-budget telemetry (zero unless EngineConfig::budget was set).
+  std::uint64_t budget_checkpoints = 0;  ///< Cooperative poll() visits.
+  bool budget_truncated = false;  ///< The run stopped early on a tripped budget.
 };
 
 class TraceEngine final : public wl::Executor {
@@ -141,6 +151,9 @@ class TraceEngine final : public wl::Executor {
   void replay(std::vector<std::vector<RecordedAccess>>& streams, Cycles start);
   void process_monitor_until(Cycles t);
   void maybe_tick(Cycles t);
+  /// True once the budget token tripped; latches budget_stopped_ so every
+  /// later kernel is skipped without re-reading the token.
+  bool budget_stopped();
 
   EngineConfig config_;
   core::Profiler* profiler_;
@@ -176,6 +189,8 @@ class TraceEngine final : public wl::Executor {
 
   std::uint64_t total_mem_ops_ = 0;
   std::uint64_t total_fp_ops_ = 0;
+  bool budget_stopped_ = false;
+  std::uint32_t accesses_since_poll_ = 0;
   std::vector<std::uint64_t> last_wakeups_;
   std::vector<std::uint64_t> last_written_;
   bool finalized_ = false;

@@ -37,6 +37,11 @@ std::uint64_t Monitor::drain_round() {
 }
 
 std::optional<Cycles> Monitor::on_round_done(Cycles now_cycles) {
+  // Cooperative preemption checkpoint: the round loop is where a per-job
+  // time budget is enforced.  The round itself still completes (drained
+  // records are never discarded) - the *engine* observes the tripped token
+  // and stops feeding new work, then finalizes a valid truncated trace.
+  if (budget_ != nullptr) budget_->poll();
   chunks_scratch_.clear();
   const std::uint64_t round_bytes = drain_round();
   if (drain_service_ != nullptr) {

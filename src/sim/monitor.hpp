@@ -48,6 +48,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "kernel/perf_event.hpp"
 #include "kernel/poller.hpp"
 #include "sim/cost_model.hpp"
@@ -108,6 +109,13 @@ class Monitor {
   [[nodiscard]] bool async() const { return drain_service_ != nullptr; }
   [[nodiscard]] const MonitorOverlap& overlap() const { return overlap_; }
 
+  /// Attaches a cooperative preemption token: every drain round polls it
+  /// (the round loop is the official per-job budget checkpoint - it runs at
+  /// a bounded simulated-time interval, so overrun detection latency is one
+  /// round).  The token must outlive the monitor; nullptr detaches.
+  void set_budget(core::BudgetToken* budget) { budget_ = budget; }
+  [[nodiscard]] core::BudgetToken* budget() const { return budget_; }
+
  private:
   /// Estimated cost of one drain round: fixed setup plus per-byte
   /// processing of everything currently buffered.  Mode-invariant (see the
@@ -125,6 +133,7 @@ class Monitor {
 
   CostModel cost_;
   spe::AuxConsumer* consumer_;
+  core::BudgetToken* budget_ = nullptr;
   kern::Poller poller_;
   DrainService* drain_service_;
   bool round_armed_ = false;

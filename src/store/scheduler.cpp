@@ -1,11 +1,39 @@
 #include "store/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/profiler.hpp"
 
 namespace nmo::store {
+
+namespace {
+
+/// Log2 bucket of a queue-wait sample (bucket b holds waits whose
+/// bit_width is b, so the bucket upper bound is 2^b - 1).
+std::size_t wait_bucket(std::uint64_t wait_ns) noexcept {
+  return std::min<std::size_t>(std::bit_width(wait_ns), 63);
+}
+
+/// Quantile estimate from a log2 histogram: the upper bound of the bucket
+/// containing the q-th sample (within 2x of the true value).
+std::uint64_t hist_quantile(const std::array<std::uint64_t, 64>& hist, double q) noexcept {
+  std::uint64_t total = 0;
+  for (const auto v : hist) total += v;
+  if (total == 0) return 0;
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    cum += hist[b];
+    if (cum >= target) return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+  return (std::uint64_t{1} << 63) - 1;
+}
+
+}  // namespace
 
 std::string_view to_string(AdmissionPolicy policy) noexcept {
   switch (policy) {
@@ -31,13 +59,24 @@ std::uint32_t default_max_workers() noexcept {
   return hw > 0 ? hw : 1;
 }
 
-Scheduler::Scheduler(SchedulerConfig config) : config_(config) {
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
   if (config_.max_workers == 0) {
     throw std::invalid_argument(
         "SchedulerConfig::max_workers is 0: a pool with no workers can never "
         "drain its queue (use default_max_workers() for the hardware default)");
   }
   stats_.workers = config_.max_workers;
+  for (const auto& spec : config_.tenants) {
+    // First spec wins on a duplicate name; resolve_tenant_locked below
+    // would otherwise silently shadow the registered weight.
+    if (tenant_ids_.count(spec.name) != 0) continue;
+    resolve_tenant_locked(spec.name);
+    auto& state = tenants_.back();
+    state.spec = spec;
+    state.spec.weight = std::max<std::uint32_t>(1, spec.weight);
+    state.stride = kStrideScale / state.spec.weight;
+    state.stats.weight = state.spec.weight;
+  }
   workers_.reserve(config_.max_workers);
   for (std::uint32_t i = 0; i < config_.max_workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -56,6 +95,20 @@ Scheduler::~Scheduler() {
   for (auto& w : workers_) w.join();
 }
 
+TenantId Scheduler::resolve_tenant_locked(std::string_view name) {
+  const std::string key(name.empty() ? std::string_view("default") : name);
+  const auto it = tenant_ids_.find(key);
+  if (it != tenant_ids_.end()) return it->second;
+  const auto id = static_cast<TenantId>(tenants_.size());
+  tenant_ids_.emplace(key, id);
+  TenantState state;
+  state.spec.name = key;
+  state.stats.name = key;
+  state.stats.weight = state.spec.weight;
+  tenants_.push_back(std::move(state));
+  return id;
+}
+
 void Scheduler::mark_terminal_locked(TaskId id) {
   // Retention 0 means the caller owns the ledger via forget(); tracking
   // terminal ids anyway would just recreate the per-submission leak in
@@ -70,71 +123,187 @@ void Scheduler::mark_terminal_locked(TaskId id) {
   }
 }
 
-void Scheduler::shed_oldest_locked() {
-  // rbegin() is the lowest priority class (map is ordered descending);
-  // front() is its oldest entry.
-  auto lowest = queue_.rbegin();
-  Entry victim = std::move(lowest->second.front());
-  lowest->second.pop_front();
-  if (lowest->second.empty()) queue_.erase(lowest->first);
-  --queued_;
-  statuses_[victim.id].state = core::SessionState::kShed;
-  ++stats_.shed;
-  mark_terminal_locked(victim.id);
+std::optional<std::uint8_t> Scheduler::lowest_class_of_locked(TenantId tenant) const {
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    const auto found = it->second.by_tenant.find(tenant);
+    if (found != it->second.by_tenant.end() && !found->second.empty()) return it->first;
+  }
+  return std::nullopt;
 }
 
-std::optional<TaskId> Scheduler::submit(Task task, std::uint8_t priority) {
-  std::unique_lock<std::mutex> lock(mutex_);
+void Scheduler::shed_entry_locked(std::uint8_t priority, TenantId tenant) {
+  auto cls = queue_.find(priority);
+  auto dq = cls->second.by_tenant.find(tenant);
+  // The victim is the tenant's *oldest submission* in the class (min seq),
+  // not the EDF front: shedding exists to favor fresh work, and the
+  // deadline-free case must keep the pre-tenant drop-the-oldest behavior.
+  const auto victim = std::min_element(
+      dq->second.begin(), dq->second.end(),
+      [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  const TaskId victim_id = victim->id;
+  dq->second.erase(victim);
+  if (dq->second.empty()) cls->second.by_tenant.erase(dq);
+  --cls->second.size;
+  if (cls->second.by_tenant.empty()) queue_.erase(cls);
+  --queued_;
+  auto& ten = tenants_[tenant];
+  --ten.queued;
+  statuses_[victim_id].state = core::SessionState::kShed;
+  ++stats_.shed;
+  ++ten.stats.shed;
+  mark_terminal_locked(victim_id);
+}
+
+void Scheduler::shed_from_class_locked(std::uint8_t priority) {
+  const auto& cls = queue_.find(priority)->second;
+  // Weighted-overage victim selection: the tenant whose queued entries in
+  // this class exceed its fair share the most (queued/weight highest; ties
+  // go to the lowest tenant id, deterministically).  Under round-robin
+  // overload this keeps surviving queue slots proportional to weights.
+  TenantId victim = cls.by_tenant.begin()->first;
+  std::uint64_t worst = 0;
+  for (const auto& [tid, dq] : cls.by_tenant) {
+    const auto overage = static_cast<std::uint64_t>(dq.size()) * kStrideScale /
+                         tenants_[tid].spec.weight;
+    if (overage > worst) {
+      worst = overage;
+      victim = tid;
+    }
+  }
+  shed_entry_locked(priority, victim);
+}
+
+void Scheduler::shed_from_tenant_locked(TenantId tenant) {
+  const auto cls = lowest_class_of_locked(tenant);
+  if (cls) shed_entry_locked(*cls, tenant);
+}
+
+void Scheduler::enqueue_locked(Entry entry) {
+  auto& ten = tenants_[entry.tenant];
+  if (ten.queued == 0) {
+    // Idle->active: restart at the global pass floor so time spent with an
+    // empty queue cannot bank stride credit against active tenants.
+    ten.pass = std::max(ten.pass, global_pass_);
+  }
+  auto& cls = queue_[entry.priority];
+  auto& dq = cls.by_tenant[entry.tenant];
+  // EDF position within the tenant's deque: earliest deadline first, no
+  // deadline sorts last, submission order breaks ties - so a deadline-free
+  // workload keeps strict FIFO order (the pre-tenant behavior).
+  const auto no_deadline = std::chrono::steady_clock::time_point::max();
+  const auto pos = std::upper_bound(
+      dq.begin(), dq.end(), entry, [&](const Entry& probe, const Entry& queued) {
+        const auto pd = probe.has_deadline ? probe.deadline : no_deadline;
+        const auto qd = queued.has_deadline ? queued.deadline : no_deadline;
+        if (pd != qd) return pd < qd;
+        return probe.seq < queued.seq;
+      });
+  dq.insert(pos, std::move(entry));
+  ++cls.size;
+  ++queued_;
+  ++ten.queued;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queued_);
+  ten.stats.peak_queue_depth = std::max(ten.stats.peak_queue_depth, ten.queued);
+  work_ready_.notify_one();
+}
+
+std::optional<TaskId> Scheduler::submit_locked(std::unique_lock<std::mutex>& lock, Task task,
+                                               const SubmitOptions& options,
+                                               bool admission_exempt) {
   // Queue wait is measured from here - including any time the submitter
   // spends blocked on a full queue below, which is exactly when the wait
   // numbers matter.
   const auto submitted_at = std::chrono::steady_clock::now();
+  const TenantId tenant = resolve_tenant_locked(options.tenant);
   ++stats_.submitted;
-  if (config_.queue_depth > 0 && queued_ >= config_.queue_depth) {
+  ++tenants_[tenant].stats.submitted;
+  if (admission_exempt) {
+    ++stats_.requeued;
+    ++tenants_[tenant].stats.requeued;
+  }
+
+  const auto tenant_cap = tenants_[tenant].spec.queue_cap;
+  const auto reject = [&]() -> std::optional<TaskId> {
+    ++stats_.rejected;
+    ++tenants_[tenant].stats.rejected;
+    return std::nullopt;
+  };
+
+  if (!admission_exempt) {
+    const auto tenant_full = [&] {
+      return tenant_cap > 0 && tenants_[tenant].queued >= tenant_cap;
+    };
+    const auto global_full = [&] {
+      return config_.queue_depth > 0 && queued_ >= config_.queue_depth;
+    };
     switch (config_.policy) {
       case AdmissionPolicy::kBlock:
         space_ready_.wait(lock,
-                          [this] { return stopping_ || queued_ < config_.queue_depth; });
+                          [&] { return stopping_ || (!tenant_full() && !global_full()); });
         break;
       case AdmissionPolicy::kReject:
-        ++stats_.rejected;
-        return std::nullopt;
+        if (tenant_full() || global_full()) return reject();
+        break;
       case AdmissionPolicy::kShedOldest:
         // Shedding favors fresh *and higher-priority* work: a submission
-        // that outranks (or ties) the lowest queued class displaces that
-        // class's oldest entry; one that ranks below everything queued is
-        // rejected instead - otherwise a burst of low-priority jobs could
-        // drain every queued high-priority session.
-        if (queue_.rbegin()->first > priority) {
-          ++stats_.rejected;
-          return std::nullopt;
+        // that outranks (or ties) the victim class displaces an entry;
+        // one that ranks below everything eligible is rejected instead -
+        // otherwise a burst of low-priority jobs could drain every queued
+        // high-priority session.
+        if (tenant_full()) {
+          // The tenant's own cap is the limit, so the victim must come
+          // from the same tenant (shedding a peer would let one tenant
+          // evict another to exceed its cap).
+          const auto own_lowest = lowest_class_of_locked(tenant);
+          if (own_lowest && *own_lowest > options.priority) return reject();
+          shed_from_tenant_locked(tenant);
         }
-        shed_oldest_locked();
+        if (global_full()) {
+          if (queue_.rbegin()->first > options.priority) return reject();
+          shed_from_class_locked(queue_.rbegin()->first);
+        }
         break;
     }
   }
-  if (stopping_) {
-    ++stats_.rejected;
-    return std::nullopt;
-  }
+  if (stopping_) return reject();
 
   Entry entry;
   entry.id = next_id_++;
   entry.task = std::move(task);
-  entry.priority = priority;
+  entry.priority = options.priority;
+  entry.tenant = tenant;
+  entry.seq = next_seq_++;
   entry.submitted_at = submitted_at;
+  if (options.deadline_ns > 0) {
+    entry.has_deadline = true;
+    entry.deadline = submitted_at + std::chrono::nanoseconds(options.deadline_ns);
+  }
 
   TaskStatus status;
   status.id = entry.id;
-  status.priority = priority;
+  status.priority = options.priority;
+  status.tenant = tenant;
   status.state = core::SessionState::kQueued;
   statuses_.emplace(entry.id, status);
 
-  queue_[priority].push_back(std::move(entry));
-  ++queued_;
-  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queued_);
-  work_ready_.notify_one();
+  enqueue_locked(std::move(entry));
   return status.id;
+}
+
+std::optional<TaskId> Scheduler::submit(Task task, const SubmitOptions& options) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return submit_locked(lock, std::move(task), options, /*admission_exempt=*/false);
+}
+
+std::optional<TaskId> Scheduler::submit(Task task, std::uint8_t priority) {
+  SubmitOptions options;
+  options.priority = priority;
+  return submit(std::move(task), options);
+}
+
+std::optional<TaskId> Scheduler::requeue(Task task, const SubmitOptions& options) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return submit_locked(lock, std::move(task), options, /*admission_exempt=*/true);
 }
 
 void Scheduler::worker_loop(std::uint32_t worker_index) {
@@ -146,17 +315,47 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
       continue;
     }
 
-    // Highest priority class first (map ordered descending), FIFO within.
+    // Highest priority class first (map ordered descending); within it,
+    // stride scheduling across the queued tenants: the lowest pass (ties
+    // to the lowest tenant id) is the most under-served relative to its
+    // weight and runs next.
     auto highest = queue_.begin();
-    Entry entry = std::move(highest->second.front());
-    highest->second.pop_front();
-    if (highest->second.empty()) queue_.erase(highest->first);
+    auto& by_tenant = highest->second.by_tenant;
+    auto pick = by_tenant.begin();
+    for (auto it = std::next(by_tenant.begin()); it != by_tenant.end(); ++it) {
+      if (tenants_[it->first].pass < tenants_[pick->first].pass) pick = it;
+    }
+    Entry entry = std::move(pick->second.front());
+    pick->second.pop_front();
+    if (pick->second.empty()) by_tenant.erase(pick);
+    --highest->second.size;
+    if (by_tenant.empty()) queue_.erase(highest);
     --queued_;
-    space_ready_.notify_one();
+    auto& ten = tenants_[entry.tenant];
+    --ten.queued;
+    space_ready_.notify_all();
+
+    const auto now = std::chrono::steady_clock::now();
+    if (entry.has_deadline && entry.deadline < now) {
+      // Deadline passed while the entry was still queued: terminal
+      // kExpired without ever occupying this worker (the whole point of
+      // admitting by deadline - a session nobody can use anymore must not
+      // displace ones that still can).
+      statuses_[entry.id].state = core::SessionState::kExpired;
+      ++stats_.expired;
+      ++ten.stats.expired;
+      mark_terminal_locked(entry.id);
+      if (queued_ == 0 && running_ == 0) idle_.notify_all();
+      continue;
+    }
+
+    // Stride charge: this admission consumes kStrideScale/weight of the
+    // tenant's virtual time.
+    ten.pass += ten.stride;
+    global_pass_ = std::max(global_pass_, ten.pass);
 
     const auto wait_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - entry.submitted_at)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - entry.submitted_at)
             .count());
     TaskStatus& status = statuses_[entry.id];
     status.state = core::SessionState::kAdmitted;
@@ -165,10 +364,16 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
     ++stats_.admitted;
     stats_.queue_wait_ns_total += wait_ns;
     stats_.queue_wait_ns_max = std::max(stats_.queue_wait_ns_max, wait_ns);
+    ++wait_hist_[wait_bucket(wait_ns)];
+    ++ten.stats.admitted;
+    ten.stats.queue_wait_ns_total += wait_ns;
+    ten.stats.queue_wait_ns_max = std::max(ten.stats.queue_wait_ns_max, wait_ns);
+    ++ten.wait_hist[wait_bucket(wait_ns)];
     ++running_;
     stats_.peak_occupancy = std::max(stats_.peak_occupancy, running_);
     status.state = core::SessionState::kRunning;
     const TaskStatus snapshot = status;
+    const TenantId tenant_index = entry.tenant;
 
     lock.unlock();
     // Worker hygiene: a fresh task must never observe a profiler binding
@@ -192,8 +397,10 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
     done.state = failed ? core::SessionState::kFailed : core::SessionState::kDone;
     if (failed) {
       ++stats_.failed;
+      ++tenants_[tenant_index].stats.failed;
     } else {
       ++stats_.completed;
+      ++tenants_[tenant_index].stats.completed;
     }
     mark_terminal_locked(entry.id);
     if (queued_ == 0 && running_ == 0) idle_.notify_all();
@@ -221,6 +428,7 @@ bool Scheduler::forget(TaskId id) {
     case core::SessionState::kFailed:
     case core::SessionState::kShed:
     case core::SessionState::kRejected:
+    case core::SessionState::kExpired:
       statuses_.erase(it);
       return true;
     case core::SessionState::kQueued:
@@ -238,7 +446,20 @@ std::size_t Scheduler::status_count() const {
 
 SchedulerStats Scheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  SchedulerStats snapshot = stats_;
+  snapshot.queue_wait_p50_ns = hist_quantile(wait_hist_, 0.50);
+  snapshot.queue_wait_p99_ns = hist_quantile(wait_hist_, 0.99);
+  snapshot.tenants.reserve(tenants_.size());
+  for (const auto& state : tenants_) {
+    TenantStats row = state.stats;
+    row.name = state.spec.name;
+    row.weight = state.spec.weight;
+    row.queued = state.queued;
+    row.queue_wait_p50_ns = hist_quantile(state.wait_hist, 0.50);
+    row.queue_wait_p99_ns = hist_quantile(state.wait_hist, 0.99);
+    snapshot.tenants.push_back(std::move(row));
+  }
+  return snapshot;
 }
 
 }  // namespace nmo::store

@@ -1,5 +1,5 @@
-// Bounded session scheduler with admission control (ROADMAP: "session
-// scheduler").
+// Multi-tenant bounded session scheduler with admission control (ROADMAP:
+// "multi-tenant scheduling").
 //
 // run_sessions used to spawn one std::thread per ProfileSession, which
 // collapses under fleet-scale job counts: a thousand queued jobs meant a
@@ -11,17 +11,38 @@
 //
 //   kBlock      submit() waits for space (backpressure on the producer),
 //   kReject     submit() fails immediately (load shedding at the door),
-//   kShedOldest the oldest entry of the lowest priority class is dropped
-//               to make room (favor fresh, high-priority work); a
-//               submission ranked below everything queued is rejected
-//               instead of displacing its betters.
+//   kShedOldest a queued entry is dropped to make room (favor fresh,
+//               high-priority work); a submission ranked below everything
+//               queued is rejected instead of displacing its betters.
+//
+// A shared always-on profiler serves many *tenants*, so admission is
+// weighted-fair rather than globally FIFO:
+//
+//  * every submission belongs to a tenant (default: "default"); tenants
+//    carry a weight and an optional per-tenant queue-depth cap;
+//  * workers pick the next task by priority class first, then by stride
+//    scheduling across the tenants queued in that class (each admission
+//    advances the tenant's virtual "pass" by kStrideScale/weight; the
+//    lowest pass runs next), so sustained overload divides worker
+//    throughput proportionally to weight and no tenant starves;
+//  * kShedOldest sheds from the tenant most over its weighted share of the
+//    lowest priority class, so overload sheds proportionally instead of
+//    punishing whoever happened to submit first.
+//
+// Within one tenant and priority class, ordering is EDF: a submission may
+// carry a relative deadline, earliest deadline runs first, and an entry
+// whose deadline passes while it is still queued becomes terminal
+// kExpired at pop time - it never occupies a worker.  Tasks without
+// deadlines keep strict FIFO order (the pre-tenant behavior: a defaulted
+// config with one tenant, no deadlines and no budgets schedules exactly
+// like the old single-queue pool).
 //
 // Every task moves through the lifecycle of core::SessionState:
-// queued -> admitted -> running -> done/failed, with rejected/shed as the
-// terminal admission outcomes.  SchedulerStats aggregates what the pool
-// did: admissions, rejections, queue-wait time, peak queue depth and peak
-// worker occupancy - the numbers run_sessions persists to the store root
-// and nmo-trace prints back.
+// queued -> admitted -> running -> done/failed, with rejected/shed/expired
+// as the terminal admission outcomes.  SchedulerStats aggregates what the
+// pool did - admissions, rejections, queue-wait time and quantiles, peak
+// depth/occupancy - plus one TenantStats row per tenant; run_sessions
+// persists both to the store root and nmo-trace prints them back.
 //
 // Worker threads are reused across sessions, so the thread-local
 // active-profiler binding of the C annotation API must not leak between
@@ -30,6 +51,7 @@
 // (suspenders).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -38,6 +60,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
@@ -51,9 +74,10 @@ namespace nmo::store {
 enum class AdmissionPolicy : std::uint8_t {
   kBlock = 0,  ///< Wait for a queue slot (producer backpressure).
   kReject,     ///< Fail the submission immediately.
-  /// Drop the oldest queued entry of the lowest priority class - unless
-  /// the incoming task ranks below every queued class, in which case the
-  /// incoming task is rejected instead.
+  /// Drop a queued entry of the lowest priority class - from the tenant
+  /// most over its weighted share, that tenant's oldest submission -
+  /// unless the incoming task ranks below every queued class, in which
+  /// case the incoming task is rejected instead.
   kShedOldest,
 };
 
@@ -65,6 +89,42 @@ enum class AdmissionPolicy : std::uint8_t {
 /// concurrency, never less than 1.
 [[nodiscard]] std::uint32_t default_max_workers() noexcept;
 
+/// One tenant of the shared pool.  Weight sets the tenant's share of
+/// worker throughput under sustained overload (stride scheduling); the cap
+/// bounds how much of the queue one tenant can occupy.
+struct TenantSpec {
+  std::string name = "default";
+  std::uint32_t weight = 1;   ///< Fair-share weight (clamped to >= 1).
+  std::size_t queue_cap = 0;  ///< Per-tenant queued limit; 0 = no cap.
+};
+
+/// Index into SchedulerStats::tenants (registration order; tenants named
+/// at submit time but absent from SchedulerConfig::tenants are
+/// auto-registered with weight 1).
+using TenantId = std::uint32_t;
+
+/// Per-tenant slice of the scheduler's accounting.  Queue-wait quantiles
+/// are estimated from 64 log2 buckets (bounded memory; the estimate is the
+/// bucket's upper bound, i.e. within 2x of the true value).
+struct TenantStats {
+  std::string name;
+  std::uint32_t weight = 1;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;   ///< Deadline passed while queued.
+  std::uint64_t requeued = 0;  ///< Admission-exempt resubmissions.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_wait_ns_total = 0;
+  std::uint64_t queue_wait_ns_max = 0;
+  std::uint64_t queue_wait_p50_ns = 0;
+  std::uint64_t queue_wait_p99_ns = 0;
+  std::size_t queued = 0;  ///< Waiting right now (snapshot).
+  std::size_t peak_queue_depth = 0;
+};
+
 struct SchedulerConfig {
   /// Size of the worker pool.  Explicit 0 is a configuration error
   /// (the Scheduler constructor throws std::invalid_argument).
@@ -72,12 +132,17 @@ struct SchedulerConfig {
   /// Admission queue depth limit (queued, not yet admitted).  0 = unbounded.
   std::size_t queue_depth = 0;
   AdmissionPolicy policy = AdmissionPolicy::kBlock;
-  /// How many *terminal* (done/failed/shed) task statuses the ledger keeps
-  /// before the oldest are reaped automatically.  Bounds the status map of
-  /// a long-lived pool whose callers never forget() - without it the pool
-  /// leaks one TaskStatus per submission forever.  0 = keep everything
-  /// (the caller promises to forget()).  Live tasks are never reaped.
+  /// How many *terminal* (done/failed/shed/expired) task statuses the
+  /// ledger keeps before the oldest are reaped automatically.  Bounds the
+  /// status map of a long-lived pool whose callers never forget() -
+  /// without it the pool leaks one TaskStatus per submission forever.
+  /// 0 = keep everything (the caller promises to forget()).  Live tasks
+  /// are never reaped.
   std::size_t status_retention = 1024;
+  /// Tenant table (weighted-fair admission).  Empty = one implicit
+  /// "default" tenant with weight 1, which reproduces the pre-tenant
+  /// scheduling order exactly.
+  std::vector<TenantSpec> tenants;
 };
 
 using TaskId = std::uint64_t;
@@ -87,6 +152,7 @@ struct TaskStatus {
   TaskId id = 0;
   core::SessionState state = core::SessionState::kQueued;
   std::uint8_t priority = 0;
+  TenantId tenant = 0;              ///< Index into SchedulerStats::tenants.
   std::uint64_t queue_wait_ns = 0;  ///< submit -> admitted (0 until admitted).
   std::uint32_t worker = 0;         ///< Pool slot that ran it (valid once admitted).
 };
@@ -98,12 +164,28 @@ struct SchedulerStats {
   std::uint64_t admitted = 0;   ///< Handed to a worker.
   std::uint64_t rejected = 0;   ///< Refused at the door (kReject / stopped pool).
   std::uint64_t shed = 0;       ///< Dropped from the queue (kShedOldest).
+  std::uint64_t expired = 0;    ///< Deadline passed while queued (never ran).
+  std::uint64_t requeued = 0;   ///< Admission-exempt resubmissions (requeue()).
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t queue_wait_ns_total = 0;  ///< Sum over admitted tasks.
   std::uint64_t queue_wait_ns_max = 0;
+  std::uint64_t queue_wait_p50_ns = 0;  ///< Log2-bucket estimate (<= 2x true).
+  std::uint64_t queue_wait_p99_ns = 0;
   std::size_t peak_queue_depth = 0;  ///< Most tasks ever waiting at once.
   std::uint32_t peak_occupancy = 0;  ///< Most workers ever running at once.
+  std::vector<TenantStats> tenants;  ///< One row per tenant (registration order).
+};
+
+/// Per-submission scheduling knobs (the Scheduler-level half of the
+/// store::RunOptions / JobLimits surface).
+struct SubmitOptions {
+  std::uint8_t priority = 0;  ///< Higher runs first.
+  std::string tenant;         ///< Tenant name; empty = "default".
+  /// Relative deadline: the task must be *admitted* within this many
+  /// nanoseconds of submission or it becomes terminal kExpired at pop time
+  /// (EDF ordering within its priority class).  0 = no deadline.
+  std::uint64_t deadline_ns = 0;
 };
 
 class Scheduler {
@@ -122,10 +204,20 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Submits a task at `priority` (higher runs first; FIFO within a
-  /// class).  Returns the task id, or std::nullopt when admission control
-  /// turned the task away (kReject with a full queue, or a stopping pool).
+  /// Submits a task with full scheduling options.  Returns the task id, or
+  /// std::nullopt when admission control turned the task away (kReject
+  /// with a full queue/tenant cap, or a stopping pool).
+  std::optional<TaskId> submit(Task task, const SubmitOptions& options);
+
+  /// Legacy shorthand: default tenant, no deadline.
   std::optional<TaskId> submit(Task task, std::uint8_t priority = 0);
+
+  /// Admission-exempt resubmission: enqueues even when the queue or the
+  /// tenant cap is full (never blocks, sheds or rejects on capacity).
+  /// This is how a budget-overrun session re-enters the queue from inside
+  /// a worker - a capacity-checked submit there could deadlock a kBlock
+  /// pool against itself.  Counted in SchedulerStats::requeued.
+  std::optional<TaskId> requeue(Task task, const SubmitOptions& options);
 
   /// Blocks until the queue is empty and no worker is running a task.
   void wait_idle();
@@ -136,9 +228,9 @@ class Scheduler {
   /// so a long-lived pool stays bounded even when callers never query.
   [[nodiscard]] std::optional<TaskStatus> status(TaskId id) const;
 
-  /// Drops a *terminal* (done/failed/shed) task's status entry, bounding
-  /// the ledger for long-lived pools.  A task still queued or running is
-  /// kept (returns false).
+  /// Drops a *terminal* (done/failed/shed/expired) task's status entry,
+  /// bounding the ledger for long-lived pools.  A task still queued or
+  /// running is kept (returns false).
   bool forget(TaskId id);
   /// Entries currently in the status ledger (terminal + live); the number
   /// status_retention bounds.  For monitoring and tests.
@@ -147,16 +239,54 @@ class Scheduler {
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
  private:
+  /// Stride-scheduling pass increment for weight 1; higher weights advance
+  /// their pass in smaller steps and therefore run proportionally more.
+  static constexpr std::uint64_t kStrideScale = std::uint64_t{1} << 20;
+
   struct Entry {
     TaskId id = 0;
     Task task;
     std::uint8_t priority = 0;
+    TenantId tenant = 0;
+    std::uint64_t seq = 0;  ///< Global submission order (FIFO tiebreak).
     std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  /// One priority class: per-tenant EDF deques plus the class total.
+  struct ClassQueue {
+    std::map<TenantId, std::deque<Entry>> by_tenant;
+    std::size_t size = 0;
+  };
+
+  struct TenantState {
+    TenantSpec spec;
+    std::uint64_t stride = kStrideScale;
+    std::uint64_t pass = 0;  ///< Stride-scheduling virtual time consumed.
+    std::size_t queued = 0;
+    std::array<std::uint64_t, 64> wait_hist{};  ///< Log2 buckets, admitted waits.
+    TenantStats stats;
   };
 
   void worker_loop(std::uint32_t worker_index);
-  /// Drops the oldest entry of the lowest-priority class (queue lock held).
-  void shed_oldest_locked();
+  std::optional<TaskId> submit_locked(std::unique_lock<std::mutex>& lock, Task task,
+                                      const SubmitOptions& options, bool admission_exempt);
+  /// Registers (or finds) the tenant for `name`; "" maps to "default".
+  TenantId resolve_tenant_locked(std::string_view name);
+  /// EDF-position insert plus depth/peak bookkeeping (queue lock held).
+  void enqueue_locked(Entry entry);
+  /// Sheds one entry of the given class: victim tenant = most over its
+  /// weighted share of that class, victim entry = that tenant's oldest
+  /// submission (queue lock held).
+  void shed_from_class_locked(std::uint8_t priority);
+  /// Sheds the given tenant's oldest entry from its lowest queued class;
+  /// used when a per-tenant cap (not the global depth) is the limit.
+  void shed_from_tenant_locked(TenantId tenant);
+  /// Removes one entry by (priority, tenant, min seq) and records it shed.
+  void shed_entry_locked(std::uint8_t priority, TenantId tenant);
+  /// The lowest priority class in which `tenant` has queued entries.
+  [[nodiscard]] std::optional<std::uint8_t> lowest_class_of_locked(TenantId tenant) const;
   /// Records `id` as terminal and reaps the oldest terminal statuses past
   /// the retention bound (queue lock held).
   void mark_terminal_locked(TaskId id);
@@ -164,10 +294,12 @@ class Scheduler {
   SchedulerConfig config_;
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;   ///< Queue non-empty or stopping.
-  std::condition_variable space_ready_;  ///< Queue below its depth limit.
+  std::condition_variable space_ready_;  ///< Queue/tenant below a depth limit.
   std::condition_variable idle_;         ///< Queue empty and pool quiescent.
-  /// Priority classes, highest first; FIFO deque within a class.
-  std::map<std::uint8_t, std::deque<Entry>, std::greater<>> queue_;
+  /// Priority classes, highest first.
+  std::map<std::uint8_t, ClassQueue, std::greater<>> queue_;
+  std::vector<TenantState> tenants_;
+  std::unordered_map<std::string, TenantId> tenant_ids_;
   std::unordered_map<TaskId, TaskStatus> statuses_;
   /// Terminal task ids in the order they became terminal - the reap queue
   /// that keeps statuses_ bounded by status_retention.  May hold ids the
@@ -175,10 +307,15 @@ class Scheduler {
   std::deque<TaskId> terminal_ids_;
   std::vector<std::thread> workers_;
   TaskId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  /// Highest pass any admission has reached; a tenant going idle->active
+  /// restarts at this floor so queue absence cannot bank credit.
+  std::uint64_t global_pass_ = 0;
   std::size_t queued_ = 0;
   std::uint32_t running_ = 0;
   bool stopping_ = false;
   SchedulerStats stats_;
+  std::array<std::uint64_t, 64> wait_hist_{};  ///< Pool-wide log2 wait buckets.
 };
 
 }  // namespace nmo::store

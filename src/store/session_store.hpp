@@ -10,19 +10,26 @@
 // upstream NMO's one-trace-per-run layout, with nmo-trace
 // (tools/nmo_trace.cpp) as the merge/query companion.
 //
-// run_sessions is the concurrent runner.  It schedules jobs onto the
-// bounded worker pool of store/scheduler.hpp: `max_workers` workers pull
-// from a priority-aware admission queue instead of the old
+// run_sessions(store, jobs, RunOptions) is the single concurrent runner.
+// By default it schedules jobs onto the bounded multi-tenant worker pool
+// of store/scheduler.hpp: `max_workers` workers pull from a
+// priority/deadline/tenant-aware admission queue instead of the old
 // thread-per-session spawn (which collapses under fleet-scale job
-// counts).  The thread-per-session path survives as
-// run_sessions_threaded, the baseline the scheduler bench and the parity
-// tests compare against: both paths must produce byte-identical session
-// traces (and therefore byte-identical merges).
+// counts).  RunOptions carries the whole scheduling surface in one place -
+// pool size, admission policy, the tenant table with weights and caps, a
+// run-wide trace-format override - while per-job knobs (tenant name,
+// priority, deadline, time budget and overrun policy) live on SessionJob /
+// JobLimits.  RunOptions{.threaded = true} selects the legacy
+// thread-per-session executor, the baseline the scheduler bench and the
+// parity tests compare against: both paths must produce byte-identical
+// session traces (and therefore byte-identical merges).
 //
 // Alongside each trace the runner persists a `session.meta` key=value
-// file (lifecycle state, worker slot, queue wait, samples, fingerprint)
-// and, at the store root, a `scheduler.meta` with the pool's aggregate
-// SchedulerStats - what `nmo-trace sessions` prints back.
+// file (lifecycle state, worker slot, queue wait, samples, fingerprint,
+// tenant, budget outcome, streaming outcome) and, at the store root, a
+// `scheduler.meta` with the pool's aggregate SchedulerStats plus one
+// `tenant.<i>.*` row group per tenant - what `nmo-trace sessions` prints
+// back.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -81,6 +89,39 @@ class SessionStore {
   std::vector<SessionInfo> sessions_;
 };
 
+/// What to do with a session whose time budget tripped mid-run.  In every
+/// case the trace written so far is finalized *valid* (truncated, verify-
+/// clean) - the policy only decides how the outcome is reported and
+/// whether the job gets another attempt.
+enum class OverrunPolicy : std::uint8_t {
+  /// Keep the truncated trace and report the session kDone with
+  /// budget_state "truncated" (the default: partial data beats none).
+  kTruncate = 0,
+  /// Report the session kFailed with a budget error; artifacts stay on
+  /// disk for inspection.
+  kFail,
+  /// Resubmit the job once (admission-exempt, back through the queue with
+  /// a fresh budget and session directory); the result reflects the final
+  /// attempt.  A second overrun falls back to kTruncate.
+  kRequeue,
+};
+
+[[nodiscard]] std::string_view to_string(OverrunPolicy policy) noexcept;
+
+/// Per-job scheduling limits - the JobLimits half of the RunOptions /
+/// JobLimits API surface.
+struct JobLimits {
+  /// Wall-clock time budget for the profile (baseline + instrumented
+  /// runs); enforced cooperatively at the monitor's drain-round checkpoint
+  /// and the engine replay loop.  0 = unlimited.
+  std::uint64_t budget_ns = 0;
+  /// Relative admission deadline: the job must reach a worker within this
+  /// many nanoseconds of submission or it becomes terminal kExpired
+  /// without running (EDF ordering within its priority class).  0 = none.
+  std::uint64_t deadline_ns = 0;
+  OverrunPolicy on_overrun = OverrunPolicy::kTruncate;
+};
+
 /// One profiled job of the concurrent runner.
 struct SessionJob {
   std::string name = "job";
@@ -89,11 +130,17 @@ struct SessionJob {
   /// Built on the session's worker (workloads are not shared).
   std::function<std::unique_ptr<wl::Workload>()> make_workload;
   bool with_baseline = false;
-  /// Admission priority: higher runs first, FIFO within a class.
+  /// Admission priority: higher runs first, EDF/FIFO within a class.
   std::uint8_t priority = 0;
+  /// Tenant this job bills against (weighted-fair admission; see
+  /// SchedulerConfig::tenants).  Empty = the "default" tenant.
+  std::string tenant;
+  /// Time budget / deadline / overrun policy for this job.
+  JobLimits limits;
   /// Trace file format for this session's output (default: v2 with the
   /// block codec; Options{.version = kTraceVersion1} pins the legacy
-  /// format for stores older tooling must read).
+  /// format for stores older tooling must read).  RunOptions::trace_options
+  /// overrides this run-wide when set.
   TraceWriter::Options trace_options;
   /// When set, the session tees every closed trace block to an nmo-traced
   /// collector (net/block_sender.hpp) while the local trace is written as
@@ -110,46 +157,69 @@ struct SessionResult {
   std::uint64_t samples = 0;
   std::string fingerprint;  ///< MD5 of the written trace file.
   std::string error;        ///< Non-empty if the job failed / was turned away.
-  /// Final lifecycle state (kDone, kFailed, kRejected, kShed).
+  /// Final lifecycle state (kDone, kFailed, kRejected, kShed, kExpired).
   core::SessionState state = core::SessionState::kDone;
   std::uint64_t queue_wait_ns = 0;  ///< Admission-queue wait (scheduler path).
   std::uint32_t worker = 0;         ///< Worker-pool slot that ran the job.
+  std::string tenant;               ///< Tenant the job billed against.
+  /// Time-budget outcome: "" (no budget configured), "ok" (finished within
+  /// budget) or "truncated" (budget tripped; the trace is valid but
+  /// partial).  Mirrored to session.meta as budget_state.
+  std::string budget_state;
 
-  // Streaming tee outcome (SessionJob::stream was set; all defaults
-  // otherwise).  The local artifacts above are complete regardless.
-  bool streamed = false;
-  std::string stream_state;  ///< "clean", "partial" (drops) or "fallback".
-  std::uint64_t stream_blocks_sent = 0;
-  std::uint64_t stream_blocks_dropped = 0;
-  bool stream_fallback = false;
-  std::string stream_error;
+  /// Streaming tee outcome (SessionJob::stream was set; all defaults
+  /// otherwise).  The local artifacts above are complete regardless.
+  /// Field names match the session.meta keys one-for-one.
+  struct Stream {
+    bool streamed = false;
+    std::string stream_state;  ///< "clean", "partial" (drops) or "fallback".
+    std::uint64_t stream_blocks_sent = 0;
+    std::uint64_t stream_blocks_dropped = 0;
+    bool stream_fallback = false;
+    std::string stream_error;
+  };
+  Stream stream;
 };
 
 /// run_sessions outcome: per-job results (in job order) plus the pool's
-/// aggregate stats.
+/// aggregate stats (zeroed on the threaded path, which has no pool).
 struct MultiSessionRun {
   std::vector<SessionResult> results;
   SchedulerStats stats;
 };
 
-/// Runs every job on the bounded scheduler (`config` sizes the pool and
-/// the admission queue), each admitted job writing its canonical trace +
-/// region sidecar + session.meta into its own session directory, and the
-/// aggregate SchedulerStats into `<root>/scheduler.meta`.  Results are in
-/// job order; jobs turned away by admission control carry kRejected/kShed
-/// and a non-empty error.
+/// Everything that configures one run_sessions call - the run-wide half of
+/// the redesigned API (per-job knobs live on SessionJob / JobLimits).
+struct RunOptions {
+  /// Pool size, admission queue/policy and the tenant table.  A defaulted
+  /// config (hardware-concurrency workers, unbounded queue, no tenants,
+  /// no deadlines, no budgets) reproduces the pre-tenant scheduler
+  /// behavior exactly.
+  SchedulerConfig scheduler;
+  /// Run-wide trace format override; unset = each job's own
+  /// SessionJob::trace_options.
+  std::optional<TraceWriter::Options> trace_options;
+  /// Use the legacy thread-per-session executor (one std::thread per job,
+  /// no admission control, no scheduler.meta) - the baseline the scheduler
+  /// is benchmarked and parity-tested against.
+  bool threaded = false;
+};
+
+/// Runs every job per `options`, each admitted job writing its canonical
+/// trace + region sidecar + session.meta into its own session directory,
+/// and (pool path) the aggregate SchedulerStats with per-tenant rows into
+/// `<root>/scheduler.meta`.  Results are in job order; jobs turned away by
+/// admission control carry kRejected/kShed/kExpired and a non-empty error.
+MultiSessionRun run_sessions(SessionStore& store, const std::vector<SessionJob>& jobs,
+                             const RunOptions& options = {});
+
+/// Deprecated shim for the pre-RunOptions signature; forwards to
+/// run_sessions(store, jobs, RunOptions{.scheduler = config}).
 MultiSessionRun run_sessions(SessionStore& store, const std::vector<SessionJob>& jobs,
                              const SchedulerConfig& config);
 
-/// Scheduler-backed runner with the default pool (hardware-concurrency
-/// workers, unbounded queue): the drop-in replacement for the old
-/// thread-per-session API.
-std::vector<SessionResult> run_sessions(SessionStore& store,
-                                        const std::vector<SessionJob>& jobs);
-
-/// The old thread-per-session runner (one std::thread per job, no
-/// admission control), kept as the baseline the scheduler is benchmarked
-/// and parity-tested against.  Writes the same per-session artifacts.
+/// Deprecated shim for the old thread-per-session runner; forwards to
+/// run_sessions(store, jobs, RunOptions{.threaded = true}).
 std::vector<SessionResult> run_sessions_threaded(SessionStore& store,
                                                  const std::vector<SessionJob>& jobs);
 

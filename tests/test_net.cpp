@@ -790,16 +790,16 @@ TEST_F(NetTest, RunSessionsStreamedMatchesLocalArtifacts) {
   }
 
   store::SessionStore local(path("local-store"));
-  const auto results = store::run_sessions(local, jobs);
+  const auto results = store::run_sessions(local, jobs).results;
   ASSERT_EQ(results.size(), static_cast<std::size_t>(kJobs));
   for (const auto& result : results) {
     ASSERT_TRUE(result.error.empty()) << result.error;
-    EXPECT_TRUE(result.streamed);
-    EXPECT_FALSE(result.stream_fallback);
-    EXPECT_EQ(result.stream_state, "clean");
-    EXPECT_GT(result.stream_blocks_sent, 0u);
-    EXPECT_EQ(result.stream_blocks_dropped, 0u);
-    EXPECT_EQ(result.report.stream_blocks_sent, result.stream_blocks_sent);
+    EXPECT_TRUE(result.stream.streamed);
+    EXPECT_FALSE(result.stream.stream_fallback);
+    EXPECT_EQ(result.stream.stream_state, "clean");
+    EXPECT_GT(result.stream.stream_blocks_sent, 0u);
+    EXPECT_EQ(result.stream.stream_blocks_dropped, 0u);
+    EXPECT_EQ(result.report.stream_blocks_sent, result.stream.stream_blocks_sent);
     EXPECT_FALSE(result.report.stream_fallback);
     // session.meta surfaces the stream outcome.
     const auto meta = store::read_metadata_file(result.session.dir + "/" +

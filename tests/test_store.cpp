@@ -687,7 +687,7 @@ TEST_F(StoreTest, ConcurrentSessionsWriteDistinctValidTraces) {
   jobs[0].with_baseline = true;
 
   SessionStore store(path("store"));
-  const auto results = run_sessions(store, jobs);
+  const auto results = run_sessions(store, jobs).results;
   ASSERT_EQ(results.size(), jobs.size());
 
   core::SampleTrace reference;
@@ -977,7 +977,7 @@ TEST_F(StoreTest, IdenticalJobsProduceIdenticalFingerprints) {
   }
 
   SessionStore store(path("store"));
-  const auto results = run_sessions(store, jobs);
+  const auto results = run_sessions(store, jobs).results;
   ASSERT_EQ(results.size(), 2u);
   ASSERT_TRUE(results[0].error.empty()) << results[0].error;
   ASSERT_TRUE(results[1].error.empty()) << results[1].error;
@@ -1079,7 +1079,7 @@ TEST_F(MetadataTest, SessionMetaWrittenByRunnerParsesBack) {
   };
 
   SessionStore store(path("store"));
-  const auto results = run_sessions(store, jobs);
+  const auto results = run_sessions(store, jobs).results;
   ASSERT_EQ(results.size(), 1u);
   ASSERT_TRUE(results[0].error.empty()) << results[0].error;
 

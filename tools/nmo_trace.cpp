@@ -441,10 +441,30 @@ int cmd_sessions(const Command&, const Args& args) {
       if (const auto meta = nmo::store::read_metadata_file(root + "/" + file)) {
         json.key(which).begin_object();
         for (const auto& [key, value] : *meta) {
+          // Per-tenant rows are re-emitted below as a structured array;
+          // keeping them out of the flat object spares scripts the
+          // "tenant.<i>.<key>" string surgery.
+          if (key.rfind("tenant.", 0) == 0) continue;
           json.key(key);
           json_meta_value(json, value);
         }
         json.end_object();
+        const auto count_it = meta->find("tenants");
+        if (count_it == meta->end()) continue;
+        const auto tenant_count = std::strtoull(count_it->second.c_str(), nullptr, 10);
+        if (tenant_count == 0) continue;
+        json.key(std::string(which) + "_tenants").begin_array();
+        for (std::uint64_t i = 0; i < tenant_count; ++i) {
+          const std::string prefix = "tenant." + std::to_string(i) + ".";
+          json.begin_object();
+          for (auto it = meta->lower_bound(prefix);
+               it != meta->end() && it->first.rfind(prefix, 0) == 0; ++it) {
+            json.key(it->first.substr(prefix.size()));
+            json_meta_value(json, it->second);
+          }
+          json.end_object();
+        }
+        json.end_array();
       }
     }
     std::vector<std::filesystem::path> dirs;
@@ -491,14 +511,40 @@ int cmd_sessions(const Command&, const Args& args) {
     std::printf("scheduler: workers=%s queue_depth=%s policy=%s\n",
                 field("workers").c_str(), field("queue_depth").c_str(),
                 field("policy").c_str());
-    std::printf("  submitted=%s admitted=%s rejected=%s shed=%s completed=%s failed=%s\n",
+    std::printf("  submitted=%s admitted=%s rejected=%s shed=%s expired=%s requeued=%s "
+                "completed=%s failed=%s\n",
                 field("submitted").c_str(), field("admitted").c_str(),
-                field("rejected").c_str(), field("shed").c_str(), field("completed").c_str(),
+                field("rejected").c_str(), field("shed").c_str(), field("expired").c_str(),
+                field("requeued").c_str(), field("completed").c_str(),
                 field("failed").c_str());
     std::printf("  peak_queue_depth=%s peak_occupancy=%s queue_wait_ns_total=%s "
                 "queue_wait_ns_max=%s\n",
                 field("peak_queue_depth").c_str(), field("peak_occupancy").c_str(),
                 field("queue_wait_ns_total").c_str(), field("queue_wait_ns_max").c_str());
+    // The per-tenant fairness ledger: who submitted, who got a worker, who
+    // was shed or expired, and how long each tenant's jobs waited - the
+    // "who got starved and why" view of the weighted-fair scheduler.
+    const auto tenant_count =
+        std::strtoull(field("tenants").c_str(), nullptr, 10);  // "?" parses to 0
+    if (tenant_count > 0) {
+      std::printf("\n%-16s %-7s %-10s %-9s %-6s %-8s %-12s %-12s\n", "tenant", "weight",
+                  "submitted", "admitted", "shed", "expired", "p50_wait_ms", "p99_wait_ms");
+      for (std::uint64_t i = 0; i < tenant_count; ++i) {
+        const std::string prefix = "tenant." + std::to_string(i) + ".";
+        const auto tfield = [&](const char* key) -> std::string {
+          const auto it = sched->find(prefix + key);
+          return it != sched->end() ? it->second : "?";
+        };
+        const auto wait_ms = [&](const char* key) {
+          return std::strtod(tfield(key).c_str(), nullptr) / 1e6;
+        };
+        std::printf("%-16s %-7s %-10s %-9s %-6s %-8s %-12.3f %-12.3f\n",
+                    tfield("name").c_str(), tfield("weight").c_str(),
+                    tfield("submitted").c_str(), tfield("admitted").c_str(),
+                    tfield("shed").c_str(), tfield("expired").c_str(),
+                    wait_ms("queue_wait_p50_ns"), wait_ms("queue_wait_p99_ns"));
+      }
+    }
   } else {
     std::printf("scheduler: no %s (store predates the scheduler or used the "
                 "thread-per-session runner)\n",
