@@ -1,0 +1,298 @@
+// Topology-aware placement: remote-drain reduction in the socket model,
+// scheduler home-node placement, and an advisory wall-clock leg on real
+// multi-node hosts.
+//
+// Not a paper figure: it gates the PR's placement contract.  Three legs:
+//
+//   sim        a 2-socket machine model profiled under every placement
+//              policy must emit byte-identical traces (MD5), while the
+//              modeled remote-drain cost drops from the unpinned
+//              expectation to zero under kNearProducer with one shard
+//              per core.  Deterministic: gates the build.
+//   sched      home-node submissions against a synthetic 2-node topology
+//              must admit with zero misses when a matching worker
+//              exists, and must all complete (billed as misses, never
+//              starved) when none can match.  Deterministic: gates.
+//   host       pinned-vs-unpinned wall clock of a real profile on the
+//              discovered host topology.  Advisory: skipped on
+//              single-node hosts, never gates the build.
+//
+//   ./bench_fig18_topology [--json FILE]
+//
+// Exit 0: all gates pass (host leg advisory-ok or skipped).  Exit 1: a
+// deterministic gate failed.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/session.hpp"
+#include "spe/decode_pool.hpp"
+#include "store/scheduler.hpp"
+#include "sys/topology.hpp"
+#include "workloads/stream.hpp"
+
+namespace {
+
+using nmo::spe::PlacementPolicy;
+using nmo::store::Scheduler;
+using nmo::store::SchedulerConfig;
+using nmo::store::SubmitOptions;
+using nmo::store::TaskStatus;
+using nmo::sys::CpuTopology;
+
+struct SimRun {
+  std::string fingerprint;
+  nmo::core::SessionReport report;
+};
+
+/// One deterministic profile on a modeled 2-socket, 8-core machine.
+SimRun run_sim(PlacementPolicy policy) {
+  nmo::core::NmoConfig config;
+  config.enable = true;
+  config.mode = nmo::core::Mode::kAll;
+  config.period = 512;
+
+  nmo::sim::EngineConfig engine;
+  engine.threads = 8;
+  engine.machine.hierarchy.cores = 8;
+  engine.machine.sockets = 2;
+  // One decode shard per core: kNearProducer homes every shard on its
+  // producer's socket, so the placed run drains fully node-local.
+  engine.decode_shards = 8;
+  engine.decode_placement = policy;
+  engine.seed = 7;
+
+  nmo::wl::StreamConfig scfg;
+  scfg.array_elems = 1 << 15;
+  scfg.iterations = 2;
+  nmo::wl::Stream stream(scfg);
+
+  nmo::core::ProfileSession session(config, engine);
+  SimRun run;
+  run.report = session.profile(stream, /*with_baseline=*/false);
+  run.fingerprint = session.profiler().trace().fingerprint();
+  return run;
+}
+
+struct SimLeg {
+  SimRun none, pack, near;
+  bool traces_identical = false;
+  bool remote_reduced = false;
+  bool pass = false;
+};
+
+SimLeg run_sim_leg() {
+  SimLeg leg;
+  leg.none = run_sim(PlacementPolicy::kNone);
+  leg.pack = run_sim(PlacementPolicy::kPackShards);
+  leg.near = run_sim(PlacementPolicy::kNearProducer);
+
+  // The acceptance invariant: placement never changes the trace.
+  leg.traces_identical = !leg.none.fingerprint.empty() &&
+                         leg.none.fingerprint == leg.pack.fingerprint &&
+                         leg.none.fingerprint == leg.near.fingerprint;
+  // The perf story: the unpinned expectation bills half the drained bytes
+  // cross-socket; one-shard-per-core near-producer placement bills none.
+  leg.remote_reduced = leg.none.report.remote_drain_bytes > 0 &&
+                       leg.near.report.remote_drain_bytes == 0 &&
+                       leg.near.report.remote_drain_cycles <
+                           leg.none.report.remote_drain_cycles;
+  leg.pass = leg.traces_identical && leg.remote_reduced &&
+             leg.none.report.placement_nodes == 2;
+  return leg;
+}
+
+struct SchedLeg {
+  std::uint64_t matched_local = 0;
+  std::uint64_t matched_misses = 0;
+  std::uint64_t starved_completed = 0;
+  std::uint64_t starved_misses = 0;
+  bool pass = false;
+};
+
+SchedLeg run_sched_leg() {
+  SchedLeg leg;
+  constexpr int kTasks = 8;
+
+  {
+    // Matching workers exist: every home-node task lands on its node.
+    SchedulerConfig config;
+    config.max_workers = 2;
+    config.topology = CpuTopology::synthetic(2, 4);
+    config.placement_wait_ns = 10'000'000'000ull;
+    Scheduler scheduler(config);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < kTasks; ++i) {
+      SubmitOptions options;
+      options.home_node = static_cast<std::uint32_t>(i % 2);
+      scheduler.submit([&ran](const TaskStatus&) { ++ran; }, options);
+    }
+    scheduler.wait_idle();
+    const auto stats = scheduler.stats();
+    leg.matched_local = stats.placement_local;
+    leg.matched_misses = stats.placement_misses;
+  }
+  {
+    // No worker can ever match (one worker on node 0, homes on node 1):
+    // the bounded wait must fall back - everything completes as a miss.
+    SchedulerConfig config;
+    config.max_workers = 1;
+    config.topology = CpuTopology::synthetic(2, 2);
+    config.placement_wait_ns = 1'000'000;  // 1 ms
+    Scheduler scheduler(config);
+    std::atomic<std::uint64_t> ran{0};
+    for (int i = 0; i < kTasks / 2; ++i) {
+      SubmitOptions options;
+      options.home_node = 1;
+      scheduler.submit([&ran](const TaskStatus&) { ++ran; }, options);
+    }
+    scheduler.wait_idle();
+    const auto stats = scheduler.stats();
+    leg.starved_completed = ran.load();
+    leg.starved_misses = stats.placement_misses;
+  }
+
+  leg.pass = leg.matched_local == kTasks && leg.matched_misses == 0 &&
+             leg.starved_completed == kTasks / 2 &&
+             leg.starved_misses == kTasks / 2;
+  return leg;
+}
+
+struct HostLeg {
+  bool ran = false;  ///< False: single-node host, leg skipped.
+  std::uint32_t nodes = 0;
+  double unpinned_ms = 0.0;
+  double pinned_ms = 0.0;
+  bool traces_identical = false;
+};
+
+/// Advisory: real-host wall clock, pinned vs unpinned decode shards.
+HostLeg run_host_leg() {
+  HostLeg leg;
+  const auto topology = CpuTopology::discover();
+  leg.nodes = topology.num_nodes();
+  if (!topology.multi_node()) return leg;  // 1-node host: nothing to place
+  leg.ran = true;
+
+  const auto timed = [&](PlacementPolicy policy) {
+    nmo::core::NmoConfig config;
+    config.enable = true;
+    config.mode = nmo::core::Mode::kAll;
+    config.period = 512;
+    nmo::sim::EngineConfig engine;
+    engine.threads = 8;
+    engine.machine.hierarchy.cores = 8;
+    engine.decode_shards = 4;
+    engine.decode_placement = policy;
+    engine.topology = topology;
+    nmo::wl::StreamConfig scfg;
+    scfg.array_elems = 1 << 16;
+    scfg.iterations = 4;
+    nmo::wl::Stream stream(scfg);
+    nmo::core::ProfileSession session(config, engine);
+    const auto t0 = std::chrono::steady_clock::now();
+    session.profile(stream, /*with_baseline=*/false);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair{std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                     session.profiler().trace().fingerprint()};
+  };
+
+  const auto [unpinned_ms, unpinned_md5] = timed(PlacementPolicy::kNone);
+  const auto [pinned_ms, pinned_md5] = timed(PlacementPolicy::kNearProducer);
+  leg.unpinned_ms = unpinned_ms;
+  leg.pinned_ms = pinned_ms;
+  leg.traces_identical = unpinned_md5 == pinned_md5;
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  nmo::bench::banner("topology",
+                     "topology-aware placement: remote drain, home nodes, host pinning");
+
+  const auto sim = run_sim_leg();
+  const auto sched = run_sched_leg();
+  const auto host = run_host_leg();
+
+  std::printf("sim: md5 %s across none/pack/near-producer (gate: %s)\n",
+              sim.traces_identical ? "identical" : "DIVERGED",
+              sim.pass ? "ok" : "FAIL");
+  std::printf("  remote drain  none: %llu bytes / %llu cycles\n",
+              static_cast<unsigned long long>(sim.none.report.remote_drain_bytes),
+              static_cast<unsigned long long>(sim.none.report.remote_drain_cycles));
+  std::printf("  remote drain  near: %llu bytes / %llu cycles\n",
+              static_cast<unsigned long long>(sim.near.report.remote_drain_bytes),
+              static_cast<unsigned long long>(sim.near.report.remote_drain_cycles));
+  std::printf("sched: matched %llu local / %llu misses; unmatched %llu ran as %llu misses (gate: %s)\n",
+              static_cast<unsigned long long>(sched.matched_local),
+              static_cast<unsigned long long>(sched.matched_misses),
+              static_cast<unsigned long long>(sched.starved_completed),
+              static_cast<unsigned long long>(sched.starved_misses),
+              sched.pass ? "ok" : "FAIL");
+  if (host.ran) {
+    std::printf("host: %u nodes, unpinned %.2f ms vs pinned %.2f ms, traces %s (advisory)\n",
+                host.nodes, host.unpinned_ms, host.pinned_ms,
+                host.traces_identical ? "identical" : "DIVERGED");
+  } else {
+    std::printf("host: %u node(s) - wall-clock leg skipped (advisory)\n", host.nodes);
+  }
+
+  const bool pass = sim.pass && sched.pass;
+
+  if (!json_path.empty()) {
+    nmo::bench::JsonWriter json;
+    json.begin_object();
+    json.key("sim").begin_object();
+    json.key("fingerprint").value(sim.none.fingerprint);
+    json.key("traces_identical").value(sim.traces_identical);
+    json.key("placement_nodes").value(sim.none.report.placement_nodes);
+    json.key("remote_drain_bytes_none").value(sim.none.report.remote_drain_bytes);
+    json.key("remote_drain_bytes_pack").value(sim.pack.report.remote_drain_bytes);
+    json.key("remote_drain_bytes_near").value(sim.near.report.remote_drain_bytes);
+    json.key("remote_drain_cycles_none").value(sim.none.report.remote_drain_cycles);
+    json.key("remote_drain_cycles_near").value(sim.near.report.remote_drain_cycles);
+    json.key("pass").value(sim.pass);
+    json.end_object();
+    json.key("sched").begin_object();
+    json.key("matched_local").value(sched.matched_local);
+    json.key("matched_misses").value(sched.matched_misses);
+    json.key("starved_completed").value(sched.starved_completed);
+    json.key("starved_misses").value(sched.starved_misses);
+    json.key("pass").value(sched.pass);
+    json.end_object();
+    json.key("host").begin_object();
+    json.key("ran").value(host.ran);
+    json.key("nodes").value(host.nodes);
+    json.key("unpinned_ms").value(host.unpinned_ms);
+    json.key("pinned_ms").value(host.pinned_ms);
+    json.key("traces_identical").value(host.traces_identical);
+    json.end_object();
+    json.key("pass").value(pass);
+    json.end_object();
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+
+  std::printf("\ntopology gates: %s\n", pass ? "ALL PASS" : "FAILED");
+  return pass ? 0 : 1;
+}

@@ -74,6 +74,11 @@ SessionReport ProfileSession::profile(wl::Workload& workload, bool with_baseline
   report.retired_epochs = stats.retired_epochs;
   report.peak_epoch_lag = stats.peak_epoch_lag;
   report.epoch_wait_cycles = stats.epoch_wait_cycles;
+  report.local_drain_bytes = stats.local_drain_bytes;
+  report.remote_drain_bytes = stats.remote_drain_bytes;
+  report.remote_drain_cycles = stats.remote_drain_cycles;
+  report.placement_nodes = stats.placement_nodes;
+  report.pinned_shards = stats.pinned_shards;
   report.budget_checkpoints = stats.budget_checkpoints;
   report.budget_truncated = stats.budget_truncated;
   report.processed_samples = profiler_->trace().size();

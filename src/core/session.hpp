@@ -64,12 +64,21 @@ struct SessionReport {
   std::uint64_t peak_epoch_lag = 0;     ///< Max unretired epochs at a drain point.
   std::uint64_t epoch_wait_cycles = 0;  ///< Modeled consumer-thread backlog lag.
 
+  // Topology placement telemetry (sim::EngineStats; zero on single-socket
+  // machines).  Telemetry only: placement never changes the trace.
+  std::uint64_t local_drain_bytes = 0;   ///< Drained bytes decoded node-locally.
+  std::uint64_t remote_drain_bytes = 0;  ///< Drained bytes modeled cross-socket.
+  std::uint64_t remote_drain_cycles = 0;  ///< Modeled cross-socket penalty.
+  std::uint32_t placement_nodes = 0;     ///< Nodes of the placement topology.
+  std::uint32_t pinned_shards = 0;  ///< Shard workers whose host pin succeeded.
+
   // Scheduler placement (filled by store::run_sessions when the session ran
   // under the bounded worker pool; a direct ProfileSession::profile call
   // leaves the defaults: kDone, no queue wait, worker 0).
   SessionState sched_state = SessionState::kDone;
   std::uint64_t sched_queue_wait_ns = 0;  ///< Time spent in the admission queue.
   std::uint32_t sched_worker = 0;         ///< Worker-pool slot that ran the session.
+  std::uint32_t sched_node = 0;  ///< Topology node of that worker (0 without one).
 
   // Streaming-capture telemetry (filled by store::run_sessions when the
   // job teed its trace into a net::StreamingTraceSink; zero otherwise).

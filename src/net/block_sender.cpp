@@ -18,6 +18,8 @@
 #include <mutex>
 #include <thread>
 
+#include "sys/topology.hpp"
+
 namespace nmo::net {
 namespace {
 
@@ -150,6 +152,7 @@ struct BlockSender::Impl {
   }
 
   void run() {
+    sys::set_current_thread_name("nmo-send");
     const auto heartbeat_interval = std::chrono::milliseconds(config.heartbeat_interval_ms);
     auto next_heartbeat = Clock::now() + heartbeat_interval;
     std::uint64_t heartbeats_sent = 0;
@@ -227,7 +230,16 @@ bool BlockSender::connect(const Hello& hello, std::string* error) {
   if (fd < 0) return false;
   if (config_.send_buffer_bytes > 0) {
     const int size = static_cast<int>(config_.send_buffer_bytes);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof(size));
+    if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof(size)) != 0) {
+      // Non-fatal: the stream works with the kernel's default buffer, just
+      // with less slack under bursts.  Surface the refusal in the sender's
+      // error state (failed stays false; a real failure later overwrites).
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      if (impl_->stats.error.empty()) {
+        impl_->stats.error =
+            std::string("setsockopt(SO_SNDBUF): ") + std::strerror(errno);
+      }
+    }
   }
   impl_->fd = fd;
   {

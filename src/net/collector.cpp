@@ -26,6 +26,7 @@
 #include "store/region_file.hpp"
 #include "store/session_store.hpp"
 #include "store/trace_file.hpp"
+#include "sys/topology.hpp"
 
 namespace nmo::net {
 namespace {
@@ -350,6 +351,7 @@ struct Collector::Impl {
   }
 
   void run() {
+    sys::set_current_thread_name("nmo-coll");
     std::vector<std::unique_ptr<Connection>> conns;
     std::vector<std::byte> buf(64 * 1024);
     for (;;) {

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "sys/topology.hpp"
+
 namespace nmo::sim {
 
-DrainService::DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool)
-    : consumer_(consumer), pool_(pool) {
+DrainService::DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool,
+                           spe::PlacementOptions placement)
+    : consumer_(consumer), pool_(pool), placement_(std::move(placement)) {
   worker_ = std::thread([this] { service_loop(); });
 }
 
@@ -67,6 +70,16 @@ void DrainService::sweep_retired() {
 }
 
 void DrainService::service_loop() {
+  sys::set_current_thread_name("nmo-drain");
+  if (placement_.policy != spe::PlacementPolicy::kNone && placement_.topology.multi_node()) {
+    // The consumer thread feeds shard 0's node: under kPackShards that is
+    // where trace assembly is packed, under kNearProducer the node owning
+    // the plurality of producer cores.  Advisory like every pin.
+    const std::uint32_t node = spe::placement_node(
+        placement_.policy, placement_.topology, 0,
+        pool_ != nullptr ? pool_->shards() : 1);
+    sys::pin_current_thread(placement_.topology.nodes()[node].cpus);
+  }
   for (;;) {
     Epoch epoch;
     {

@@ -50,8 +50,11 @@ class DrainService {
 
   /// `consumer` supplies stage-2 decode for the serial path and receives
   /// the folded tallies; `pool` (may be null) selects the fan-out path.
-  /// Neither is owned.  The service thread starts immediately.
-  DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool);
+  /// Neither is owned.  The service thread starts immediately, named
+  /// nmo-drain; a non-kNone `placement` pins it to the node the policy
+  /// assigns to shard 0 (where trace assembly concentrates).
+  DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool,
+               spe::PlacementOptions placement = {});
   ~DrainService();
 
   DrainService(const DrainService&) = delete;
@@ -82,6 +85,7 @@ class DrainService {
 
   spe::AuxConsumer* consumer_;
   spe::DecodePool* pool_;
+  spe::PlacementOptions placement_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_cv_;  ///< Signals the service thread.

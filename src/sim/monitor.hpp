@@ -53,6 +53,8 @@
 #include "kernel/poller.hpp"
 #include "sim/cost_model.hpp"
 #include "spe/aux_consumer.hpp"
+#include "spe/decode_pool.hpp"
+#include "sys/topology.hpp"
 
 namespace nmo::sim {
 
@@ -71,6 +73,24 @@ struct MonitorOverlap {
   /// Cycles the consumer-thread model lagged a new epoch's arrival (its
   /// backlog had not retired when the next round's chunks landed).
   std::uint64_t epoch_wait_cycles = 0;
+};
+
+/// Topology placement telemetry of the drain/decode pipeline, in bytes and
+/// modeled cycles (all zero on single-node machines or without a placement
+/// model attached).  Telemetry only, like MonitorOverlap: the remote-drain
+/// penalty never feeds round_cost() or the drain schedule, so every
+/// placement policy emits byte-identical traces - the model quantifies
+/// what the policy saves, it does not perturb what it measures.
+struct MonitorPlacement {
+  /// Aux bytes drained whose decode shard is modeled on the producer
+  /// core's own node.
+  std::uint64_t local_bytes = 0;
+  /// Aux bytes modeled as crossing a socket boundary to reach their
+  /// decode shard.
+  std::uint64_t remote_bytes = 0;
+  /// Modeled cross-socket drain penalty:
+  /// remote_bytes x CostModel::remote_drain_cycles_per_byte.
+  std::uint64_t remote_drain_cycles = 0;
 };
 
 class Monitor {
@@ -108,6 +128,15 @@ class Monitor {
   [[nodiscard]] const std::vector<kern::PerfEvent*>& events() const { return poller_.events(); }
   [[nodiscard]] bool async() const { return drain_service_ != nullptr; }
   [[nodiscard]] const MonitorOverlap& overlap() const { return overlap_; }
+  [[nodiscard]] const MonitorPlacement& placement() const { return placement_; }
+
+  /// Attaches the topology placement model: per-core drained bytes are
+  /// classified local/remote against where `policy` places the consuming
+  /// shard (kNone models OS placement as uniformly random across nodes).
+  /// `topology` must outlive the monitor; nullptr (default) disables the
+  /// model.  Deterministic and telemetry-only.
+  void set_placement_model(const sys::CpuTopology* topology, spe::PlacementPolicy policy,
+                           std::uint32_t shards);
 
   /// Attaches a cooperative preemption token: every drain round polls it
   /// (the round loop is the official per-job budget checkpoint - it runs at
@@ -125,6 +154,9 @@ class Monitor {
   /// Stage 1 for every fd + the wakeup-ack handoff; returns the bytes
   /// drained this round with the chunks appended to `chunks_scratch_`.
   std::uint64_t drain_round();
+
+  /// Classifies `bytes` drained from `core` against the placement model.
+  void note_drain_placement(CoreId core, std::uint64_t bytes);
 
   /// Advances the overlap model for one epoch of `bytes` closed at `now`.
   void note_epoch(Cycles now, std::uint64_t bytes);
@@ -147,6 +179,12 @@ class Monitor {
   std::deque<Cycles> inflight_retires_;  ///< Modeled epoch retirement times.
   Cycles model_last_retire_ = 0;
   MonitorOverlap overlap_;
+
+  // Placement-model state (set_placement_model).
+  const sys::CpuTopology* placement_topology_ = nullptr;
+  spe::PlacementPolicy placement_policy_ = spe::PlacementPolicy::kNone;
+  std::uint32_t placement_shards_ = 1;
+  MonitorPlacement placement_;
 };
 
 }  // namespace nmo::sim

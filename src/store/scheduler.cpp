@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/profiler.hpp"
@@ -66,6 +67,7 @@ Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
         "drain its queue (use default_max_workers() for the hardware default)");
   }
   stats_.workers = config_.max_workers;
+  stats_.node_admitted.assign(std::max<std::uint32_t>(1, config_.topology.num_nodes()), 0);
   for (const auto& spec : config_.tenants) {
     // First spec wins on a duplicate name; resolve_tenant_locked below
     // would otherwise silently shadow the registered weight.
@@ -79,7 +81,15 @@ Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
   }
   workers_.reserve(config_.max_workers);
   for (std::uint32_t i = 0; i < config_.max_workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.emplace_back([this, i] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "nmo-wrk%u", i);
+      sys::set_current_thread_name(name);
+      if (config_.pin_workers && config_.topology.multi_node()) {
+        sys::pin_current_thread(config_.topology.nodes()[worker_node(i)].cpus);
+      }
+      worker_loop(i);
+    });
   }
 }
 
@@ -95,6 +105,11 @@ Scheduler::~Scheduler() {
   for (auto& w : workers_) w.join();
 }
 
+std::uint32_t Scheduler::worker_node(std::uint32_t worker_index) const {
+  const auto nodes = config_.topology.num_nodes();
+  return nodes > 1 ? worker_index % nodes : 0;
+}
+
 TenantId Scheduler::resolve_tenant_locked(std::string_view name) {
   const std::string key(name.empty() ? std::string_view("default") : name);
   const auto it = tenant_ids_.find(key);
@@ -105,6 +120,8 @@ TenantId Scheduler::resolve_tenant_locked(std::string_view name) {
   state.spec.name = key;
   state.stats.name = key;
   state.stats.weight = state.spec.weight;
+  state.stats.node_admitted.assign(std::max<std::uint32_t>(1, config_.topology.num_nodes()),
+                                   0);
   tenants_.push_back(std::move(state));
   return id;
 }
@@ -179,6 +196,7 @@ void Scheduler::shed_from_tenant_locked(TenantId tenant) {
 }
 
 void Scheduler::enqueue_locked(Entry entry) {
+  const bool has_home = entry.has_home;
   auto& ten = tenants_[entry.tenant];
   if (ten.queued == 0) {
     // Idle->active: restart at the global pass floor so time spent with an
@@ -204,7 +222,14 @@ void Scheduler::enqueue_locked(Entry entry) {
   ++ten.queued;
   stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queued_);
   ten.stats.peak_queue_depth = std::max(ten.stats.peak_queue_depth, ten.queued);
-  work_ready_.notify_one();
+  if (has_home) {
+    // notify_one could wake only a worker on the wrong node, which would
+    // park on the placement window while the matching worker sleeps on;
+    // wake everyone and let eligibility sort it out.
+    work_ready_.notify_all();
+  } else {
+    work_ready_.notify_one();
+  }
 }
 
 std::optional<TaskId> Scheduler::submit_locked(std::unique_lock<std::mutex>& lock, Task task,
@@ -278,6 +303,17 @@ std::optional<TaskId> Scheduler::submit_locked(std::unique_lock<std::mutex>& loc
     entry.has_deadline = true;
     entry.deadline = submitted_at + std::chrono::nanoseconds(options.deadline_ns);
   }
+  // The home node is a soft hint, and only meaningful against a multi-node
+  // topology: single-node (or topology-free) pools treat every submission
+  // as node-agnostic, as does a hint that names a node the topology does
+  // not have.
+  if (options.home_node && config_.topology.multi_node() &&
+      *options.home_node < config_.topology.num_nodes()) {
+    entry.has_home = true;
+    entry.home_node = *options.home_node;
+    entry.placement_deadline =
+        submitted_at + std::chrono::nanoseconds(config_.placement_wait_ns);
+  }
 
   TaskStatus status;
   status.id = entry.id;
@@ -307,6 +343,7 @@ std::optional<TaskId> Scheduler::requeue(Task task, const SubmitOptions& options
 }
 
 void Scheduler::worker_loop(std::uint32_t worker_index) {
+  const std::uint32_t my_node = worker_node(worker_index);
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
@@ -315,21 +352,60 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
       continue;
     }
 
+    // Placement eligibility: an entry with a home node waits for a worker
+    // on that node until its placement deadline; after the deadline (or
+    // when the pool is stopping) any worker takes it - the hint is soft
+    // and can never starve an entry.  Entries without a home node are
+    // always eligible, so a placement-free pool picks exactly as before.
+    const auto pick_now = std::chrono::steady_clock::now();
+    const auto eligible = [&](const Entry& e) {
+      return !e.has_home || stopping_ || e.home_node == my_node ||
+             e.placement_deadline <= pick_now;
+    };
+
     // Highest priority class first (map ordered descending); within it,
-    // stride scheduling across the queued tenants: the lowest pass (ties
-    // to the lowest tenant id) is the most under-served relative to its
-    // weight and runs next.
-    auto highest = queue_.begin();
-    auto& by_tenant = highest->second.by_tenant;
-    auto pick = by_tenant.begin();
-    for (auto it = std::next(by_tenant.begin()); it != by_tenant.end(); ++it) {
-      if (tenants_[it->first].pass < tenants_[pick->first].pass) pick = it;
+    // stride scheduling across the tenants with an eligible entry: the
+    // lowest pass (ties to the lowest tenant id) is the most under-served
+    // relative to its weight and runs next.  A class whose entries are all
+    // home-pinned elsewhere is skipped rather than idling this worker -
+    // the priority inversion is bounded by placement_wait_ns.
+    auto cls_it = queue_.begin();
+    auto pick = cls_it->second.by_tenant.end();
+    std::deque<Entry>::iterator pick_entry;
+    bool found = false;
+    for (; cls_it != queue_.end(); ++cls_it) {
+      auto& tenant_map = cls_it->second.by_tenant;
+      for (auto it = tenant_map.begin(); it != tenant_map.end(); ++it) {
+        // First eligible in deque order keeps EDF/FIFO within the tenant.
+        const auto e = std::find_if(it->second.begin(), it->second.end(), eligible);
+        if (e == it->second.end()) continue;
+        if (!found || tenants_[it->first].pass < tenants_[pick->first].pass) {
+          pick = it;
+          pick_entry = e;
+          found = true;
+        }
+      }
+      if (found) break;
     }
-    Entry entry = std::move(pick->second.front());
-    pick->second.pop_front();
+    if (!found) {
+      // Everything queued is home-pinned to other nodes and still inside
+      // its placement window: sleep until the earliest window expires (or
+      // a notify - new work, a matching worker, shutdown) and re-evaluate.
+      auto earliest = std::chrono::steady_clock::time_point::max();
+      for (const auto& [prio, cls] : queue_) {
+        for (const auto& [tid, dq] : cls.by_tenant) {
+          for (const auto& e : dq) earliest = std::min(earliest, e.placement_deadline);
+        }
+      }
+      work_ready_.wait_until(lock, earliest);
+      continue;
+    }
+    auto& by_tenant = cls_it->second.by_tenant;
+    Entry entry = std::move(*pick_entry);
+    pick->second.erase(pick_entry);
     if (pick->second.empty()) by_tenant.erase(pick);
-    --highest->second.size;
-    if (by_tenant.empty()) queue_.erase(highest);
+    --cls_it->second.size;
+    if (by_tenant.empty()) queue_.erase(cls_it);
     --queued_;
     auto& ten = tenants_[entry.tenant];
     --ten.queued;
@@ -361,6 +437,18 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
     status.state = core::SessionState::kAdmitted;
     status.queue_wait_ns = wait_ns;
     status.worker = worker_index;
+    status.node = my_node;
+    if (entry.has_home) {
+      // Billed at admission: a home-node entry either landed on its node
+      // or fell back cross-node after its placement window closed.
+      if (entry.home_node == my_node) {
+        ++stats_.placement_local;
+      } else {
+        ++stats_.placement_misses;
+      }
+    }
+    ++stats_.node_admitted[my_node];
+    ++ten.stats.node_admitted[my_node];
     ++stats_.admitted;
     stats_.queue_wait_ns_total += wait_ns;
     stats_.queue_wait_ns_max = std::max(stats_.queue_wait_ns_max, wait_ns);

@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "sys/topology.hpp"
 
 namespace nmo::store {
 
@@ -123,6 +124,7 @@ struct TenantStats {
   std::uint64_t queue_wait_p99_ns = 0;
   std::size_t queued = 0;  ///< Waiting right now (snapshot).
   std::size_t peak_queue_depth = 0;
+  std::vector<std::uint64_t> node_admitted;  ///< Admissions per worker node.
 };
 
 struct SchedulerConfig {
@@ -143,6 +145,20 @@ struct SchedulerConfig {
   /// "default" tenant with weight 1, which reproduces the pre-tenant
   /// scheduling order exactly.
   std::vector<TenantSpec> tenants;
+  /// Placement topology: worker i belongs to node `i % num_nodes`, and a
+  /// submission carrying SubmitOptions::home_node prefers workers on that
+  /// node.  Empty (default) disables placement entirely - every submission
+  /// is node-agnostic and scheduling order is exactly the pre-topology
+  /// behavior.
+  sys::CpuTopology topology;
+  /// Pin each worker thread to its node's cpu set (advisory; only on
+  /// multi-node topologies).  Off by default: the sim-backed tests and
+  /// benches want deterministic scheduling, not host affinity.
+  bool pin_workers = false;
+  /// How long a home-node submission may wait for a matching worker before
+  /// any worker may take it (the soft hint's bound; never starves).  A
+  /// cross-node fallback admission is billed as placement_misses.
+  std::uint64_t placement_wait_ns = 2'000'000;
 };
 
 using TaskId = std::uint64_t;
@@ -155,6 +171,7 @@ struct TaskStatus {
   TenantId tenant = 0;              ///< Index into SchedulerStats::tenants.
   std::uint64_t queue_wait_ns = 0;  ///< submit -> admitted (0 until admitted).
   std::uint32_t worker = 0;         ///< Pool slot that ran it (valid once admitted).
+  std::uint32_t node = 0;  ///< Node of that worker (0 without a topology).
 };
 
 /// Aggregate report of everything the pool did.
@@ -174,6 +191,11 @@ struct SchedulerStats {
   std::uint64_t queue_wait_p99_ns = 0;
   std::size_t peak_queue_depth = 0;  ///< Most tasks ever waiting at once.
   std::uint32_t peak_occupancy = 0;  ///< Most workers ever running at once.
+  // Topology placement accounting (all zero when SchedulerConfig::topology
+  // is empty or no submission carried a home node).
+  std::uint64_t placement_local = 0;   ///< Home-node tasks admitted on their node.
+  std::uint64_t placement_misses = 0;  ///< Home-node tasks that fell back cross-node.
+  std::vector<std::uint64_t> node_admitted;  ///< Admissions per worker node.
   std::vector<TenantStats> tenants;  ///< One row per tenant (registration order).
 };
 
@@ -186,6 +208,11 @@ struct SubmitOptions {
   /// nanoseconds of submission or it becomes terminal kExpired at pop time
   /// (EDF ordering within its priority class).  0 = no deadline.
   std::uint64_t deadline_ns = 0;
+  /// Preferred topology node (soft hint).  With a multi-node
+  /// SchedulerConfig::topology, workers on this node pick the task first;
+  /// after SchedulerConfig::placement_wait_ns any worker takes it (billed
+  /// as a placement miss).  Ignored without a topology.
+  std::optional<std::uint32_t> home_node;
 };
 
 class Scheduler {
@@ -252,6 +279,11 @@ class Scheduler {
     std::chrono::steady_clock::time_point submitted_at;
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
+    std::uint32_t home_node = 0;
+    bool has_home = false;
+    /// When has_home: the instant any worker (not just a home-node one)
+    /// may take the entry.
+    std::chrono::steady_clock::time_point placement_deadline{};
   };
 
   /// One priority class: per-tenant EDF deques plus the class total.
@@ -270,6 +302,9 @@ class Scheduler {
   };
 
   void worker_loop(std::uint32_t worker_index);
+  /// Topology node of pool slot `worker_index` (round-robin over nodes;
+  /// always 0 without a multi-node topology).
+  [[nodiscard]] std::uint32_t worker_node(std::uint32_t worker_index) const;
   std::optional<TaskId> submit_locked(std::unique_lock<std::mutex>& lock, Task task,
                                       const SubmitOptions& options, bool admission_exempt);
   /// Registers (or finds) the tenant for `name`; "" maps to "default".

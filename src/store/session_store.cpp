@@ -47,7 +47,7 @@ void run_one_session(SessionStore& store, const SessionJob& job, const RunOption
   core::BudgetToken budget;
   try {
     result.tenant = job.tenant.empty() ? "default" : job.tenant;
-    result.session = store.create_session(job.name);
+    result.session = store.create_session(job.name, job.home_node);
     if (!job.make_workload) {
       result.error = "job has no workload factory";
       return;
@@ -156,6 +156,10 @@ void write_session_meta(const SessionResult& result) {
   out << "state=" << core::to_string(result.state) << '\n';
   out << "tenant=" << meta_escape(result.tenant) << '\n';
   out << "worker=" << result.worker << '\n';
+  out << "node=" << result.node << '\n';
+  if (result.session.home_node) {
+    out << "home_node=" << *result.session.home_node << '\n';
+  }
   out << "queue_wait_ns=" << result.queue_wait_ns << '\n';
   out << "samples=" << result.samples << '\n';
   out << "fingerprint=" << result.fingerprint << '\n';
@@ -200,6 +204,16 @@ void write_scheduler_meta(const std::string& root, const SchedulerConfig& config
   out << "queue_wait_p99_ns=" << stats.queue_wait_p99_ns << '\n';
   out << "peak_queue_depth=" << stats.peak_queue_depth << '\n';
   out << "peak_occupancy=" << stats.peak_occupancy << '\n';
+  // Topology placement rows: node count, the soft hint's hit/miss split
+  // and per-node admissions - what `nmo-trace sessions` renders as the
+  // placement line.  A topology-free pool writes the single-node shape.
+  const std::size_t nodes = std::max<std::size_t>(1, stats.node_admitted.size());
+  out << "topology.nodes=" << nodes << '\n';
+  out << "placement_local=" << stats.placement_local << '\n';
+  out << "placement_misses=" << stats.placement_misses << '\n';
+  for (std::size_t k = 0; k < stats.node_admitted.size(); ++k) {
+    out << "node." << k << ".admitted=" << stats.node_admitted[k] << '\n';
+  }
   out << "tenants=" << stats.tenants.size() << '\n';
   for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
     const auto& t = stats.tenants[i];
@@ -219,6 +233,11 @@ void write_scheduler_meta(const std::string& root, const SchedulerConfig& config
     out << p << "queue_wait_p50_ns=" << t.queue_wait_p50_ns << '\n';
     out << p << "queue_wait_p99_ns=" << t.queue_wait_p99_ns << '\n';
     out << p << "peak_queue_depth=" << t.peak_queue_depth << '\n';
+    if (t.node_admitted.size() > 1) {
+      for (std::size_t k = 0; k < t.node_admitted.size(); ++k) {
+        out << p << "node." << k << ".admitted=" << t.node_admitted[k] << '\n';
+      }
+    }
   }
 }
 
@@ -260,6 +279,7 @@ SubmitOptions submit_options_for(const SessionJob& job) {
   submit.priority = job.priority;
   submit.tenant = job.tenant;
   submit.deadline_ns = job.limits.deadline_ns;
+  submit.home_node = job.home_node;
   return submit;
 }
 
@@ -279,8 +299,10 @@ Scheduler::Task make_pool_task(PoolRun& pool, std::size_t i, int attempt) {
     // result.report wholesale, which would zero them.
     result.queue_wait_ns = task.queue_wait_ns;
     result.worker = task.worker;
+    result.node = task.node;
     result.report.sched_queue_wait_ns = task.queue_wait_ns;
     result.report.sched_worker = task.worker;
+    result.report.sched_node = task.node;
     result.state =
         result.error.empty() ? core::SessionState::kDone : core::SessionState::kFailed;
     result.report.sched_state = result.state;
@@ -333,24 +355,46 @@ SessionStore::SessionStore(std::string root) : root_(std::move(root)) {
   // process reusing an earlier store (or following another process) does
   // not re-issue ids and truncate existing trace files.
   std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
-    const std::string stem = entry.path().filename().string();
+  const auto note_session_dir = [this](const std::filesystem::path& path) {
     unsigned id = 0;
-    if (std::sscanf(stem.c_str(), "session-%u-", &id) == 1 && id >= next_id_) {
+    if (std::sscanf(path.filename().string().c_str(), "session-%u-", &id) == 1 &&
+        id >= next_id_) {
       next_id_ = id + 1;
+    }
+  };
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    note_session_dir(entry.path());
+    // Per-node roots (node-<k>/) hold sessions too; the id counter is one
+    // sequence across the whole store, so scan a level deeper.
+    unsigned node = 0;
+    if (std::sscanf(entry.path().filename().string().c_str(), "node-%u", &node) == 1) {
+      std::error_code node_ec;
+      for (const auto& sub : std::filesystem::directory_iterator(entry.path(), node_ec)) {
+        note_session_dir(sub.path());
+      }
     }
   }
 }
 
-SessionInfo SessionStore::create_session(std::string_view name) {
+SessionInfo SessionStore::create_session(std::string_view name,
+                                         std::optional<std::uint32_t> home_node) {
   SessionInfo info;
   std::lock_guard<std::mutex> lock(mutex_);
   info.name = sanitize_name(name);
+  info.home_node = home_node;
+  std::string parent = root_;
+  if (home_node) {
+    // Socket-local root: the node's sessions cluster under one directory
+    // a socket-local worker (and a socket-local reader) touches.
+    parent += "/node-" + std::to_string(*home_node);
+    std::error_code parent_ec;
+    std::filesystem::create_directories(parent, parent_ec);
+  }
   for (;;) {
     info.id = next_id_++;
     char id_buf[16];
     std::snprintf(id_buf, sizeof(id_buf), "%04u", info.id);
-    info.dir = root_ + "/session-" + id_buf + "-" + info.name;
+    info.dir = parent + "/session-" + id_buf + "-" + info.name;
     // Atomic claim: create_directory fails (without error) if the
     // directory exists, so two processes sharing the root can never both
     // claim this session directory - the loser moves to the next id.

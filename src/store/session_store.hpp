@@ -56,8 +56,12 @@ namespace nmo::store {
 struct SessionInfo {
   std::uint32_t id = 0;
   std::string name;        ///< Sanitized to a safe path component.
-  std::string dir;         ///< "<root>/session-<id>-<name>"
+  std::string dir;         ///< "<root>/session-<id>-<name>", or under node-<k>/.
   std::string trace_path;  ///< "<dir>/trace.nmot"
+  /// Topology node this session was homed to: its directory lives under
+  /// the per-node root "<root>/node-<k>/" and the scheduler preferred a
+  /// worker on that node.  Unset = the flat pre-topology layout.
+  std::optional<std::uint32_t> home_node;
 };
 
 /// Per-session metadata file name (inside the session directory).
@@ -75,8 +79,12 @@ class SessionStore {
   explicit SessionStore(std::string root);
 
   /// Registers a new session and creates its directory.  Thread-safe; ids
-  /// are unique and dense in creation order.
-  SessionInfo create_session(std::string_view name);
+  /// are unique and dense in creation order.  With `home_node` the session
+  /// directory is created under the per-node root "<root>/node-<k>/" so a
+  /// socket-local worker writes socket-local trace blocks; ids stay unique
+  /// across all node roots (one counter).
+  SessionInfo create_session(std::string_view name,
+                             std::optional<std::uint32_t> home_node = std::nullopt);
 
   [[nodiscard]] const std::string& root() const { return root_; }
   /// Snapshot of every session created so far (thread-safe copy).
@@ -135,6 +143,13 @@ struct SessionJob {
   /// Tenant this job bills against (weighted-fair admission; see
   /// SchedulerConfig::tenants).  Empty = the "default" tenant.
   std::string tenant;
+  /// Home topology node (soft placement hint): the session's directory
+  /// moves under "<root>/node-<k>/" and the scheduler prefers a worker on
+  /// node k (SubmitOptions::home_node semantics - bounded wait, never
+  /// starves, cross-node fallback billed as a placement miss).  Requires a
+  /// multi-node RunOptions::scheduler.topology to affect scheduling; the
+  /// node-local directory layout applies regardless.
+  std::optional<std::uint32_t> home_node;
   /// Time budget / deadline / overrun policy for this job.
   JobLimits limits;
   /// Trace file format for this session's output (default: v2 with the
@@ -161,6 +176,7 @@ struct SessionResult {
   core::SessionState state = core::SessionState::kDone;
   std::uint64_t queue_wait_ns = 0;  ///< Admission-queue wait (scheduler path).
   std::uint32_t worker = 0;         ///< Worker-pool slot that ran the job.
+  std::uint32_t node = 0;  ///< Topology node of that worker (0 without one).
   std::string tenant;               ///< Tenant the job billed against.
   /// Time-budget outcome: "" (no budget configured), "ok" (finished within
   /// budget) or "truncated" (budget tripped; the trace is valid but

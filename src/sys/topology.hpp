@@ -1,0 +1,105 @@
+// CPU/NUMA topology discovery and thread-placement primitives.
+//
+// At production scale the profiler's own pipeline must respect the memory
+// topology it is measuring: a decode shard pulling aux bytes across a
+// socket boundary burns the very interconnect bandwidth the paper's
+// figures quantify.  CpuTopology maps cores to NUMA nodes (sockets) and
+// clusters the way gator's CpuUtils_Topology walks sysfs + pmus.xml to map
+// cores to PMU/SPE instances:
+//
+//  * discover(sysfs_root) parses the host's sysfs - the online cpu list,
+//    /sys/devices/system/node/node<K>/cpulist, and the per-cpu
+//    topology/physical_package_id + cluster_id files.  It never throws:
+//    missing or garbled files degrade to a single-node topology covering
+//    every cpu (the safe answer on containers that mask sysfs).  The root
+//    is a parameter so tests exercise discovery against fixture trees.
+//  * synthetic(nodes, total_cpus) builds a deterministic topology with
+//    cpus split contiguously and as evenly as possible across nodes - the
+//    injection path that keeps the simulator and every test independent of
+//    the host machine.
+//
+// Node identifiers used by callers are *dense indices* (0..num_nodes()-1
+// in ascending sysfs-id order); TopologyNode::id keeps the original sysfs
+// id for display.  The pinning/naming helpers are Linux-gated and strictly
+// advisory: a failed sched_setaffinity or pthread_setname_np returns false
+// and the pipeline proceeds unpinned, never degraded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nmo::sys {
+
+/// One NUMA node (socket) of the topology.
+struct TopologyNode {
+  std::uint32_t id = 0;                 ///< Original sysfs node id (display only).
+  std::vector<std::uint32_t> cpus;      ///< Sorted ascending.
+};
+
+class CpuTopology {
+ public:
+  /// Empty topology: no nodes.  node_of() answers 0, multi_node() false -
+  /// the "placement off" value every config defaults to.
+  CpuTopology() = default;
+
+  /// Discovers the host topology from `sysfs_root` (default "/sys").
+  /// Never throws; any missing/garbled input falls back to a single node
+  /// covering every cpu the kernel reports (source() == "fallback").
+  [[nodiscard]] static CpuTopology discover(const std::string& sysfs_root = "/sys") noexcept;
+
+  /// Deterministic synthetic topology: `total_cpus` cpus 0..total_cpus-1
+  /// split contiguously across `nodes` nodes, as evenly as possible (the
+  /// first total_cpus % nodes nodes hold one extra cpu).  Zero arguments
+  /// are clamped to 1.
+  [[nodiscard]] static CpuTopology synthetic(std::uint32_t nodes, std::uint32_t total_cpus);
+
+  /// Single node holding cpus 0..cpus-1 (the discovery fallback shape).
+  [[nodiscard]] static CpuTopology single_node(std::uint32_t cpus);
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] bool multi_node() const { return nodes_.size() > 1; }
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] std::uint32_t num_cpus() const;
+  [[nodiscard]] const std::vector<TopologyNode>& nodes() const { return nodes_; }
+
+  /// Dense node index of `cpu`; 0 for a cpu the topology does not cover
+  /// (placement must always have an answer, never an error).
+  [[nodiscard]] std::uint32_t node_of(std::uint32_t cpu) const;
+  /// Cluster id of `cpu` (asymmetric big.LITTLE-style clusters); 0 when
+  /// unknown.  Informational: placement keys off nodes, not clusters.
+  [[nodiscard]] std::uint32_t cluster_of(std::uint32_t cpu) const;
+
+  /// Where the topology came from: "none" (empty), "sysfs", "fallback"
+  /// (discovery degraded) or "synthetic".
+  [[nodiscard]] std::string_view source() const { return source_; }
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  /// Flat cpu -> dense node index map (index = cpu id); kNoNode for gaps.
+  std::vector<std::uint32_t> node_of_;
+  std::vector<std::uint32_t> cluster_of_;
+  std::string source_ = "none";
+
+  static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+  void rebuild_maps();
+};
+
+/// Parses a kernel cpu-list string ("0-3,5,8-9") into a sorted, deduplicated
+/// cpu vector.  Tolerant: malformed tokens and reversed ranges are skipped,
+/// a fully garbled string yields an empty vector (never a throw).
+[[nodiscard]] std::vector<std::uint32_t> parse_cpu_list(std::string_view text);
+
+/// Names the calling thread (pthread_setname_np; truncated to the kernel's
+/// 15-character limit).  Returns false off Linux or on failure.
+bool set_current_thread_name(const char* name);
+
+/// Pins the calling thread to `cpus` (sched_setaffinity).  Advisory:
+/// returns false off Linux, on an empty set, or when the kernel rejects
+/// the mask (e.g. a synthetic topology naming cpus this host lacks).
+bool pin_current_thread(const std::vector<std::uint32_t>& cpus);
+
+}  // namespace nmo::sys

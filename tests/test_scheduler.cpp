@@ -1131,5 +1131,154 @@ TEST_F(SchedulerTest, RunSessionsBillsJobsToTheirTenants) {
   EXPECT_EQ(meta->at("tenant"), "beta");
 }
 
+// ------------------------------------------------------ topology placement --
+
+TEST_F(SchedulerTest, HomeNodeTasksAdmitOnTheirNodeWhenAWorkerMatches) {
+  // 2 workers over a 2-node topology: worker 0 is node 0, worker 1 node 1.
+  // With a generous placement window every home-node task must land on its
+  // own node - zero misses, and the status carries the node.
+  SchedulerConfig config;
+  config.max_workers = 2;
+  config.topology = sys::CpuTopology::synthetic(2, 4);
+  config.placement_wait_ns = 10'000'000'000ull;  // 10 s: never falls back
+  Scheduler scheduler(config);
+
+  std::atomic<int> ran{0};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 8; ++i) {
+    SubmitOptions options;
+    options.home_node = static_cast<std::uint32_t>(i % 2);
+    const auto id = scheduler.submit(
+        [&ran, expect_node = *options.home_node](const TaskStatus& task) {
+          EXPECT_EQ(task.node, expect_node);
+          ++ran;
+        },
+        options);
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.placement_local, 8u);
+  EXPECT_EQ(stats.placement_misses, 0u);
+  ASSERT_EQ(stats.node_admitted.size(), 2u);
+  EXPECT_EQ(stats.node_admitted[0], 4u);
+  EXPECT_EQ(stats.node_admitted[1], 4u);
+  for (const auto id : ids) {
+    const auto status = scheduler.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, SessionState::kDone);
+  }
+}
+
+TEST_F(SchedulerTest, HomeNodeFallsBackAfterBoundedWaitAndNeverStarves) {
+  // One worker (node 0) and tasks homed to node 1: nothing can ever match,
+  // so after the short placement window every task must still run - each
+  // billed as a placement miss.  This is the no-starvation guarantee.
+  SchedulerConfig config;
+  config.max_workers = 1;
+  config.topology = sys::CpuTopology::synthetic(2, 2);
+  config.placement_wait_ns = 1'000'000;  // 1 ms
+  Scheduler scheduler(config);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    SubmitOptions options;
+    options.home_node = 1;
+    ASSERT_TRUE(scheduler
+                    .submit(
+                        [&ran](const TaskStatus& task) {
+                          EXPECT_EQ(task.node, 0u);
+                          ++ran;
+                        },
+                        options)
+                    .has_value());
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(ran.load(), 4);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.placement_local, 0u);
+  EXPECT_EQ(stats.placement_misses, 4u);
+  ASSERT_EQ(stats.node_admitted.size(), 2u);
+  EXPECT_EQ(stats.node_admitted[0], 4u);
+  EXPECT_EQ(stats.node_admitted[1], 0u);
+}
+
+TEST_F(SchedulerTest, HomeNodeIsIgnoredWithoutATopology) {
+  // A topology-free pool treats home_node as absent: no placement
+  // accounting, single-node admission rows - the pre-topology behavior.
+  SchedulerConfig config;
+  config.max_workers = 2;
+  Scheduler scheduler(config);
+
+  std::atomic<int> ran{0};
+  SubmitOptions options;
+  options.home_node = 1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler.submit([&ran](const TaskStatus&) { ++ran; }, options)
+                    .has_value());
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(ran.load(), 4);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.placement_local, 0u);
+  EXPECT_EQ(stats.placement_misses, 0u);
+  ASSERT_EQ(stats.node_admitted.size(), 1u);
+  EXPECT_EQ(stats.node_admitted[0], 4u);
+}
+
+TEST_F(SchedulerTest, RunSessionsWritesNodeRootsAndPlacementMeta) {
+  auto jobs = tiny_jobs(4);
+  jobs[0].home_node = 0;
+  jobs[1].home_node = 1;
+  jobs[2].home_node = 1;
+  // jobs[3] has no home: flat layout, node-agnostic scheduling.
+  SessionStore store(path("store"));
+  RunOptions options;
+  options.scheduler.max_workers = 2;
+  options.scheduler.topology = sys::CpuTopology::synthetic(2, 4);
+  options.scheduler.placement_wait_ns = 10'000'000'000ull;
+  const auto run = run_sessions(store, jobs, options);
+
+  for (const auto& result : run.results) {
+    EXPECT_EQ(result.state, SessionState::kDone) << result.error;
+  }
+  // Homed sessions live under their node roots; the flat job stays flat.
+  EXPECT_NE(run.results[0].session.dir.find("/node-0/"), std::string::npos);
+  EXPECT_NE(run.results[1].session.dir.find("/node-1/"), std::string::npos);
+  EXPECT_NE(run.results[2].session.dir.find("/node-1/"), std::string::npos);
+  EXPECT_EQ(run.results[3].session.dir.find("/node-"), std::string::npos);
+  // Homed jobs admitted on their own node, billed local.
+  EXPECT_EQ(run.stats.placement_local, 3u);
+  EXPECT_EQ(run.stats.placement_misses, 0u);
+  EXPECT_EQ(run.results[0].node, 0u);
+  EXPECT_EQ(run.results[1].node, 1u);
+  EXPECT_EQ(run.results[2].node, 1u);
+
+  // scheduler.meta carries the placement rows nmo-trace prints back.
+  const auto sched_meta =
+      read_metadata_file(store.root() + "/" + std::string(kSchedulerMetaFile));
+  ASSERT_TRUE(sched_meta.has_value());
+  EXPECT_EQ(sched_meta->at("topology.nodes"), "2");
+  EXPECT_EQ(sched_meta->at("placement_local"), "3");
+  EXPECT_EQ(sched_meta->at("placement_misses"), "0");
+  ASSERT_TRUE(sched_meta->count("node.0.admitted"));
+  ASSERT_TRUE(sched_meta->count("node.1.admitted"));
+  EXPECT_EQ(std::stoi(sched_meta->at("node.0.admitted")) +
+                std::stoi(sched_meta->at("node.1.admitted")),
+            4);
+
+  // session.meta of a homed job names its node and home.
+  const auto meta = read_metadata_file(run.results[1].session.dir + "/" +
+                                       std::string(kSessionMetaFile));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->at("home_node"), "1");
+  EXPECT_EQ(meta->at("node"), "1");
+}
+
 }  // namespace
 }  // namespace nmo::store

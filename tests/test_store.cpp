@@ -648,6 +648,41 @@ TEST_F(StoreTest, SessionIdsResumeAcrossStoreInstances) {
   EXPECT_EQ(s.id, 2u);
 }
 
+TEST_F(StoreTest, HomeNodeSessionsLandUnderNodeRoots) {
+  SessionStore store(path("store"));
+  const auto flat = store.create_session("flat");
+  const auto n0 = store.create_session("local", 0);
+  const auto n1 = store.create_session("remote", 1);
+
+  EXPECT_FALSE(flat.home_node.has_value());
+  EXPECT_EQ(flat.dir.find(path("store") + "/session-"), 0u);
+  ASSERT_TRUE(n0.home_node.has_value());
+  EXPECT_EQ(*n0.home_node, 0u);
+  EXPECT_EQ(n0.dir.find(path("store") + "/node-0/session-"), 0u);
+  EXPECT_EQ(n1.dir.find(path("store") + "/node-1/session-"), 0u);
+  EXPECT_TRUE(fs::is_directory(n0.dir));
+  EXPECT_TRUE(fs::is_directory(n1.dir));
+
+  // One id sequence across the flat root and every node root.
+  EXPECT_EQ(flat.id, 0u);
+  EXPECT_EQ(n0.id, 1u);
+  EXPECT_EQ(n1.id, 2u);
+}
+
+TEST_F(StoreTest, SessionIdsResumePastNodeRootSessions) {
+  // The resume scan must look inside node-<k>/ roots too, or a reopened
+  // store would re-issue ids claimed by node-homed sessions.
+  {
+    SessionStore store(path("store"));
+    store.create_session("a");
+    store.create_session("b", 1);
+    store.create_session("c", 0);
+  }
+  SessionStore resumed(path("store"));
+  const auto s = resumed.create_session("d", 1);
+  EXPECT_EQ(s.id, 3u);
+}
+
 TEST_F(StoreTest, SessionNamesAreSanitizedToSafePathComponents) {
   SessionStore store(path("store"));
   const auto evil = store.create_session("../../escape/me");

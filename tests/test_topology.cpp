@@ -1,0 +1,305 @@
+// sys/topology: cpu-list parsing, synthetic shapes, sysfs discovery
+// against fixture trees, and the placement_node mapping used by both the
+// decode-pool pinning path and the sim's remote-drain model.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/decode_pool.hpp"
+#include "sys/topology.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace {
+
+using nmo::spe::PlacementPolicy;
+using nmo::spe::placement_node;
+using nmo::sys::CpuTopology;
+using nmo::sys::parse_cpu_list;
+
+// ---------------------------------------------------------------------------
+// parse_cpu_list
+
+TEST(CpuList, ParsesSinglesAndRanges) {
+  EXPECT_EQ(parse_cpu_list("0-3,5,8-9"),
+            (std::vector<std::uint32_t>{0, 1, 2, 3, 5, 8, 9}));
+  EXPECT_EQ(parse_cpu_list("7"), (std::vector<std::uint32_t>{7}));
+  EXPECT_EQ(parse_cpu_list("0-0"), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(CpuList, SortsAndDedupes) {
+  EXPECT_EQ(parse_cpu_list("5,1-3,2,5"), (std::vector<std::uint32_t>{1, 2, 3, 5}));
+}
+
+TEST(CpuList, TolerantOfGarbage) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("banana").empty());
+  // A reversed range is dropped, valid neighbors survive.
+  EXPECT_EQ(parse_cpu_list("3-1,4"), (std::vector<std::uint32_t>{4}));
+  // Malformed tokens between valid ones are skipped.
+  EXPECT_EQ(parse_cpu_list("0,x,2"), (std::vector<std::uint32_t>{0, 2}));
+  // Absurd ranges (DoS guard) are dropped.
+  EXPECT_TRUE(parse_cpu_list("0-99999999").empty());
+}
+
+// ---------------------------------------------------------------------------
+// synthetic topologies
+
+TEST(Topology, SyntheticEvenSplit) {
+  const auto topo = CpuTopology::synthetic(2, 8);
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.num_cpus(), 8u);
+  EXPECT_TRUE(topo.multi_node());
+  EXPECT_EQ(topo.source(), "synthetic");
+  EXPECT_EQ(topo.nodes()[0].cpus, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.nodes()[1].cpus, (std::vector<std::uint32_t>{4, 5, 6, 7}));
+  EXPECT_EQ(topo.node_of(0), 0u);
+  EXPECT_EQ(topo.node_of(3), 0u);
+  EXPECT_EQ(topo.node_of(4), 1u);
+  EXPECT_EQ(topo.node_of(7), 1u);
+  // Unknown cpus map to node 0, never out of range.
+  EXPECT_EQ(topo.node_of(99), 0u);
+}
+
+TEST(Topology, SyntheticUnevenSplitFrontLoads) {
+  // 7 cpus over 2 nodes: first node gets the extra cpu.
+  const auto topo = CpuTopology::synthetic(2, 7);
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.nodes()[0].cpus.size(), 4u);
+  EXPECT_EQ(topo.nodes()[1].cpus.size(), 3u);
+}
+
+TEST(Topology, SyntheticClampsDegenerateShapes) {
+  // Zero nodes/cpus clamp to a 1x1 shape rather than an empty topology.
+  EXPECT_EQ(CpuTopology::synthetic(0, 0).num_nodes(), 1u);
+  // More nodes than cpus: one cpu per node.
+  const auto topo = CpuTopology::synthetic(8, 2);
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.num_cpus(), 2u);
+}
+
+TEST(Topology, DefaultIsEmpty) {
+  const CpuTopology topo;
+  EXPECT_TRUE(topo.empty());
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(topo.num_nodes(), 0u);
+  EXPECT_EQ(topo.source(), "none");
+}
+
+// ---------------------------------------------------------------------------
+// sysfs discovery fixtures
+
+class FixtureDir {
+ public:
+  explicit FixtureDir(std::string_view tag) {
+    root_ = std::filesystem::temp_directory_path() /
+            (std::string("nmo-topo-") + std::string(tag) + "-" +
+             std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  ~FixtureDir() { std::filesystem::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const auto path = root_ / rel;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << text;
+  }
+
+  [[nodiscard]] std::string path() const { return root_.string(); }
+
+ private:
+  std::filesystem::path root_;
+};
+
+TEST(Discover, TwoSocketNodeDirs) {
+  FixtureDir fix("2s");
+  fix.write("devices/system/cpu/online", "0-7\n");
+  fix.write("devices/system/node/node0/cpulist", "0-3\n");
+  fix.write("devices/system/node/node1/cpulist", "4-7\n");
+  const auto topo = CpuTopology::discover(fix.path());
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.source(), "sysfs");
+  EXPECT_TRUE(topo.multi_node());
+  EXPECT_EQ(topo.nodes()[0].cpus, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.nodes()[1].cpus, (std::vector<std::uint32_t>{4, 5, 6, 7}));
+  EXPECT_EQ(topo.node_of(5), 1u);
+}
+
+TEST(Discover, SingleSocket) {
+  FixtureDir fix("1s");
+  fix.write("devices/system/cpu/online", "0-3\n");
+  fix.write("devices/system/node/node0/cpulist", "0-3\n");
+  const auto topo = CpuTopology::discover(fix.path());
+  ASSERT_EQ(topo.num_nodes(), 1u);
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(topo.num_cpus(), 4u);
+}
+
+TEST(Discover, PackageIdFallbackWithoutNodeDirs) {
+  // No node/ directory at all: group by physical_package_id.
+  FixtureDir fix("pkg");
+  fix.write("devices/system/cpu/online", "0-3\n");
+  fix.write("devices/system/cpu/cpu0/topology/physical_package_id", "0\n");
+  fix.write("devices/system/cpu/cpu1/topology/physical_package_id", "0\n");
+  fix.write("devices/system/cpu/cpu2/topology/physical_package_id", "1\n");
+  fix.write("devices/system/cpu/cpu3/topology/physical_package_id", "1\n");
+  const auto topo = CpuTopology::discover(fix.path());
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.nodes()[0].cpus, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(topo.nodes()[1].cpus, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(Discover, AsymmetricClusters) {
+  // big.LITTLE-style: node ids with a gap, different sizes, cluster ids.
+  FixtureDir fix("asym");
+  fix.write("devices/system/cpu/online", "0-5\n");
+  fix.write("devices/system/node/node0/cpulist", "0-1\n");
+  fix.write("devices/system/node/node2/cpulist", "2-5\n");
+  fix.write("devices/system/cpu/cpu0/topology/cluster_id", "0\n");
+  fix.write("devices/system/cpu/cpu1/topology/cluster_id", "0\n");
+  fix.write("devices/system/cpu/cpu2/topology/cluster_id", "1\n");
+  fix.write("devices/system/cpu/cpu3/topology/cluster_id", "1\n");
+  fix.write("devices/system/cpu/cpu4/topology/cluster_id", "2\n");
+  fix.write("devices/system/cpu/cpu5/topology/cluster_id", "2\n");
+  const auto topo = CpuTopology::discover(fix.path());
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  // Dense indices 0/1; the original sysfs id is preserved for display.
+  EXPECT_EQ(topo.nodes()[0].id, 0u);
+  EXPECT_EQ(topo.nodes()[1].id, 2u);
+  EXPECT_EQ(topo.nodes()[0].cpus.size(), 2u);
+  EXPECT_EQ(topo.nodes()[1].cpus.size(), 4u);
+  EXPECT_EQ(topo.node_of(4), 1u);
+  EXPECT_EQ(topo.cluster_of(0), 0u);
+  EXPECT_EQ(topo.cluster_of(3), 1u);
+  EXPECT_EQ(topo.cluster_of(5), 2u);
+}
+
+TEST(Discover, OfflineCpusExcluded) {
+  FixtureDir fix("off");
+  fix.write("devices/system/cpu/online", "0-2\n");
+  fix.write("devices/system/node/node0/cpulist", "0-1\n");
+  fix.write("devices/system/node/node1/cpulist", "2-3\n");  // cpu3 offline
+  const auto topo = CpuTopology::discover(fix.path());
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.nodes()[1].cpus, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(topo.num_cpus(), 3u);
+}
+
+TEST(Discover, MissingRootFallsBackToSingleNode) {
+  const auto topo = CpuTopology::discover("/nonexistent/nmo-sysfs");
+  ASSERT_EQ(topo.num_nodes(), 1u);
+  EXPECT_EQ(topo.source(), "fallback");
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_FALSE(topo.multi_node());
+}
+
+TEST(Discover, GarbledFilesFallBackNeverThrow) {
+  FixtureDir fix("bad");
+  fix.write("devices/system/cpu/online", "!!not a cpu list!!\n");
+  fix.write("devices/system/node/node0/cpulist", "\x01\x02\x03\n");
+  fix.write("devices/system/cpu/cpu0/topology/physical_package_id", "-7\n");
+  CpuTopology topo;
+  EXPECT_NO_THROW(topo = CpuTopology::discover(fix.path()));
+  // Whatever the parse salvaged, the result is a usable single-or-more
+  // node topology with at least one cpu.
+  ASSERT_GE(topo.num_nodes(), 1u);
+  EXPECT_GE(topo.num_cpus(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// thread naming / pinning helpers
+
+#if defined(__linux__)
+TEST(Threads, NameRoundTrips) {
+  char before[16] = {};
+  pthread_getname_np(pthread_self(), before, sizeof(before));
+  nmo::sys::set_current_thread_name("nmo-topotest");
+  char after[16] = {};
+  pthread_getname_np(pthread_self(), after, sizeof(after));
+  EXPECT_STREQ(after, "nmo-topotest");
+  nmo::sys::set_current_thread_name(before);
+}
+
+TEST(Threads, PinToOwnAffinityIsAccepted) {
+  // Pinning to the full current topology must succeed (it is a superset
+  // of wherever this thread already runs); an empty cpu set must fail
+  // without throwing.
+  const auto topo = CpuTopology::discover();
+  ASSERT_GE(topo.num_nodes(), 1u);
+  std::vector<std::uint32_t> all;
+  for (const auto& node : topo.nodes())
+    all.insert(all.end(), node.cpus.begin(), node.cpus.end());
+  EXPECT_TRUE(nmo::sys::pin_current_thread(all));
+  EXPECT_FALSE(nmo::sys::pin_current_thread({}));
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// placement_node: the shared shard -> node mapping
+
+TEST(Placement, NoneAlwaysNodeZero) {
+  const auto topo = CpuTopology::synthetic(2, 8);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(placement_node(PlacementPolicy::kNone, topo, s, 4), 0u);
+  }
+}
+
+TEST(Placement, PackShardsFillsByCapacity) {
+  // 2 nodes x 4 cpus, 4 shards: shards 0-3 all fit on node 0.
+  const auto topo = CpuTopology::synthetic(2, 8);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(placement_node(PlacementPolicy::kPackShards, topo, s, 4), 0u);
+  }
+  // 8 shards: the second four spill to node 1.
+  for (std::uint32_t s = 4; s < 8; ++s) {
+    EXPECT_EQ(placement_node(PlacementPolicy::kPackShards, topo, s, 8), 1u);
+  }
+}
+
+TEST(Placement, NearProducerFollowsMajorityNode) {
+  // 2 nodes x 4 cpus, 4 shards: shard s serves cores {s, s+4}; cores 0-3
+  // are node 0, cores 4-7 node 1 - a tie, broken to the lowest node.
+  const auto topo = CpuTopology::synthetic(2, 8);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(placement_node(PlacementPolicy::kNearProducer, topo, s, 4), 0u);
+  }
+  // 2 shards over 8 cores: shard 0 serves {0,2,4,6} (2 votes each node,
+  // tie -> 0), shard 1 serves {1,3,5,7} (same).
+  EXPECT_EQ(placement_node(PlacementPolicy::kNearProducer, topo, 0, 2), 0u);
+  EXPECT_EQ(placement_node(PlacementPolicy::kNearProducer, topo, 1, 2), 0u);
+  // 8 shards over 8 cores: shard s serves exactly core s, so the upper
+  // shards land on node 1 - the only-producer case must follow its node.
+  EXPECT_EQ(placement_node(PlacementPolicy::kNearProducer, topo, 5, 8), 1u);
+  EXPECT_EQ(placement_node(PlacementPolicy::kNearProducer, topo, 7, 8), 1u);
+}
+
+TEST(Placement, SingleNodeOrEmptyTopologyIsAlwaysZero) {
+  const auto one = CpuTopology::synthetic(1, 8);
+  EXPECT_EQ(placement_node(PlacementPolicy::kNearProducer, one, 3, 4), 0u);
+  const CpuTopology none;
+  EXPECT_EQ(placement_node(PlacementPolicy::kPackShards, none, 3, 4), 0u);
+}
+
+TEST(Placement, PolicyNamesRoundTrip) {
+  using nmo::spe::parse_placement_policy;
+  using nmo::spe::to_string;
+  for (const auto policy : {PlacementPolicy::kNone, PlacementPolicy::kPackShards,
+                            PlacementPolicy::kNearProducer}) {
+    const auto parsed = parse_placement_policy(to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(parse_placement_policy("bogus").has_value());
+}
+
+}  // namespace

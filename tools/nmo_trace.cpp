@@ -422,6 +422,34 @@ void json_meta_value(nmo::JsonWriter& json, const std::string& value) {
   }
 }
 
+/// Collects session directories under a store root, including the
+/// per-socket `node-<k>/` roots a topology-aware store writes into.
+std::vector<std::filesystem::path> list_session_dirs(const std::string& root) {
+  std::vector<std::filesystem::path> dirs;
+  std::error_code ec;
+  const auto scan = [&dirs](const std::filesystem::path& parent) {
+    std::error_code scan_ec;
+    for (const auto& entry : std::filesystem::directory_iterator(parent, scan_ec)) {
+      if (entry.is_directory() &&
+          entry.path().filename().string().rfind("session-", 0) == 0) {
+        dirs.push_back(entry.path());
+      }
+    }
+  };
+  scan(root);
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("node-", 0) == 0) {
+      scan(entry.path());
+    }
+  }
+  std::sort(dirs.begin(), dirs.end(),
+            [](const auto& a, const auto& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return dirs;
+}
+
 int cmd_sessions(const Command&, const Args& args) {
   const std::string& root = args.positionals()[0];
   std::error_code ec;
@@ -441,14 +469,32 @@ int cmd_sessions(const Command&, const Args& args) {
       if (const auto meta = nmo::store::read_metadata_file(root + "/" + file)) {
         json.key(which).begin_object();
         for (const auto& [key, value] : *meta) {
-          // Per-tenant rows are re-emitted below as a structured array;
-          // keeping them out of the flat object spares scripts the
-          // "tenant.<i>.<key>" string surgery.
+          // Per-tenant and per-node rows are re-emitted below as
+          // structured arrays; keeping them out of the flat object spares
+          // scripts the "tenant.<i>.<key>" / "node.<k>.admitted" surgery.
           if (key.rfind("tenant.", 0) == 0) continue;
+          if (key.rfind("node.", 0) == 0) continue;
           json.key(key);
           json_meta_value(json, value);
         }
         json.end_object();
+        const auto nodes_it = meta->find("topology.nodes");
+        if (nodes_it != meta->end()) {
+          const auto node_count = std::strtoull(nodes_it->second.c_str(), nullptr, 10);
+          if (node_count > 1) {
+            json.key(std::string(which) + "_nodes").begin_array();
+            for (std::uint64_t k = 0; k < node_count; ++k) {
+              const std::string key = "node." + std::to_string(k) + ".admitted";
+              json.begin_object();
+              json.key("node").value(k);
+              json.key("admitted");
+              const auto it = meta->find(key);
+              json_meta_value(json, it != meta->end() ? it->second : "0");
+              json.end_object();
+            }
+            json.end_array();
+          }
+        }
         const auto count_it = meta->find("tenants");
         if (count_it == meta->end()) continue;
         const auto tenant_count = std::strtoull(count_it->second.c_str(), nullptr, 10);
@@ -467,21 +513,14 @@ int cmd_sessions(const Command&, const Args& args) {
         json.end_array();
       }
     }
-    std::vector<std::filesystem::path> dirs;
-    for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
-      if (entry.is_directory() &&
-          entry.path().filename().string().rfind("session-", 0) == 0) {
-        dirs.push_back(entry.path());
-      }
-    }
-    std::sort(dirs.begin(), dirs.end());
+    const auto dirs = list_session_dirs(root);
     bool all_ok = true;
     json.key("sessions").begin_array();
     for (const auto& dir : dirs) {
       const auto meta = nmo::store::read_metadata_file(
           (dir / std::string(nmo::store::kSessionMetaFile)).string());
       json.begin_object();
-      json.key("dir").value(dir.filename().string());
+      json.key("dir").value(dir.lexically_relative(root).string());
       if (meta) {
         for (const auto& [key, value] : *meta) {
           json.key(key);
@@ -521,6 +560,19 @@ int cmd_sessions(const Command&, const Args& args) {
                 "queue_wait_ns_max=%s\n",
                 field("peak_queue_depth").c_str(), field("peak_occupancy").c_str(),
                 field("queue_wait_ns_total").c_str(), field("queue_wait_ns_max").c_str());
+    // Topology placement ledger: only stores written by a multi-node
+    // scheduler carry these keys, so a flat store prints nothing extra.
+    const auto node_count =
+        std::strtoull(field("topology.nodes").c_str(), nullptr, 10);  // "?" parses to 0
+    if (node_count > 1) {
+      std::printf("  placement: nodes=%s local=%s misses=%s", field("topology.nodes").c_str(),
+                  field("placement_local").c_str(), field("placement_misses").c_str());
+      for (std::uint64_t k = 0; k < node_count; ++k) {
+        const std::string key = "node." + std::to_string(k) + ".admitted";
+        std::printf(" node%" PRIu64 "=%s", k, field(key.c_str()).c_str());
+      }
+      std::printf("\n");
+    }
     // The per-tenant fairness ledger: who submitted, who got a worker, who
     // was shed or expired, and how long each tenant's jobs waited - the
     // "who got starved and why" view of the weighted-fair scheduler.
@@ -551,17 +603,10 @@ int cmd_sessions(const Command&, const Args& args) {
                 std::string(nmo::store::kSchedulerMetaFile).c_str());
   }
 
-  std::vector<std::filesystem::path> dirs;
-  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
-    if (entry.is_directory() &&
-        entry.path().filename().string().rfind("session-", 0) == 0) {
-      dirs.push_back(entry.path());
-    }
-  }
-  std::sort(dirs.begin(), dirs.end());
+  const auto dirs = list_session_dirs(root);
 
-  std::printf("\n%-6s %-16s %-9s %-7s %-12s %-10s %s\n", "id", "name", "state", "worker",
-              "wait_ms", "samples", "fingerprint");
+  std::printf("\n%-6s %-16s %-9s %-7s %-5s %-12s %-10s %s\n", "id", "name", "state",
+              "worker", "node", "wait_ms", "samples", "fingerprint");
   bool all_ok = true;
   for (const auto& dir : dirs) {
     const auto meta = nmo::store::read_metadata_file(
@@ -583,9 +628,10 @@ int cmd_sessions(const Command&, const Args& args) {
       wait_ms = std::stod(field("queue_wait_ns")) / 1e6;
     } catch (...) {
     }
-    std::printf("%-6s %-16s %-9s %-7s %-12.3f %-10s %s\n", field("id").c_str(),
+    std::printf("%-6s %-16s %-9s %-7s %-5s %-12.3f %-10s %s\n", field("id").c_str(),
                 field("name").c_str(), field("state").c_str(), field("worker").c_str(),
-                wait_ms, field("samples").c_str(), field("fingerprint").c_str());
+                field("node").c_str(), wait_ms, field("samples").c_str(),
+                field("fingerprint").c_str());
     const std::string error = field("error");
     if (!error.empty() && error != "?") {
       std::printf("       error: %s\n", error.c_str());
