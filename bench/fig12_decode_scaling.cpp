@@ -8,9 +8,14 @@
 // the aux buffer; this harness measures that bound directly and how it
 // moves when decode fans out across shards.
 //
-//   ./bench_fig12_decode_scaling [records_per_core] [trials]
+//   ./bench_fig12_decode_scaling [records_per_core] [trials] [--json [FILE]]
+//
+// --json writes machine-readable results (default BENCH_decode_scaling.json)
+// so the perf trajectory accumulates comparable numbers per PR.
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -92,10 +97,30 @@ double pool_records_per_sec(const std::vector<std::vector<std::byte>>& streams,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t records_per_core = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 18;
-  const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
+  std::size_t records_per_core = 1 << 18;
+  int trials = 5;
+  bool json = false;
+  std::string json_path = "BENCH_decode_scaling.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (argv[i][0] != '-' && positional == 0) {
+      records_per_core = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else if (argv[i][0] != '-' && positional == 1) {
+      trials = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      std::fprintf(stderr, "usage: %s [records_per_core > 0] [trials > 0] [--json [FILE]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   if (records_per_core == 0 || trials <= 0) {
-    std::fprintf(stderr, "usage: %s [records_per_core > 0] [trials > 0]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [records_per_core > 0] [trials > 0] [--json [FILE]]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -119,6 +144,12 @@ int main(int argc, char** argv) {
   nmo::bench::print_row({"serial", buf, "1.00x"});
 
   double at4 = 0.0;
+  struct ShardResult {
+    std::uint32_t shards;
+    double rate;
+    double speedup;
+  };
+  std::vector<ShardResult> results;
   for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     nmo::RunningStats stats;
     for (int t = 0; t < trials; ++t) {
@@ -126,6 +157,7 @@ int main(int argc, char** argv) {
     }
     const double speedup = stats.mean() / serial.mean();
     if (shards == 4) at4 = speedup;
+    results.push_back({shards, stats.mean(), speedup});
     char rate[64], sp[64];
     std::snprintf(rate, sizeof(rate), "%.3g", stats.mean());
     std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
@@ -134,11 +166,43 @@ int main(int argc, char** argv) {
     nmo::bench::print_row({name, rate, sp});
   }
 
-  std::printf("\nchecksum %016llx\n", static_cast<unsigned long long>(checksum));
   // The >= 2x gate only means something when 4 shards can actually run in
   // parallel; on smaller machines the bench is informational.
   const unsigned hw = std::thread::hardware_concurrency();
-  if (hw < 4) {
+  const bool gated = hw >= 4;
+
+  if (json) {
+    nmo::bench::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("decode_scaling");
+    w.key("records_per_core").value(static_cast<std::uint64_t>(records_per_core));
+    w.key("cores").value(static_cast<std::uint32_t>(kCores));
+    w.key("trials").value(trials);
+    w.key("hw_threads").value(hw);
+    w.key("serial_records_per_sec").value(serial.mean());
+    w.key("shards").begin_array();
+    for (const auto& r : results) {
+      w.begin_object();
+      w.key("shards").value(r.shards);
+      w.key("records_per_sec").value(r.rate);
+      w.key("speedup").value(r.speedup);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("speedup_at_4_shards").value(at4);
+    w.key("gate_applied").value(gated);
+    w.end_object();
+    if (!w.write_file(json_path)) {
+      // Exit 3 like the other deterministic failures: CI treats exit 1 as
+      // the advisory speedup gate and must not swallow a lost artifact.
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 3;
+    }
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+
+  std::printf("\nchecksum %016llx\n", static_cast<unsigned long long>(checksum));
+  if (!gated) {
     std::printf("4-shard speedup %.2fx (gate skipped: only %u hardware thread%s)\n", at4, hw,
                 hw == 1 ? "" : "s");
     return 0;

@@ -11,7 +11,9 @@ namespace nmo {
 
 Env::Env()
     : lookup_([](const std::string& key) -> std::optional<std::string> {
-        const char* v = std::getenv(key.c_str());
+        // Read-only environment access during configuration; nothing in
+        // libnmo calls setenv, so there is no writer to race with.
+        const char* v = std::getenv(key.c_str());  // NOLINT(concurrency-mt-unsafe)
         if (v == nullptr) return std::nullopt;
         return std::string(v);
       }) {}

@@ -1,0 +1,34 @@
+// Thread-safe errno formatting.
+//
+// std::strerror returns a pointer into static (possibly thread-shared)
+// storage - clang-tidy's concurrency-mt-unsafe is right to reject it in a
+// codebase whose senders and collectors format socket errors from worker
+// threads.  errno_message wraps strerror_r, normalizing the two
+// incompatible shapes the libc may expose (glibc's GNU char* return vs
+// the POSIX/XSI int-and-fill-buffer contract) via overload resolution.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace nmo {
+namespace detail {
+
+/// GNU strerror_r: the message is whatever pointer came back (it may or
+/// may not be the caller's buffer).
+inline const char* strerror_text(const char* returned, const char*) { return returned; }
+inline const char* strerror_text(char* returned, const char*) { return returned; }
+/// XSI strerror_r: 0 means the buffer was filled.
+inline const char* strerror_text(int returned, const char* buffer) {
+  return returned == 0 ? buffer : "unknown error";
+}
+
+}  // namespace detail
+
+/// The message text for errno value `err`; safe from any thread.
+inline std::string errno_message(int err) {
+  char buffer[256] = {};
+  return detail::strerror_text(strerror_r(err, buffer, sizeof(buffer)), buffer);
+}
+
+}  // namespace nmo

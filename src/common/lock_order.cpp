@@ -1,0 +1,197 @@
+// Lock-order graph behind core::Mutex (see lock_order.hpp for the model).
+// Compiled out entirely when NMO_LOCK_ORDER == 0.
+#include "common/lock_order.hpp"
+
+#if NMO_LOCK_ORDER
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define NMO_LOCK_ORDER_BACKTRACE 1
+#endif
+#endif
+#ifndef NMO_LOCK_ORDER_BACKTRACE
+#define NMO_LOCK_ORDER_BACKTRACE 0
+#endif
+
+namespace nmo::lockorder {
+namespace {
+
+constexpr int kMaxFrames = 16;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int depth = 0;
+
+  static Stack capture() {
+    Stack s;
+#if NMO_LOCK_ORDER_BACKTRACE
+    s.depth = backtrace(s.frames, kMaxFrames);
+#endif
+    return s;
+  }
+
+  void print(const char* indent) const {
+#if NMO_LOCK_ORDER_BACKTRACE
+    char** symbols = backtrace_symbols(frames, depth);
+    for (int i = 0; i < depth; ++i) {
+      std::fprintf(stderr, "%s#%d %s\n", indent, i, symbols ? symbols[i] : "?");
+    }
+    std::free(symbols);
+#else
+    std::fprintf(stderr, "%s(backtrace unavailable on this platform)\n", indent);
+#endif
+  }
+};
+
+/// First-observed acquisition of `to` while `from` was held.
+struct Edge {
+  Stack stack;
+};
+
+struct Node {
+  const char* name = "mutex";
+  std::unordered_map<const core::Mutex*, Edge> out;
+};
+
+// The registry's own lock is a raw std::mutex on purpose: a core::Mutex
+// here would recurse into the hooks.  nmo-lint: allow(raw-mutex)
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<const core::Mutex*, Node> graph;
+};
+
+Registry& registry() {
+  // Leaked so mutexes destroyed during static teardown can still
+  // deregister safely.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+std::vector<const core::Mutex*>& held_stack() {
+  thread_local std::vector<const core::Mutex*> held;
+  return held;
+}
+
+const char* node_name(const Registry& reg, const core::Mutex* m) {
+  const auto it = reg.graph.find(m);
+  return it == reg.graph.end() ? "?" : it->second.name;
+}
+
+/// DFS for a path `from` -> ... -> `to`; fills `path` with the nodes
+/// visited (inclusive of both endpoints) when found.
+bool find_path(const Registry& reg, const core::Mutex* from, const core::Mutex* to,
+               std::vector<const core::Mutex*>& path,
+               std::unordered_map<const core::Mutex*, bool>& visited) {
+  if (visited[from]) return false;
+  visited[from] = true;
+  path.push_back(from);
+  if (from == to) return true;
+  const auto it = reg.graph.find(from);
+  if (it != reg.graph.end()) {
+    for (const auto& edge : it->second.out) {
+      if (find_path(reg, edge.first, to, path, visited)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+[[noreturn]] void report_cycle(Registry& reg, const core::Mutex* held, const core::Mutex* acquiring,
+                               const std::vector<const core::Mutex*>& prior_path) {
+  std::fprintf(stderr,
+               "\nnmo lock-order: cycle detected (potential deadlock)\n"
+               "  this thread is acquiring \"%s\" (%p) while holding \"%s\" (%p),\n"
+               "  but the opposite order was observed earlier:\n    ",
+               node_name(reg, acquiring), static_cast<const void*>(acquiring),
+               node_name(reg, held), static_cast<const void*>(held));
+  for (std::size_t i = 0; i < prior_path.size(); ++i) {
+    std::fprintf(stderr, "%s\"%s\"", i ? " -> " : "", node_name(reg, prior_path[i]));
+  }
+  std::fprintf(stderr, "\n  acquisition of \"%s\" while holding \"%s\" (this thread, now):\n",
+               node_name(reg, acquiring), node_name(reg, held));
+  Stack::capture().print("    ");
+  for (std::size_t i = 0; i + 1 < prior_path.size(); ++i) {
+    const auto node_it = reg.graph.find(prior_path[i]);
+    if (node_it == reg.graph.end()) continue;
+    const auto edge_it = node_it->second.out.find(prior_path[i + 1]);
+    if (edge_it == node_it->second.out.end()) continue;
+    std::fprintf(stderr, "  prior acquisition of \"%s\" while holding \"%s\" at:\n",
+                 node_name(reg, prior_path[i + 1]), node_name(reg, prior_path[i]));
+    edge_it->second.stack.print("    ");
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void on_create(const core::Mutex* mutex, const char* name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> guard(reg.mutex);
+  // Overwrite any stale node: a reused address must start clean.
+  reg.graph[mutex] = Node{name, {}};
+}
+
+void on_destroy(const core::Mutex* mutex) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> guard(reg.mutex);
+  reg.graph.erase(mutex);
+  for (auto& node : reg.graph) node.second.out.erase(mutex);
+}
+
+void pre_lock(const core::Mutex* mutex) {
+  const auto& held = held_stack();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> guard(reg.mutex);
+  for (const core::Mutex* h : held) {
+    if (h == mutex) {
+      std::fprintf(stderr,
+                   "\nnmo lock-order: recursive lock of non-recursive mutex \"%s\" (%p)\n",
+                   node_name(reg, mutex), static_cast<const void*>(mutex));
+      Stack::capture().print("    ");
+      std::fflush(stderr);
+      std::abort();
+    }
+    auto& node = reg.graph[h];
+    if (node.out.contains(mutex)) continue;  // order already on record
+    // Would edge h -> mutex close a cycle?  I.e. does mutex already
+    // reach h through recorded orders?
+    std::vector<const core::Mutex*> path;
+    std::unordered_map<const core::Mutex*, bool> visited;
+    if (find_path(reg, mutex, h, path, visited)) report_cycle(reg, h, mutex, path);
+    node.out.emplace(mutex, Edge{Stack::capture()});
+  }
+}
+
+void post_lock(const core::Mutex* mutex) { held_stack().push_back(mutex); }
+
+void post_try_lock(const core::Mutex* mutex) { held_stack().push_back(mutex); }
+
+void pre_unlock(const core::Mutex* mutex) {
+  auto& held = held_stack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == mutex) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t edge_count() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> guard(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& node : reg.graph) n += node.second.out.size();
+  return n;
+}
+
+}  // namespace nmo::lockorder
+
+#endif  // NMO_LOCK_ORDER

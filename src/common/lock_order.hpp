@@ -1,0 +1,76 @@
+// Debug-build lock-order (deadlock-potential) validator.
+//
+// Every core::Mutex acquisition feeds a process-global directed graph of
+// "A was held while B was acquired" edges.  A cycle in that graph is a
+// lock-hierarchy inversion — two threads interleaving those chains can
+// deadlock — so the validator aborts on the acquisition that closes the
+// cycle and prints the acquisition stack recorded for both edges, even if
+// this particular run never actually deadlocked.  That turns ABBA bugs
+// from a rare hang under contention into a deterministic failure on any
+// code path that merely *exercises* both orders.
+//
+// Enabled (NMO_LOCK_ORDER == 1) in Debug and sanitizer builds, compiled
+// out to empty inlines in Release: pre/post hooks below become no-ops and
+// lock_order.cpp contributes nothing, so core::Mutex::lock() is exactly a
+// std::mutex::lock() plus a dead branch the optimizer deletes.
+//
+// Rules encoded here:
+//   - lock() inserts edges from every currently-held mutex to the new one
+//     and runs a DFS cycle check; a cycle aborts with both stacks.
+//   - try_lock() records the hold but adds NO edges: try-lock-with-backoff
+//     is a legitimate way to acquire against the hierarchy.
+//   - Mutex destruction removes its node and edges, so a reused address
+//     (heap churn) can't resurrect stale ordering constraints.
+#pragma once
+
+#include <cstddef>
+
+#ifndef NMO_LOCK_ORDER
+#ifdef NDEBUG
+#define NMO_LOCK_ORDER 0
+#else
+#define NMO_LOCK_ORDER 1
+#endif
+#endif
+
+namespace nmo::core {
+class Mutex;
+}  // namespace nmo::core
+
+namespace nmo::lockorder {
+
+#if NMO_LOCK_ORDER
+
+/// True when the validator is compiled in (used by tests to assert the
+/// Release build really pays nothing).
+inline constexpr bool kEnabled = true;
+
+void on_create(const core::Mutex* mutex, const char* name);
+void on_destroy(const core::Mutex* mutex);
+/// Called before the underlying mutex blocks: records order edges from
+/// all held mutexes and aborts if one closes a cycle.
+void pre_lock(const core::Mutex* mutex);
+/// Called once the lock is held: pushes it on this thread's held stack.
+void post_lock(const core::Mutex* mutex);
+/// Successful try_lock: held-stack push only, no order edges.
+void post_try_lock(const core::Mutex* mutex);
+void pre_unlock(const core::Mutex* mutex);
+
+/// Number of distinct ordered pairs observed so far (test observability).
+std::size_t edge_count();
+
+#else
+
+inline constexpr bool kEnabled = false;
+
+inline void on_create(const core::Mutex*, const char*) {}
+inline void on_destroy(const core::Mutex*) {}
+inline void pre_lock(const core::Mutex*) {}
+inline void post_lock(const core::Mutex*) {}
+inline void post_try_lock(const core::Mutex*) {}
+inline void pre_unlock(const core::Mutex*) {}
+inline std::size_t edge_count() { return 0; }
+
+#endif  // NMO_LOCK_ORDER
+
+}  // namespace nmo::lockorder

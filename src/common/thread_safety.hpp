@@ -1,0 +1,175 @@
+// Clang Thread Safety Analysis surface for the whole codebase.
+//
+// Two things live here:
+//
+//   1. The NMO_* annotation macros wrapping Clang's capability attributes
+//      (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).  Under
+//      Clang with -Wthread-safety these make locking contracts
+//      compiler-checked; under GCC/MSVC they expand to nothing, so the
+//      annotations are free documentation.
+//   2. Annotated lock primitives — core::Mutex, core::MutexLock,
+//      core::CondVar — that every locking class in src/ uses instead of
+//      naked std::mutex/std::condition_variable.  Besides carrying the
+//      capability attributes, core::Mutex feeds the debug lock-order
+//      validator (common/lock_order.hpp), so lock-hierarchy inversions
+//      abort in Debug/sanitizer builds even on runs that never deadlock.
+//
+// Build knob: -Werror=thread-safety is enabled by the NMO_THREAD_SAFETY
+// CMake option (default ON under Clang).  The macros themselves are
+// always active under any Clang; the knob only controls warning severity.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define NMO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NMO_THREAD_ANNOTATION
+#define NMO_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define NMO_CAPABILITY(x) NMO_THREAD_ANNOTATION(capability(x))
+#define NMO_SCOPED_CAPABILITY NMO_THREAD_ANNOTATION(scoped_lockable)
+#define NMO_GUARDED_BY(x) NMO_THREAD_ANNOTATION(guarded_by(x))
+#define NMO_PT_GUARDED_BY(x) NMO_THREAD_ANNOTATION(pt_guarded_by(x))
+#define NMO_ACQUIRE(...) NMO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NMO_RELEASE(...) NMO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NMO_TRY_ACQUIRE(...) NMO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define NMO_REQUIRES(...) NMO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NMO_EXCLUDES(...) NMO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define NMO_ACQUIRED_BEFORE(...) NMO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NMO_ACQUIRED_AFTER(...) NMO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define NMO_RETURN_CAPABILITY(x) NMO_THREAD_ANNOTATION(lock_returned(x))
+#define NMO_ASSERT_CAPABILITY(x) NMO_THREAD_ANNOTATION(assert_capability(x))
+#define NMO_NO_THREAD_SAFETY_ANALYSIS NMO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace nmo::core {
+
+/// std::mutex with a capability attribute, a name (for lock-order cycle
+/// reports), and lock-order instrumentation.  BasicLockable, so
+/// std::condition_variable_any can wait on it directly — which routes the
+/// condvar's internal unlock/relock through the validator too.
+class NMO_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` labels this mutex in lock-order cycle reports; use a string
+  /// literal naming the owning class ("DecodePool::wake").
+  explicit Mutex(const char* name = "mutex") : name_(name) { lockorder::on_create(this, name); }
+  ~Mutex() { lockorder::on_destroy(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NMO_ACQUIRE() {
+    lockorder::pre_lock(this);
+    mutex_.lock();
+    lockorder::post_lock(this);
+  }
+  void unlock() NMO_RELEASE() {
+    lockorder::pre_unlock(this);
+    mutex_.unlock();
+  }
+  bool try_lock() NMO_TRY_ACQUIRE(true) {
+    if (!mutex_.try_lock()) return false;
+    // try_lock can't deadlock, so it records the hold without adding
+    // order edges: try-lock backoff schemes are legitimate inversions.
+    lockorder::post_try_lock(this);
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::mutex mutex_;
+  const char* name_;
+};
+
+/// RAII scoped lock over core::Mutex, relockable (condvar-style usage:
+/// construct → wait → unlock around long work → lock again).  Annotated as
+/// a scoped capability so Clang tracks the held/released state through
+/// explicit unlock()/lock() calls.
+class NMO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) NMO_ACQUIRE(mutex) : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  ~MutexLock() NMO_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drops the lock (e.g. around a blocking callback).
+  void unlock() NMO_RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+  /// Re-acquires after unlock().
+  void lock() NMO_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+  [[nodiscard]] bool owns_lock() const { return held_; }
+  [[nodiscard]] Mutex& mutex() { return mutex_; }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+/// Condition variable paired with core::Mutex.  Waits take the MutexLock
+/// (not a std::unique_lock), so guarded-field access inside wait
+/// predicates stays visible to the analysis, and the wait's unlock/relock
+/// goes through the instrumented Mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  // The analysis can't model a wait's unlock/relock cycle; the capability
+  // is held on entry and on exit, which is all callers can rely on.
+  void wait(MutexLock& lock) NMO_REQUIRES(lock.mutex()) NMO_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lock.mutex());
+  }
+
+  template <typename Predicate>
+  void wait(MutexLock& lock, Predicate pred) NMO_REQUIRES(lock.mutex())
+      NMO_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lock.mutex(), std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) NMO_REQUIRES(lock.mutex()) NMO_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(lock.mutex(), timeout, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      NMO_REQUIRES(lock.mutex()) NMO_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(lock.mutex(), deadline);
+  }
+
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(MutexLock& lock, const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) NMO_REQUIRES(lock.mutex()) NMO_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(lock.mutex(), deadline, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace nmo::core

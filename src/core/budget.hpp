@@ -33,8 +33,11 @@ class BudgetToken {
   /// leaves the token unarmed (poll() never trips on time).
   void arm(std::uint64_t budget_ns) {
     if (budget_ns == 0) return;
-    start_ = std::chrono::steady_clock::now();
-    budget_ns_ = budget_ns;
+    // Both stores happen-before the armed_ release, so a poll() that
+    // observes armed_ acquires a coherent (start, budget) pair even when
+    // arm() races a checkpoint on the worker thread.
+    start_ns_.store(now_ns(), std::memory_order_relaxed);
+    budget_ns_.store(budget_ns, std::memory_order_relaxed);
     armed_.store(true, std::memory_order_release);
   }
 
@@ -51,7 +54,8 @@ class BudgetToken {
       tripped_.store(true, std::memory_order_release);
       return true;
     }
-    if (armed_.load(std::memory_order_acquire) && elapsed_ns() > budget_ns_) {
+    if (armed_.load(std::memory_order_acquire) &&
+        elapsed_ns() > budget_ns_.load(std::memory_order_relaxed)) {
       tripped_.store(true, std::memory_order_release);
       return true;
     }
@@ -70,13 +74,15 @@ class BudgetToken {
     return checkpoints_.load(std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::uint64_t budget_ns() const { return budget_ns_; }
+  [[nodiscard]] std::uint64_t budget_ns() const {
+    return budget_ns_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::uint64_t elapsed_ns() const {
     if (!armed_.load(std::memory_order_acquire)) return 0;
-    const auto d = std::chrono::steady_clock::now() - start_;
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+    const std::uint64_t start = start_ns_.load(std::memory_order_relaxed);
+    const std::uint64_t now = now_ns();
+    return now > start ? now - start : 0;
   }
 
   /// Why the token tripped: "" (not tripped), "cancelled", or "budget".
@@ -86,12 +92,21 @@ class BudgetToken {
   }
 
  private:
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+  }
+
   std::atomic<bool> armed_{false};
   std::atomic<bool> tripped_{false};
   std::atomic<bool> cancelled_{false};
   std::atomic<std::uint64_t> checkpoints_{0};
-  std::uint64_t budget_ns_ = 0;
-  std::chrono::steady_clock::time_point start_{};
+  // Plain fields here were a data race: arm() on the controlling thread
+  // wrote them while poll()/elapsed_ns() read them from the worker
+  // (flagged by -Wthread-safety review of this header; see CHANGES.md).
+  std::atomic<std::uint64_t> budget_ns_{0};
+  std::atomic<std::uint64_t> start_ns_{0};
 };
 
 }  // namespace nmo::core

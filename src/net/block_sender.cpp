@@ -12,12 +12,12 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 
+#include "common/errno_util.hpp"
+#include "common/thread_safety.hpp"
 #include "sys/topology.hpp"
 
 namespace nmo::net {
@@ -51,24 +51,24 @@ int connect_with_timeout(const std::string& host, std::uint16_t port,
     freeaddrinfo(found);
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) return fail("socket: " + errno_message(errno));
   ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     if (errno != EINPROGRESS) {
       ::close(fd);
-      return fail(std::string("connect: ") + std::strerror(errno));
+      return fail("connect: " + errno_message(errno));
     }
     pollfd pfd{fd, POLLOUT, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
     if (ready <= 0) {
       ::close(fd);
-      return fail(ready == 0 ? "connect timed out" : std::string("poll: ") + std::strerror(errno));
+      return fail(ready == 0 ? "connect timed out" : "poll: " + errno_message(errno));
     }
     int so_error = 0;
     socklen_t len = sizeof(so_error);
     if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
       ::close(fd);
-      return fail(std::string("connect: ") + std::strerror(so_error != 0 ? so_error : errno));
+      return fail("connect: " + errno_message(so_error != 0 ? so_error : errno));
     }
   }
   const int one = 1;
@@ -89,7 +89,7 @@ std::string_view to_string(StreamConfig::Backpressure policy) noexcept {
 }
 
 struct BlockSender::Impl {
-  explicit Impl(const StreamConfig& config) : config(config) {}
+  explicit Impl(const StreamConfig& stream_config) : config(stream_config) {}
 
   struct Item {
     bool is_block = false;
@@ -100,18 +100,21 @@ struct BlockSender::Impl {
   int fd = -1;
   std::thread worker;
 
-  mutable std::mutex mutex;
-  std::condition_variable space_cv;  ///< Ring space freed (kBlock producers).
-  std::condition_variable work_cv;   ///< Work queued / drain progressed / stop.
-  std::deque<Item> queue;
-  std::size_t blocks_queued = 0;
-  bool stop = false;       ///< Worker must exit once the queue is drained.
-  bool abandoned = false;  ///< Worker must exit immediately, dropping the queue.
-  bool writing = false;    ///< Worker is mid-frame (drain must wait for it).
-  StreamStats stats;
+  mutable core::Mutex mutex{"BlockSender"};
+  core::CondVar space_cv;  ///< Ring space freed (kBlock producers).
+  core::CondVar work_cv;   ///< Work queued / drain progressed / stop.
+  std::deque<Item> queue NMO_GUARDED_BY(mutex);
+  std::size_t blocks_queued NMO_GUARDED_BY(mutex) = 0;
+  /// Worker must exit once the queue is drained.
+  bool stop NMO_GUARDED_BY(mutex) = false;
+  /// Worker must exit immediately, dropping the queue.
+  bool abandoned NMO_GUARDED_BY(mutex) = false;
+  /// Worker is mid-frame (drain must wait for it).
+  bool writing NMO_GUARDED_BY(mutex) = false;
+  StreamStats stats NMO_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> progress{0};
 
-  void fail_locked(std::string message) {
+  void fail_locked(std::string message) NMO_REQUIRES(mutex) {
     if (!stats.failed) {
       stats.failed = true;
       stats.error = std::move(message);
@@ -137,7 +140,7 @@ struct BlockSender::Impl {
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         pollfd pfd{fd, POLLOUT, 0};
         ::poll(&pfd, 1, 100);
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         if (abandoned) {
           error = "stream aborted";
           return false;
@@ -145,14 +148,13 @@ struct BlockSender::Impl {
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
-      error = std::string("send: ") + std::strerror(n < 0 ? errno : EPIPE);
+      error = "send: " + errno_message(n < 0 ? errno : EPIPE);
       return false;
     }
     return true;
   }
 
   void run() {
-    sys::set_current_thread_name("nmo-send");
     const auto heartbeat_interval = std::chrono::milliseconds(config.heartbeat_interval_ms);
     auto next_heartbeat = Clock::now() + heartbeat_interval;
     std::uint64_t heartbeats_sent = 0;
@@ -161,7 +163,7 @@ struct BlockSender::Impl {
       bool have_item = false;
       bool send_heartbeat = false;
       {
-        std::unique_lock<std::mutex> lock(mutex);
+        core::MutexLock lock(mutex);
         for (;;) {
           if (abandoned || stats.failed) return;
           if (!queue.empty()) {
@@ -197,7 +199,7 @@ struct BlockSender::Impl {
       std::string error;
       const bool sent = write_frame(frame, error);
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         writing = false;
         if (!sent) {
           fail_locked(std::move(error));
@@ -234,31 +236,30 @@ bool BlockSender::connect(const Hello& hello, std::string* error) {
       // Non-fatal: the stream works with the kernel's default buffer, just
       // with less slack under bursts.  Surface the refusal in the sender's
       // error state (failed stays false; a real failure later overwrites).
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      const core::MutexLock lock(impl_->mutex);
       if (impl_->stats.error.empty()) {
-        impl_->stats.error =
-            std::string("setsockopt(SO_SNDBUF): ") + std::strerror(errno);
+        impl_->stats.error = "setsockopt(SO_SNDBUF): " + errno_message(errno);
       }
     }
   }
   impl_->fd = fd;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const core::MutexLock lock(impl_->mutex);
     impl_->stats.connected = true;
     Impl::Item item;
     append_frame(item.frame, FrameType::kHello, encode_hello(hello));
     impl_->queue.push_back(std::move(item));
   }
-  impl_->worker = std::thread([this] { impl_->run(); });
+  impl_->worker = sys::named_thread("nmo-send", [this] { impl_->run(); });
   return true;
 }
 
 bool BlockSender::send_block(std::span<const std::byte> block_bytes) {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
+  core::MutexLock lock(impl_->mutex);
   if (impl_->fd < 0 || impl_->stats.failed || impl_->stop || impl_->abandoned) return false;
   if (impl_->blocks_queued >= config_.ring_capacity) {
     if (config_.policy == StreamConfig::Backpressure::kBlock) {
-      impl_->space_cv.wait(lock, [&] {
+      impl_->space_cv.wait(lock, [&]() NMO_REQUIRES(impl_->mutex) {
         return impl_->blocks_queued < config_.ring_capacity || impl_->stats.failed ||
                impl_->abandoned;
       });
@@ -286,7 +287,7 @@ bool BlockSender::send_block(std::span<const std::byte> block_bytes) {
 }
 
 void BlockSender::send_control(FrameType type, std::vector<std::byte> payload) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const core::MutexLock lock(impl_->mutex);
   if (impl_->fd < 0 || impl_->stats.failed || impl_->stop || impl_->abandoned) return;
   Impl::Item item;
   append_frame(item.frame, type, payload);
@@ -301,7 +302,7 @@ void BlockSender::set_progress(std::uint64_t samples_decoded) {
 bool BlockSender::finish(const SessionEnd& end) {
   if (impl_->fd < 0) return false;
   {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
+    core::MutexLock lock(impl_->mutex);
     if (!impl_->stats.failed && !impl_->abandoned) {
       Impl::Item item;
       append_frame(item.frame, FrameType::kEnd, encode_session_end(end));
@@ -310,22 +311,23 @@ bool BlockSender::finish(const SessionEnd& end) {
     impl_->stop = true;
     impl_->work_cv.notify_all();
     const auto deadline = Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
-    const bool drained = impl_->work_cv.wait_until(lock, deadline, [&] {
-      return (impl_->queue.empty() && !impl_->writing) || impl_->stats.failed ||
-             impl_->abandoned;
-    });
+    const bool drained =
+        impl_->work_cv.wait_until(lock, deadline, [&]() NMO_REQUIRES(impl_->mutex) {
+          return (impl_->queue.empty() && !impl_->writing) || impl_->stats.failed ||
+                 impl_->abandoned;
+        });
     if (!drained) {
       impl_->fail_locked("stream drain timed out");
     }
   }
   abort();  // join + close (the queue is already drained or condemned)
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const core::MutexLock lock(impl_->mutex);
   return !impl_->stats.failed;
 }
 
 void BlockSender::abort() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const core::MutexLock lock(impl_->mutex);
     if (impl_->fd < 0 && !impl_->worker.joinable()) return;
     // A drained finish() lands here with stop set and the queue empty -
     // then this is a plain join + close.  Anything else is a condemnation:
@@ -347,13 +349,13 @@ void BlockSender::abort() {
 }
 
 bool BlockSender::active() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const core::MutexLock lock(impl_->mutex);
   return impl_->fd >= 0 && impl_->stats.connected && !impl_->stats.failed &&
          !impl_->abandoned;
 }
 
 StreamStats BlockSender::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const core::MutexLock lock(impl_->mutex);
   return impl_->stats;
 }
 

@@ -10,17 +10,17 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/errno_util.hpp"
+#include "common/thread_safety.hpp"
 #include "core/trace.hpp"
 #include "net/wire.hpp"
 #include "store/region_file.hpp"
@@ -75,7 +75,7 @@ std::vector<std::pair<std::string, std::string>> parse_meta_text(const std::stri
 }  // namespace
 
 struct Collector::Impl {
-  explicit Impl(CollectorConfig config) : config(std::move(config)) {}
+  explicit Impl(CollectorConfig collector_config) : config(std::move(collector_config)) {}
 
   /// One sender's connection: parser + ingest state machine.
   struct Connection {
@@ -100,13 +100,13 @@ struct Collector::Impl {
   std::thread thread;
   std::unique_ptr<store::SessionStore> store;
 
-  mutable std::mutex mutex;
-  std::condition_variable done_cv;
-  CollectorStats stats;
-  std::map<std::string, std::string> merged_meta;
-  std::uint64_t meta_senders = 0;
-  bool done = false;     ///< `once` quota met.
-  bool stopping = false;
+  mutable core::Mutex mutex{"Collector"};
+  core::CondVar done_cv;
+  CollectorStats stats NMO_GUARDED_BY(mutex);
+  std::map<std::string, std::string> merged_meta NMO_GUARDED_BY(mutex);
+  std::uint64_t meta_senders NMO_GUARDED_BY(mutex) = 0;
+  bool done NMO_GUARDED_BY(mutex) = false;  ///< `once` quota met.
+  bool stopping NMO_GUARDED_BY(mutex) = false;
 
   void log(const Connection& conn, const char* what, const std::string& detail = "") {
     if (!config.verbose) return;
@@ -120,7 +120,7 @@ struct Collector::Impl {
   /// when the connection must be closed (end frame or protocol error).
   bool handle_frame(Connection& conn, Frame& frame) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      const core::MutexLock lock(mutex);
       stats.frames += 1;
     }
     if (!conn.got_hello) {
@@ -150,7 +150,7 @@ struct Collector::Impl {
           conn.error = conn.writer->error();
           return false;
         }
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         stats.sessions_started += 1;
       }
       log(conn, conn.hello.kind == kHelloKindSession ? "session stream opened"
@@ -178,7 +178,7 @@ struct Collector::Impl {
           return false;
         }
         conn.blocks += 1;
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         stats.blocks += 1;
         stats.samples += samples.size();
         return true;
@@ -206,7 +206,7 @@ struct Collector::Impl {
       case FrameType::kSchedMeta: {
         std::string text(reinterpret_cast<const char*>(frame.payload.data()),
                          frame.payload.size());
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         stats.meta_snapshots += 1;
         meta_senders += 1;
         for (const auto& [key, value] : parse_meta_text(text)) {
@@ -232,7 +232,7 @@ struct Collector::Impl {
           return false;
         }
         conn.progress = progress;
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         stats.heartbeats += 1;
         return true;
       }
@@ -305,7 +305,7 @@ struct Collector::Impl {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      const core::MutexLock lock(mutex);
       if (clean) {
         stats.sessions_clean += 1;
       } else if (stream_state == "truncated") {
@@ -321,7 +321,7 @@ struct Collector::Impl {
   /// Counts finalized session streams and checks the `once` quota.
   void check_done(const std::vector<std::unique_ptr<Connection>>& conns) {
     if (config.once == 0) return;
-    std::lock_guard<std::mutex> lock(mutex);
+    const core::MutexLock lock(mutex);
     const std::uint64_t finalized =
         stats.sessions_clean + stats.sessions_truncated + stats.sessions_failed;
     if (finalized < config.once) return;
@@ -337,7 +337,7 @@ struct Collector::Impl {
   void close_connection(std::vector<std::unique_ptr<Connection>>& conns, std::size_t i) {
     Connection& conn = *conns[i];
     if (!conn.error.empty()) {
-      std::lock_guard<std::mutex> lock(mutex);
+      const core::MutexLock lock(mutex);
       stats.protocol_errors += 1;
     }
     if (!conn.finalized && conn.writer) {
@@ -351,12 +351,11 @@ struct Collector::Impl {
   }
 
   void run() {
-    sys::set_current_thread_name("nmo-coll");
     std::vector<std::unique_ptr<Connection>> conns;
     std::vector<std::byte> buf(64 * 1024);
     for (;;) {
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        const core::MutexLock lock(mutex);
         if (stopping) break;
       }
       std::vector<pollfd> fds;
@@ -383,7 +382,7 @@ struct Collector::Impl {
           auto conn = std::make_unique<Connection>();
           conn->fd = fd;
           conns.push_back(std::move(conn));
-          std::lock_guard<std::mutex> lock(mutex);
+          const core::MutexLock lock(mutex);
           stats.connections += 1;
         }
       }
@@ -402,7 +401,7 @@ struct Collector::Impl {
           const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
           if (n > 0) {
             {
-              std::lock_guard<std::mutex> lock(mutex);
+              const core::MutexLock lock(mutex);
               stats.bytes += static_cast<std::uint64_t>(n);
             }
             conn.parser.feed(buf.data(), static_cast<std::size_t>(n));
@@ -445,7 +444,7 @@ struct Collector::Impl {
     std::map<std::string, std::string> merged;
     std::uint64_t senders = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      const core::MutexLock lock(mutex);
       snapshot = stats;
       merged = merged_meta;
       senders = meta_senders;
@@ -498,14 +497,14 @@ bool Collector::start(std::string* error) {
     return fail("bad bind address " + bind_host);
   }
   impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (impl_->listen_fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  if (impl_->listen_fd < 0) return fail("socket: " + errno_message(errno));
   const int one = 1;
   ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    return fail(std::string("bind: ") + std::strerror(errno));
+    return fail("bind: " + errno_message(errno));
   }
   if (::listen(impl_->listen_fd, 64) != 0) {
-    return fail(std::string("listen: ") + std::strerror(errno));
+    return fail("listen: " + errno_message(errno));
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
@@ -513,20 +512,23 @@ bool Collector::start(std::string* error) {
     impl_->bound_port = ntohs(bound.sin_port);
   }
   ::fcntl(impl_->listen_fd, F_SETFL, ::fcntl(impl_->listen_fd, F_GETFL, 0) | O_NONBLOCK);
-  if (::pipe(impl_->wake_fd) != 0) return fail(std::string("pipe: ") + std::strerror(errno));
+  if (::pipe(impl_->wake_fd) != 0) return fail("pipe: " + errno_message(errno));
   ::fcntl(impl_->wake_fd[0], F_SETFL, ::fcntl(impl_->wake_fd[0], F_GETFL, 0) | O_NONBLOCK);
   impl_->store = std::make_unique<store::SessionStore>(impl_->config.root);
-  impl_->stopping = false;
-  impl_->thread = std::thread([this] { impl_->run(); });
+  {
+    const core::MutexLock lock(impl_->mutex);
+    impl_->stopping = false;
+  }
+  impl_->thread = sys::named_thread("nmo-coll", [this] { impl_->run(); });
   return true;
 }
 
 std::uint16_t Collector::port() const { return impl_->bound_port; }
 
 bool Collector::wait_done(std::uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
+  core::MutexLock lock(impl_->mutex);
   if (impl_->config.once == 0) return impl_->done;
-  const auto ready = [&] { return impl_->done || impl_->stopping; };
+  const auto ready = [&]() NMO_REQUIRES(impl_->mutex) { return impl_->done || impl_->stopping; };
   if (timeout_ms == 0) {
     impl_->done_cv.wait(lock, ready);
   } else if (!impl_->done_cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
@@ -537,7 +539,7 @@ bool Collector::wait_done(std::uint32_t timeout_ms) {
 
 void Collector::stop() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const core::MutexLock lock(impl_->mutex);
     if (!impl_->thread.joinable()) return;
     impl_->stopping = true;
     impl_->done_cv.notify_all();
@@ -558,7 +560,7 @@ void Collector::stop() {
 }
 
 CollectorStats Collector::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const core::MutexLock lock(impl_->mutex);
   return impl_->stats;
 }
 

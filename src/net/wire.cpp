@@ -21,7 +21,9 @@ void put_fixed(std::vector<std::byte>& out, std::uint64_t v, std::size_t n) {
 
 bool take_fixed(std::span<const std::byte> buf, std::size_t& pos, std::uint64_t& v,
                 std::size_t n) {
-  if (n > buf.size() - pos) return false;
+  // Check pos first: with pos past the end, `buf.size() - pos` underflows
+  // to a huge value and the length check would wave the read through.
+  if (pos > buf.size() || n > buf.size() - pos) return false;
   v = 0;
   for (std::size_t i = 0; i < n; ++i) {
     v |= std::to_integer<std::uint64_t>(buf[pos + i]) << (8 * i);

@@ -10,12 +10,12 @@ namespace nmo::sim {
 DrainService::DrainService(spe::AuxConsumer* consumer, spe::DecodePool* pool,
                            spe::PlacementOptions placement)
     : consumer_(consumer), pool_(pool), placement_(std::move(placement)) {
-  worker_ = std::thread([this] { service_loop(); });
+  worker_ = sys::named_thread("nmo-drain", [this] { service_loop(); });
 }
 
 DrainService::~DrainService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_cv_.notify_one();
@@ -25,7 +25,7 @@ DrainService::~DrainService() {
 std::uint64_t DrainService::submit_epoch(std::vector<spe::RawChunk> chunks) {
   std::uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     // Retire pool epochs that already decoded while the service was idle,
     // so the lag high-water mark counts only genuinely in-flight epochs.
     sweep_retired();
@@ -41,13 +41,13 @@ std::uint64_t DrainService::submit_epoch(std::vector<spe::RawChunk> chunks) {
 
 void DrainService::barrier() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+    core::MutexLock lock(mutex_);
+    idle_cv_.wait(lock, [this]() NMO_REQUIRES(mutex_) { return queue_.empty() && !busy_; });
   }
   // The service thread is idle and nothing else submits, so the pool's
   // submission cursors are final: one full barrier retires every epoch.
   if (pool_ != nullptr) pool_->sync();
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   stats_.epochs_retired += inflight_.size();
   inflight_.clear();
   if (pending_ok_ != 0 || pending_skipped_ != 0) {
@@ -58,7 +58,7 @@ void DrainService::barrier() {
 }
 
 DrainService::Stats DrainService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -70,7 +70,6 @@ void DrainService::sweep_retired() {
 }
 
 void DrainService::service_loop() {
-  sys::set_current_thread_name("nmo-drain");
   if (placement_.policy != spe::PlacementPolicy::kNone && placement_.topology.multi_node()) {
     // The consumer thread feeds shard 0's node: under kPackShards that is
     // where trace assembly is packed, under kNearProducer the node owning
@@ -83,8 +82,8 @@ void DrainService::service_loop() {
   for (;;) {
     Epoch epoch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      core::MutexLock lock(mutex_);
+      wake_cv_.wait(lock, [this]() NMO_REQUIRES(mutex_) { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and fully drained
       epoch = std::move(queue_.front());
       queue_.pop_front();
@@ -107,7 +106,7 @@ void DrainService::service_loop() {
 
     bool idle;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const core::MutexLock lock(mutex_);
       stats_.chunks += epoch.chunks.size();
       if (pool_ != nullptr) {
         inflight_.push_back(std::move(ticket));

@@ -24,13 +24,12 @@
 // region attribution identical to the synchronous path).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "spe/aux_consumer.hpp"
 #include "spe/decode_pool.hpp"
 
@@ -79,27 +78,27 @@ class DrainService {
   };
 
   void service_loop();
-  /// Sweeps pool epoch tickets whose batches have all decoded.  Caller
-  /// must hold mutex_.
-  void sweep_retired();
+  /// Sweeps pool epoch tickets whose batches have all decoded.
+  void sweep_retired() NMO_REQUIRES(mutex_);
 
   spe::AuxConsumer* consumer_;
   spe::DecodePool* pool_;
   spe::PlacementOptions placement_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_cv_;  ///< Signals the service thread.
-  std::condition_variable idle_cv_;  ///< Signals barrier() waiters.
-  std::deque<Epoch> queue_;
-  bool busy_ = false;  ///< Service thread is inside stage 2 of an epoch.
-  bool stop_ = false;
-  std::uint64_t next_epoch_ = 0;
+  mutable core::Mutex mutex_{"DrainService"};
+  core::CondVar wake_cv_;  ///< Signals the service thread.
+  core::CondVar idle_cv_;  ///< Signals barrier() waiters.
+  std::deque<Epoch> queue_ NMO_GUARDED_BY(mutex_);
+  /// Service thread is inside stage 2 of an epoch.
+  bool busy_ NMO_GUARDED_BY(mutex_) = false;
+  bool stop_ NMO_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_epoch_ NMO_GUARDED_BY(mutex_) = 0;
   /// Pool epochs submitted but not yet observed retired (service thread).
-  std::deque<spe::DecodePool::EpochTicket> inflight_;
+  std::deque<spe::DecodePool::EpochTicket> inflight_ NMO_GUARDED_BY(mutex_);
   /// Serial-path decode tallies pending a fold into the consumer.
-  std::uint64_t pending_ok_ = 0;
-  std::uint64_t pending_skipped_ = 0;
-  Stats stats_;
+  std::uint64_t pending_ok_ NMO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pending_skipped_ NMO_GUARDED_BY(mutex_) = 0;
+  Stats stats_ NMO_GUARDED_BY(mutex_);
 
   std::thread worker_;
 };

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace nmo::spe {
 
@@ -108,7 +108,9 @@ DecodePool::DecodePool(std::uint32_t shards, BatchSink sink, std::size_t queue_c
     shards_.push_back(std::make_unique<Shard>(queue_capacity));
   }
   for (std::uint32_t i = 0; i < shards; ++i) {
-    shards_[i]->worker = std::thread([this, i] { worker_loop(*shards_[i], i); });
+    // /proc-visible identity for external profilers and `perf top`.
+    shards_[i]->worker = sys::named_thread("nmo-dec" + std::to_string(i),
+                                           [this, i] { worker_loop(*shards_[i], i); });
   }
 }
 
@@ -116,7 +118,7 @@ DecodePool::~DecodePool() {
   stop_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->wake_mutex);
+      const core::MutexLock lock(shard->wake_mutex);
     }
     shard->wake_cv.notify_one();
     if (shard->worker.joinable()) shard->worker.join();
@@ -149,7 +151,7 @@ void DecodePool::submit(std::span<const std::byte> raw, CoreId core) {
     // Taking the mutex (even empty) orders this push against the worker's
     // predicate-check-then-block window, so the notify cannot be lost.
     {
-      std::lock_guard<std::mutex> lock(shard.wake_mutex);
+      const core::MutexLock lock(shard.wake_mutex);
     }
     shard.wake_cv.notify_one();
   }
@@ -205,10 +207,6 @@ void DecodePool::reset_counts() {
 }
 
 void DecodePool::worker_loop(Shard& shard, std::uint32_t index) {
-  // /proc-visible identity for external profilers and `perf top`.
-  char name[16];
-  std::snprintf(name, sizeof(name), "nmo-dec%u", index);
-  sys::set_current_thread_name(name);
   if (placement_.policy != PlacementPolicy::kNone && placement_.topology.multi_node()) {
     const std::uint32_t node =
         placement_node(placement_.policy, placement_.topology, index,
@@ -229,7 +227,7 @@ void DecodePool::worker_loop(Shard& shard, std::uint32_t index) {
       if (++idle_polls < 1024) {
         std::this_thread::yield();
       } else {
-        std::unique_lock<std::mutex> lock(shard.wake_mutex);
+        core::MutexLock lock(shard.wake_mutex);
         shard.wake_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
           return stop_.load(std::memory_order_acquire) || !shard.queue.empty();
         });

@@ -28,17 +28,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/types.hpp"
 #include "spe/packet.hpp"
 #include "sys/topology.hpp"
@@ -223,8 +222,10 @@ class DecodePool {
     alignas(64) std::atomic<std::uint64_t> processed{0};
     std::uint64_t records_ok = 0;       ///< Worker-private until sync().
     std::uint64_t records_skipped = 0;  ///< Worker-private until sync().
-    std::mutex wake_mutex;
-    std::condition_variable wake_cv;
+    /// Guards nothing: taken empty by the producer purely to close the
+    /// worker's predicate-check-then-block window (no lost wakeups).
+    core::Mutex wake_mutex{"DecodePool::wake"};
+    core::CondVar wake_cv;
     std::thread worker;
   };
 

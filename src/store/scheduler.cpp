@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "core/profiler.hpp"
 
@@ -66,36 +66,38 @@ Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
         "SchedulerConfig::max_workers is 0: a pool with no workers can never "
         "drain its queue (use default_max_workers() for the hardware default)");
   }
-  stats_.workers = config_.max_workers;
-  stats_.node_admitted.assign(std::max<std::uint32_t>(1, config_.topology.num_nodes()), 0);
-  for (const auto& spec : config_.tenants) {
-    // First spec wins on a duplicate name; resolve_tenant_locked below
-    // would otherwise silently shadow the registered weight.
-    if (tenant_ids_.count(spec.name) != 0) continue;
-    resolve_tenant_locked(spec.name);
-    auto& state = tenants_.back();
-    state.spec = spec;
-    state.spec.weight = std::max<std::uint32_t>(1, spec.weight);
-    state.stride = kStrideScale / state.spec.weight;
-    state.stats.weight = state.spec.weight;
+  {
+    // No worker exists yet, but the tenant table is guarded state: hold
+    // the lock so the registration writes satisfy the locking contract.
+    const core::MutexLock lock(mutex_);
+    stats_.workers = config_.max_workers;
+    stats_.node_admitted.assign(std::max<std::uint32_t>(1, config_.topology.num_nodes()), 0);
+    for (const auto& spec : config_.tenants) {
+      // First spec wins on a duplicate name; resolve_tenant_locked below
+      // would otherwise silently shadow the registered weight.
+      if (tenant_ids_.count(spec.name) != 0) continue;
+      resolve_tenant_locked(spec.name);
+      auto& state = tenants_.back();
+      state.spec = spec;
+      state.spec.weight = std::max<std::uint32_t>(1, spec.weight);
+      state.stride = kStrideScale / state.spec.weight;
+      state.stats.weight = state.spec.weight;
+    }
   }
   workers_.reserve(config_.max_workers);
   for (std::uint32_t i = 0; i < config_.max_workers; ++i) {
-    workers_.emplace_back([this, i] {
-      char name[16];
-      std::snprintf(name, sizeof(name), "nmo-wrk%u", i);
-      sys::set_current_thread_name(name);
+    workers_.push_back(sys::named_thread("nmo-wrk" + std::to_string(i), [this, i] {
       if (config_.pin_workers && config_.topology.multi_node()) {
         sys::pin_current_thread(config_.topology.nodes()[worker_node(i)].cpus);
       }
       worker_loop(i);
-    });
+    }));
   }
 }
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     stopping_ = true;
   }
   // Workers drain whatever is still queued before exiting; blocked
@@ -232,7 +234,7 @@ void Scheduler::enqueue_locked(Entry entry) {
   }
 }
 
-std::optional<TaskId> Scheduler::submit_locked(std::unique_lock<std::mutex>& lock, Task task,
+std::optional<TaskId> Scheduler::submit_locked(core::MutexLock& lock, Task task,
                                                const SubmitOptions& options,
                                                bool admission_exempt) {
   // Queue wait is measured from here - including any time the submitter
@@ -263,8 +265,9 @@ std::optional<TaskId> Scheduler::submit_locked(std::unique_lock<std::mutex>& loc
     };
     switch (config_.policy) {
       case AdmissionPolicy::kBlock:
-        space_ready_.wait(lock,
-                          [&] { return stopping_ || (!tenant_full() && !global_full()); });
+        space_ready_.wait(lock, [&]() NMO_REQUIRES(mutex_) {
+          return stopping_ || (!tenant_full() && !global_full());
+        });
         break;
       case AdmissionPolicy::kReject:
         if (tenant_full() || global_full()) return reject();
@@ -327,7 +330,7 @@ std::optional<TaskId> Scheduler::submit_locked(std::unique_lock<std::mutex>& loc
 }
 
 std::optional<TaskId> Scheduler::submit(Task task, const SubmitOptions& options) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   return submit_locked(lock, std::move(task), options, /*admission_exempt=*/false);
 }
 
@@ -338,15 +341,15 @@ std::optional<TaskId> Scheduler::submit(Task task, std::uint8_t priority) {
 }
 
 std::optional<TaskId> Scheduler::requeue(Task task, const SubmitOptions& options) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   return submit_locked(lock, std::move(task), options, /*admission_exempt=*/true);
 }
 
 void Scheduler::worker_loop(std::uint32_t worker_index) {
   const std::uint32_t my_node = worker_node(worker_index);
-  std::unique_lock<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   for (;;) {
-    work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    work_ready_.wait(lock, [this]() NMO_REQUIRES(mutex_) { return stopping_ || queued_ > 0; });
     if (queued_ == 0) {
       if (stopping_) return;
       continue;
@@ -358,7 +361,7 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
     // and can never starve an entry.  Entries without a home node are
     // always eligible, so a placement-free pool picks exactly as before.
     const auto pick_now = std::chrono::steady_clock::now();
-    const auto eligible = [&](const Entry& e) {
+    const auto eligible = [&](const Entry& e) NMO_REQUIRES(mutex_) {
       return !e.has_home || stopping_ || e.home_node == my_node ||
              e.placement_deadline <= pick_now;
     };
@@ -496,19 +499,19 @@ void Scheduler::worker_loop(std::uint32_t worker_index) {
 }
 
 void Scheduler::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+  core::MutexLock lock(mutex_);
+  idle_.wait(lock, [this]() NMO_REQUIRES(mutex_) { return queued_ == 0 && running_ == 0; });
 }
 
 std::optional<TaskStatus> Scheduler::status(TaskId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   const auto it = statuses_.find(id);
   if (it == statuses_.end()) return std::nullopt;
   return it->second;
 }
 
 bool Scheduler::forget(TaskId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   const auto it = statuses_.find(id);
   if (it == statuses_.end()) return false;
   switch (it->second.state) {
@@ -528,12 +531,12 @@ bool Scheduler::forget(TaskId id) {
 }
 
 std::size_t Scheduler::status_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return statuses_.size();
 }
 
 SchedulerStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   SchedulerStats snapshot = stats_;
   snapshot.queue_wait_p50_ns = hist_quantile(wait_hist_, 0.50);
   snapshot.queue_wait_p99_ns = hist_quantile(wait_hist_, 0.99);

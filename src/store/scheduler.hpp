@@ -53,12 +53,10 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -66,6 +64,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "core/session.hpp"
 #include "sys/topology.hpp"
 
@@ -305,52 +304,55 @@ class Scheduler {
   /// Topology node of pool slot `worker_index` (round-robin over nodes;
   /// always 0 without a multi-node topology).
   [[nodiscard]] std::uint32_t worker_node(std::uint32_t worker_index) const;
-  std::optional<TaskId> submit_locked(std::unique_lock<std::mutex>& lock, Task task,
-                                      const SubmitOptions& options, bool admission_exempt);
+  std::optional<TaskId> submit_locked(core::MutexLock& lock, Task task,
+                                      const SubmitOptions& options, bool admission_exempt)
+      NMO_REQUIRES(mutex_);
   /// Registers (or finds) the tenant for `name`; "" maps to "default".
-  TenantId resolve_tenant_locked(std::string_view name);
-  /// EDF-position insert plus depth/peak bookkeeping (queue lock held).
-  void enqueue_locked(Entry entry);
+  TenantId resolve_tenant_locked(std::string_view name) NMO_REQUIRES(mutex_);
+  /// EDF-position insert plus depth/peak bookkeeping.
+  void enqueue_locked(Entry entry) NMO_REQUIRES(mutex_);
   /// Sheds one entry of the given class: victim tenant = most over its
   /// weighted share of that class, victim entry = that tenant's oldest
-  /// submission (queue lock held).
-  void shed_from_class_locked(std::uint8_t priority);
+  /// submission.
+  void shed_from_class_locked(std::uint8_t priority) NMO_REQUIRES(mutex_);
   /// Sheds the given tenant's oldest entry from its lowest queued class;
   /// used when a per-tenant cap (not the global depth) is the limit.
-  void shed_from_tenant_locked(TenantId tenant);
+  void shed_from_tenant_locked(TenantId tenant) NMO_REQUIRES(mutex_);
   /// Removes one entry by (priority, tenant, min seq) and records it shed.
-  void shed_entry_locked(std::uint8_t priority, TenantId tenant);
+  void shed_entry_locked(std::uint8_t priority, TenantId tenant) NMO_REQUIRES(mutex_);
   /// The lowest priority class in which `tenant` has queued entries.
-  [[nodiscard]] std::optional<std::uint8_t> lowest_class_of_locked(TenantId tenant) const;
+  [[nodiscard]] std::optional<std::uint8_t> lowest_class_of_locked(TenantId tenant) const
+      NMO_REQUIRES(mutex_);
   /// Records `id` as terminal and reaps the oldest terminal statuses past
-  /// the retention bound (queue lock held).
-  void mark_terminal_locked(TaskId id);
+  /// the retention bound.
+  void mark_terminal_locked(TaskId id) NMO_REQUIRES(mutex_);
 
   SchedulerConfig config_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;   ///< Queue non-empty or stopping.
-  std::condition_variable space_ready_;  ///< Queue/tenant below a depth limit.
-  std::condition_variable idle_;         ///< Queue empty and pool quiescent.
+  mutable core::Mutex mutex_{"Scheduler"};
+  core::CondVar work_ready_;   ///< Queue non-empty or stopping.
+  core::CondVar space_ready_;  ///< Queue/tenant below a depth limit.
+  core::CondVar idle_;         ///< Queue empty and pool quiescent.
   /// Priority classes, highest first.
-  std::map<std::uint8_t, ClassQueue, std::greater<>> queue_;
-  std::vector<TenantState> tenants_;
-  std::unordered_map<std::string, TenantId> tenant_ids_;
-  std::unordered_map<TaskId, TaskStatus> statuses_;
+  std::map<std::uint8_t, ClassQueue, std::greater<>> queue_ NMO_GUARDED_BY(mutex_);
+  std::vector<TenantState> tenants_ NMO_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, TenantId> tenant_ids_ NMO_GUARDED_BY(mutex_);
+  std::unordered_map<TaskId, TaskStatus> statuses_ NMO_GUARDED_BY(mutex_);
   /// Terminal task ids in the order they became terminal - the reap queue
   /// that keeps statuses_ bounded by status_retention.  May hold ids the
   /// caller already forgot(); reaping those is a harmless no-op.
-  std::deque<TaskId> terminal_ids_;
+  std::deque<TaskId> terminal_ids_ NMO_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  TaskId next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
+  TaskId next_id_ NMO_GUARDED_BY(mutex_) = 1;
+  std::uint64_t next_seq_ NMO_GUARDED_BY(mutex_) = 0;
   /// Highest pass any admission has reached; a tenant going idle->active
   /// restarts at this floor so queue absence cannot bank credit.
-  std::uint64_t global_pass_ = 0;
-  std::size_t queued_ = 0;
-  std::uint32_t running_ = 0;
-  bool stopping_ = false;
-  SchedulerStats stats_;
-  std::array<std::uint64_t, 64> wait_hist_{};  ///< Pool-wide log2 wait buckets.
+  std::uint64_t global_pass_ NMO_GUARDED_BY(mutex_) = 0;
+  std::size_t queued_ NMO_GUARDED_BY(mutex_) = 0;
+  std::uint32_t running_ NMO_GUARDED_BY(mutex_) = 0;
+  bool stopping_ NMO_GUARDED_BY(mutex_) = false;
+  SchedulerStats stats_ NMO_GUARDED_BY(mutex_);
+  /// Pool-wide log2 wait buckets.
+  std::array<std::uint64_t, 64> wait_hist_ NMO_GUARDED_BY(mutex_){};
 };
 
 }  // namespace nmo::store

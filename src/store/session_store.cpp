@@ -251,13 +251,15 @@ MultiSessionRun run_sessions_thread_per_job(SessionStore& store,
   std::vector<std::thread> threads;
   threads.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    threads.emplace_back([&store, &options, &job = jobs[i], &result = run.results[i]] {
-      run_one_session(store, job, options, result);
-      result.state =
-          result.error.empty() ? core::SessionState::kDone : core::SessionState::kFailed;
-      result.report.sched_state = result.state;
-      write_session_meta(result);
-    });
+    threads.push_back(sys::named_thread(
+        "nmo-sess" + std::to_string(i),
+        [&store, &options, &job = jobs[i], &result = run.results[i]] {
+          run_one_session(store, job, options, result);
+          result.state =
+              result.error.empty() ? core::SessionState::kDone : core::SessionState::kFailed;
+          result.report.sched_state = result.state;
+          write_session_meta(result);
+        }));
   }
   for (auto& t : threads) t.join();
   return run;
@@ -379,7 +381,7 @@ SessionStore::SessionStore(std::string root) : root_(std::move(root)) {
 SessionInfo SessionStore::create_session(std::string_view name,
                                          std::optional<std::uint32_t> home_node) {
   SessionInfo info;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   info.name = sanitize_name(name);
   info.home_node = home_node;
   std::string parent = root_;
@@ -413,7 +415,7 @@ SessionInfo SessionStore::create_session(std::string_view name,
 }
 
 std::vector<SessionInfo> SessionStore::sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return sessions_;
 }
 

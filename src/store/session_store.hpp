@@ -36,12 +36,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "net/block_sender.hpp"
@@ -92,9 +92,9 @@ class SessionStore {
 
  private:
   std::string root_;
-  mutable std::mutex mutex_;
-  std::uint32_t next_id_ = 0;
-  std::vector<SessionInfo> sessions_;
+  mutable core::Mutex mutex_{"SessionStore"};
+  std::uint32_t next_id_ NMO_GUARDED_BY(mutex_) = 0;
+  std::vector<SessionInfo> sessions_ NMO_GUARDED_BY(mutex_);
 };
 
 /// What to do with a session whose time budget tripped mid-run.  In every

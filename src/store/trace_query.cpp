@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <thread>
+
+#include "sys/topology.hpp"
 
 namespace nmo::store {
 
@@ -183,7 +186,9 @@ TraceQuery::Result TraceQuery::run(unsigned threads) const {
   } else {
     std::vector<std::thread> pool;
     pool.reserve(slices.size());
-    for (std::size_t r = 0; r < slices.size(); ++r) pool.emplace_back(scan_slice, r);
+    for (std::size_t r = 0; r < slices.size(); ++r) {
+      pool.push_back(sys::named_thread("nmo-qry" + std::to_string(r), scan_slice, r));
+    }
     for (auto& t : pool) t.join();
   }
   for (auto& e : errors) {

@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace nmo::sys {
@@ -101,5 +103,20 @@ bool set_current_thread_name(const char* name);
 /// returns false off Linux, on an empty set, or when the kernel rejects
 /// the mask (e.g. a synthetic topology naming cpus this host lacks).
 bool pin_current_thread(const std::vector<std::uint32_t>& cpus);
+
+/// The one sanctioned way to spawn a long-lived thread: every worker gets
+/// a kernel-visible name ("nmo-dec0", "nmo-drain", ...) before its body
+/// runs, so ps/top/gdb and trace tooling can tell the pipeline stages
+/// apart.  nmo-lint's naked-thread rule rejects raw std::thread
+/// construction anywhere else in src/ and tools/.
+template <typename Fn, typename... Args>
+[[nodiscard]] std::thread named_thread(std::string name, Fn&& fn, Args&&... args) {
+  return std::thread(  // nmo-lint: allow(naked-thread)
+      [name = std::move(name)](auto&& body, auto&&... body_args) {
+        set_current_thread_name(name.c_str());
+        std::forward<decltype(body)>(body)(std::forward<decltype(body_args)>(body_args)...);
+      },
+      std::forward<Fn>(fn), std::forward<Args>(args)...);
+}
 
 }  // namespace nmo::sys

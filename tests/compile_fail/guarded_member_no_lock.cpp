@@ -1,0 +1,17 @@
+// Negative-compile test: reading an NMO_GUARDED_BY member without holding
+// its mutex must be rejected by -Werror=thread-safety.
+#include "common/thread_safety.hpp"
+
+class Counter {
+ public:
+  int read() const { return value_; }  // no lock held: analysis must reject
+
+ private:
+  mutable nmo::core::Mutex mutex_{"compile_fail.counter"};
+  int value_ NMO_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  return c.read();
+}

@@ -1,0 +1,16 @@
+// Negative-compile test: returning with a capability still held (no scoped
+// wrapper, no release on the exit path) must be rejected by
+// -Werror=thread-safety.
+#include "common/thread_safety.hpp"
+
+nmo::core::Mutex g_mutex{"compile_fail.leak"};
+
+void leak() {
+  g_mutex.lock();
+  // missing g_mutex.unlock(): mutex is still held at end of function
+}
+
+int main() {
+  leak();
+  return 0;
+}

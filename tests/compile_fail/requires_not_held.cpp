@@ -1,0 +1,20 @@
+// Negative-compile test: calling an NMO_REQUIRES function without holding
+// the required mutex must be rejected by -Werror=thread-safety.
+#include "common/thread_safety.hpp"
+
+class Widget {
+ public:
+  void touch() { bump(); }  // caller holds nothing: analysis must reject
+
+ private:
+  void bump() NMO_REQUIRES(mutex_) { ++count_; }
+
+  nmo::core::Mutex mutex_{"compile_fail.widget"};
+  int count_ NMO_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Widget w;
+  w.touch();
+  return 0;
+}

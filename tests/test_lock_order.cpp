@@ -1,0 +1,176 @@
+// Tests for the debug-build lock-order validator (common/lock_order.hpp).
+//
+// The interesting behavior — aborting on a lock-hierarchy inversion — is
+// exercised through gtest death tests: the child process establishes one
+// acquisition order, then takes the opposite order and must die printing
+// both mutex names.  The validator is process-global state, so each death
+// test builds its cycle from fresh mutexes inside the child.
+//
+// When NMO_LOCK_ORDER == 0 (Release), the death tests compile away and the
+// suite instead pins that the validator really is compiled out:
+// lockorder::kEnabled is false and edge_count() stays 0 no matter how many
+// locks are taken.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_safety.hpp"
+
+namespace {
+
+using nmo::core::Mutex;
+using nmo::core::MutexLock;
+
+// Take `outer` then `inner`, releasing both: records the edge
+// outer -> inner in the global order graph.
+void lock_in_order(Mutex& outer, Mutex& inner) {
+  const MutexLock a(outer);
+  const MutexLock b(inner);
+}
+
+// The runtime-validator probes below intentionally violate static locking
+// discipline (recursive lock, try-lock against the hierarchy); they are
+// excluded from Clang's analysis so -Werror=thread-safety does not reject
+// the very violations the *runtime* checks are under test for.
+void try_lock_release(Mutex& m, bool* acquired) NMO_NO_THREAD_SAFETY_ANALYSIS {
+  *acquired = m.try_lock();
+  if (*acquired) m.unlock();
+}
+
+[[maybe_unused]] void lock_twice(Mutex& m) NMO_NO_THREAD_SAFETY_ANALYSIS {
+  m.lock();
+  m.lock();  // recursive: the lock-order validator must abort
+}
+
+TEST(LockOrder, ConsistentOrderNeverAborts) {
+  Mutex a("order.a");
+  Mutex b("order.b");
+  Mutex c("order.c");
+  // Same hierarchy exercised repeatedly, including from another thread:
+  // a -> b -> c is acyclic, so no report fires.
+  for (int i = 0; i < 100; ++i) {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+    const MutexLock lc(c);
+  }
+  std::thread t([&] { lock_in_order(a, b); });
+  t.join();
+  SUCCEED();
+}
+
+TEST(LockOrder, TryLockAgainstHierarchyIsAllowed) {
+  Mutex a("trylock.a");
+  Mutex b("trylock.b");
+  lock_in_order(a, b);  // a -> b on record
+  // try_lock in the opposite order is the sanctioned backoff pattern; it
+  // must not add a b -> a edge, so a later a-then-b acquisition stays legal.
+  {
+    const MutexLock lb(b);
+    bool acquired = false;
+    try_lock_release(a, &acquired);
+    ASSERT_TRUE(acquired);
+  }
+  lock_in_order(a, b);
+  SUCCEED();
+}
+
+TEST(LockOrder, DestroyedMutexDropsItsOrderConstraints) {
+  Mutex a("destroy.a");
+  {
+    Mutex b("destroy.b");
+    lock_in_order(a, b);
+  }  // b destroyed: the a -> b edge must die with it.
+  {
+    // A fresh mutex may reuse b's stack address; it must start clean and
+    // accept the opposite order without tripping a stale-edge cycle.
+    Mutex b2("destroy.b2");
+    lock_in_order(b2, a);
+  }
+  SUCCEED();
+}
+
+#if NMO_LOCK_ORDER
+
+TEST(LockOrder, ValidatorIsCompiledIn) {
+  EXPECT_TRUE(nmo::lockorder::kEnabled);
+}
+
+TEST(LockOrder, EdgeCountGrowsWithObservedOrders) {
+  const std::size_t before = nmo::lockorder::edge_count();
+  Mutex a("edges.a");
+  Mutex b("edges.b");
+  lock_in_order(a, b);
+  EXPECT_GE(nmo::lockorder::edge_count(), before + 1);
+}
+
+using LockOrderDeathTest = ::testing::Test;
+
+TEST(LockOrderDeathTest, AbbaInversionAbortsWithBothNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a("abba.first");
+        Mutex b("abba.second");
+        lock_in_order(a, b);
+        lock_in_order(b, a);  // closes the cycle -> abort
+      },
+      "cycle detected(.|\n)*abba\\.first(.|\n)*abba\\.second");
+}
+
+TEST(LockOrderDeathTest, ThreeLockCycleAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a("ring.a");
+        Mutex b("ring.b");
+        Mutex c("ring.c");
+        lock_in_order(a, b);
+        lock_in_order(b, c);
+        lock_in_order(c, a);  // a -> b -> c -> a
+      },
+      "cycle detected(.|\n)*ring\\.");
+}
+
+TEST(LockOrderDeathTest, CycleDetectedWithoutActualDeadlock) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The two orders run strictly sequentially on separate threads — this
+  // program can never deadlock, but the inversion is still a bug waiting
+  // for contention, and the validator must flag it.
+  EXPECT_DEATH(
+      {
+        Mutex a("seq.a");
+        Mutex b("seq.b");
+        std::thread t1([&] { lock_in_order(a, b); });
+        t1.join();
+        std::thread t2([&] { lock_in_order(b, a); });
+        t2.join();
+      },
+      "cycle detected(.|\n)*seq\\.");
+}
+
+TEST(LockOrderDeathTest, RecursiveLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a("recursive.a");
+        lock_twice(a);
+      },
+      "recursive lock(.|\n)*recursive\\.a");
+}
+
+#else  // !NMO_LOCK_ORDER
+
+TEST(LockOrder, ValidatorIsCompiledOut) {
+  EXPECT_FALSE(nmo::lockorder::kEnabled);
+  Mutex a("release.a");
+  Mutex b("release.b");
+  lock_in_order(a, b);
+  lock_in_order(b, a);  // inversion is invisible in Release...
+  EXPECT_EQ(nmo::lockorder::edge_count(), 0u);  // ...because nothing records
+}
+
+#endif  // NMO_LOCK_ORDER
+
+}  // namespace

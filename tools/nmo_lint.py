@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""nmo-lint: repo-invariant checks clang-tidy cannot express.
+
+Each rule encodes a project-wide contract that has bitten (or would bite)
+this codebase specifically; see README "Static analysis & concurrency
+correctness" for the rationale.  Findings print as `path:line: rule:
+message` and any finding fails the run, so CI can gate on exit status.
+
+Suppression: append `// nmo-lint: allow(<rule>)` to the offending line with
+a justification comment nearby.  Suppressions are per-line and per-rule on
+purpose — a blanket opt-out would rot.
+
+Usage:
+  tools/nmo_lint.py [--repo DIR] [--compile-commands FILE] [--list-rules]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(r"//\s*nmo-lint:\s*allow\(([a-z0-9_-]+)\)")
+COMMENT_RE = re.compile(r"//.*$")
+
+
+def code_of(line: str) -> str:
+    """The line with any // comment stripped: code rules must not fire on
+    prose that merely mentions std::mutex."""
+    return COMMENT_RE.sub("", line)
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = SUPPRESS_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def iter_sources(repo: Path, dirs, suffixes):
+    for d in dirs:
+        base = repo / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+# --- rule: naked-thread ------------------------------------------------------
+#
+# Every thread this project spawns must go through sys::named_thread so it
+# shows up named in /proc, perf, and gdb.  An anonymous std::thread
+# construction in src/ or tools/ is a worker nobody can identify in a
+# profile.  (bench/ is exempt: harnesses spawn throwaway load generators.)
+
+# Matches the temporary form (`std::thread(fn)`, args inline or continued
+# on the next line) and the declaration form (`std::thread t(fn);`, which
+# must end the statement so `std::thread` as a function's return type does
+# not fire).  `std::thread t;` and `std::thread()` construct empty handles
+# and spawn nothing.
+THREAD_CTOR_RE = re.compile(
+    r"std::thread\s*\(\s*[^)\s]"    # temporary with args
+    r"|std::thread\s*\(\s*$"          # temporary, args on next line
+    r"|std::thread\s+\w+\s*\(.*\)\s*;"  # declaration with args
+    r"|std::thread\s+\w+\s*\(\s*$")      # declaration, args on next line
+
+
+def rule_naked_thread(repo: Path):
+    for path in iter_sources(repo, ["src", "tools"], {".cpp", ".hpp"}):
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if not THREAD_CTOR_RE.search(code_of(line)):
+                continue
+            if suppressed(line, "naked-thread"):
+                continue
+            yield Finding(
+                path.relative_to(repo), i, "naked-thread",
+                "spawn threads via sys::named_thread(name, fn, ...) so they "
+                "are identifiable in profiles; see src/sys/topology.hpp")
+
+
+# --- rule: raw-mutex ---------------------------------------------------------
+#
+# Locking in src/ and tools/ goes through core::Mutex / core::MutexLock /
+# core::CondVar (common/thread_safety.hpp): that is what carries the Clang
+# thread-safety annotations and feeds the lock-order validator.  A raw
+# std::mutex is invisible to both.
+
+RAW_LOCKING_RE = re.compile(
+    r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock)\b")
+RAW_MUTEX_EXEMPT = {
+    Path("src/common/thread_safety.hpp"),  # the wrapper itself
+    Path("src/common/lock_order.cpp"),     # must not recurse into core::Mutex
+}
+
+
+def rule_raw_mutex(repo: Path):
+    for path in iter_sources(repo, ["src", "tools"], {".cpp", ".hpp"}):
+        if path.relative_to(repo) in RAW_MUTEX_EXEMPT:
+            continue
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if not RAW_LOCKING_RE.search(code_of(line)):
+                continue
+            if suppressed(line, "raw-mutex"):
+                continue
+            yield Finding(
+                path.relative_to(repo), i, "raw-mutex",
+                "use core::Mutex/MutexLock/CondVar (common/thread_safety.hpp); "
+                "raw std locking bypasses thread-safety annotations and the "
+                "lock-order validator")
+
+
+# --- rule: wire-bounds -------------------------------------------------------
+#
+# Wire decoders parse attacker-shaped bytes.  Any function in net/wire.cpp
+# that indexes the buffer through a cursor must bounds-check (mention
+# .size()) inside that same function — a decoder with indexing but no size
+# comparison is reading on faith.
+
+
+def functions_with_bodies(text: str):
+    """Yields (name, start_line, body_text) for top-level function bodies."""
+    lines = text.splitlines()
+    sig_re = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*\b([A-Za-z_]\w*)\s*\([^;]*$|"
+                        r"^[A-Za-z_][\w:<>,&*\s]*\b([A-Za-z_]\w*)\s*\(.*\)\s*(const\s*)?\{")
+    i = 0
+    while i < len(lines):
+        m = sig_re.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        name = m.group(1) or m.group(2)
+        # Find the opening brace, then consume the balanced body.
+        depth = 0
+        start = i
+        body = []
+        opened = False
+        while i < len(lines):
+            body.append(lines[i])
+            depth += lines[i].count("{") - lines[i].count("}")
+            if "{" in lines[i]:
+                opened = True
+            if opened and depth <= 0:
+                break
+            i += 1
+        yield name, start + 1, "\n".join(body)
+        i += 1
+
+
+CURSOR_INDEX_RE = re.compile(r"\w+\[(pos|pos_)\b")
+
+
+def rule_wire_bounds(repo: Path):
+    wire = repo / "src" / "net" / "wire.cpp"
+    if not wire.is_file():
+        return
+    text = wire.read_text()
+    for name, line, body in functions_with_bodies(text):
+        if not CURSOR_INDEX_RE.search(body):
+            continue
+        if ".size()" in body:
+            continue
+        first = body.splitlines()[0]
+        if suppressed(first, "wire-bounds"):
+            continue
+        yield Finding(
+            wire.relative_to(repo), line, "wire-bounds",
+            f"decoder '{name}' indexes the buffer through a cursor but never "
+            "compares against .size(); bounds-check before reading")
+
+
+# --- rule: bench-json --------------------------------------------------------
+#
+# Every bench that gates (exits nonzero on a threshold) must also offer
+# --json: a CI gate without a machine-readable artifact can fail without
+# leaving numbers to compare against.  \bgate avoids matching "aggregate".
+
+GATE_RE = re.compile(r"\bgate")
+
+
+def rule_bench_json(repo: Path):
+    for path in iter_sources(repo, ["bench"], {".cpp"}):
+        text = path.read_text()
+        m = GATE_RE.search(text)
+        if not m:
+            continue
+        if "--json" in text:
+            continue
+        line = text.count("\n", 0, m.start()) + 1
+        gate_line = text.splitlines()[line - 1]
+        if suppressed(gate_line, "bench-json"):
+            continue
+        yield Finding(
+            path.relative_to(repo), line, "bench-json",
+            "bench declares a gate but offers no --json output; gates must "
+            "leave a machine-readable artifact (see bench_common.hpp "
+            "JsonWriter)")
+
+
+# --- rule: using-namespace-header --------------------------------------------
+#
+# `using namespace` in a header leaks into every includer.
+
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s")
+
+
+def rule_using_namespace_header(repo: Path):
+    for path in iter_sources(repo, ["src", "bench", "tools"], {".hpp", ".h"}):
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if not USING_NAMESPACE_RE.match(code_of(line)):
+                continue
+            if suppressed(line, "using-namespace-header"):
+                continue
+            yield Finding(
+                path.relative_to(repo), i, "using-namespace-header",
+                "`using namespace` in a header injects the namespace into "
+                "every includer; qualify names or alias instead")
+
+
+RULES = {
+    "naked-thread": rule_naked_thread,
+    "raw-mutex": rule_raw_mutex,
+    "wire-bounds": rule_wire_bounds,
+    "bench-json": rule_bench_json,
+    "using-namespace-header": rule_using_namespace_header,
+}
+
+
+def check_compile_commands(repo: Path, db_path: Path):
+    """Cross-checks the compilation database covers every src/*.cpp: a file
+    the GLOB missed is a file neither clang-tidy nor -Wthread-safety ever
+    sees, which silently exempts it from both gates."""
+    entries = json.loads(db_path.read_text())
+    compiled = {Path(e["file"]).resolve() for e in entries}
+    for path in iter_sources(repo, ["src"], {".cpp"}):
+        if path.resolve() not in compiled:
+            yield Finding(
+                path.relative_to(repo), 1, "compile-commands",
+                f"not in {db_path.name}: clang-tidy and -Wthread-safety "
+                "never analyze this file (stale build dir? reconfigure)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's parent's parent)")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json to cross-check src/ coverage against")
+    parser.add_argument("--list-rules", action="store_true", help="print rule names and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    findings = []
+    for rule in RULES.values():
+        findings.extend(rule(args.repo))
+    if args.compile_commands:
+        findings.extend(check_compile_commands(args.repo, args.compile_commands))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"nmo-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("nmo-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
